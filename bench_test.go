@@ -1,0 +1,319 @@
+package graphsig_test
+
+// Benchmark harness: one benchmark per paper table/figure (regenerating
+// the artifact end-to-end on a reduced-scale dataset; run cmd/sigbench
+// for the full-scale numbers) plus micro-benchmarks of the hot kernels
+// (scheme computation, distances, AUC, perturbation, sketches, LSH).
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"graphsig"
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+	"graphsig/internal/experiments"
+	"graphsig/internal/lsh"
+	"graphsig/internal/perturb"
+	"graphsig/internal/sketch"
+)
+
+// benchScale keeps one experiment iteration in the ~100ms range; the
+// shapes measured here are the same the full-scale run reports.
+const benchScale = 0.35
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := experiments.LoadScaled(42, benchScale)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchEnv = experiments.NewEnv(ds, 42)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// freshEnv returns an uncached environment so a benchmark measures the
+// experiment's real work rather than memoized signature sets.
+func freshEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	e := env(b)
+	return experiments.NewEnv(e.DS, 42)
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIVMeasured(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3a(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3b(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StreamingAblation(freshEnv(b), sketch.StreamConfig{Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSHAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LSHAblation(freshEnv(b), 16, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnomalyDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AnomalyDetection(freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(io.Discard, freshEnv(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks ----
+
+func flowWindow(b *testing.B) *graphsig.Graph {
+	return env(b).DS.Flow.Windows[0]
+}
+
+func BenchmarkSchemeTT(b *testing.B) {
+	w := flowWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphsig.ComputeSignatures(graphsig.TopTalkers(), w, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchemeUT(b *testing.B) {
+	w := flowWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphsig.ComputeSignatures(graphsig.UnexpectedTalkers(), w, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchemeRWR3(b *testing.B) {
+	w := flowWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphsig.ComputeSignatures(graphsig.RandomWalk(0.1, 3), w, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchemeRWRConverged(b *testing.B) {
+	w := flowWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphsig.ComputeSignatures(graphsig.RandomWalk(0.1, 0), w, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSigs(b *testing.B) *graphsig.SignatureSet {
+	set, err := graphsig.ComputeSignatures(graphsig.TopTalkers(), flowWindow(b), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+func BenchmarkDistances(b *testing.B) {
+	set := benchSigs(b)
+	if set.Len() < 2 {
+		b.Fatal("too few signatures")
+	}
+	for _, d := range graphsig.AllDistances() {
+		b.Run(d.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.Dist(set.Sigs[i%set.Len()], set.Sigs[(i+1)%set.Len()])
+			}
+		})
+	}
+}
+
+func BenchmarkSelfRetrievalAUC(b *testing.B) {
+	e := env(b)
+	s := core.TopTalkers{}
+	at, err := e.Sigs(experiments.FlowData, s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next, err := e.Sigs(experiments.FlowData, s, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.SelfRetrievalAUC(core.ScaledHellinger{}, at, next); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerturb(b *testing.B) {
+	w := flowWindow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perturb.Perturb(w, perturb.Options{InsertFrac: 0.1, DeleteFrac: 0.1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm, err := sketch.NewCountMin(4, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Add(uint64(i), 1)
+	}
+}
+
+func BenchmarkFMAdd(b *testing.B) {
+	fm, err := sketch.NewFM(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fm.Add(uint64(i))
+	}
+}
+
+func BenchmarkStreamTTObserve(b *testing.B) {
+	st := graphsig.NewStreamTT(graphsig.StreamConfig{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Observe(graphsig.NodeID(i%64), graphsig.NodeID(1000+i%500), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSHQuery(b *testing.B) {
+	set := benchSigs(b)
+	hasher, err := lsh.NewHasher(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	index, err := lsh.NewIndex(hasher, 16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, v := range set.Sources {
+		if err := index.Add(v, set.Sigs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := i % set.Len()
+		if _, err := index.Query(set.Sigs[q], set.Sources[q], 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateEnterprise(b *testing.B) {
+	cfg := graphsig.DefaultEnterpriseConfig(1)
+	cfg.LocalHosts = 60
+	cfg.ExternalHosts = 1200
+	cfg.Communities = 5
+	cfg.Windows = 2
+	cfg.MultiusageIndividuals = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := graphsig.GenerateEnterprise(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// The per-experiment paths run at a small scale; RunAll is covered by
+// the experiments package test and the full-scale binary run.
+func TestSigbenchExperiments(t *testing.T) {
+	for _, name := range []string{
+		"tables", "fig1", "fig2", "fig3a", "fig3b",
+		"fig4", "fig5", "fig6", "anomaly", "blend", "significance",
+		"deanon", "phone", "prune", "hops", "horizon", "ablations",
+	} {
+		if err := run(7, 0.2, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSigbenchUnknownExperiment(t *testing.T) {
+	if err := run(7, 0.2, "bogus"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSigbenchBadScale(t *testing.T) {
+	if err := run(7, 0, "tables"); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}

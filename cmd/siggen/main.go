@@ -1,0 +1,138 @@
+// Command siggen generates the synthetic datasets that stand in for the
+// paper's proprietary data and writes them to disk.
+//
+// Usage:
+//
+//	siggen -out DIR [-seed N] [-hosts N] [-windows N] [-format text|binary]
+//
+// It writes:
+//
+//	DIR/flows.txt (or flows.nfb)   enterprise flow records
+//	DIR/multiusage.txt             ground-truth label groups (tab-separated)
+//	DIR/queries.txt                query-log tuples "window user table"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphsig"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	seed := flag.Int64("seed", 42, "root random seed")
+	hosts := flag.Int("hosts", 0, "override local host count (0 = default 300)")
+	windows := flag.Int("windows", 0, "override window count (0 = default 6)")
+	format := flag.String("format", "text", "flow file format: text or binary")
+	flag.Parse()
+
+	if err := run(*out, *seed, *hosts, *windows, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "siggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, hosts, windows int, format string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	fcfg := graphsig.DefaultEnterpriseConfig(seed)
+	if hosts > 0 {
+		fcfg.LocalHosts = hosts
+		// Keep the multiusage ground truth feasible at small host
+		// counts: at most a third of hosts belong to multi-label
+		// individuals.
+		if maxInd := hosts / (3 * fcfg.MaxLabelsPerIndividual); fcfg.MultiusageIndividuals > maxInd {
+			fcfg.MultiusageIndividuals = maxInd
+		}
+		if fcfg.MultiusageIndividuals < 1 {
+			fcfg.MultiusageIndividuals = 1
+		}
+	}
+	if windows > 0 {
+		fcfg.Windows = windows
+	}
+	flow, err := graphsig.GenerateEnterprise(fcfg)
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "text":
+		if err := writeTo(filepath.Join(out, "flows.txt"), func(f *os.File) error {
+			return graphsig.WriteFlowsText(f, flow.Records)
+		}); err != nil {
+			return err
+		}
+	case "binary":
+		if err := writeTo(filepath.Join(out, "flows.nfb"), func(f *os.File) error {
+			return graphsig.WriteFlowsBinary(f, flow.Records)
+		}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text or binary)", format)
+	}
+
+	if err := writeTo(filepath.Join(out, "multiusage.txt"), func(f *os.File) error {
+		for _, labels := range flow.Truth.MultiusageSets() {
+			for i, l := range labels {
+				if i > 0 {
+					if _, err := fmt.Fprint(f, "\t"); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprint(f, l); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	qcfg := graphsig.DefaultQueryLogConfig(seed + 1)
+	if windows > 0 {
+		qcfg.Windows = windows
+	}
+	query, err := graphsig.GenerateQueryLog(qcfg)
+	if err != nil {
+		return err
+	}
+	if err := writeTo(filepath.Join(out, "queries.txt"), func(f *os.File) error {
+		for _, t := range query.Tuples {
+			if _, err := fmt.Fprintf(f, "%d %s %s\n", t.Window, t.User, t.Table); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %d flow records, %d multiusage groups, %d query tuples to %s\n",
+		len(flow.Records), len(flow.Truth.MultiusageSets()), len(query.Tuples), out)
+	for i, w := range flow.Windows {
+		fmt.Printf("  flow window %d: %s\n", i, graphsig.SummarizeGraph(w))
+	}
+	return nil
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSiggenRun(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 25, 2, "text"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"flows.txt", "multiusage.txt", "queries.txt"} {
+		info, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestSiggenBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 2, 25, 2, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "flows.nfb")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiggenBadFormat(t *testing.T) {
+	if err := run(t.TempDir(), 1, 25, 2, "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,436 @@
+// Command sigtool computes and applies signatures over a flow file
+// produced by siggen (or any capture in the same text/binary format).
+//
+// Subcommands:
+//
+//	sigtool stats      -flows FILE [-window DUR]
+//	sigtool export     -flows FILE -out SIGFILE [-scheme S] [-k N] [-t IDX]
+//	sigtool compare    -flows FILE -sigs SIGFILE [-scheme S] [-k N] [-t IDX]
+//	sigtool screen     -flows FILE -sigs SIGFILE [-k N] [-t IDX] [-maxdist D]
+//	sigtool sig        -flows FILE -node LABEL [-scheme S] [-k N] [-t IDX]
+//	sigtool neighbors  -flows FILE -node LABEL [-scheme S] [-k N] [-t IDX] [-top N]
+//	sigtool multiusage -flows FILE [-scheme S] [-k N] [-t IDX] [-threshold D]
+//	sigtool masquerade -flows FILE [-scheme S] [-k N] [-t IDX] [-ell N] [-c N]
+//	sigtool anomalies  -flows FILE [-scheme S] [-k N] [-t IDX] [-z Z]
+//
+// -scheme accepts tt, ut, ut-tfidf, rwr@C, rwrH@C (default rwr3@0.1 for
+// masquerade/anomalies, tt otherwise, per the paper's recommendations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graphsig"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	flows := fs.String("flows", "", "flow file (text .txt or binary .nfb)")
+	window := fs.Duration("window", 5*24*time.Hour, "aggregation window size")
+	prefix := fs.String("local-prefix", "10.", "label prefix marking local hosts")
+	scheme := fs.String("scheme", "", "signature scheme (default depends on subcommand)")
+	k := fs.Int("k", 10, "signature length")
+	t := fs.Int("t", 0, "window index")
+	node := fs.String("node", "", "node label")
+	top := fs.Int("top", 10, "neighbours to list")
+	threshold := fs.Float64("threshold", 0.7, "multiusage distance threshold")
+	ell := fs.Int("ell", 3, "Algorithm 1 top-ℓ")
+	c := fs.Int("c", 5, "Algorithm 1 δ scale")
+	z := fs.Float64("z", 2.0, "anomaly z-score cut")
+	out := fs.String("out", "", "output path (export)")
+	sigsPath := fs.String("sigs", "", "serialized signature file (compare/screen)")
+	maxDist := fs.Float64("maxdist", 0.5, "watchlist hit threshold (screen)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	if err := run(cmd, config{
+		flows: *flows, window: *window, prefix: *prefix, scheme: *scheme,
+		k: *k, t: *t, node: *node, top: *top, threshold: *threshold,
+		ell: *ell, c: *c, z: *z, out: *out, sigs: *sigsPath, maxDist: *maxDist,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sigtool:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	flows     string
+	window    time.Duration
+	prefix    string
+	scheme    string
+	k         int
+	t         int
+	node      string
+	top       int
+	threshold float64
+	ell       int
+	c         int
+	z         float64
+	out       string
+	sigs      string
+	maxDist   float64
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sigtool <stats|sig|neighbors|multiusage|masquerade|anomalies|export|compare|screen> -flows FILE [options]`)
+}
+
+func run(cmd string, cfg config) error {
+	if cfg.flows == "" {
+		usage()
+		return fmt.Errorf("missing -flows")
+	}
+	windows, err := loadWindows(cfg)
+	if err != nil {
+		return err
+	}
+	if len(windows) == 0 {
+		return fmt.Errorf("no windows in %s", cfg.flows)
+	}
+	if cfg.t < 0 || cfg.t >= len(windows) {
+		return fmt.Errorf("window %d out of range [0,%d)", cfg.t, len(windows))
+	}
+
+	switch cmd {
+	case "stats":
+		for i, w := range windows {
+			fmt.Printf("window %d: %s\n", i, graphsig.SummarizeGraph(w))
+		}
+		return nil
+	case "sig":
+		return runSig(cfg, windows)
+	case "neighbors":
+		return runNeighbors(cfg, windows)
+	case "multiusage":
+		return runMultiusage(cfg, windows)
+	case "masquerade":
+		return runMasquerade(cfg, windows)
+	case "anomalies":
+		return runAnomalies(cfg, windows)
+	case "export":
+		return runExport(cfg, windows)
+	case "compare":
+		return runCompare(cfg, windows)
+	case "screen":
+		return runScreen(cfg, windows)
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadWindows(cfg config) ([]*graphsig.Graph, error) {
+	f, err := os.Open(cfg.flows)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var records []graphsig.FlowRecord
+	if strings.HasSuffix(cfg.flows, ".nfb") {
+		records, err = graphsig.ReadFlowsBinary(f)
+	} else {
+		records, err = graphsig.ReadFlowsText(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return graphsig.AggregateFlows(records, cfg.window, graphsig.PrefixClassifier(cfg.prefix))
+}
+
+func pickScheme(cfg config, fallback string) (graphsig.Scheme, error) {
+	name := cfg.scheme
+	if name == "" {
+		name = fallback
+	}
+	return graphsig.ParseScheme(name)
+}
+
+func lookup(w *graphsig.Graph, label string) (graphsig.NodeID, error) {
+	id, ok := w.Universe().Lookup(label)
+	if !ok {
+		return 0, fmt.Errorf("unknown node label %q", label)
+	}
+	return id, nil
+}
+
+func runSig(cfg config, windows []*graphsig.Graph) error {
+	s, err := pickScheme(cfg, "tt")
+	if err != nil {
+		return err
+	}
+	w := windows[cfg.t]
+	v, err := lookup(w, cfg.node)
+	if err != nil {
+		return err
+	}
+	sig, err := graphsig.SignatureOf(s, w, v, cfg.k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("σ_%d(%s) under %s, k=%d:\n", cfg.t, cfg.node, s.Name(), cfg.k)
+	for i := range sig.Nodes {
+		fmt.Printf("  %-18s %.6f\n", w.Universe().Label(sig.Nodes[i]), sig.Weights[i])
+	}
+	return nil
+}
+
+func runNeighbors(cfg config, windows []*graphsig.Graph) error {
+	s, err := pickScheme(cfg, "tt")
+	if err != nil {
+		return err
+	}
+	w := windows[cfg.t]
+	v, err := lookup(w, cfg.node)
+	if err != nil {
+		return err
+	}
+	set, err := graphsig.ComputeSignatures(s, w, cfg.k)
+	if err != nil {
+		return err
+	}
+	pairs, err := graphsig.NearestNeighbors(graphsig.DistSHel(), set, v, cfg.top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nearest signatures to %s (%s, Dist_SHel):\n", cfg.node, s.Name())
+	for _, p := range pairs {
+		fmt.Printf("  %-18s %.4f\n", w.Universe().Label(p.B), p.Dist)
+	}
+	return nil
+}
+
+func runMultiusage(cfg config, windows []*graphsig.Graph) error {
+	s, err := pickScheme(cfg, "tt")
+	if err != nil {
+		return err
+	}
+	w := windows[cfg.t]
+	set, err := graphsig.ComputeSignatures(s, w, cfg.k)
+	if err != nil {
+		return err
+	}
+	pairs, err := graphsig.DetectMultiusage(graphsig.DistSHel(), set, cfg.threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiusage candidates (%s, Dist ≤ %.2f): %d pairs\n", s.Name(), cfg.threshold, len(pairs))
+	for _, p := range pairs {
+		fmt.Printf("  %-18s %-18s %.4f\n", w.Universe().Label(p.A), w.Universe().Label(p.B), p.Dist)
+	}
+	return nil
+}
+
+func runMasquerade(cfg config, windows []*graphsig.Graph) error {
+	if cfg.t+1 >= len(windows) {
+		return fmt.Errorf("masquerade needs windows %d and %d", cfg.t, cfg.t+1)
+	}
+	s, err := pickScheme(cfg, "rwr3@0.1")
+	if err != nil {
+		return err
+	}
+	at, err := graphsig.ComputeSignatures(s, windows[cfg.t], cfg.k)
+	if err != nil {
+		return err
+	}
+	next, err := graphsig.ComputeSignatures(s, windows[cfg.t+1], cfg.k)
+	if err != nil {
+		return err
+	}
+	d := graphsig.DistSHel()
+	delta, err := graphsig.MasqueradeDelta(d, at, next, cfg.c)
+	if err != nil {
+		return err
+	}
+	res, err := graphsig.DetectLabelMasquerading(d, at, next, delta, cfg.ell)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("masquerade detection (%s, δ=%.4f, ℓ=%d): %d suspected pairs, %d non-suspects\n",
+		s.Name(), delta, cfg.ell, len(res.Pairs), len(res.NonSuspects))
+	u := windows[cfg.t].Universe()
+	type pair struct{ from, to string }
+	var out []pair
+	for v, to := range res.Pairs {
+		out = append(out, pair{u.Label(v), u.Label(to)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].from < out[j].from })
+	for _, p := range out {
+		fmt.Printf("  %-18s -> %s\n", p.from, p.to)
+	}
+	return nil
+}
+
+// runExport computes a window's signatures and serializes them, so a
+// later run can compare fresh traffic against a stored baseline.
+func runExport(cfg config, windows []*graphsig.Graph) error {
+	if cfg.out == "" {
+		return fmt.Errorf("export needs -out")
+	}
+	s, err := pickScheme(cfg, "tt")
+	if err != nil {
+		return err
+	}
+	w := windows[cfg.t]
+	set, err := graphsig.ComputeSignatures(s, w, cfg.k)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(cfg.out)
+	if err != nil {
+		return err
+	}
+	if err := graphsig.WriteSignatures(f, set, w.Universe()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d signatures (%s, window %d) to %s\n", set.Len(), set.Scheme, set.Window, cfg.out)
+	return nil
+}
+
+// runCompare loads a stored signature baseline and reports the
+// persistence of each current host against it — the operational form
+// of anomaly/masquerade monitoring.
+func runCompare(cfg config, windows []*graphsig.Graph) error {
+	if cfg.sigs == "" {
+		return fmt.Errorf("compare needs -sigs")
+	}
+	w := windows[cfg.t]
+	f, err := os.Open(cfg.sigs)
+	if err != nil {
+		return err
+	}
+	baseline, err := graphsig.ReadSignatures(f, w.Universe())
+	f.Close()
+	if err != nil {
+		return err
+	}
+	s, err := pickScheme(cfg, baseline.Scheme)
+	if err != nil {
+		return err
+	}
+	current, err := graphsig.ComputeSignatures(s, w, cfg.k)
+	if err != nil {
+		return err
+	}
+	d := graphsig.DistSHel()
+	pers := graphsig.Persistence(d, baseline, current)
+	type row struct {
+		label string
+		p     float64
+	}
+	rows := make([]row, 0, len(pers))
+	for v, p := range pers {
+		rows = append(rows, row{w.Universe().Label(v), p})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p != rows[j].p {
+			return rows[i].p < rows[j].p
+		}
+		return rows[i].label < rows[j].label
+	})
+	fmt.Printf("persistence vs baseline %s (window %d vs %d), least persistent first:\n",
+		cfg.sigs, baseline.Window, w.Index())
+	for i, r := range rows {
+		if i == cfg.top {
+			fmt.Printf("  ... %d more\n", len(rows)-i)
+			break
+		}
+		fmt.Printf("  %-18s %.4f\n", r.label, r.p)
+	}
+	return nil
+}
+
+// runScreen loads an exported signature archive as a watchlist and
+// screens the selected window's hosts against it: the §I reappearance
+// question ("is this new label an individual we have seen before?").
+func runScreen(cfg config, windows []*graphsig.Graph) error {
+	if cfg.sigs == "" {
+		return fmt.Errorf("screen needs -sigs")
+	}
+	w := windows[cfg.t]
+	f, err := os.Open(cfg.sigs)
+	if err != nil {
+		return err
+	}
+	archiveSet, err := graphsig.ReadSignatures(f, w.Universe())
+	f.Close()
+	if err != nil {
+		return err
+	}
+	s, err := pickScheme(cfg, archiveSet.Scheme)
+	if err != nil {
+		return err
+	}
+	watch := graphsig.NewWatchlist()
+	if err := watch.AddSet(archiveSet, w.Universe().Label); err != nil {
+		return err
+	}
+	current, err := graphsig.ComputeSignatures(s, w, cfg.k)
+	if err != nil {
+		return err
+	}
+	hits, err := watch.Screen(graphsig.DistSHel(), current, cfg.maxDist)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("screened %d hosts against %d archived signatures (Dist ≤ %.2f): %d with hits\n",
+		current.Len(), watch.Len(), cfg.maxDist, len(hits))
+	var nodes []graphsig.NodeID
+	for v := range hits {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, v := range nodes {
+		best := hits[v][0]
+		marker := ""
+		if w.Universe().Label(v) != best.Individual {
+			marker = "  << label differs from archived identity"
+		}
+		fmt.Printf("  %-18s ~ %-18s dist=%.4f (window %d)%s\n",
+			w.Universe().Label(v), best.Individual, best.Dist, best.Window, marker)
+	}
+	return nil
+}
+
+func runAnomalies(cfg config, windows []*graphsig.Graph) error {
+	if cfg.t+1 >= len(windows) {
+		return fmt.Errorf("anomalies needs windows %d and %d", cfg.t, cfg.t+1)
+	}
+	s, err := pickScheme(cfg, "rwr3@0.1")
+	if err != nil {
+		return err
+	}
+	at, err := graphsig.ComputeSignatures(s, windows[cfg.t], cfg.k)
+	if err != nil {
+		return err
+	}
+	next, err := graphsig.ComputeSignatures(s, windows[cfg.t+1], cfg.k)
+	if err != nil {
+		return err
+	}
+	anomalies, population, err := graphsig.DetectAnomalies(graphsig.DistSHel(), at, next, cfg.z)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("anomalies (%s, z < -%.1f): %d of %d; population persistence %s\n",
+		s.Name(), cfg.z, len(anomalies), population.N, population)
+	u := windows[cfg.t].Universe()
+	for _, a := range anomalies {
+		fmt.Printf("  %-18s persistence=%.4f z=%.2f\n", u.Label(a.Node), a.Persistence, a.ZScore)
+	}
+	return nil
+}

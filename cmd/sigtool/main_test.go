@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graphsig"
+)
+
+// writeFixture generates a small capture to a temp flow file and
+// returns its path plus a label present in the data.
+func writeFixture(t *testing.T) (string, string, graphsig.EnterpriseConfig) {
+	t.Helper()
+	cfg := graphsig.DefaultEnterpriseConfig(4)
+	cfg.LocalHosts = 25
+	cfg.ExternalHosts = 300
+	cfg.Communities = 3
+	cfg.Windows = 2
+	cfg.MultiusageIndividuals = 3
+	data, err := graphsig.GenerateEnterprise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "flows.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphsig.WriteFlowsText(f, data.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, data.Records[0].Src, cfg
+}
+
+func baseConfig(flows string, cfg graphsig.EnterpriseConfig) config {
+	return config{
+		flows:     flows,
+		window:    cfg.WindowLength,
+		prefix:    "10.",
+		k:         10,
+		top:       5,
+		threshold: 0.8,
+		ell:       3,
+		c:         5,
+		z:         1.5,
+	}
+}
+
+func TestSigtoolSubcommands(t *testing.T) {
+	flows, node, gcfg := writeFixture(t)
+	cfg := baseConfig(flows, gcfg)
+	cfg.node = node
+
+	for _, cmd := range []string{"stats", "sig", "neighbors", "multiusage", "masquerade", "anomalies"} {
+		if err := run(cmd, cfg); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestSigtoolExportCompare(t *testing.T) {
+	flows, _, gcfg := writeFixture(t)
+	cfg := baseConfig(flows, gcfg)
+	cfg.out = filepath.Join(t.TempDir(), "base.sigs")
+	if err := run("export", cfg); err != nil {
+		t.Fatal(err)
+	}
+	cmp := baseConfig(flows, gcfg)
+	cmp.sigs = cfg.out
+	cmp.t = 1
+	if err := run("compare", cmp); err != nil {
+		t.Fatal(err)
+	}
+	scr := baseConfig(flows, gcfg)
+	scr.sigs = cfg.out
+	scr.t = 1
+	scr.maxDist = 0.6
+	if err := run("screen", scr); err != nil {
+		t.Fatal(err)
+	}
+	// Missing flags error cleanly.
+	noOut := baseConfig(flows, gcfg)
+	if err := run("export", noOut); err == nil {
+		t.Fatal("export without -out accepted")
+	}
+	if err := run("compare", noOut); err == nil {
+		t.Fatal("compare without -sigs accepted")
+	}
+	if err := run("screen", noOut); err == nil {
+		t.Fatal("screen without -sigs accepted")
+	}
+}
+
+func TestSigtoolErrors(t *testing.T) {
+	flows, _, gcfg := writeFixture(t)
+	if err := run("stats", config{}); err == nil {
+		t.Fatal("missing -flows accepted")
+	}
+	cfg := baseConfig(flows, gcfg)
+	if err := run("bogus", cfg); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	cfg.t = 99
+	if err := run("stats", cfg); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+	cfg = baseConfig(flows, gcfg)
+	cfg.node = "10.99.99.99"
+	if err := run("sig", cfg); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	cfg = baseConfig(flows, gcfg)
+	cfg.scheme = "nonsense"
+	if err := run("sig", cfg); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	// Masquerade on the last window has no successor.
+	cfg = baseConfig(flows, gcfg)
+	cfg.t = 1
+	if err := run("masquerade", cfg); err == nil {
+		t.Fatal("masquerade without successor window accepted")
+	}
+	// Unreadable file.
+	cfg = baseConfig(filepath.Join(t.TempDir(), "missing.txt"), gcfg)
+	if err := run("stats", cfg); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	_ = time.Now
+}

@@ -1,0 +1,36 @@
+// Package graphsig is a Go implementation of the signature framework of
+// Cormode, Korn, Muthukrishnan and Wu, "On Signatures for Communication
+// Graphs" (ICDE 2008).
+//
+// A communication graph records who communicated with whom, and how
+// much, during a time window: telephone calls, IP flows, query logs,
+// message boards. A *signature* σ_t(v) is a compact, top-k weighted set
+// of nodes that captures node v's distinctive communication behaviour in
+// window t. The framework evaluates signature schemes against three
+// properties — persistence (stable across time), uniqueness (no two
+// individuals match) and robustness (insensitive to noise) — and matches
+// schemes to applications by the properties those applications need:
+//
+//   - Multiusage detection (one individual behind several labels) needs
+//     uniqueness and robustness → Top Talkers.
+//   - Label masquerading (an individual switching labels) needs
+//     persistence and uniqueness → Random Walk with Resets.
+//   - Anomaly detection (abrupt behaviour change of one label) needs
+//     persistence and robustness → RWR.
+//
+// # Quick start
+//
+//	u := graphsig.NewUniverse()
+//	b := graphsig.NewGraphBuilder(u, 0)
+//	_ = b.AddLabeled("alice", graphsig.Part1, "search.example", graphsig.Part2, 12)
+//	g := b.Build()
+//
+//	sigs, _ := graphsig.ComputeSignatures(graphsig.TopTalkers(), g, 10)
+//	next, _ := graphsig.ComputeSignatures(graphsig.TopTalkers(), g2, 10)
+//	p := graphsig.Persistence(graphsig.DistSHel(), sigs, next)
+//
+// The cmd/ directory ships three tools: siggen (synthetic datasets),
+// sigbench (regenerate the paper's evaluation) and sigtool (ad-hoc
+// signature computation and detection over flow files). The examples/
+// directory holds four runnable walkthroughs.
+package graphsig

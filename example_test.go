@@ -1,0 +1,112 @@
+package graphsig_test
+
+import (
+	"fmt"
+	"log"
+
+	"graphsig"
+)
+
+// Example builds two windows of a small call graph and measures how
+// persistent and unique Top Talkers signatures are.
+func Example() {
+	u := graphsig.NewUniverse()
+	week := func(idx int, calls [][3]any) *graphsig.Graph {
+		b := graphsig.NewGraphBuilder(u, idx)
+		for _, c := range calls {
+			if err := b.AddLabeled(c[0].(string), graphsig.PartNone, c[1].(string), graphsig.PartNone, c[2].(float64)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	g0 := week(0, [][3]any{
+		{"alice", "mom", 9.0}, {"alice", "pizza", 3.0},
+		{"bob", "carol", 7.0}, {"bob", "dave", 5.0},
+	})
+	g1 := week(1, [][3]any{
+		{"alice", "mom", 8.0}, {"alice", "pizza", 2.0},
+		{"bob", "carol", 6.0}, {"bob", "dave", 6.0},
+	})
+
+	at, _ := graphsig.ComputeSignatures(graphsig.TopTalkers(), g0, 2)
+	next, _ := graphsig.ComputeSignatures(graphsig.TopTalkers(), g1, 2)
+	d := graphsig.DistJaccard()
+	p := graphsig.Persistence(d, at, next)
+	alice, _ := u.Lookup("alice")
+	fmt.Printf("alice persistence: %.2f\n", p[alice])
+	// Output:
+	// alice persistence: 1.00
+}
+
+// ExampleSignatureOf shows one node's Top Talkers signature: the top-k
+// contacts with normalized communication weights.
+func ExampleSignatureOf() {
+	u := graphsig.NewUniverse()
+	b := graphsig.NewGraphBuilder(u, 0)
+	_ = b.AddLabeled("alice", graphsig.PartNone, "mom", graphsig.PartNone, 6)
+	_ = b.AddLabeled("alice", graphsig.PartNone, "dad", graphsig.PartNone, 3)
+	_ = b.AddLabeled("alice", graphsig.PartNone, "411", graphsig.PartNone, 1)
+	g := b.Build()
+
+	alice, _ := u.Lookup("alice")
+	sig, _ := graphsig.SignatureOf(graphsig.TopTalkers(), g, alice, 2)
+	for i := range sig.Nodes {
+		fmt.Printf("%s %.1f\n", u.Label(sig.Nodes[i]), sig.Weights[i])
+	}
+	// Output:
+	// mom 0.6
+	// dad 0.3
+}
+
+// ExampleParseScheme round-trips a scheme name.
+func ExampleParseScheme() {
+	s, err := graphsig.ParseScheme("rwr3@0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Name())
+	// Output:
+	// rwr3@0.1
+}
+
+// ExampleDetectMultiusage finds two labels behaving like one individual.
+func ExampleDetectMultiusage() {
+	u := graphsig.NewUniverse()
+	b := graphsig.NewGraphBuilder(u, 0)
+	// home-ip and office-ip visit the same sites; printer does not.
+	for _, e := range [][3]any{
+		{"home-ip", "news.example", 5.0}, {"home-ip", "forum.example", 3.0},
+		{"office-ip", "news.example", 4.0}, {"office-ip", "forum.example", 2.0},
+		{"printer", "updates.example", 9.0},
+	} {
+		_ = b.AddLabeled(e[0].(string), graphsig.Part1, e[1].(string), graphsig.Part2, e[2].(float64))
+	}
+	g := b.Build()
+
+	set, _ := graphsig.ComputeSignatures(graphsig.TopTalkers(), g, 5)
+	pairs, _ := graphsig.DetectMultiusage(graphsig.DistJaccard(), set, 0.5)
+	for _, p := range pairs {
+		fmt.Printf("%s ~ %s (dist %.2f)\n", u.Label(p.A), u.Label(p.B), p.Dist)
+	}
+	// Output:
+	// home-ip ~ office-ip (dist 0.00)
+}
+
+// ExampleDecayCombine applies exponential history decay before
+// computing signatures.
+func ExampleDecayCombine() {
+	u := graphsig.NewUniverse()
+	b0 := graphsig.NewGraphBuilder(u, 0)
+	_ = b0.AddLabeled("a", graphsig.PartNone, "x", graphsig.PartNone, 4)
+	b1 := graphsig.NewGraphBuilder(u, 1)
+	_ = b1.AddLabeled("a", graphsig.PartNone, "y", graphsig.PartNone, 2)
+
+	combined, _ := graphsig.DecayCombine([]*graphsig.Graph{b0.Build(), b1.Build()}, 0.5)
+	a, _ := u.Lookup("a")
+	x, _ := u.Lookup("x")
+	y, _ := u.Lookup("y")
+	fmt.Printf("C'[a,x]=%.0f C'[a,y]=%.0f\n", combined[1].Weight(a, x), combined[1].Weight(a, y))
+	// Output:
+	// C'[a,x]=2 C'[a,y]=2
+}

@@ -1,0 +1,98 @@
+// De-anonymization walkthrough: the paper's third motivating
+// application (§I, "Analysis of Data Anonymization"). A telephone
+// operator releases an "anonymized" week of call records with every
+// subscriber number replaced; an analyst holding signatures from an
+// earlier, identified week matches the anonymized numbers back to
+// individuals — demonstrating how little protection bare re-labelling
+// offers when communication structure persists.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphsig"
+)
+
+func main() {
+	cfg := graphsig.DefaultTelephoneConfig(31)
+	cfg.Subscribers = 400
+	cfg.Businesses = 15
+	cfg.Communities = 20
+	cfg.Windows = 2
+	data, err := graphsig.GenerateTelephone(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("call graph: %s\n", graphsig.SummarizeGraph(data.Windows[0]))
+
+	// Anonymize window 1: a random bijection over 15% of subscribers
+	// (say, a released dataset masks a pool of persons of interest
+	// while the rest of the graph — their contacts, the businesses —
+	// stays identified). Full-graph anonymization is much stronger:
+	// when every neighbour's label is also scrambled there is nothing
+	// for one-hop signatures to match against.
+	w0, w1 := data.Windows[0], data.Windows[1]
+	var subscribers []graphsig.NodeID
+	for _, v := range w0.ActiveSources() {
+		if int(v) < cfg.Subscribers {
+			subscribers = append(subscribers, v)
+		}
+	}
+	anonWin, mapping, err := graphsig.SimulateMasquerade(w1, subscribers, 0.15, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anonymized %d of %d subscriber labels in window 1\n\n", len(mapping.Mapping), len(subscribers))
+
+	// The analyst's attack, per scheme: reference signatures from the
+	// identified window, anonymized signatures from the released one,
+	// greedy injective matching.
+	truth := map[graphsig.NodeID]graphsig.NodeID{}
+	for v, u := range mapping.Mapping {
+		truth[u] = v
+	}
+	const k = 6
+	d := graphsig.DistSHel()
+	for _, scheme := range []graphsig.Scheme{
+		graphsig.TopTalkers(),
+		graphsig.UnexpectedTalkers(),
+		graphsig.RandomWalk(0.1, 3),
+	} {
+		reference, err := graphsig.ComputeSignaturesFor(
+			graphsig.ParallelScheme(scheme, 0), w0, subscribers, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anonymized, err := graphsig.ComputeSignatures(
+			graphsig.ParallelScheme(scheme, 0), anonWin, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Restrict the attack to the masked labels: everything else is
+		// already identified.
+		var maskedSources []graphsig.NodeID
+		var maskedSigs []graphsig.Signature
+		for i, v := range anonymized.Sources {
+			if _, masked := truth[v]; masked {
+				maskedSources = append(maskedSources, v)
+				maskedSigs = append(maskedSigs, anonymized.Sigs[i])
+			}
+		}
+		maskedSet, err := graphsig.NewSignatureSet(anonymized.Scheme, anonymized.Window, maskedSources, maskedSigs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches, err := graphsig.DeAnonymize(d, reference, maskedSet, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := graphsig.DeAnonymizationAccuracy(matches, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s re-identified %.1f%% of masked subscribers\n", scheme.Name(), 100*acc)
+	}
+	fmt.Println("\nconclusion: persistent communication structure defeats naive label scrubbing;")
+	fmt.Println("publishing communication graphs requires stronger anonymization than relabelling.")
+}

@@ -1,0 +1,121 @@
+// Enterprise walkthrough: generate a synthetic enterprise flow capture
+// (the paper's §IV-A dataset substitute), aggregate it into weekly
+// communication graphs, and run the §V multiusage-detection case study —
+// finding the sets of IP addresses that belong to the same individual —
+// with Top Talkers signatures, scoring against the generator's hidden
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"graphsig"
+)
+
+func main() {
+	cfg := graphsig.DefaultEnterpriseConfig(7)
+	cfg.LocalHosts = 120
+	cfg.ExternalHosts = 3000
+	data, err := graphsig.GenerateEnterprise(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d flow records over %d windows\n", len(data.Records), len(data.Windows))
+	fmt.Printf("window 0: %s\n\n", graphsig.SummarizeGraph(data.Windows[0]))
+
+	// The paper's recommendation for multiusage detection is TT
+	// (uniqueness + robustness, Table I × Table III). Multiusage is a
+	// standing condition, so we corroborate across two windows: a pair
+	// counts only if it is similar in both, which suppresses chance
+	// look-alikes from one window's sampling noise.
+	const k = 10
+	set, err := graphsig.ComputeSignatures(graphsig.TopTalkers(), data.Windows[0], k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set1, err := graphsig.ComputeSignatures(graphsig.TopTalkers(), data.Windows[1], k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: which labels belong to one individual. Detectors
+	// never see this; we use it only to score.
+	siblings := map[graphsig.NodeID]map[graphsig.NodeID]bool{}
+	groups := 0
+	for _, labels := range data.Truth.MultiusageSets() {
+		groups++
+		var ids []graphsig.NodeID
+		for _, l := range labels {
+			if id, ok := data.Universe.Lookup(l); ok {
+				ids = append(ids, id)
+			}
+		}
+		for _, a := range ids {
+			for _, b := range ids {
+				if a != b {
+					if siblings[a] == nil {
+						siblings[a] = map[graphsig.NodeID]bool{}
+					}
+					siblings[a][b] = true
+				}
+			}
+		}
+	}
+
+	d := graphsig.DistSHel()
+	pairs0, err := graphsig.DetectMultiusage(d, set, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs1, err := graphsig.DetectMultiusage(d, set1, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Keep pairs similar in both windows, scored by their worse window.
+	later := map[[2]graphsig.NodeID]float64{}
+	for _, p := range pairs1 {
+		later[[2]graphsig.NodeID{p.A, p.B}] = p.Dist
+	}
+	var pairs []graphsig.SimilarPair
+	for _, p := range pairs0 {
+		if d1, ok := later[[2]graphsig.NodeID{p.A, p.B}]; ok {
+			if d1 > p.Dist {
+				p.Dist = d1
+			}
+			pairs = append(pairs, p)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Dist < pairs[j].Dist })
+	fmt.Printf("multiusage candidates corroborated in both windows: %d (ground truth: %d groups)\n", len(pairs), groups)
+
+	// Precision at the top of the ranked list: how many of the most
+	// similar pairs are true siblings?
+	for _, cut := range []int{5, 10, 20} {
+		if cut > len(pairs) {
+			break
+		}
+		hits := 0
+		for _, p := range pairs[:cut] {
+			if siblings[p.A][p.B] {
+				hits++
+			}
+		}
+		fmt.Printf("  precision@%-2d = %.2f\n", cut, float64(hits)/float64(cut))
+	}
+
+	fmt.Println("\ntop candidates:")
+	for i, p := range pairs {
+		if i == 10 {
+			break
+		}
+		mark := " "
+		if siblings[p.A][p.B] {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-14s %-14s dist=%.4f\n", mark,
+			data.Universe.Label(p.A), data.Universe.Label(p.B), p.Dist)
+	}
+	fmt.Println("(* = confirmed by ground truth)")
+}

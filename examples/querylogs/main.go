@@ -1,0 +1,86 @@
+// Query-log walkthrough: generate the synthetic data-warehouse query
+// log (the paper's second §IV-A dataset), inject a behaviour change for
+// a few users — one analyst taking over another's duties — and detect
+// the change with the anomaly-detection application (§II-D), which the
+// framework says needs persistence and robustness → the RWR scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"graphsig"
+)
+
+func main() {
+	data, err := graphsig.GenerateQueryLog(graphsig.DefaultQueryLogConfig(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query log: %d tuples, %d windows\n", len(data.Tuples), len(data.Windows))
+	fmt.Printf("window 0: %s\n\n", graphsig.SummarizeGraph(data.Windows[0]))
+
+	// Inject anomalies into window 1: three users swap their entire
+	// table-access behaviour with three other users (e.g. handover of
+	// duties). From each label's point of view this is an abrupt
+	// behaviour change.
+	w0, w1 := data.Windows[0], data.Windows[1]
+	candidates := []string{"user0005", "user0123", "user0456"}
+	partners := []string{"user0700", "user0701", "user0702"}
+	edges := w1.Edges()
+	swap := map[graphsig.NodeID]graphsig.NodeID{}
+	for i := range candidates {
+		a, ok1 := data.Universe.Lookup(candidates[i])
+		b, ok2 := data.Universe.Lookup(partners[i])
+		if !ok1 || !ok2 {
+			log.Fatalf("user labels missing from universe")
+		}
+		swap[a], swap[b] = b, a
+	}
+	for i := range edges {
+		if to, ok := swap[edges[i].From]; ok {
+			edges[i].From = to
+		}
+	}
+	w1swapped, err := graphsig.GraphFromEdges(data.Universe, w1.Index(), edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Anomaly detection per §II-D: compute self-persistence for every
+	// user and report the unusually small values.
+	const k = 3
+	scheme := graphsig.RandomWalk(0.1, 3)
+	at, err := graphsig.ComputeSignatures(scheme, w0, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, err := graphsig.ComputeSignatures(scheme, w1swapped, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anomalies, population, err := graphsig.DetectAnomalies(graphsig.DistSHel(), at, next, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population self-persistence: %s\n", population)
+	fmt.Printf("anomalies flagged (z < -2): %d\n", len(anomalies))
+
+	injected := map[string]bool{}
+	for _, l := range append(append([]string{}, candidates...), partners...) {
+		injected[l] = true
+	}
+	sort.Slice(anomalies, func(i, j int) bool { return anomalies[i].Persistence < anomalies[j].Persistence })
+	caught := 0
+	for _, a := range anomalies {
+		label := data.Universe.Label(a.Node)
+		mark := " "
+		if injected[label] {
+			mark = "*"
+			caught++
+		}
+		fmt.Printf("  %s %-10s persistence=%.4f z=%.2f\n", mark, label, a.Persistence, a.ZScore)
+	}
+	fmt.Printf("(* = injected swap; %d of %d injected labels caught)\n", caught, len(injected))
+}

@@ -1,0 +1,3 @@
+module graphsig
+
+go 1.22

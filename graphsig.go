@@ -1,0 +1,461 @@
+package graphsig
+
+import (
+	"io"
+	"time"
+
+	"graphsig/internal/apps"
+	"graphsig/internal/core"
+	"graphsig/internal/datagen"
+	"graphsig/internal/eval"
+	"graphsig/internal/graph"
+	"graphsig/internal/netflow"
+	"graphsig/internal/perturb"
+	"graphsig/internal/sketch"
+	"graphsig/internal/stats"
+	"graphsig/internal/stream"
+)
+
+// Core graph types. Aliases give external users a name for types whose
+// implementations live in internal packages; methods and identity are
+// unchanged.
+type (
+	// Graph is a communication graph aggregated over one time window.
+	Graph = graph.Window
+	// GraphBuilder accumulates weighted edges into a Graph.
+	GraphBuilder = graph.Builder
+	// Universe interns node labels to stable NodeIDs shared across windows.
+	Universe = graph.Universe
+	// NodeID identifies an interned node label.
+	NodeID = graph.NodeID
+	// Edge is one weighted directed edge.
+	Edge = graph.Edge
+	// Part classifies a node in a bipartite graph.
+	Part = graph.Part
+	// GraphStats summarizes a Graph's structure.
+	GraphStats = graph.Stats
+)
+
+// Bipartite parts.
+const (
+	PartNone = graph.PartNone
+	Part1    = graph.Part1
+	Part2    = graph.Part2
+)
+
+// Signature types.
+type (
+	// Signature is a top-k weighted node set σ_t(v) (Definition 1).
+	Signature = core.Signature
+	// SignatureSet holds the signatures of a source set in one window.
+	SignatureSet = core.SignatureSet
+	// Scheme computes signatures for nodes of a Graph.
+	Scheme = core.Scheme
+	// Distance compares two signatures in [0, 1].
+	Distance = core.Distance
+	// RandomWalkScheme exposes the RWR scheme's parameters.
+	RandomWalkScheme = core.RandomWalk
+)
+
+// Flow-record types.
+type (
+	// FlowRecord is one NetFlow-style flow summary.
+	FlowRecord = netflow.Record
+	// FlowAggregateOptions controls flow→graph aggregation.
+	FlowAggregateOptions = netflow.AggregateOptions
+	// Classifier assigns node labels to bipartite parts.
+	Classifier = netflow.Classifier
+)
+
+// Evaluation and application types.
+type (
+	// Summary is a mean/stddev/min/max statistic bundle.
+	Summary = stats.Summary
+	// ROCQuery is one ranked-retrieval evaluation.
+	ROCQuery = eval.Query
+	// ROCCurve is a sampled ROC curve.
+	ROCCurve = eval.Curve
+	// Ellipse is a persistence/uniqueness span (Figure 1 point).
+	Ellipse = eval.Ellipse
+	// SimilarPair is a candidate multiusage pair.
+	SimilarPair = apps.SimilarPair
+	// MasqueradeResult is Algorithm 1's output.
+	MasqueradeResult = apps.MasqueradeResult
+	// Anomaly flags an abrupt behaviour change of one label.
+	Anomaly = apps.Anomaly
+	// PerturbOptions parameterizes §IV-C graph perturbation.
+	PerturbOptions = perturb.Options
+	// Masquerade is a simulated label-masquerade ground truth.
+	Masquerade = perturb.Masquerade
+	// Match is one de-anonymization assignment.
+	Match = apps.Match
+	// Watchlist archives signatures of individuals of interest across
+	// windows and ranks new signatures against them.
+	Watchlist = apps.Watchlist
+	// WatchlistHit is one watchlist match.
+	WatchlistHit = apps.Hit
+)
+
+// Dataset generator types (the paper's data substitutes).
+type (
+	// EnterpriseConfig parameterizes the synthetic enterprise flows.
+	EnterpriseConfig = datagen.EnterpriseConfig
+	// EnterpriseData is the generated flow workload.
+	EnterpriseData = datagen.EnterpriseData
+	// QueryLogConfig parameterizes the synthetic query log.
+	QueryLogConfig = datagen.QueryLogConfig
+	// QueryLogData is the generated query-log workload.
+	QueryLogData = datagen.QueryLogData
+	// Truth is generator ground truth (individuals → labels).
+	Truth = datagen.Truth
+	// TelephoneConfig parameterizes the synthetic call graph.
+	TelephoneConfig = datagen.TelephoneConfig
+	// TelephoneData is the generated call workload.
+	TelephoneData = datagen.TelephoneData
+)
+
+// Streaming (§VI) types.
+type (
+	// StreamConfig sizes the per-node sketch state.
+	StreamConfig = sketch.StreamConfig
+	// StreamTT extracts approximate Top Talkers signatures from an
+	// edge stream using per-source Count-Min sketches.
+	StreamTT = sketch.StreamTT
+	// StreamUT extracts approximate Unexpected Talkers signatures,
+	// additionally estimating in-degrees with FM sketches.
+	StreamUT = sketch.StreamUT
+)
+
+// NewStreamTT builds a semi-streaming TT extractor.
+func NewStreamTT(cfg StreamConfig) *StreamTT { return sketch.NewStreamTT(cfg) }
+
+// NewStreamUT builds a semi-streaming UT extractor.
+func NewStreamUT(cfg StreamConfig) *StreamUT { return sketch.NewStreamUT(cfg) }
+
+// Streaming pipeline types (§VI end-to-end).
+type (
+	// PipelineConfig parameterizes a windowed streaming pipeline.
+	PipelineConfig = stream.Config
+	// Pipeline turns a time-ordered flow-record stream into per-window
+	// signature sets using only per-node sketch state.
+	Pipeline = stream.Pipeline
+)
+
+// NewPipeline builds a streaming pipeline over u (nil = fresh universe).
+func NewPipeline(cfg PipelineConfig, u *Universe) (*Pipeline, error) {
+	return stream.NewPipeline(cfg, u)
+}
+
+// RunPipeline streams a whole record slice and returns one signature
+// set per window, including the final partial window.
+func RunPipeline(cfg PipelineConfig, u *Universe, records []FlowRecord) ([]*SignatureSet, error) {
+	return stream.Run(cfg, u, records)
+}
+
+// DetectMultiusageApprox is the LSH-accelerated multiusage scan (§VI):
+// candidate pairs from an LSH banding index, exact-verified at the
+// Jaccard threshold.
+func DetectMultiusageApprox(set *SignatureSet, threshold float64, bands, rows int, seed uint64) ([]SimilarPair, error) {
+	return apps.DetectMultiusageApprox(set, threshold, bands, rows, seed)
+}
+
+// NewUniverse returns an empty label universe.
+func NewUniverse() *Universe { return graph.NewUniverse() }
+
+// NewGraphBuilder starts a Graph for window index t over universe u.
+func NewGraphBuilder(u *Universe, index int) *GraphBuilder {
+	return graph.NewBuilder(u, index)
+}
+
+// GraphFromEdges builds a Graph directly from an edge list.
+func GraphFromEdges(u *Universe, index int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(u, index, edges)
+}
+
+// SummarizeGraph computes structural statistics of g.
+func SummarizeGraph(g *Graph) GraphStats { return graph.Summarize(g) }
+
+// TopTalkers returns the TT scheme (Definition 3).
+func TopTalkers() Scheme { return core.TopTalkers{} }
+
+// UnexpectedTalkers returns the UT scheme (Definition 4).
+func UnexpectedTalkers() Scheme { return core.UnexpectedTalkers{} }
+
+// RandomWalk returns the RWRʰ_c scheme (Definition 5); hops 0 runs the
+// walk to convergence.
+func RandomWalk(c float64, hops int) Scheme {
+	return core.RandomWalk{C: c, Hops: hops}
+}
+
+// ParallelScheme wraps a scheme so signature computation fans out
+// across workers goroutines (0 = GOMAXPROCS) with bit-identical
+// results.
+func ParallelScheme(s Scheme, workers int) Scheme { return core.Parallel(s, workers) }
+
+// ParseScheme builds a Scheme from its Name() string ("tt", "ut",
+// "rwr3@0.1", ...).
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// PaperSchemes returns the scheme lineup of the paper's Figures 1-4.
+func PaperSchemes() []Scheme { return core.PaperSchemes() }
+
+// Distances.
+func DistJaccard() Distance { return core.Jaccard{} }
+
+// DistDice returns the weighted Dice distance.
+func DistDice() Distance { return core.Dice{} }
+
+// DistSDice returns the scaled Dice distance.
+func DistSDice() Distance { return core.ScaledDice{} }
+
+// DistSHel returns the scaled Hellinger distance.
+func DistSHel() Distance { return core.ScaledHellinger{} }
+
+// AllDistances returns the paper's four distance functions.
+func AllDistances() []Distance { return core.AllDistances() }
+
+// ExtendedDistances returns the paper's four distances plus cosine and
+// weighted-Jaccard extras.
+func ExtendedDistances() []Distance { return core.ExtendedDistances() }
+
+// DistCosine returns the cosine distance (extension).
+func DistCosine() Distance { return core.Cosine{} }
+
+// DistWeightedJaccard returns the scale-free weighted Jaccard distance
+// (extension).
+func DistWeightedJaccard() Distance { return core.WeightedJaccard{} }
+
+// BlendSchemes combines two schemes: each signature is the convex
+// combination alpha·A + (1−alpha)·B of the components' normalized
+// relevance vectors.
+func BlendSchemes(a, b Scheme, alpha float64) Scheme {
+	return core.Blend{A: a, B: b, Alpha: alpha}
+}
+
+// ComputeSignatures computes length-k signatures for the default source
+// set of g (active Part1 nodes of a bipartite graph; otherwise all
+// active sources).
+func ComputeSignatures(s Scheme, g *Graph, k int) (*SignatureSet, error) {
+	return core.ComputeSet(s, g, core.DefaultSources(g), k)
+}
+
+// ComputeSignaturesFor computes length-k signatures for explicit sources.
+func ComputeSignaturesFor(s Scheme, g *Graph, sources []NodeID, k int) (*SignatureSet, error) {
+	return core.ComputeSet(s, g, sources, k)
+}
+
+// NewSignatureSet wraps externally produced signatures (streamed,
+// filtered, deserialized) in a SignatureSet; each signature is
+// validated against the canonical-form invariants.
+func NewSignatureSet(scheme string, window int, sources []NodeID, sigs []Signature) (*SignatureSet, error) {
+	return core.NewSignatureSet(scheme, window, sources, sigs)
+}
+
+// SignatureOf computes one node's signature.
+func SignatureOf(s Scheme, g *Graph, v NodeID, k int) (Signature, error) {
+	return core.ComputeOne(s, g, v, k)
+}
+
+// DecayCombine produces exponentially decayed cumulative windows
+// (C′_t = λ·C′_{t−1} + C_t), the §III-A history combination.
+func DecayCombine(windows []*Graph, lambda float64) ([]*Graph, error) {
+	return core.DecayCombine(windows, lambda)
+}
+
+// Persistence computes 1 − Dist(σ_t(v), σ_{t+1}(v)) per source present
+// in both sets.
+func Persistence(d Distance, at, next *SignatureSet) map[NodeID]float64 {
+	return eval.Persistence(d, at, next)
+}
+
+// PersistenceSummary summarizes per-node persistence.
+func PersistenceSummary(d Distance, at, next *SignatureSet) Summary {
+	return eval.PersistenceSummary(d, at, next)
+}
+
+// UniquenessSummary summarizes pairwise within-window distances;
+// maxPairs > 0 samples pairs for large sets (0 = exact).
+func UniquenessSummary(d Distance, set *SignatureSet, maxPairs int, seed int64) Summary {
+	return eval.UniquenessSummary(d, set, maxPairs, seed)
+}
+
+// Robustness computes 1 − Dist(σ(v), σ̂(v)) per source against a
+// perturbed signature set.
+func Robustness(d Distance, clean, perturbed *SignatureSet) map[NodeID]float64 {
+	return eval.Robustness(d, clean, perturbed)
+}
+
+// AUCDiff is a paired-bootstrap scheme comparison.
+type AUCDiff = eval.AUCDiff
+
+// CompareSchemesAUC bootstraps the mean self-retrieval AUC difference
+// between two schemes on the same window pair (positive = a wins),
+// with a 95% percentile interval.
+func CompareSchemesAUC(d Distance, a, b Scheme, at, next *Graph, k int, seed int64) (AUCDiff, error) {
+	build := func(s Scheme) ([]eval.Query, error) {
+		s0, err := ComputeSignatures(s, at, k)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := ComputeSignatures(s, next, k)
+		if err != nil {
+			return nil, err
+		}
+		return eval.SelfRetrievalQueries(d, s0, s1), nil
+	}
+	qa, err := build(a)
+	if err != nil {
+		return AUCDiff{}, err
+	}
+	qb, err := build(b)
+	if err != nil {
+		return AUCDiff{}, err
+	}
+	return eval.BootstrapAUCDiff(qa, qb, 2000, 0.95, seed)
+}
+
+// SelfRetrievalAUC is the paper's §IV-C statistic: the mean AUC of
+// ranking every candidate by distance from each node's earlier
+// signature, the node itself being the positive.
+func SelfRetrievalAUC(d Distance, at, next *SignatureSet) (float64, error) {
+	return eval.SelfRetrievalAUC(d, at, next)
+}
+
+// PerturbGraph applies the §IV-C edge insertion/deletion perturbation.
+func PerturbGraph(g *Graph, opts PerturbOptions) (*Graph, error) {
+	return perturb.Perturb(g, opts)
+}
+
+// SimulateMasquerade relabels frac·|candidates| nodes by a random
+// fixed-point-free bijection, returning the rebuilt graph and the
+// ground-truth mapping.
+func SimulateMasquerade(g *Graph, candidates []NodeID, frac float64, seed int64) (*Graph, *Masquerade, error) {
+	return perturb.SimulateMasquerade(g, candidates, frac, seed)
+}
+
+// DetectMultiusage returns source pairs whose within-window signature
+// distance is at most threshold, most similar first.
+func DetectMultiusage(d Distance, set *SignatureSet, threshold float64) ([]SimilarPair, error) {
+	return apps.DetectMultiusage(d, set, threshold)
+}
+
+// NearestNeighbors ranks the other sources by distance from v.
+func NearestNeighbors(d Distance, set *SignatureSet, v NodeID, topN int) ([]SimilarPair, error) {
+	return apps.NearestNeighbors(d, set, v, topN)
+}
+
+// DetectLabelMasquerading runs Algorithm 1 with threshold delta and
+// candidate depth ell.
+func DetectLabelMasquerading(d Distance, at, next *SignatureSet, delta float64, ell int) (*MasqueradeResult, error) {
+	return apps.DetectLabelMasquerading(d, at, next, delta, ell)
+}
+
+// MasqueradeDelta computes Algorithm 1's δ = mean self-persistence / c.
+func MasqueradeDelta(d Distance, at, next *SignatureSet, c int) (float64, error) {
+	return apps.DeltaFromSelfPersistence(d, at, next, c)
+}
+
+// MasqueradeAccuracy scores a detection result against ground truth
+// over the evaluated node set.
+func MasqueradeAccuracy(res *MasqueradeResult, truth map[NodeID]NodeID, all []NodeID) (float64, error) {
+	return apps.MasqueradeAccuracy(res, truth, all)
+}
+
+// DetectAnomalies reports sources whose self-persistence lies more than
+// zCut standard deviations below the population mean.
+func DetectAnomalies(d Distance, at, next *SignatureSet, zCut float64) ([]Anomaly, Summary, error) {
+	return apps.DetectAnomalies(d, at, next, zCut)
+}
+
+// NewWatchlist returns an empty signature archive for reappearance
+// detection (§I: "is a new user really the reappearance of an
+// individual observed earlier?").
+func NewWatchlist() *Watchlist { return apps.NewWatchlist() }
+
+// DeAnonymize matches each anonymized node to the nearest reference
+// signature (greedy enforces an injective assignment), the paper's §I
+// anonymization-analysis application.
+func DeAnonymize(d Distance, reference, anonymized *SignatureSet, greedy bool) ([]Match, error) {
+	return apps.DeAnonymize(d, reference, anonymized, greedy)
+}
+
+// DeAnonymizationAccuracy scores matches against the true mapping
+// anonymized → reference.
+func DeAnonymizationAccuracy(matches []Match, truth map[NodeID]NodeID) (float64, error) {
+	return apps.DeAnonymizationAccuracy(matches, truth)
+}
+
+// DefaultTelephoneConfig sizes a laptop-scale synthetic call graph.
+func DefaultTelephoneConfig(seed int64) TelephoneConfig {
+	return datagen.DefaultTelephoneConfig(seed)
+}
+
+// GenerateTelephone produces the synthetic call-graph workload.
+func GenerateTelephone(cfg TelephoneConfig) (*TelephoneData, error) {
+	return datagen.GenerateTelephone(cfg)
+}
+
+// WriteSignatures serializes a signature set to the line-oriented text
+// format, resolving NodeIDs through u.
+func WriteSignatures(w io.Writer, set *SignatureSet, u *Universe) error {
+	return core.WriteSignatureSet(w, set, u)
+}
+
+// ReadSignatures parses a serialized signature set, interning labels
+// into u.
+func ReadSignatures(r io.Reader, u *Universe) (*SignatureSet, error) {
+	return core.ReadSignatureSet(r, u)
+}
+
+// ReadFlowsText parses flow records from the text format.
+func ReadFlowsText(r io.Reader) ([]FlowRecord, error) { return netflow.ReadText(r) }
+
+// WriteFlowsText writes flow records in the text format.
+func WriteFlowsText(w io.Writer, records []FlowRecord) error {
+	return netflow.WriteText(w, records)
+}
+
+// ReadFlowsBinary parses flow records from the binary format.
+func ReadFlowsBinary(r io.Reader) ([]FlowRecord, error) { return netflow.ReadBinary(r) }
+
+// WriteFlowsBinary writes flow records in the binary format.
+func WriteFlowsBinary(w io.Writer, records []FlowRecord) error {
+	return netflow.WriteBinary(w, records)
+}
+
+// AggregateFlows buckets flow records into windows of the given size
+// and builds one communication graph per window.
+func AggregateFlows(records []FlowRecord, windowSize time.Duration, classify Classifier) ([]*Graph, error) {
+	return netflow.Aggregate(records, netflow.AggregateOptions{
+		WindowSize: windowSize,
+		Classify:   classify,
+		TCPOnly:    true,
+	})
+}
+
+// PrefixClassifier classifies labels with the prefix as Part1 (local),
+// everything else as Part2 (external).
+func PrefixClassifier(localPrefix string) Classifier {
+	return netflow.PrefixClassifier(localPrefix)
+}
+
+// DefaultEnterpriseConfig mirrors the paper's enterprise capture at
+// laptop scale.
+func DefaultEnterpriseConfig(seed int64) EnterpriseConfig {
+	return datagen.DefaultEnterpriseConfig(seed)
+}
+
+// GenerateEnterprise produces the synthetic enterprise flow workload.
+func GenerateEnterprise(cfg EnterpriseConfig) (*EnterpriseData, error) {
+	return datagen.GenerateEnterprise(cfg)
+}
+
+// DefaultQueryLogConfig mirrors the paper's query-log dataset.
+func DefaultQueryLogConfig(seed int64) QueryLogConfig {
+	return datagen.DefaultQueryLogConfig(seed)
+}
+
+// GenerateQueryLog produces the synthetic query-log workload.
+func GenerateQueryLog(cfg QueryLogConfig) (*QueryLogData, error) {
+	return datagen.GenerateQueryLog(cfg)
+}

@@ -1,0 +1,269 @@
+package graphsig_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsig"
+)
+
+// TestEndToEndFlowPipeline drives the full public API path a downstream
+// user follows: records → codec round trip → windows → signatures →
+// properties → applications.
+func TestEndToEndFlowPipeline(t *testing.T) {
+	cfg := graphsig.DefaultEnterpriseConfig(99)
+	cfg.LocalHosts = 40
+	cfg.ExternalHosts = 600
+	cfg.Communities = 4
+	cfg.Windows = 2
+	cfg.MultiusageIndividuals = 4
+	data, err := graphsig.GenerateEnterprise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Codec round trip through both formats.
+	var text, bin bytes.Buffer
+	if err := graphsig.WriteFlowsText(&text, data.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := graphsig.WriteFlowsBinary(&bin, data.Records); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := graphsig.ReadFlowsText(&text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText) != len(data.Records) {
+		t.Fatalf("text round trip: %d records", len(fromText))
+	}
+	fromBin, err := graphsig.ReadFlowsBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-aggregate the decoded records; stats must match the
+	// generator's own windows.
+	windows, err := graphsig.AggregateFlows(fromBin, cfg.WindowLength, graphsig.PrefixClassifier("10."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != cfg.Windows {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	// Total session volume is conserved by codec + aggregation.
+	var wantW, gotW float64
+	for _, w := range data.Windows {
+		wantW += w.TotalWeight()
+	}
+	for _, w := range windows {
+		gotW += w.TotalWeight()
+	}
+	if wantW != gotW {
+		t.Fatalf("weight changed through pipeline: %g vs %g", gotW, wantW)
+	}
+
+	// Signatures + properties for every paper scheme.
+	for _, s := range graphsig.PaperSchemes() {
+		at, err := graphsig.ComputeSignatures(s, windows[0], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := graphsig.ComputeSignatures(s, windows[1], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := graphsig.DistSHel()
+		auc, err := graphsig.SelfRetrievalAUC(d, at, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auc < 0.5 || auc > 1 {
+			t.Fatalf("%s AUC = %g", s.Name(), auc)
+		}
+		p := graphsig.PersistenceSummary(d, at, next)
+		if p.N == 0 {
+			t.Fatalf("%s: no persistence samples", s.Name())
+		}
+	}
+
+	// Applications.
+	tt := graphsig.TopTalkers()
+	at, err := graphsig.ComputeSignatures(tt, windows[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := graphsig.ComputeSignatures(tt, windows[1], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graphsig.DistSHel()
+	if _, err := graphsig.DetectMultiusage(d, at, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := graphsig.MasqueradeDelta(d, at, next, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 || delta >= 1 {
+		t.Fatalf("δ = %g", delta)
+	}
+	res, err := graphsig.DetectLabelMasquerading(d, at, next, delta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NonSuspects)+len(res.Pairs) == 0 {
+		t.Fatal("Algorithm 1 classified nothing")
+	}
+	if _, _, err := graphsig.DetectAnomalies(d, at, next, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMasqueradeRecovery plants a masquerade via the public API and
+// checks Algorithm 1 recovers a meaningful share of it.
+func TestMasqueradeRecovery(t *testing.T) {
+	cfg := graphsig.DefaultEnterpriseConfig(3)
+	cfg.LocalHosts = 60
+	cfg.ExternalHosts = 900
+	cfg.Communities = 5
+	cfg.Windows = 2
+	cfg.MultiusageIndividuals = 2
+	data, err := graphsig.GenerateEnterprise(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := graphsig.RandomWalk(0.1, 3)
+	at, err := graphsig.ComputeSignatures(scheme, data.Windows[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanNext, err := graphsig.ComputeSignatures(scheme, data.Windows[1], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := at.Sources
+	masqWin, truth, err := graphsig.SimulateMasquerade(data.Windows[1], candidates, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := graphsig.ComputeSignatures(scheme, masqWin, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graphsig.DistSHel()
+	delta, err := graphsig.MasqueradeDelta(d, at, cleanNext, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := graphsig.DetectLabelMasquerading(d, at, next, delta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := graphsig.MasqueradeAccuracy(res, truth.Mapping, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Fatalf("masquerade accuracy %.3f below 0.7", acc)
+	}
+}
+
+// TestDecayCombineAPI exercises the §III-A history combination facade.
+func TestDecayCombineAPI(t *testing.T) {
+	u := graphsig.NewUniverse()
+	b0 := graphsig.NewGraphBuilder(u, 0)
+	if err := b0.AddLabeled("a", graphsig.PartNone, "x", graphsig.PartNone, 4); err != nil {
+		t.Fatal(err)
+	}
+	g0 := b0.Build()
+	b1 := graphsig.NewGraphBuilder(u, 1)
+	if err := b1.AddLabeled("a", graphsig.PartNone, "y", graphsig.PartNone, 2); err != nil {
+		t.Fatal(err)
+	}
+	g1 := b1.Build()
+	out, err := graphsig.DecayCombine([]*graphsig.Graph{g0, g1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Lookup("a")
+	x, _ := u.Lookup("x")
+	if got := out[1].Weight(a, x); got != 2 {
+		t.Fatalf("decayed weight = %g, want 2", got)
+	}
+}
+
+// TestStreamingFacade checks the §VI extractor surface.
+func TestStreamingFacade(t *testing.T) {
+	tt := graphsig.NewStreamTT(graphsig.StreamConfig{Seed: 5})
+	ut := graphsig.NewStreamUT(graphsig.StreamConfig{Seed: 5})
+	for i := 0; i < 20; i++ {
+		if err := tt.Observe(1, graphsig.NodeID(10+i%3), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ut.Observe(1, graphsig.NodeID(10+i%3), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sig, err := tt.Signature(1, 2)
+	if err != nil || sig.Len() != 2 {
+		t.Fatalf("stream TT signature: %v %v", sig, err)
+	}
+	sig, err = ut.Signature(1, 2)
+	if err != nil || sig.Len() != 2 {
+		t.Fatalf("stream UT signature: %v %v", sig, err)
+	}
+}
+
+func TestParseSchemeFacade(t *testing.T) {
+	s, err := graphsig.ParseScheme("rwr3@0.1")
+	if err != nil || s.Name() != "rwr3@0.1" {
+		t.Fatalf("ParseScheme: %v %v", s, err)
+	}
+	if _, err := graphsig.ParseScheme("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+	names := []string{}
+	for _, s := range graphsig.PaperSchemes() {
+		names = append(names, s.Name())
+	}
+	if strings.Join(names, ",") != "tt,ut,rwr3@0.1,rwr5@0.1,rwr7@0.1" {
+		t.Fatalf("PaperSchemes = %v", names)
+	}
+}
+
+func TestQueryLogFacade(t *testing.T) {
+	cfg := graphsig.DefaultQueryLogConfig(2)
+	cfg.Users = 40
+	cfg.Tables = 80
+	cfg.Roles = 6
+	cfg.Windows = 2
+	data, err := graphsig.GenerateQueryLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Windows) != 2 || len(data.Tuples) == 0 {
+		t.Fatal("query log generation wrong")
+	}
+	stats := graphsig.SummarizeGraph(data.Windows[0])
+	if stats.Edges == 0 {
+		t.Fatal("empty query graph")
+	}
+}
+
+func TestAggregateFlowsWindowing(t *testing.T) {
+	base := time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC)
+	records := []graphsig.FlowRecord{
+		{Src: "10.0.0.1", Dst: "e1", Start: base, Sessions: 1, Proto: 6},
+		{Src: "10.0.0.1", Dst: "e1", Start: base.Add(36 * time.Hour), Sessions: 1, Proto: 6},
+	}
+	windows, err := graphsig.AggregateFlows(records, 24*time.Hour, graphsig.PrefixClassifier("10."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+}

@@ -1,0 +1,61 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+	"graphsig/internal/graph"
+	"graphsig/internal/stats"
+)
+
+// Anomaly flags one label whose behaviour changed abruptly between
+// consecutive windows: its self-persistence is unusually small (§II-D).
+type Anomaly struct {
+	Node graph.NodeID
+	// Persistence is 1 − Dist(σ_t(v), σ_{t+1}(v)).
+	Persistence float64
+	// ZScore locates the persistence within the population
+	// (negative = below the mean).
+	ZScore float64
+}
+
+// DetectAnomalies computes self-persistence for every source present in
+// both windows and reports those more than zCut standard deviations
+// below the population mean, sorted by ascending persistence. A zCut of
+// 2–3 is a reasonable operating point; the population statistics are
+// returned so callers can recalibrate.
+func DetectAnomalies(d core.Distance, at, next *core.SignatureSet, zCut float64) ([]Anomaly, stats.Summary, error) {
+	if zCut <= 0 {
+		return nil, stats.Summary{}, fmt.Errorf("apps: zCut must be positive, got %g", zCut)
+	}
+	pers := eval.Persistence(d, at, next)
+	if len(pers) == 0 {
+		return nil, stats.Summary{}, fmt.Errorf("apps: no sources present in both windows")
+	}
+	var acc stats.Accumulator
+	for _, p := range pers {
+		acc.Add(p)
+	}
+	sum := acc.Summarize()
+	sd := sum.StdDev
+	if sd == 0 {
+		// A perfectly homogeneous population has no outliers.
+		return nil, sum, nil
+	}
+	var out []Anomaly
+	for v, p := range pers {
+		z := (p - sum.Mean) / sd
+		if z < -zCut {
+			out = append(out, Anomaly{Node: v, Persistence: p, ZScore: z})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Persistence != out[j].Persistence {
+			return out[i].Persistence < out[j].Persistence
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out, sum, nil
+}

@@ -1,0 +1,250 @@
+package apps
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// makeSet builds a SignatureSet from source → weighted members.
+func makeSet(t *testing.T, window int, sigs map[graph.NodeID]map[graph.NodeID]float64) *core.SignatureSet {
+	t.Helper()
+	var sources []graph.NodeID
+	for v := range sigs {
+		sources = append(sources, v)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	out := make([]core.Signature, len(sources))
+	for i, v := range sources {
+		out[i] = core.FromWeights(sigs[v], 10)
+	}
+	set, err := core.NewSignatureSet("test", window, sources, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestDetectMultiusage(t *testing.T) {
+	set := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1},
+		2: {10: 1, 11: 1}, // twin of 1
+		3: {30: 1},
+		4: {},
+		5: {},
+	})
+	pairs, err := DetectMultiusage(core.Jaccard{}, set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].A != 1 || pairs[0].B != 2 || pairs[0].Dist != 0 {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	// Empty signatures never pair (two silent labels are not evidence).
+	for _, p := range pairs {
+		if p.A == 4 || p.B == 4 || p.A == 5 || p.B == 5 {
+			t.Fatal("empty signature paired")
+		}
+	}
+	if _, err := DetectMultiusage(core.Jaccard{}, set, 1.5); err == nil {
+		t.Fatal("threshold out of range accepted")
+	}
+}
+
+func TestDetectMultiusageOrdering(t *testing.T) {
+	set := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1, 12: 1},
+		2: {10: 1, 11: 1, 12: 1},
+		3: {10: 1, 11: 1, 99: 1},
+	})
+	pairs, err := DetectMultiusage(core.Jaccard{}, set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].Dist > pairs[1].Dist || pairs[1].Dist > pairs[2].Dist {
+		t.Fatal("pairs not sorted by distance")
+	}
+	if pairs[0].A != 1 || pairs[0].B != 2 {
+		t.Fatalf("closest pair = (%d,%d)", pairs[0].A, pairs[0].B)
+	}
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	set := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1},
+		2: {10: 1, 11: 1},
+		3: {10: 1, 99: 1},
+		4: {50: 1},
+	})
+	nn, err := NearestNeighbors(core.Jaccard{}, set, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 2 || nn[0].B != 2 || nn[1].B != 3 {
+		t.Fatalf("neighbours = %+v", nn)
+	}
+	if _, err := NearestNeighbors(core.Jaccard{}, set, 99, 2); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestDeltaFromSelfPersistence(t *testing.T) {
+	at := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1}, 2: {20: 1},
+	})
+	next := makeSet(t, 1, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1}, // persistence 1
+		2: {99: 1}, // persistence 0
+	})
+	d := core.Jaccard{}
+	delta, err := DeltaFromSelfPersistence(d, at, next, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delta-0.1) > 1e-12 { // mean persistence 0.5 / 5
+		t.Fatalf("δ = %g", delta)
+	}
+	if _, err := DeltaFromSelfPersistence(d, at, next, 0); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+// TestDetectLabelMasquerading plants a masquerade: node 1's behaviour
+// re-appears under node 2's label, while node 3 stays itself.
+func TestDetectLabelMasquerading(t *testing.T) {
+	at := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1},
+		2: {20: 1, 21: 1},
+		3: {30: 1, 31: 1},
+	})
+	next := makeSet(t, 1, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {20: 1, 21: 1}, // 2's behaviour now under 1's... (cycle 1↔2)
+		2: {10: 1, 11: 1}, // 1's behaviour now under 2
+		3: {30: 1, 31: 1}, // unchanged
+	})
+	d := core.Jaccard{}
+	res, err := DetectLabelMasquerading(d, at, next, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NonSuspects[3] {
+		t.Fatal("persistent node flagged")
+	}
+	if res.Pairs[1] != 2 || res.Pairs[2] != 1 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	truth := map[graph.NodeID]graph.NodeID{1: 2, 2: 1}
+	acc, err := MasqueradeAccuracy(res, truth, []graph.NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+}
+
+func TestDetectLabelMasqueradingTopEll(t *testing.T) {
+	// The true partner is only v's second-most persistent candidate;
+	// ℓ=1 misses it, ℓ=2 finds it. Node 9 is a decoy whose own
+	// self-persistence is high (so it fails the A[u,u] ≤ δ condition).
+	at := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1, 12: 1, 13: 1},
+		2: {20: 1, 21: 1},
+		9: {10: 1, 11: 1, 12: 1, 40: 1},
+	})
+	next := makeSet(t, 1, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {99: 1},                      // vanished behaviour
+		2: {10: 1, 11: 1, 40: 1},        // partial match to 1's past
+		9: {10: 1, 11: 1, 12: 1, 40: 1}, // highly persistent decoy
+	})
+	d := core.Jaccard{}
+	const delta = 0.3
+	res1, err := DetectLabelMasquerading(d, at, next, delta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res1.Pairs[1]; ok {
+		t.Fatalf("ℓ=1 paired 1 with %v via a persistent decoy", res1.Pairs[1])
+	}
+	res2, err := DetectLabelMasquerading(d, at, next, delta, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pairs[1] != 2 {
+		t.Fatalf("ℓ=2 pairs = %v", res2.Pairs)
+	}
+	if _, err := DetectLabelMasquerading(d, at, next, delta, 0); err == nil {
+		t.Fatal("ℓ=0 accepted")
+	}
+}
+
+func TestMasqueradeAccuracyCounts(t *testing.T) {
+	res := &MasqueradeResult{
+		NonSuspects: map[graph.NodeID]bool{1: true, 2: true},
+		Pairs:       map[graph.NodeID]graph.NodeID{3: 4},
+	}
+	truth := map[graph.NodeID]graph.NodeID{3: 5} // wrong partner
+	acc, err := MasqueradeAccuracy(res, truth, []graph.NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if _, err := MasqueradeAccuracy(res, truth, nil); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+}
+
+func TestDetectAnomalies(t *testing.T) {
+	sigs := map[graph.NodeID]map[graph.NodeID]float64{}
+	nextSigs := map[graph.NodeID]map[graph.NodeID]float64{}
+	// 20 stable nodes, one that changes completely.
+	for i := graph.NodeID(1); i <= 20; i++ {
+		members := map[graph.NodeID]float64{100 + i: 1, 200 + i: 1}
+		sigs[i] = members
+		if i == 7 {
+			nextSigs[i] = map[graph.NodeID]float64{900: 1, 901: 1}
+		} else {
+			nextSigs[i] = members
+		}
+	}
+	at := makeSet(t, 0, sigs)
+	next := makeSet(t, 1, nextSigs)
+	anomalies, population, err := DetectAnomalies(core.Jaccard{}, at, next, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if population.N != 20 {
+		t.Fatalf("population = %d", population.N)
+	}
+	if len(anomalies) != 1 || anomalies[0].Node != 7 || anomalies[0].Persistence != 0 {
+		t.Fatalf("anomalies = %+v", anomalies)
+	}
+	if anomalies[0].ZScore >= -2 {
+		t.Fatalf("z = %g", anomalies[0].ZScore)
+	}
+	if _, _, err := DetectAnomalies(core.Jaccard{}, at, next, 0); err == nil {
+		t.Fatal("zCut=0 accepted")
+	}
+}
+
+func TestDetectAnomaliesHomogeneous(t *testing.T) {
+	sigs := map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1}, 2: {20: 1},
+	}
+	at := makeSet(t, 0, sigs)
+	anomalies, _, err := DetectAnomalies(core.Jaccard{}, at, at, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) != 0 {
+		t.Fatal("homogeneous population produced anomalies")
+	}
+}

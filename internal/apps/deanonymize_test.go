@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"testing"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+func deanonFixture(t *testing.T) (*core.SignatureSet, *core.SignatureSet, map[graph.NodeID]graph.NodeID) {
+	t.Helper()
+	// Reference individuals 1..4 with distinctive signatures; the
+	// anonymized window relabels them to 101..104 with mild noise.
+	ref := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 0.5, 12: 0.2},
+		2: {20: 1, 21: 0.5, 22: 0.2},
+		3: {30: 1, 31: 0.5, 32: 0.2},
+		4: {40: 1, 41: 0.5, 42: 0.2},
+	})
+	anon := makeSet(t, 1, map[graph.NodeID]map[graph.NodeID]float64{
+		101: {30: 1, 31: 0.4, 33: 0.2},   // is 3
+		102: {10: 0.9, 11: 0.5, 12: 0.3}, // is 1
+		103: {20: 1, 21: 0.5},            // is 2
+		104: {40: 1, 42: 0.2, 43: 0.1},   // is 4
+	})
+	truth := map[graph.NodeID]graph.NodeID{101: 3, 102: 1, 103: 2, 104: 4}
+	return ref, anon, truth
+}
+
+func TestDeAnonymizeNearest(t *testing.T) {
+	ref, anon, truth := deanonFixture(t)
+	matches, err := DeAnonymize(core.ScaledHellinger{}, ref, anon, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 4 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	acc, err := DeAnonymizationAccuracy(matches, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy = %g, matches %+v", acc, matches)
+	}
+}
+
+func TestDeAnonymizeGreedyInjective(t *testing.T) {
+	ref, anon, truth := deanonFixture(t)
+	matches, err := DeAnonymize(core.ScaledHellinger{}, ref, anon, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := DeAnonymizationAccuracy(matches, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("greedy accuracy = %g", acc)
+	}
+	// No reference is used twice.
+	seen := map[graph.NodeID]bool{}
+	for _, m := range matches {
+		if seen[m.Reference] {
+			t.Fatal("greedy matching reused a reference")
+		}
+		seen[m.Reference] = true
+	}
+}
+
+func TestDeAnonymizeGreedyResolvesCollision(t *testing.T) {
+	// Two anonymized nodes both closest to reference 1; greedy must
+	// give 1 to the closer and push the other to its runner-up, which
+	// nearest-neighbour matching cannot do.
+	ref := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1},
+		2: {10: 1, 12: 1},
+	})
+	anon := makeSet(t, 1, map[graph.NodeID]map[graph.NodeID]float64{
+		101: {10: 1, 11: 1},          // exactly 1
+		102: {10: 1, 11: 1, 12: 0.2}, // near 1, but should settle for 2
+	})
+	d := core.Jaccard{}
+	nearest, err := DeAnonymize(d, ref, anon, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both1 := 0
+	for _, m := range nearest {
+		if m.Reference == 1 {
+			both1++
+		}
+	}
+	if both1 != 2 {
+		t.Fatalf("nearest matching should double-assign reference 1, got %+v", nearest)
+	}
+	greedy, err := DeAnonymize(d, ref, anon, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := map[graph.NodeID]graph.NodeID{}
+	for _, m := range greedy {
+		assigned[m.Anonymized] = m.Reference
+	}
+	if assigned[101] != 1 || assigned[102] != 2 {
+		t.Fatalf("greedy assignment wrong: %v", assigned)
+	}
+}
+
+func TestDeAnonymizeValidation(t *testing.T) {
+	ref, _, truth := deanonFixture(t)
+	empty := &core.SignatureSet{}
+	if _, err := DeAnonymize(core.Jaccard{}, ref, empty, false); err == nil {
+		t.Fatal("empty anonymized set accepted")
+	}
+	if _, err := DeAnonymize(core.Jaccard{}, empty, ref, true); err == nil {
+		t.Fatal("empty reference set accepted")
+	}
+	if _, err := DeAnonymizationAccuracy(nil, truth); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeAnonymizationAccuracy(nil, nil); err == nil {
+		t.Fatal("empty truth accepted")
+	}
+}

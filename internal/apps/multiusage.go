@@ -1,0 +1,84 @@
+// Package apps implements the paper's three signature applications:
+// multiusage detection (§II-D, evaluated in §V), label-masquerading
+// detection (Algorithm 1), and anomaly detection (§II-D).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// SimilarPair is a candidate multiusage pair: two labels whose
+// signatures within the same window are unusually similar.
+type SimilarPair struct {
+	A, B graph.NodeID
+	Dist float64
+}
+
+// DetectMultiusage scans all unordered source pairs in one window and
+// returns those with Dist ≤ threshold, sorted by ascending distance.
+// High similarity within a window is the multiusage signal: one
+// individual communicating from several connection points (§II-D).
+func DetectMultiusage(d core.Distance, set *core.SignatureSet, threshold float64) ([]SimilarPair, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("apps: multiusage threshold %g outside [0,1]", threshold)
+	}
+	var out []SimilarPair
+	for i := 0; i < set.Len(); i++ {
+		if set.Sigs[i].IsEmpty() {
+			// A silent label matches every other silent label at
+			// distance 0; such degenerate pairs are not multiusage
+			// evidence.
+			continue
+		}
+		for j := i + 1; j < set.Len(); j++ {
+			if set.Sigs[j].IsEmpty() {
+				continue
+			}
+			dist := d.Dist(set.Sigs[i], set.Sigs[j])
+			if dist <= threshold {
+				out = append(out, SimilarPair{A: set.Sources[i], B: set.Sources[j], Dist: dist})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}
+
+// NearestNeighbors ranks the other sources by signature distance from
+// v, returning the topN closest — the per-node view used to vet one
+// suspicious label.
+func NearestNeighbors(d core.Distance, set *core.SignatureSet, v graph.NodeID, topN int) ([]SimilarPair, error) {
+	sig, ok := set.Get(v)
+	if !ok {
+		return nil, fmt.Errorf("apps: node %d has no signature in window %d", v, set.Window)
+	}
+	pairs := make([]SimilarPair, 0, set.Len()-1)
+	for j, u := range set.Sources {
+		if u == v {
+			continue
+		}
+		pairs = append(pairs, SimilarPair{A: v, B: u, Dist: d.Dist(sig, set.Sigs[j])})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Dist != pairs[j].Dist {
+			return pairs[i].Dist < pairs[j].Dist
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	if topN < len(pairs) {
+		pairs = pairs[:topN]
+	}
+	return pairs, nil
+}

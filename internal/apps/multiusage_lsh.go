@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/lsh"
+)
+
+// DetectMultiusageApprox is the §VI scalable variant of multiusage
+// detection: instead of the quadratic all-pairs scan it indexes every
+// signature in an LSH banding index, collects candidate pairs from
+// shared buckets, and verifies each candidate with the exact Jaccard
+// distance. With b bands of r rows a pair at Jaccard similarity s is
+// found with probability 1 − (1 − sʳ)ᵇ, so recall is tunable against
+// the scan fraction; only Jaccard is supported (the paper's pointer to
+// LSH applies to Dist_Jac).
+func DetectMultiusageApprox(set *core.SignatureSet, threshold float64, bands, rows int, seed uint64) ([]SimilarPair, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("apps: multiusage threshold %g outside [0,1]", threshold)
+	}
+	hasher, err := lsh.NewHasher(bands*rows, seed)
+	if err != nil {
+		return nil, err
+	}
+	index, err := lsh.NewIndex(hasher, bands, rows)
+	if err != nil {
+		return nil, err
+	}
+	nonEmpty := map[graph.NodeID]int{}
+	for i, v := range set.Sources {
+		if set.Sigs[i].IsEmpty() {
+			continue
+		}
+		nonEmpty[v] = i
+		if err := index.Add(v, set.Sigs[i]); err != nil {
+			return nil, err
+		}
+	}
+	d := core.Jaccard{}
+	seen := map[[2]graph.NodeID]bool{}
+	var out []SimilarPair
+	for v, i := range nonEmpty {
+		cands, err := index.Query(set.Sigs[i], v, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cands {
+			j, ok := nonEmpty[c.Node]
+			if !ok {
+				continue
+			}
+			a, b := v, c.Node
+			if b < a {
+				a, b = b, a
+			}
+			key := [2]graph.NodeID{a, b}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			// Exact verification of the LSH candidate.
+			dist := d.Dist(set.Sigs[i], set.Sigs[j])
+			if dist <= threshold {
+				out = append(out, SimilarPair{A: a, B: b, Dist: dist})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}

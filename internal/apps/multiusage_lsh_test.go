@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"testing"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+func TestDetectMultiusageApproxFindsExactPairs(t *testing.T) {
+	// Twins share their full member set; the LSH path must recover the
+	// same pairs the exact scan finds at this threshold.
+	sigs := map[graph.NodeID]map[graph.NodeID]float64{}
+	for i := graph.NodeID(0); i < 30; i++ {
+		sigs[i] = map[graph.NodeID]float64{
+			1000 + 10*i: 1, 1001 + 10*i: 1, 1002 + 10*i: 1, 1003 + 10*i: 1,
+		}
+	}
+	// Two twin pairs.
+	sigs[40] = map[graph.NodeID]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	sigs[41] = map[graph.NodeID]float64{1: 1, 2: 1, 3: 1, 4: 1}
+	sigs[50] = map[graph.NodeID]float64{5: 1, 6: 1, 7: 1, 8: 1}
+	sigs[51] = map[graph.NodeID]float64{5: 1, 6: 1, 7: 1, 9: 1} // 3/5 overlap
+	set := makeSet(t, 0, sigs)
+
+	exact, err := DetectMultiusage(core.Jaccard{}, set, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := DetectMultiusageApprox(set, 0.5, 16, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 2 {
+		t.Fatalf("exact pairs = %d", len(exact))
+	}
+	if len(approx) != len(exact) {
+		t.Fatalf("approx found %d pairs, exact %d", len(approx), len(exact))
+	}
+	for i := range exact {
+		if exact[i] != approx[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, approx[i], exact[i])
+		}
+	}
+}
+
+func TestDetectMultiusageApproxNeverInventsPairs(t *testing.T) {
+	sigs := map[graph.NodeID]map[graph.NodeID]float64{}
+	for i := graph.NodeID(0); i < 20; i++ {
+		sigs[i] = map[graph.NodeID]float64{500 + 7*i: 1, 501 + 7*i: 1}
+	}
+	set := makeSet(t, 0, sigs)
+	approx, err := DetectMultiusageApprox(set, 0.3, 16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reported pair is exact-verified, so any output here would
+	// be a bug (all signatures are disjoint).
+	if len(approx) != 0 {
+		t.Fatalf("invented pairs: %+v", approx)
+	}
+}
+
+func TestDetectMultiusageApproxValidation(t *testing.T) {
+	set := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{1: {10: 1}})
+	if _, err := DetectMultiusageApprox(set, 1.5, 16, 2, 1); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	if _, err := DetectMultiusageApprox(set, 0.5, 0, 2, 1); err == nil {
+		t.Fatal("bad bands accepted")
+	}
+}

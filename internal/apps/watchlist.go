@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// Watchlist answers the paper's §I security question — "is a new user
+// who arrives at a particular time really the reappearance of an
+// individual who has been observed earlier?" — by archiving signatures
+// of individuals of interest across windows and ranking any new
+// signature against the archive. One individual may contribute several
+// archived signatures (one per window observed); a hit against any of
+// them implicates the individual.
+type Watchlist struct {
+	entries []watchEntry
+}
+
+type watchEntry struct {
+	// individual identifies who the signature belonged to (an opaque
+	// caller-chosen key — e.g. the original node label or a case id).
+	individual string
+	window     int
+	sig        core.Signature
+}
+
+// NewWatchlist returns an empty archive.
+func NewWatchlist() *Watchlist { return &Watchlist{} }
+
+// Add archives one signature for an individual. Empty signatures are
+// rejected: they would match every other silent node.
+func (w *Watchlist) Add(individual string, window int, sig core.Signature) error {
+	if individual == "" {
+		return fmt.Errorf("apps: watchlist entry needs an individual key")
+	}
+	if sig.IsEmpty() {
+		return fmt.Errorf("apps: watchlist rejects empty signature for %q", individual)
+	}
+	if err := sig.Validate(); err != nil {
+		return fmt.Errorf("apps: watchlist entry for %q: %w", individual, err)
+	}
+	w.entries = append(w.entries, watchEntry{individual: individual, window: window, sig: sig})
+	return nil
+}
+
+// AddSet archives every signature of a SignatureSet, naming individuals
+// through the label function (typically universe.Label). Sources with
+// empty signatures are skipped.
+func (w *Watchlist) AddSet(set *core.SignatureSet, label func(graph.NodeID) string) error {
+	for i, v := range set.Sources {
+		if set.Sigs[i].IsEmpty() {
+			continue
+		}
+		if err := w.Add(label(v), set.Window, set.Sigs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of archived signatures.
+func (w *Watchlist) Len() int { return len(w.entries) }
+
+// Hit is one watchlist match: an archived individual whose signature is
+// close to the query.
+type Hit struct {
+	Individual string
+	// Window is when the matching archived signature was observed.
+	Window int
+	Dist   float64
+}
+
+// Query ranks archived individuals by their *best* (smallest) distance
+// to the query signature and returns those with distance ≤ maxDist,
+// closest first.
+func (w *Watchlist) Query(d core.Distance, sig core.Signature, maxDist float64) ([]Hit, error) {
+	if maxDist < 0 || maxDist > 1 {
+		return nil, fmt.Errorf("apps: watchlist maxDist %g outside [0,1]", maxDist)
+	}
+	if sig.IsEmpty() {
+		return nil, fmt.Errorf("apps: watchlist query with empty signature")
+	}
+	best := map[string]Hit{}
+	for _, e := range w.entries {
+		dist := d.Dist(sig, e.sig)
+		if dist > maxDist {
+			continue
+		}
+		cur, seen := best[e.individual]
+		if !seen || dist < cur.Dist || (dist == cur.Dist && e.window > cur.Window) {
+			best[e.individual] = Hit{Individual: e.individual, Window: e.window, Dist: dist}
+		}
+	}
+	out := make([]Hit, 0, len(best))
+	for _, h := range best {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Individual < out[j].Individual
+	})
+	return out, nil
+}
+
+// Screen queries every signature of a set against the watchlist and
+// reports, per source with at least one hit, its ranked hits — the
+// batch form used when a new window of traffic arrives.
+func (w *Watchlist) Screen(d core.Distance, set *core.SignatureSet, maxDist float64) (map[graph.NodeID][]Hit, error) {
+	out := map[graph.NodeID][]Hit{}
+	for i, v := range set.Sources {
+		if set.Sigs[i].IsEmpty() {
+			continue
+		}
+		hits, err := w.Query(d, set.Sigs[i], maxDist)
+		if err != nil {
+			return nil, fmt.Errorf("apps: screen %d: %w", v, err)
+		}
+		if len(hits) > 0 {
+			out[v] = hits
+		}
+	}
+	return out, nil
+}

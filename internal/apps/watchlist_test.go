@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"testing"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+func wlSig(pairs ...any) core.Signature {
+	w := map[graph.NodeID]float64{}
+	for i := 0; i < len(pairs); i += 2 {
+		w[graph.NodeID(pairs[i].(int))] = pairs[i+1].(float64)
+	}
+	return core.FromWeights(w, len(pairs))
+}
+
+func TestWatchlistAddValidation(t *testing.T) {
+	w := NewWatchlist()
+	if err := w.Add("", 0, wlSig(1, 1.0)); err == nil {
+		t.Fatal("empty individual accepted")
+	}
+	if err := w.Add("x", 0, core.Signature{}); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+	bad := core.Signature{Nodes: []graph.NodeID{1}, Weights: []float64{-1}}
+	if err := w.Add("x", 0, bad); err == nil {
+		t.Fatal("invalid signature accepted")
+	}
+	if err := w.Add("x", 0, wlSig(1, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWatchlistQueryRanking(t *testing.T) {
+	w := NewWatchlist()
+	// fraudster observed twice; an unrelated individual once.
+	if err := w.Add("fraudster", 0, wlSig(10, 1.0, 11, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("fraudster", 1, wlSig(10, 1.0, 12, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("bystander", 0, wlSig(90, 1.0, 91, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	d := core.Jaccard{}
+
+	// A new label behaving like the fraudster's window-1 signature.
+	hits, err := w.Query(d, wlSig(10, 1.0, 12, 0.4), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Individual != "fraudster" {
+		t.Fatalf("hits = %+v", hits)
+	}
+	if hits[0].Window != 1 || hits[0].Dist != 0 {
+		t.Fatalf("best archived match wrong: %+v", hits[0])
+	}
+
+	// An unrelated query matches nobody at a tight threshold.
+	hits, err = w.Query(d, wlSig(50, 1.0), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("spurious hits: %+v", hits)
+	}
+
+	if _, err := w.Query(d, core.Signature{}, 0.5); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := w.Query(d, wlSig(1, 1.0), 1.5); err == nil {
+		t.Fatal("bad maxDist accepted")
+	}
+}
+
+func TestWatchlistAddSetAndScreen(t *testing.T) {
+	archive := makeSet(t, 0, map[graph.NodeID]map[graph.NodeID]float64{
+		1: {10: 1, 11: 1},
+		2: {20: 1, 21: 1},
+		3: {}, // silent: skipped
+	})
+	w := NewWatchlist()
+	label := func(v graph.NodeID) string { return string(rune('A' + int(v))) }
+	if err := w.AddSet(archive, label); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("archived %d", w.Len())
+	}
+	// A later window: node 7 behaves like archived individual "B" (1).
+	current := makeSet(t, 3, map[graph.NodeID]map[graph.NodeID]float64{
+		7: {10: 1, 11: 1},
+		8: {70: 1},
+	})
+	hits, err := w.Screen(core.Jaccard{}, current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("screen hits = %+v", hits)
+	}
+	got, ok := hits[7]
+	if !ok || len(got) != 1 || got[0].Individual != "B" {
+		t.Fatalf("node 7 hits = %+v", got)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+)
+
+// Blend combines two schemes into one: each source's relevance vector
+// is the convex combination α·Â + (1−α)·B̂ of the component schemes'
+// weight-normalized signatures, re-cut to the top k. The paper's
+// conclusion observes that no single scheme is good for all
+// applications because each trades the three properties differently;
+// blending interpolates those trade-offs (e.g. TT's robustness with
+// UT's uniqueness) and is evaluated by the BlendAblation experiment.
+//
+// The component signatures are computed with an enlarged candidate
+// budget (3k) before mixing so that a node ranked k+1 by one component
+// can still enter the blended top-k.
+type Blend struct {
+	A, B Scheme
+	// Alpha is the weight of A in [0,1].
+	Alpha float64
+}
+
+// Name implements Scheme, e.g. "blend(0.5*tt+0.5*ut)".
+func (b Blend) Name() string {
+	return fmt.Sprintf("blend(%g*%s+%g*%s)", b.Alpha, b.A.Name(), 1-b.Alpha, b.B.Name())
+}
+
+// Compute implements Scheme.
+func (b Blend) Compute(w *graph.Window, sources []graph.NodeID, k int) ([]Signature, error) {
+	if b.Alpha < 0 || b.Alpha > 1 {
+		return nil, fmt.Errorf("core: blend alpha %g outside [0,1]", b.Alpha)
+	}
+	if b.A == nil || b.B == nil {
+		return nil, fmt.Errorf("core: blend requires two component schemes")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: blend: k must be positive, got %d", k)
+	}
+	budget := 3 * k
+	sigsA, err := b.A.Compute(w, sources, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: blend component %s: %w", b.A.Name(), err)
+	}
+	sigsB, err := b.B.Compute(w, sources, budget)
+	if err != nil {
+		return nil, fmt.Errorf("core: blend component %s: %w", b.B.Name(), err)
+	}
+	if len(sigsA) != len(sources) || len(sigsB) != len(sources) {
+		return nil, fmt.Errorf("core: blend components returned %d/%d signatures for %d sources",
+			len(sigsA), len(sigsB), len(sources))
+	}
+	out := make([]Signature, len(sources))
+	for i := range sources {
+		na := sigsA[i].Normalized()
+		nb := sigsB[i].Normalized()
+		mixed := make(map[graph.NodeID]float64, na.Len()+nb.Len())
+		for j, u := range na.Nodes {
+			mixed[u] += b.Alpha * na.Weights[j]
+		}
+		for j, u := range nb.Nodes {
+			mixed[u] += (1 - b.Alpha) * nb.Weights[j]
+		}
+		out[i] = FromWeights(mixed, k)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphsig/internal/graph"
+)
+
+func TestBlendValidation(t *testing.T) {
+	_, w := testGraph(t, true)
+	cases := []Blend{
+		{A: TopTalkers{}, B: UnexpectedTalkers{}, Alpha: -0.1},
+		{A: TopTalkers{}, B: UnexpectedTalkers{}, Alpha: 1.1},
+		{A: nil, B: UnexpectedTalkers{}, Alpha: 0.5},
+		{A: TopTalkers{}, B: nil, Alpha: 0.5},
+	}
+	for i, blend := range cases {
+		if _, err := blend.Compute(w, nil, 3); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	good := Blend{A: TopTalkers{}, B: UnexpectedTalkers{}, Alpha: 0.5}
+	if _, err := good.Compute(w, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestBlendEndpoints(t *testing.T) {
+	u, w := testGraph(t, true)
+	v := node(t, u, "a")
+	// α=1 reproduces A's ranking with normalized weights.
+	full := Blend{A: TopTalkers{}, B: UnexpectedTalkers{}, Alpha: 1}
+	blended, err := ComputeOne(full, w, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := ComputeOne(TopTalkers{}, w, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttn := tt.Normalized()
+	if blended.Len() != ttn.Len() {
+		t.Fatalf("lengths differ: %d vs %d", blended.Len(), ttn.Len())
+	}
+	for i := range ttn.Nodes {
+		if blended.Nodes[i] != ttn.Nodes[i] || math.Abs(blended.Weights[i]-ttn.Weights[i]) > 1e-12 {
+			t.Fatalf("entry %d: (%v,%g) vs (%v,%g)", i,
+				blended.Nodes[i], blended.Weights[i], ttn.Nodes[i], ttn.Weights[i])
+		}
+	}
+}
+
+func TestBlendMixesWeights(t *testing.T) {
+	u, w := testGraph(t, true)
+	v := node(t, u, "a")
+	blend := Blend{A: TopTalkers{}, B: UnexpectedTalkers{}, Alpha: 0.5}
+	sig, err := ComputeOne(blend, w, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, _ := ComputeOne(TopTalkers{}, w, v, 30)
+	ut, _ := ComputeOne(UnexpectedTalkers{}, w, v, 30)
+	ttn, utn := tt.Normalized(), ut.Normalized()
+	for i, n := range sig.Nodes {
+		want := 0.5*ttn.Weight(n) + 0.5*utn.Weight(n)
+		if math.Abs(sig.Weights[i]-want) > 1e-12 {
+			t.Fatalf("node %v weight %g, want %g", n, sig.Weights[i], want)
+		}
+	}
+	if err := sig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlendName(t *testing.T) {
+	b := Blend{A: TopTalkers{}, B: RandomWalk{C: 0.1, Hops: 3}, Alpha: 0.25}
+	if b.Name() != "blend(0.25*tt+0.75*rwr3@0.1)" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+}
+
+func TestExtraDistancesHandComputed(t *testing.T) {
+	a := sig(1, 0.6, 2, 0.4)
+	b := sig(2, 0.4, 3, 0.6)
+	// Cosine: dot = 0.16; |a| = |b| = √0.52.
+	wantCos := 1 - 0.16/0.52
+	if got := (Cosine{}).Dist(a, b); math.Abs(got-wantCos) > 1e-12 {
+		t.Fatalf("cosine = %g, want %g", got, wantCos)
+	}
+	// WeightedJaccard on already-normalized sigs equals SDice here.
+	wantWJ := (ScaledDice{}).Dist(a, b)
+	if got := (WeightedJaccard{}).Dist(a, b); math.Abs(got-wantWJ) > 1e-12 {
+		t.Fatalf("wjaccard = %g, want %g", got, wantWJ)
+	}
+}
+
+func TestWeightedJaccardScaleFree(t *testing.T) {
+	a := sig(1, 0.6, 2, 0.4)
+	scaled := sig(1, 6.0, 2, 4.0)
+	if got := (WeightedJaccard{}).Dist(a, scaled); got != 0 {
+		t.Fatalf("proportional signatures at distance %g", got)
+	}
+	// SDice, by contrast, is scale-sensitive.
+	if got := (ScaledDice{}).Dist(a, scaled); got == 0 {
+		t.Fatal("SDice unexpectedly scale-free")
+	}
+}
+
+func TestExtraDistancesBounds(t *testing.T) {
+	gen := func(raw map[uint8]uint16) Signature {
+		w := map[graph.NodeID]float64{}
+		for n, v := range raw {
+			w[graph.NodeID(n%32)] = float64(v%1000)/100 + 0.01
+		}
+		return FromWeights(w, 10)
+	}
+	f := func(rawA, rawB map[uint8]uint16) bool {
+		a, b := gen(rawA), gen(rawB)
+		for _, d := range ExtendedDistances() {
+			ab := d.Dist(a, b)
+			if ab < 0 || ab > 1 || math.IsNaN(ab) {
+				return false
+			}
+			if math.Abs(d.Dist(b, a)-ab) > 1e-12 {
+				return false
+			}
+			if d.Dist(a, a) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Extended registry resolves the extras.
+	for _, name := range []string{"cosine", "wjaccard"} {
+		if _, ok := DistanceByName(name); !ok {
+			t.Fatalf("DistanceByName(%q) failed", name)
+		}
+	}
+}
+
+func TestExtraDistancesEmpty(t *testing.T) {
+	a := sig(1, 0.6)
+	empty := Signature{}
+	for _, d := range []Distance{Cosine{}, WeightedJaccard{}} {
+		if d.Dist(empty, empty) != 0 {
+			t.Fatalf("%s(∅,∅) != 0", d.Name())
+		}
+		if d.Dist(a, empty) != 1 || d.Dist(empty, a) != 1 {
+			t.Fatalf("%s(a,∅) != 1", d.Name())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+)
+
+// DecayCombine implements the exponential time-decay combination of
+// historical windows from the Communities of Interest line of work,
+// which the paper treats as orthogonal to scheme choice (§III-A):
+// each output window t holds the decayed cumulative weights
+//
+//	C'_t[i,j] = λ·C'_{t−1}[i,j] + C_t[i,j]
+//
+// for decay factor λ ∈ [0,1). λ=0 reproduces the input windows. Any
+// signature scheme can then run on the combined windows unchanged —
+// this is the DecayAblation experiment.
+func DecayCombine(windows []*graph.Window, lambda float64) ([]*graph.Window, error) {
+	if lambda < 0 || lambda >= 1 {
+		return nil, fmt.Errorf("core: decay factor %g outside [0,1)", lambda)
+	}
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	u := windows[0].Universe()
+	out := make([]*graph.Window, len(windows))
+	carry := map[[2]graph.NodeID]float64{}
+	for t, w := range windows {
+		if w.Universe() != u {
+			return nil, fmt.Errorf("core: decay: window %d uses a different universe", t)
+		}
+		next := make(map[[2]graph.NodeID]float64, len(carry)+w.NumEdges())
+		if lambda > 0 {
+			for k, wt := range carry {
+				decayed := lambda * wt
+				// Drop negligible residue so the combined graphs do not
+				// grow without bound over long histories.
+				if decayed > 1e-12 {
+					next[k] = decayed
+				}
+			}
+		}
+		for _, e := range w.Edges() {
+			next[[2]graph.NodeID{e.From, e.To}] += e.Weight
+		}
+		b := graph.NewBuilder(u, w.Index())
+		for k, wt := range next {
+			if err := b.Add(k[0], k[1], wt); err != nil {
+				return nil, fmt.Errorf("core: decay: window %d: %w", t, err)
+			}
+		}
+		out[t] = b.Build()
+		carry = next
+	}
+	return out, nil
+}

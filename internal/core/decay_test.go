@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+func decayWindows(t *testing.T) (*graph.Universe, []*graph.Window) {
+	t.Helper()
+	u := graph.NewUniverse()
+	a := u.MustIntern("a", graph.PartNone)
+	x := u.MustIntern("x", graph.PartNone)
+	y := u.MustIntern("y", graph.PartNone)
+	var wins []*graph.Window
+	for i, es := range [][]graph.Edge{
+		{{From: a, To: x, Weight: 4}},
+		{{From: a, To: y, Weight: 2}},
+		{{From: a, To: x, Weight: 1}},
+	} {
+		w, err := graph.FromEdges(u, i, es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins = append(wins, w)
+	}
+	return u, wins
+}
+
+func TestDecayZeroIsIdentity(t *testing.T) {
+	_, wins := decayWindows(t)
+	out, err := DecayCombine(wins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wins {
+		if out[i].NumEdges() != wins[i].NumEdges() || out[i].TotalWeight() != wins[i].TotalWeight() {
+			t.Fatalf("window %d changed under λ=0", i)
+		}
+	}
+}
+
+func TestDecayCumulativeFormula(t *testing.T) {
+	u, wins := decayWindows(t)
+	const lambda = 0.5
+	out, err := DecayCombine(wins, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := u.Lookup("a")
+	x, _ := u.Lookup("x")
+	y, _ := u.Lookup("y")
+	// t0: C'[a,x]=4.
+	// t1: C'[a,x]=2, C'[a,y]=2.
+	// t2: C'[a,x]=1+1=2, C'[a,y]=1.
+	checks := []struct {
+		t    int
+		to   graph.NodeID
+		want float64
+	}{
+		{0, x, 4}, {0, y, 0},
+		{1, x, 2}, {1, y, 2},
+		{2, x, 2}, {2, y, 1},
+	}
+	for _, c := range checks {
+		if got := out[c.t].Weight(a, c.to); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("t=%d C'[a,%d] = %g, want %g", c.t, c.to, got, c.want)
+		}
+	}
+}
+
+func TestDecayValidation(t *testing.T) {
+	_, wins := decayWindows(t)
+	for _, lambda := range []float64{-0.1, 1, 1.5} {
+		if _, err := DecayCombine(wins, lambda); err == nil {
+			t.Fatalf("λ=%g accepted", lambda)
+		}
+	}
+	out, err := DecayCombine(nil, 0.5)
+	if err != nil || out != nil {
+		t.Fatal("empty input should yield empty output")
+	}
+	// Mixed universes are rejected.
+	other := graph.NewUniverse()
+	other.MustIntern("a", graph.PartNone)
+	other.MustIntern("x", graph.PartNone)
+	foreign, err := graph.FromEdges(other, 0, []graph.Edge{{From: 0, To: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecayCombine([]*graph.Window{wins[0], foreign}, 0.5); err == nil {
+		t.Fatal("mixed universes accepted")
+	}
+}
+
+func TestParseSchemeRoundTrip(t *testing.T) {
+	schemes := []Scheme{
+		TopTalkers{},
+		UnexpectedTalkers{},
+		UnexpectedTalkers{Scaling: UTTFIDF},
+		RandomWalk{C: 0.1, Hops: 3},
+		RandomWalk{C: 0.25},
+		RandomWalk{C: 0.1, Hops: 7, Directed: true},
+	}
+	for _, s := range schemes {
+		got, err := ParseScheme(s.Name())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", s.Name(), err)
+		}
+		if got.Name() != s.Name() {
+			t.Fatalf("round trip %q → %q", s.Name(), got.Name())
+		}
+	}
+}
+
+func TestParseSchemeErrors(t *testing.T) {
+	for _, name := range []string{
+		"", "unknown", "rwr", "rwr3", "rwrX@0.1", "rwr3@2", "rwr3@x", "rwr-1@0.1", "rwr0@0.1",
+	} {
+		if _, err := ParseScheme(name); err == nil {
+			t.Fatalf("ParseScheme(%q) succeeded", name)
+		}
+	}
+}
+
+func TestPaperSchemeLineups(t *testing.T) {
+	ps := PaperSchemes()
+	if len(ps) != 5 {
+		t.Fatalf("PaperSchemes: %d", len(ps))
+	}
+	wantNames := []string{"tt", "ut", "rwr3@0.1", "rwr5@0.1", "rwr7@0.1"}
+	for i, s := range ps {
+		if s.Name() != wantNames[i] {
+			t.Fatalf("scheme %d = %q", i, s.Name())
+		}
+	}
+	as := ApplicationSchemes()
+	if len(as) != 3 || as[2].Name() != "rwr3@0.1" {
+		t.Fatalf("ApplicationSchemes wrong")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"graphsig/internal/graph"
+)
+
+// TopTalkers is the TT scheme (Definition 3): the relevance of neighbour
+// j to node i is the normalized outgoing weight C[i,j] / Σ_v C[i,v]. It
+// exploits locality and engagement, yielding uniqueness and robustness
+// (Table III). TT is implicit in the "Communities of Interest" work the
+// paper builds on.
+type TopTalkers struct{}
+
+// Name implements Scheme.
+func (TopTalkers) Name() string { return "tt" }
+
+// Compute implements Scheme.
+func (TopTalkers) Compute(w *graph.Window, sources []graph.NodeID, k int) ([]Signature, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: tt: k must be positive, got %d", k)
+	}
+	out := make([]Signature, len(sources))
+	var cand []entry
+	for si, v := range sources {
+		total := w.OutWeightSum(v)
+		cand = cand[:0]
+		if total > 0 {
+			w.Out(v, func(u graph.NodeID, wt float64) bool {
+				if restrictTo(w.Universe(), v, u) {
+					cand = append(cand, entry{node: u, weight: wt / total})
+				}
+				return true
+			})
+		}
+		out[si] = topK(cand, k)
+	}
+	return out, nil
+}
+
+// UTScaling selects the down-weighting function applied by the
+// Unexpected Talkers scheme to a neighbour's popularity.
+type UTScaling int
+
+const (
+	// UTInverseDegree is the paper's Definition 4: w_ij = C[i,j]/|I(j)|.
+	UTInverseDegree UTScaling = iota
+	// UTTFIDF is the TF-IDF-style alternative the paper mentions:
+	// w_ij = C[i,j] · log(|V|/|I(j)|).
+	UTTFIDF
+)
+
+// UnexpectedTalkers is the UT scheme (Definition 4): neighbour relevance
+// is the edge weight scaled down by the neighbour's in-degree, so
+// universally popular nodes (search engines, shared servers) stop
+// dominating signatures. It trades persistence and robustness for
+// uniqueness (Table III/IV).
+type UnexpectedTalkers struct {
+	// Scaling picks the popularity down-weighting; zero value is the
+	// paper's 1/|I(j)|.
+	Scaling UTScaling
+}
+
+// Name implements Scheme.
+func (u UnexpectedTalkers) Name() string {
+	if u.Scaling == UTTFIDF {
+		return "ut-tfidf"
+	}
+	return "ut"
+}
+
+// Compute implements Scheme.
+func (u UnexpectedTalkers) Compute(w *graph.Window, sources []graph.NodeID, k int) ([]Signature, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: %s: k must be positive, got %d", u.Name(), k)
+	}
+	nV := float64(w.NumNodes())
+	out := make([]Signature, len(sources))
+	var cand []entry
+	for si, v := range sources {
+		cand = cand[:0]
+		w.Out(v, func(j graph.NodeID, wt float64) bool {
+			if !restrictTo(w.Universe(), v, j) {
+				return true
+			}
+			indeg := float64(w.InDegree(j))
+			if indeg == 0 {
+				// Unreachable for out-neighbours (the edge (v,j) itself
+				// is incoming to j), kept as a guard.
+				return true
+			}
+			var relevance float64
+			switch u.Scaling {
+			case UTTFIDF:
+				relevance = wt * math.Log(nV/indeg)
+			default:
+				relevance = wt / indeg
+			}
+			if relevance > 0 {
+				cand = append(cand, entry{node: j, weight: relevance})
+			}
+			return true
+		})
+		out[si] = topK(cand, k)
+	}
+	return out, nil
+}

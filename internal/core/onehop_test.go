@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// testGraph builds the running example graph:
+//
+//	a → x:6  y:3  z:1
+//	b → x:2  y:2
+//	c → z:4
+//
+// with in-degrees |I(x)|=2, |I(y)|=2, |I(z)|=2.
+func testGraph(t *testing.T, bipartite bool) (*graph.Universe, *graph.Window) {
+	t.Helper()
+	u := graph.NewUniverse()
+	srcPart, dstPart := graph.PartNone, graph.PartNone
+	if bipartite {
+		srcPart, dstPart = graph.Part1, graph.Part2
+	}
+	for _, l := range []string{"a", "b", "c"} {
+		u.MustIntern(l, srcPart)
+	}
+	for _, l := range []string{"x", "y", "z"} {
+		u.MustIntern(l, dstPart)
+	}
+	b := graph.NewBuilder(u, 0)
+	edges := []struct {
+		from, to string
+		w        float64
+	}{
+		{"a", "x", 6}, {"a", "y", 3}, {"a", "z", 1},
+		{"b", "x", 2}, {"b", "y", 2},
+		{"c", "z", 4},
+	}
+	for _, e := range edges {
+		f, _ := u.Lookup(e.from)
+		to, _ := u.Lookup(e.to)
+		if err := b.Add(f, to, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u, b.Build()
+}
+
+func node(t *testing.T, u *graph.Universe, l string) graph.NodeID {
+	t.Helper()
+	id, ok := u.Lookup(l)
+	if !ok {
+		t.Fatalf("label %q missing", l)
+	}
+	return id
+}
+
+func TestTopTalkersWeights(t *testing.T) {
+	u, w := testGraph(t, false)
+	sig, err := ComputeOne(TopTalkers{}, w, node(t, u, "a"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's out weights: x 6/10, y 3/10, z 1/10.
+	if sig.Len() != 3 {
+		t.Fatalf("len = %d", sig.Len())
+	}
+	want := []struct {
+		l string
+		w float64
+	}{{"x", 0.6}, {"y", 0.3}, {"z", 0.1}}
+	for i, c := range want {
+		if sig.Nodes[i] != node(t, u, c.l) || math.Abs(sig.Weights[i]-c.w) > 1e-12 {
+			t.Fatalf("entry %d = (%v,%g), want (%s,%g)", i, sig.Nodes[i], sig.Weights[i], c.l, c.w)
+		}
+	}
+}
+
+func TestTopTalkersTruncatesToK(t *testing.T) {
+	u, w := testGraph(t, false)
+	sig, err := ComputeOne(TopTalkers{}, w, node(t, u, "a"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Len() != 2 || sig.Nodes[0] != node(t, u, "x") || sig.Nodes[1] != node(t, u, "y") {
+		t.Fatalf("top-2 wrong: %v", sig)
+	}
+}
+
+func TestTopTalkersEmptyForSink(t *testing.T) {
+	u, w := testGraph(t, false)
+	sig, err := ComputeOne(TopTalkers{}, w, node(t, u, "x"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.IsEmpty() {
+		t.Fatalf("sink node has signature %v", sig)
+	}
+}
+
+func TestTopTalkersRejectsBadK(t *testing.T) {
+	_, w := testGraph(t, false)
+	if _, err := (TopTalkers{}).Compute(w, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestUnexpectedTalkersWeights(t *testing.T) {
+	u, w := testGraph(t, false)
+	sig, err := ComputeOne(UnexpectedTalkers{}, w, node(t, u, "a"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UT weights for a: x 6/2=3, y 3/2=1.5, z 1/2=0.5.
+	want := []struct {
+		l string
+		w float64
+	}{{"x", 3}, {"y", 1.5}, {"z", 0.5}}
+	for i, c := range want {
+		if sig.Nodes[i] != node(t, u, c.l) || math.Abs(sig.Weights[i]-c.w) > 1e-12 {
+			t.Fatalf("entry %d wrong: %v", i, sig)
+		}
+	}
+}
+
+func TestUnexpectedTalkersDownweightsPopular(t *testing.T) {
+	// y is contacted by everyone; UT must rank it below a rare contact
+	// of equal raw weight.
+	u := graph.NewUniverse()
+	for _, l := range []string{"a", "b", "c", "d", "rare", "pop"} {
+		u.MustIntern(l, graph.PartNone)
+	}
+	b := graph.NewBuilder(u, 0)
+	pop, _ := u.Lookup("pop")
+	rare, _ := u.Lookup("rare")
+	a, _ := u.Lookup("a")
+	for _, src := range []string{"a", "b", "c", "d"} {
+		s, _ := u.Lookup(src)
+		if err := b.Add(s, pop, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Add(a, rare, 3); err != nil {
+		t.Fatal(err)
+	}
+	w := b.Build()
+
+	ttSig, err := ComputeOne(TopTalkers{}, w, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utSig, err := ComputeOne(UnexpectedTalkers{}, w, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TT ties (both weight 0.5) and breaks by node id; UT must pick rare.
+	if utSig.Nodes[0] != rare {
+		t.Fatalf("UT top = %v, want rare", utSig.Nodes[0])
+	}
+	if ttSig.Weights[0] != 0.5 {
+		t.Fatalf("TT top weight = %g", ttSig.Weights[0])
+	}
+}
+
+func TestUTTFIDFVariant(t *testing.T) {
+	u, w := testGraph(t, false)
+	sig, err := ComputeOne(UnexpectedTalkers{Scaling: UTTFIDF}, w, node(t, u, "a"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TF-IDF: C[a,x]·log(6/2) etc.
+	want := 6 * math.Log(3)
+	if math.Abs(sig.Weight(node(t, u, "x"))-want) > 1e-9 {
+		t.Fatalf("tf-idf weight = %g, want %g", sig.Weight(node(t, u, "x")), want)
+	}
+	if (UnexpectedTalkers{Scaling: UTTFIDF}).Name() != "ut-tfidf" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestBipartiteRestriction(t *testing.T) {
+	u, w := testGraph(t, true)
+	// In a bipartite graph, a Part1 source's signature may only hold
+	// Part2 nodes (trivially true one-hop, asserted for completeness).
+	for _, s := range []Scheme{TopTalkers{}, UnexpectedTalkers{}, RandomWalk{C: 0.1, Hops: 3}} {
+		sig, err := ComputeOne(s, w, node(t, u, "a"), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.IsEmpty() {
+			t.Fatalf("%s produced empty signature", s.Name())
+		}
+		for _, n := range sig.Nodes {
+			if u.PartOf(n) != graph.Part2 {
+				t.Fatalf("%s leaked %v (%v) into a V1 signature", s.Name(), n, u.PartOf(n))
+			}
+		}
+	}
+}
+
+func TestSelfExclusion(t *testing.T) {
+	// General graph with a cycle: RWR mass returns to the source, but
+	// the source must never appear in its own signature.
+	u, w := testGraph(t, false)
+	b := graph.NewBuilder(u, 1)
+	for _, e := range w.Edges() {
+		if err := b.Add(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Add a back edge x → a so a is reachable from its neighbours.
+	if err := b.Add(node(t, u, "x"), node(t, u, "a"), 5); err != nil {
+		t.Fatal(err)
+	}
+	w2 := b.Build()
+	for _, s := range []Scheme{TopTalkers{}, UnexpectedTalkers{}, RandomWalk{C: 0.1, Hops: 4}, RandomWalk{C: 0.1}} {
+		sig, err := ComputeOne(s, w2, node(t, u, "a"), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.Contains(node(t, u, "a")) {
+			t.Fatalf("%s included the source in its own signature", s.Name())
+		}
+	}
+}
+
+func TestComputeSetIndex(t *testing.T) {
+	u, w := testGraph(t, true)
+	set, err := ComputeSet(TopTalkers{}, w, DefaultSources(w), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("set has %d sources", set.Len())
+	}
+	sig, ok := set.Get(node(t, u, "a"))
+	if !ok || sig.IsEmpty() {
+		t.Fatal("Get(a) failed")
+	}
+	if _, ok := set.Get(node(t, u, "x")); ok {
+		t.Fatal("Get returned a non-source")
+	}
+	if set.Scheme != "tt" || set.Window != 0 {
+		t.Fatalf("metadata wrong: %s/%d", set.Scheme, set.Window)
+	}
+}
+
+func TestDefaultSourcesGeneralGraph(t *testing.T) {
+	_, w := testGraph(t, false)
+	// Non-bipartite: all active sources (a, b, c).
+	if got := len(DefaultSources(w)); got != 3 {
+		t.Fatalf("DefaultSources = %d", got)
+	}
+}
+
+func TestNewSignatureSetValidates(t *testing.T) {
+	good := FromWeights(map[graph.NodeID]float64{1: 1}, 1)
+	if _, err := NewSignatureSet("x", 0, []graph.NodeID{5}, []Signature{good}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSignatureSet("x", 0, []graph.NodeID{5}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := Signature{Nodes: []graph.NodeID{1}, Weights: []float64{-1}}
+	if _, err := NewSignatureSet("x", 0, []graph.NodeID{5}, []Signature{bad}); err == nil {
+		t.Fatal("invalid signature accepted")
+	}
+	if _, err := NewSignatureSet("x", 0, []graph.NodeID{5, 5}, []Signature{good, good}); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"graphsig/internal/graph"
+)
+
+// Parallel wraps a scheme so that Compute splits its sources across
+// workers goroutines (0 means GOMAXPROCS). Signature schemes are
+// per-source independent — the random walk in particular dominates the
+// full-scale experiment runtime — so the wrapped scheme produces
+// bit-identical results in the original source order.
+func Parallel(s Scheme, workers int) Scheme {
+	return parallelScheme{inner: s, workers: workers}
+}
+
+type parallelScheme struct {
+	inner   Scheme
+	workers int
+}
+
+// Name implements Scheme; parallelism does not change results, so the
+// wrapped name is kept (results remain comparable/cacheable).
+func (p parallelScheme) Name() string { return p.inner.Name() }
+
+// Compute implements Scheme.
+func (p parallelScheme) Compute(w *graph.Window, sources []graph.NodeID, k int) ([]Signature, error) {
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(sources) < 2*workers {
+		return p.inner.Compute(w, sources, k)
+	}
+	out := make([]Signature, len(sources))
+	chunk := (len(sources) + workers - 1) / workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		if lo >= len(sources) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			sigs, err := p.inner.Compute(w, sources[lo:hi], k)
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			if len(sigs) != hi-lo {
+				errs[wi] = fmt.Errorf("core: parallel: inner scheme returned %d signatures for %d sources", len(sigs), hi-lo)
+				return
+			}
+			copy(out[lo:hi], sigs)
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// biggerGraph builds a graph with many sources so the parallel path
+// actually engages.
+func biggerGraph(t *testing.T) (*graph.Window, []graph.NodeID) {
+	t.Helper()
+	u := graph.NewUniverse()
+	var sources []graph.NodeID
+	for i := 0; i < 40; i++ {
+		sources = append(sources, u.MustIntern(fmt.Sprintf("s%02d", i), graph.Part1))
+	}
+	var dests []graph.NodeID
+	for i := 0; i < 60; i++ {
+		dests = append(dests, u.MustIntern(fmt.Sprintf("d%02d", i), graph.Part2))
+	}
+	b := graph.NewBuilder(u, 0)
+	for i, s := range sources {
+		for j := 0; j < 6; j++ {
+			d := dests[(i*7+j*11)%len(dests)]
+			if err := b.Add(s, d, float64(1+(i+j)%5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build(), sources
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	w, sources := biggerGraph(t)
+	for _, inner := range []Scheme{
+		TopTalkers{},
+		UnexpectedTalkers{},
+		RandomWalk{C: 0.1, Hops: 3},
+	} {
+		serial, err := inner.Compute(w, sources, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 16} {
+			par, err := Parallel(inner, workers).Compute(w, sources, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("%s/%d: length %d vs %d", inner.Name(), workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if !serial[i].Equal(par[i]) {
+					t.Fatalf("%s/%d: signature %d differs", inner.Name(), workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelName(t *testing.T) {
+	if Parallel(TopTalkers{}, 4).Name() != "tt" {
+		t.Fatal("Parallel changed the scheme name")
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	w, sources := biggerGraph(t)
+	bad := RandomWalk{C: -1}
+	if _, err := Parallel(bad, 4).Compute(w, sources, 5); err == nil {
+		t.Fatal("inner error swallowed")
+	}
+}
+
+func TestParallelFewSources(t *testing.T) {
+	w, sources := biggerGraph(t)
+	// Below the 2×workers threshold the serial path runs; results must
+	// still be correct.
+	par, err := Parallel(TopTalkers{}, 32).Compute(w, sources[:3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (TopTalkers{}).Compute(w, sources[:3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if !serial[i].Equal(par[i]) {
+			t.Fatalf("signature %d differs", i)
+		}
+	}
+}

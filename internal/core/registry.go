@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseScheme builds a Scheme from its Name()-format string:
+//
+//	tt                     Top Talkers
+//	ut                     Unexpected Talkers (1/|I(j)| scaling)
+//	ut-tfidf               Unexpected Talkers (TF-IDF scaling)
+//	rwr@C                  Random Walk with Resets, to convergence
+//	rwrH@C                 hop-bounded walk, e.g. rwr3@0.1
+//	...+dir                strictly directed walk variant
+//
+// Every Scheme in this package round-trips: ParseScheme(s.Name())
+// reconstructs an equivalent scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "tt":
+		return TopTalkers{}, nil
+	case "ut":
+		return UnexpectedTalkers{}, nil
+	case "ut-tfidf":
+		return UnexpectedTalkers{Scaling: UTTFIDF}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "rwr"); ok {
+		rw := RandomWalk{}
+		if r, dir := strings.CutSuffix(rest, "+dir"); dir {
+			rw.Directed = true
+			rest = r
+		}
+		hopStr, cStr, found := strings.Cut(rest, "@")
+		if !found {
+			return nil, fmt.Errorf("core: scheme %q: rwr needs a restart probability, e.g. rwr3@0.1", name)
+		}
+		if hopStr != "" {
+			h, err := strconv.Atoi(hopStr)
+			if err != nil || h <= 0 {
+				return nil, fmt.Errorf("core: scheme %q: bad hop bound %q", name, hopStr)
+			}
+			rw.Hops = h
+		}
+		c, err := strconv.ParseFloat(cStr, 64)
+		if err != nil || c < 0 || c > 1 {
+			return nil, fmt.Errorf("core: scheme %q: bad restart probability %q", name, cStr)
+		}
+		rw.C = c
+		return rw, nil
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// PaperSchemes returns the scheme lineup the paper's Figures 1-4 report:
+// TT, UT, and RWRʰ at c=0.1 for h ∈ {3,5,7}.
+func PaperSchemes() []Scheme {
+	return []Scheme{
+		TopTalkers{},
+		UnexpectedTalkers{},
+		RandomWalk{C: 0.1, Hops: 3},
+		RandomWalk{C: 0.1, Hops: 5},
+		RandomWalk{C: 0.1, Hops: 7},
+	}
+}
+
+// ApplicationSchemes returns the three representative schemes used in
+// the application study (§V): TT, UT, and RWR³ at c=0.1 ("the best
+// representative of the RWR schemes").
+func ApplicationSchemes() []Scheme {
+	return []Scheme{
+		TopTalkers{},
+		UnexpectedTalkers{},
+		RandomWalk{C: 0.1, Hops: 3},
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+func TestRWRValidation(t *testing.T) {
+	_, w := testGraph(t, false)
+	bad := []RandomWalk{
+		{C: -0.1},
+		{C: 1.5},
+		{C: 0.1, Hops: -1},
+		{C: 0.1, Tol: -1},
+	}
+	for _, rw := range bad {
+		if _, err := rw.Compute(w, nil, 5); err == nil {
+			t.Fatalf("accepted %+v", rw)
+		}
+	}
+	if _, err := (RandomWalk{C: 0.1}).Compute(w, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// RWR¹ with c=0 in directed mode reproduces Top Talkers exactly (the
+// identity the paper states in §III-B).
+func TestRWROneHopEqualsTT(t *testing.T) {
+	u, w := testGraph(t, true)
+	for _, src := range []string{"a", "b", "c"} {
+		v := node(t, u, src)
+		tt, err := ComputeOne(TopTalkers{}, w, v, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := ComputeOne(RandomWalk{C: 0, Hops: 1, Directed: true}, w, v, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tt.Nodes) != len(rw.Nodes) {
+			t.Fatalf("%s: lengths differ %d/%d", src, len(tt.Nodes), len(rw.Nodes))
+		}
+		for i := range tt.Nodes {
+			if tt.Nodes[i] != rw.Nodes[i] || math.Abs(tt.Weights[i]-rw.Weights[i]) > 1e-12 {
+				t.Fatalf("%s entry %d: tt (%v,%g) rwr (%v,%g)", src, i,
+					tt.Nodes[i], tt.Weights[i], rw.Nodes[i], rw.Weights[i])
+			}
+		}
+	}
+}
+
+// Probability mass is conserved by every step: the walk vector always
+// sums to 1, so signature weights are true occupancy probabilities.
+func TestRWRMassConservation(t *testing.T) {
+	u, w := testGraph(t, true)
+	wk := newWalker(w, false)
+	n := w.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[node(t, u, "a")] = 1
+	for it := 0; it < 10; it++ {
+		wk.step(cur, next, node(t, u, "a"), 0.1)
+		cur, next = next, cur
+		sum := 0.0
+		for _, p := range cur {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("iteration %d mass = %.12f", it, sum)
+		}
+	}
+}
+
+// In directed mode on a bipartite graph, external nodes dangle; the
+// dangling redirect must still conserve mass.
+func TestRWRDirectedDanglingConservation(t *testing.T) {
+	u, w := testGraph(t, true)
+	wk := newWalker(w, true)
+	n := w.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	src := node(t, u, "a")
+	cur[src] = 1
+	for it := 0; it < 6; it++ {
+		wk.step(cur, next, src, 0.1)
+		cur, next = next, cur
+		sum := 0.0
+		for _, p := range cur {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("iteration %d mass = %.12f", it, sum)
+		}
+	}
+}
+
+// The hop-bounded walk converges to the unbounded walk as h grows
+// (the paper observes RWRʰ ≈ RWR∞ for h beyond the graph diameter).
+func TestRWRHopConvergesToStationary(t *testing.T) {
+	u, w := testGraph(t, false)
+	v := node(t, u, "a")
+	inf, err := ComputeOne(RandomWalk{C: 0.1}, w, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual contraction is (1−c)ᵗ, so 300 hops sit within 1e-13 of
+	// the stationary distribution.
+	bounded, err := ComputeOne(RandomWalk{C: 0.1, Hops: 300}, w, v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Nodes) != len(bounded.Nodes) {
+		t.Fatalf("lengths differ: %d vs %d", len(inf.Nodes), len(bounded.Nodes))
+	}
+	for i := range inf.Nodes {
+		if inf.Nodes[i] != bounded.Nodes[i] {
+			t.Fatalf("entry %d nodes differ", i)
+		}
+		if math.Abs(inf.Weights[i]-bounded.Weights[i]) > 1e-6 {
+			t.Fatalf("entry %d weights %g vs %g", i, inf.Weights[i], bounded.Weights[i])
+		}
+	}
+}
+
+// At large restart probability the walk concentrates on one-hop
+// neighbours: the RWR ranking approaches TT's (paper footnote: at
+// c ≈ 0.9 RWR converges to TT).
+func TestRWRLargeCApproachesTT(t *testing.T) {
+	u, w := testGraph(t, true)
+	v := node(t, u, "a")
+	tt, err := ComputeOne(TopTalkers{}, w, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := ComputeOne(RandomWalk{C: 0.95, Hops: 7}, w, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tt.Nodes {
+		if tt.Nodes[i] != rw.Nodes[i] {
+			t.Fatalf("ranking differs at %d: %v vs %v", i, tt.Nodes, rw.Nodes)
+		}
+	}
+}
+
+// The multi-hop walk must reach beyond one hop: a destination used only
+// by a community peer appears in the 3-hop signature but not in TT's.
+func TestRWRMultiHopReach(t *testing.T) {
+	u := graph.NewUniverse()
+	for _, l := range []string{"a", "b"} {
+		u.MustIntern(l, graph.Part1)
+	}
+	for _, l := range []string{"shared", "onlyB"} {
+		u.MustIntern(l, graph.Part2)
+	}
+	b := graph.NewBuilder(u, 0)
+	a := u.MustIntern("a", graph.Part1)
+	bb := u.MustIntern("b", graph.Part1)
+	shared := u.MustIntern("shared", graph.Part2)
+	onlyB := u.MustIntern("onlyB", graph.Part2)
+	for _, e := range []graph.Edge{
+		{From: a, To: shared, Weight: 5},
+		{From: bb, To: shared, Weight: 5},
+		{From: bb, To: onlyB, Weight: 5},
+	} {
+		if err := b.Add(e.From, e.To, e.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := b.Build()
+	tt, err := ComputeOne(TopTalkers{}, w, a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Contains(onlyB) {
+		t.Fatal("TT reached a 3-hop destination")
+	}
+	rw, err := ComputeOne(RandomWalk{C: 0.1, Hops: 3}, w, a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Contains(onlyB) {
+		t.Fatalf("RWR³ missed the 3-hop destination: %v", rw)
+	}
+	if rw.Weight(shared) <= rw.Weight(onlyB) {
+		t.Fatal("direct neighbour should outweigh the 3-hop one")
+	}
+}
+
+func TestRWRName(t *testing.T) {
+	cases := []struct {
+		rw   RandomWalk
+		want string
+	}{
+		{RandomWalk{C: 0.1, Hops: 3}, "rwr3@0.1"},
+		{RandomWalk{C: 0.15}, "rwr@0.15"},
+		{RandomWalk{C: 0.1, Hops: 5, Directed: true}, "rwr5@0.1+dir"},
+	}
+	for _, c := range cases {
+		if got := c.rw.Name(); got != c.want {
+			t.Fatalf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRWRIsolatedSource(t *testing.T) {
+	u, w := testGraph(t, true)
+	iso := u.MustIntern("isolated", graph.Part1)
+	sig, err := ComputeOne(RandomWalk{C: 0.1, Hops: 3}, w, iso, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.IsEmpty() {
+		t.Fatalf("isolated node got signature %v", sig)
+	}
+}

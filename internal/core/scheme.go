@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+)
+
+// Scheme computes signatures for nodes of a communication graph window.
+// Implementations must be safe for concurrent use; per-call scratch
+// state lives in the call frame.
+type Scheme interface {
+	// Name is a short stable identifier ("tt", "ut", "rwr3@0.1", ...).
+	Name() string
+	// Compute returns one signature per source, of length at most k.
+	// For bipartite graphs, signatures of Part1 nodes contain only
+	// Part2 nodes (Definition 1's bipartite restriction); the source
+	// node itself is always excluded.
+	Compute(w *graph.Window, sources []graph.NodeID, k int) ([]Signature, error)
+}
+
+// ComputeOne computes the signature of a single node under scheme s.
+func ComputeOne(s Scheme, w *graph.Window, v graph.NodeID, k int) (Signature, error) {
+	sigs, err := s.Compute(w, []graph.NodeID{v}, k)
+	if err != nil {
+		return Signature{}, err
+	}
+	return sigs[0], nil
+}
+
+// SignatureSet holds the signatures of a set of sources in one window,
+// as produced by ComputeSet. It is the unit the evaluation and
+// application layers operate on.
+type SignatureSet struct {
+	Scheme  string
+	Window  int
+	Sources []graph.NodeID
+	Sigs    []Signature
+	index   map[graph.NodeID]int
+}
+
+// ComputeSet computes signatures for the given sources and wraps them
+// with an index for O(1) lookup by source node.
+func ComputeSet(s Scheme, w *graph.Window, sources []graph.NodeID, k int) (*SignatureSet, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: signature length k must be positive, got %d", k)
+	}
+	sigs, err := s.Compute(w, sources, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(sigs) != len(sources) {
+		return nil, fmt.Errorf("core: scheme %s returned %d signatures for %d sources", s.Name(), len(sigs), len(sources))
+	}
+	set := &SignatureSet{
+		Scheme:  s.Name(),
+		Window:  w.Index(),
+		Sources: sources,
+		Sigs:    sigs,
+		index:   make(map[graph.NodeID]int, len(sources)),
+	}
+	for i, v := range sources {
+		set.index[v] = i
+	}
+	return set, nil
+}
+
+// NewSignatureSet wraps externally produced signatures (streamed,
+// deserialized) in a SignatureSet. Each signature is validated.
+func NewSignatureSet(scheme string, window int, sources []graph.NodeID, sigs []Signature) (*SignatureSet, error) {
+	if len(sources) != len(sigs) {
+		return nil, fmt.Errorf("core: %d sources but %d signatures", len(sources), len(sigs))
+	}
+	set := &SignatureSet{
+		Scheme:  scheme,
+		Window:  window,
+		Sources: sources,
+		Sigs:    sigs,
+		index:   make(map[graph.NodeID]int, len(sources)),
+	}
+	for i, v := range sources {
+		if err := sigs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: signature of node %d: %w", v, err)
+		}
+		if _, dup := set.index[v]; dup {
+			return nil, fmt.Errorf("core: duplicate source %d", v)
+		}
+		set.index[v] = i
+	}
+	return set, nil
+}
+
+// Get returns the signature of source v.
+func (ss *SignatureSet) Get(v graph.NodeID) (Signature, bool) {
+	i, ok := ss.index[v]
+	if !ok {
+		return Signature{}, false
+	}
+	return ss.Sigs[i], true
+}
+
+// Len reports the number of sources.
+func (ss *SignatureSet) Len() int { return len(ss.Sources) }
+
+// signatureSources picks the default source set for a window: for
+// bipartite graphs the active Part1 nodes (the paper computes signatures
+// for local hosts / users), otherwise every active source.
+func signatureSources(w *graph.Window) []graph.NodeID {
+	if !w.Universe().Bipartite() {
+		return w.ActiveSources()
+	}
+	var out []graph.NodeID
+	for _, v := range w.ActiveSources() {
+		if w.Universe().PartOf(v) == graph.Part1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DefaultSources exposes the default source-selection rule.
+func DefaultSources(w *graph.Window) []graph.NodeID { return signatureSources(w) }
+
+// restrictTo reports whether candidate node u may appear in the
+// signature of source v: never v itself, and for bipartite sources only
+// opposite-part nodes.
+func restrictTo(universe *graph.Universe, v, u graph.NodeID) bool {
+	if u == v {
+		return false
+	}
+	if universe.PartOf(v) == graph.Part1 {
+		return universe.PartOf(u) == graph.Part2
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphsig/internal/graph"
+)
+
+// Signature sets serialize to a line-oriented text format so that
+// signatures computed on one machine (or at collection time) can be
+// compared later without re-reading the traffic:
+//
+//	graphsig-signatures v1
+//	scheme tt
+//	window 0
+//	node "10.0.0.1" V1
+//	...
+//	sig "10.0.0.1" 2 "198.18.0.9" 0.6 "198.18.0.4" 0.4
+//	...
+//
+// Node lines declare every referenced label with its bipartite part;
+// sig lines then reference labels. Labels are Go-quoted, so arbitrary
+// bytes are safe.
+
+const serializeHeader = "graphsig-signatures v1"
+
+// WriteSignatureSet serializes set, resolving NodeIDs through u (which
+// must be the universe the signatures were computed against).
+func WriteSignatureSet(w io.Writer, set *SignatureSet, u *graph.Universe) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, serializeHeader)
+	fmt.Fprintf(bw, "scheme %s\n", set.Scheme)
+	fmt.Fprintf(bw, "window %d\n", set.Window)
+
+	// Collect every referenced node once, in ID order.
+	referenced := map[graph.NodeID]bool{}
+	for i, v := range set.Sources {
+		referenced[v] = true
+		for _, n := range set.Sigs[i].Nodes {
+			referenced[n] = true
+		}
+	}
+	for id := 0; id < u.Size(); id++ {
+		nid := graph.NodeID(id)
+		if !referenced[nid] {
+			continue
+		}
+		fmt.Fprintf(bw, "node %q %s\n", u.Label(nid), u.PartOf(nid))
+	}
+	for i, v := range set.Sources {
+		sig := set.Sigs[i]
+		fmt.Fprintf(bw, "sig %q %d", u.Label(v), sig.Len())
+		for j := range sig.Nodes {
+			fmt.Fprintf(bw, " %q %s", u.Label(sig.Nodes[j]),
+				strconv.FormatFloat(sig.Weights[j], 'g', 17, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadSignatureSet parses a serialized set, interning labels into u
+// (pass a fresh Universe to load standalone, or the live one to
+// compare against freshly computed signatures — parts must agree).
+func ReadSignatureSet(r io.Reader, u *graph.Universe) (*SignatureSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text != "" {
+				return text, true
+			}
+		}
+		return "", false
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: signatures line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	head, ok := next()
+	if !ok || head != serializeHeader {
+		return nil, fail("bad header %q", head)
+	}
+	schemeLine, ok := next()
+	if !ok || !strings.HasPrefix(schemeLine, "scheme ") {
+		return nil, fail("missing scheme line")
+	}
+	scheme := strings.TrimPrefix(schemeLine, "scheme ")
+	windowLine, ok := next()
+	if !ok || !strings.HasPrefix(windowLine, "window ") {
+		return nil, fail("missing window line")
+	}
+	window, err := strconv.Atoi(strings.TrimPrefix(windowLine, "window "))
+	if err != nil {
+		return nil, fail("bad window index: %v", err)
+	}
+
+	var sources []graph.NodeID
+	var sigs []Signature
+	for {
+		text, ok := next()
+		if !ok {
+			break
+		}
+		fields, err := splitQuoted(text)
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fail("node line needs 3 fields, got %d", len(fields))
+			}
+			part, err := parsePart(fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if _, err := u.Intern(fields[1], part); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "sig":
+			if len(fields) < 3 {
+				return nil, fail("sig line too short")
+			}
+			src, ok := u.Lookup(fields[1])
+			if !ok {
+				return nil, fail("sig references undeclared node %q", fields[1])
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fail("bad member count %q", fields[2])
+			}
+			if len(fields) != 3+2*n {
+				return nil, fail("sig declares %d members but carries %d fields", n, len(fields)-3)
+			}
+			sig := Signature{
+				Nodes:   make([]graph.NodeID, n),
+				Weights: make([]float64, n),
+			}
+			for j := 0; j < n; j++ {
+				member, ok := u.Lookup(fields[3+2*j])
+				if !ok {
+					return nil, fail("sig references undeclared node %q", fields[3+2*j])
+				}
+				weight, err := strconv.ParseFloat(fields[4+2*j], 64)
+				if err != nil {
+					return nil, fail("bad weight %q", fields[4+2*j])
+				}
+				sig.Nodes[j] = member
+				sig.Weights[j] = weight
+			}
+			if err := sig.Validate(); err != nil {
+				return nil, fail("%v", err)
+			}
+			sources = append(sources, src)
+			sigs = append(sigs, sig)
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: signatures: %w", err)
+	}
+	return NewSignatureSet(scheme, window, sources, sigs)
+}
+
+func parsePart(s string) (graph.Part, error) {
+	switch s {
+	case "V":
+		return graph.PartNone, nil
+	case "V1":
+		return graph.Part1, nil
+	case "V2":
+		return graph.Part2, nil
+	}
+	return 0, fmt.Errorf("unknown part %q", s)
+}
+
+// splitQuoted tokenizes a line of space-separated fields where fields
+// may be Go-quoted strings.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(line)
+	for rest != "" {
+		if rest[0] == '"' {
+			// Find the closing quote, honouring escapes.
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", line)
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field: %w", err)
+			}
+			out = append(out, unq)
+			rest = strings.TrimSpace(rest[end+1:])
+			continue
+		}
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			out = append(out, rest)
+			break
+		}
+		out = append(out, rest[:sp])
+		rest = strings.TrimSpace(rest[sp+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+func serializeFixture(t *testing.T) (*graph.Universe, *SignatureSet) {
+	t.Helper()
+	u, w := testGraph(t, true)
+	set, err := ComputeSet(TopTalkers{}, w, DefaultSources(w), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, set
+}
+
+func TestSignatureSetRoundTrip(t *testing.T) {
+	u, set := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSignatureSet(&buf, set, u); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh universe.
+	fresh := graph.NewUniverse()
+	got, err := ReadSignatureSet(bytes.NewReader(buf.Bytes()), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != set.Scheme || got.Window != set.Window || got.Len() != set.Len() {
+		t.Fatalf("metadata changed: %+v", got)
+	}
+	for i, v := range set.Sources {
+		label := u.Label(v)
+		freshID, ok := fresh.Lookup(label)
+		if !ok {
+			t.Fatalf("label %q lost", label)
+		}
+		if fresh.PartOf(freshID) != u.PartOf(v) {
+			t.Fatalf("part of %q changed", label)
+		}
+		gotSig, ok := got.Get(freshID)
+		if !ok {
+			t.Fatalf("signature of %q lost", label)
+		}
+		want := set.Sigs[i]
+		if gotSig.Len() != want.Len() {
+			t.Fatalf("%q: length %d vs %d", label, gotSig.Len(), want.Len())
+		}
+		for j := range want.Nodes {
+			if fresh.Label(gotSig.Nodes[j]) != u.Label(want.Nodes[j]) {
+				t.Fatalf("%q member %d label changed", label, j)
+			}
+			if gotSig.Weights[j] != want.Weights[j] {
+				t.Fatalf("%q member %d weight %g vs %g", label, j, gotSig.Weights[j], want.Weights[j])
+			}
+		}
+	}
+}
+
+func TestSignatureSetRoundTripSharedUniverse(t *testing.T) {
+	u, set := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSignatureSet(&buf, set, u); err != nil {
+		t.Fatal(err)
+	}
+	// Reading back into the same universe keeps NodeIDs identical.
+	got, err := ReadSignatureSet(bytes.NewReader(buf.Bytes()), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range set.Sources {
+		gotSig, ok := got.Get(v)
+		if !ok || !gotSig.Equal(set.Sigs[i]) {
+			t.Fatalf("signature of %d changed through shared-universe round trip", v)
+		}
+	}
+}
+
+func TestSignatureSetQuotedLabels(t *testing.T) {
+	u := graph.NewUniverse()
+	weird := u.MustIntern(`sp ace "quote" \slash`, graph.PartNone)
+	member := u.MustIntern("member\nnewline", graph.PartNone)
+	set, err := NewSignatureSet("tt", 0, []graph.NodeID{weird},
+		[]Signature{FromWeights(map[graph.NodeID]float64{member: 0.5}, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSignatureSet(&buf, set, u); err != nil {
+		t.Fatal(err)
+	}
+	fresh := graph.NewUniverse()
+	got, err := ReadSignatureSet(bytes.NewReader(buf.Bytes()), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := fresh.Lookup(`sp ace "quote" \slash`)
+	if !ok {
+		t.Fatal("weird label lost")
+	}
+	if _, ok := got.Get(id); !ok {
+		t.Fatal("signature lost")
+	}
+}
+
+func TestReadSignatureSetRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header",
+		"graphsig-signatures v1\nwindow 0",
+		"graphsig-signatures v1\nscheme tt\nwindow x",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\"",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\" V9",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nsig \"ghost\" 0",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\" V\nsig \"a\" 2 \"a\" 0.5",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\" V\nsig \"a\" 1 \"a\" nope",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\" V\nbogus \"a\"",
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"unterminated V",
+		// Weight order violates the canonical-signature invariant.
+		"graphsig-signatures v1\nscheme tt\nwindow 0\nnode \"a\" V\nnode \"b\" V\nnode \"c\" V\nsig \"a\" 2 \"b\" 0.1 \"c\" 0.9",
+	}
+	for i, in := range cases {
+		if _, err := ReadSignatureSet(strings.NewReader(in), graph.NewUniverse()); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadSignatureSetPartConflict(t *testing.T) {
+	u, set := serializeFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSignatureSet(&buf, set, u); err != nil {
+		t.Fatal(err)
+	}
+	// A universe where label "a" already exists with a different part
+	// must refuse the file rather than silently merge.
+	conflicted := graph.NewUniverse()
+	conflicted.MustIntern("a", graph.Part2)
+	if _, err := ReadSignatureSet(bytes.NewReader(buf.Bytes()), conflicted); err == nil {
+		t.Fatal("part conflict accepted")
+	}
+}

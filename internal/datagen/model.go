@@ -1,0 +1,219 @@
+// Package datagen generates synthetic communication workloads that stand
+// in for the paper's two proprietary datasets: an enterprise network flow
+// capture (local hosts talking to external hosts) and a data-warehouse
+// query log (users accessing tables).
+//
+// The generative model reproduces the structural characteristics the
+// paper's signature schemes exploit (§III):
+//
+//   - Engagement: each individual owns a stable preference distribution
+//     over destinations; per-window edge weights are sampled from it, so
+//     heavy edges recur across windows.
+//   - Novelty: destination popularity is heavy-tailed — a few globally
+//     popular destinations (search engines, update servers, shared fact
+//     tables) receive traffic from almost everyone and are therefore
+//     non-discriminative, while one-off "novelty" destinations have
+//     in-degree 1.
+//   - Locality and transitivity: individuals belong to communities that
+//     share a destination pool, so multi-hop walks recover an
+//     individual's community even when its one-hop sample churns.
+//
+// Ground truth (which labels belong to which individual) is emitted next
+// to the data and consumed only by evaluators, never by detectors.
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/stats"
+)
+
+// profile is an individual's stable preference distribution over
+// destination indices. Weights are positive and need not be normalized;
+// samplers normalize internally.
+type profile struct {
+	dests   []int
+	weights []float64
+	// churn marks destinations subject to per-window activation: an
+	// individual's rare, personal interests come and go between
+	// windows, while popular and community destinations persist. This
+	// is the frequency↔stability correlation real communication data
+	// exhibits and the UT scheme is sensitive to.
+	churn []bool
+}
+
+// sampler builds an alias sampler over the full profile.
+func (p *profile) sampler(rng *stats.RNG) (*stats.Weighted, error) {
+	return stats.NewWeighted(rng, p.weights)
+}
+
+// windowSampler builds a sampler for one window keeping each churnable
+// destination iff active(dest) reports true. The activation predicate is
+// keyed by the hidden individual, not the label, so that one person's
+// current interests appear on all of their connection points within the
+// same window. With every churnable destination inactive the full
+// profile is used, so the sampler always has mass.
+func (p *profile) windowSampler(rng *stats.RNG, active func(dest int) bool) (*stats.Weighted, error) {
+	w := make([]float64, len(p.weights))
+	any := false
+	for i := range p.weights {
+		if p.churn[i] && !active(p.dests[i]) {
+			continue
+		}
+		w[i] = p.weights[i]
+		any = true
+	}
+	if !any {
+		copy(w, p.weights)
+	}
+	return stats.NewWeighted(rng, w)
+}
+
+// buildProfile assembles a preference distribution as a mix of three
+// pools: the global popular head, a community pool, and a personal tail,
+// with the probability mass split by the mix fractions. Within each pool
+// the member weights decay as Zipf(1) over the member's position, so
+// each individual has a few dominant destinations — the "top talkers"
+// the TT scheme keys on.
+func buildProfile(rng *stats.RNG,
+	head []int, headMass float64,
+	communityPool []int, communityPicks int, communityMass float64,
+	personal []int, personalMass float64,
+) (*profile, error) {
+	var p profile
+	add := func(members []int, mass float64, churn bool) {
+		if len(members) == 0 || mass <= 0 {
+			return
+		}
+		// Zipf(1) weights within the pool, scaled to the pool's mass.
+		total := 0.0
+		w := make([]float64, len(members))
+		for i := range members {
+			w[i] = 1 / float64(i+1)
+			total += w[i]
+		}
+		for i, m := range members {
+			p.dests = append(p.dests, m)
+			p.weights = append(p.weights, mass*w[i]/total)
+			p.churn = append(p.churn, churn)
+		}
+	}
+
+	add(head, headMass, false)
+	// Community picks are uniform over the pool: colleagues share an
+	// environment, not a ranked reading list. (Rank-biased picks would
+	// make any two same-community hosts near-twins.)
+	add(pickUniform(rng, communityPool, communityPicks), communityMass, false)
+	add(personal, personalMass, true)
+	if len(p.dests) == 0 {
+		return nil, fmt.Errorf("datagen: empty profile (all pools empty or massless)")
+	}
+	// Merge duplicate destinations (a personal pick may also sit in the
+	// community pool) by summing their mass; a destination churns only
+	// if all of its occurrences churn.
+	merged := map[int]float64{}
+	stable := map[int]bool{}
+	for i, d := range p.dests {
+		merged[d] += p.weights[i]
+		if !p.churn[i] {
+			stable[d] = true
+		}
+	}
+	p.dests = p.dests[:0]
+	p.weights = p.weights[:0]
+	p.churn = p.churn[:0]
+	keys := make([]int, 0, len(merged))
+	for d := range merged {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	for _, d := range keys {
+		p.dests = append(p.dests, d)
+		p.weights = append(p.weights, merged[d])
+		p.churn = append(p.churn, !stable[d])
+	}
+	return &p, nil
+}
+
+// pickUniform samples up to k distinct members of pool uniformly.
+func pickUniform(rng *stats.RNG, pool []int, k int) []int {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		out := make([]int, len(pool))
+		copy(out, pool)
+		return out
+	}
+	perm := rng.Perm(len(pool))[:k]
+	sort.Ints(perm)
+	out := make([]int, k)
+	for i, p := range perm {
+		out[i] = pool[p]
+	}
+	return out
+}
+
+// pickDistinct samples up to k distinct members of pool with
+// probability decaying in pool rank, so pool heads appear in most
+// profiles (used for the globally popular head).
+func pickDistinct(rng *stats.RNG, pool []int, k int) []int {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		out := make([]int, len(pool))
+		copy(out, pool)
+		return out
+	}
+	// Sample positions with probability decaying in rank, so the pool's
+	// most popular members appear in most profiles.
+	weights := make([]float64, len(pool))
+	for i := range pool {
+		weights[i] = 1 / float64(i+1)
+	}
+	w, err := stats.NewWeighted(rng, weights)
+	if err != nil {
+		// Unreachable: weights are fixed positives.
+		panic(err)
+	}
+	pos := w.SampleDistinct(k)
+	sort.Ints(pos)
+	out := make([]int, len(pos))
+	for i, p := range pos {
+		out[i] = pool[p]
+	}
+	return out
+}
+
+// Individual ties a hidden individual to the node labels it controls.
+// Most individuals control one label; multiusage individuals control
+// several (multiple connection points in the paper's terms).
+type Individual struct {
+	// ID is the hidden individual identity (never visible to detectors).
+	ID string
+	// Labels are the observable node labels this individual uses.
+	Labels []string
+}
+
+// Truth is the generator's ground truth: the mapping from hidden
+// individuals to observable labels, used only for evaluation.
+type Truth struct {
+	Individuals []Individual
+}
+
+// MultiusageSets returns, for each individual controlling more than one
+// label, the set of its labels — the S_u sets of the paper's §V
+// multiusage evaluation.
+func (t *Truth) MultiusageSets() [][]string {
+	var out [][]string
+	for _, ind := range t.Individuals {
+		if len(ind.Labels) > 1 {
+			cp := make([]string, len(ind.Labels))
+			copy(cp, ind.Labels)
+			out = append(out, cp)
+		}
+	}
+	return out
+}

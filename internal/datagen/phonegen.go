@@ -1,0 +1,226 @@
+package datagen
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/stats"
+)
+
+// TelephoneConfig parameterizes a synthetic call graph — the paper's
+// original motivating setting (Communities of Interest, repetitive
+// debtors). Unlike the enterprise data this graph is *general*: every
+// node is a subscriber or business that can both place and receive
+// calls, so random walks traverse real cycles.
+type TelephoneConfig struct {
+	Seed int64
+
+	// Subscribers is the number of personal lines.
+	Subscribers int
+	// Businesses is the number of high-in-degree service numbers
+	// (directory assistance, banks, pizza): the telephone analogue of
+	// the flow data's popular head.
+	Businesses int
+	// Communities is the number of social circles.
+	Communities int
+	// Windows is the number of aggregation windows.
+	Windows int
+
+	// CirclePicks is how many community members a subscriber calls
+	// routinely; GlobalFriends adds long-range contacts outside the
+	// community; BusinessPicks adds service numbers.
+	CirclePicks   int
+	GlobalFriends int
+	BusinessPicks int
+
+	// CircleMass / FriendMass / BusinessMass split the calling
+	// probability.
+	CircleMass   float64
+	FriendMass   float64
+	BusinessMass float64
+
+	// MeanCalls is the mean calls per subscriber per window.
+	MeanCalls float64
+	// WrongNumber is the probability of a one-off call to a uniformly
+	// random line.
+	WrongNumber float64
+	// FriendActive is the per-window activation probability of
+	// long-range friends (people call their core circle every window,
+	// distant friends sporadically).
+	FriendActive float64
+}
+
+// DefaultTelephoneConfig sizes a laptop-scale call graph.
+func DefaultTelephoneConfig(seed int64) TelephoneConfig {
+	return TelephoneConfig{
+		Seed:          seed,
+		Subscribers:   1500,
+		Businesses:    30,
+		Communities:   60,
+		Windows:       4,
+		CirclePicks:   7,
+		GlobalFriends: 4,
+		BusinessPicks: 2,
+		CircleMass:    0.55,
+		FriendMass:    0.25,
+		BusinessMass:  0.20,
+		MeanCalls:     35,
+		WrongNumber:   0.06,
+		FriendActive:  0.5,
+	}
+}
+
+func (c *TelephoneConfig) validate() error {
+	switch {
+	case c.Subscribers <= 1:
+		return fmt.Errorf("datagen: Subscribers must exceed 1")
+	case c.Businesses < 0:
+		return fmt.Errorf("datagen: Businesses must be non-negative")
+	case c.Communities <= 0 || c.Communities > c.Subscribers:
+		return fmt.Errorf("datagen: Communities must be in [1, Subscribers]")
+	case c.Windows <= 0:
+		return fmt.Errorf("datagen: Windows must be positive")
+	case c.MeanCalls <= 0:
+		return fmt.Errorf("datagen: MeanCalls must be positive")
+	case c.WrongNumber < 0 || c.WrongNumber >= 1:
+		return fmt.Errorf("datagen: WrongNumber must be in [0,1)")
+	case c.FriendActive <= 0 || c.FriendActive > 1:
+		return fmt.Errorf("datagen: FriendActive must be in (0,1]")
+	}
+	return nil
+}
+
+// TelephoneData is the generated call workload.
+type TelephoneData struct {
+	Config   TelephoneConfig
+	Universe *graph.Universe
+	Windows  []*graph.Window
+	Truth    Truth
+}
+
+// SubscriberLabel names subscriber i as a phone number.
+func SubscriberLabel(i int) string { return fmt.Sprintf("+1555%07d", i) }
+
+// BusinessLabel names business j.
+func BusinessLabel(j int) string { return fmt.Sprintf("+1800%07d", j) }
+
+// GenerateTelephone produces the synthetic call graph windows. All
+// nodes are PartNone: the graph is general, and signatures may contain
+// any other node.
+func GenerateTelephone(cfg TelephoneConfig) (*TelephoneData, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRNG(cfg.Seed)
+
+	u := graph.NewUniverse()
+	for i := 0; i < cfg.Subscribers; i++ {
+		u.MustIntern(SubscriberLabel(i), graph.PartNone)
+	}
+	for j := 0; j < cfg.Businesses; j++ {
+		u.MustIntern(BusinessLabel(j), graph.PartNone)
+	}
+	// Destination index space: subscribers [0, S), businesses [S, S+B).
+	businessBase := cfg.Subscribers
+
+	// Business popularity decays Zipf: 411 gets called far more than
+	// the 30th service line.
+	businesses := make([]int, cfg.Businesses)
+	for j := range businesses {
+		businesses[j] = businessBase + j
+	}
+
+	// Communities partition subscribers round-robin.
+	community := func(i int) int { return i % cfg.Communities }
+	members := make([][]int, cfg.Communities)
+	for i := 0; i < cfg.Subscribers; i++ {
+		c := community(i)
+		members[c] = append(members[c], i)
+	}
+
+	profiles := make([]*profile, cfg.Subscribers)
+	truth := Truth{}
+	for i := 0; i < cfg.Subscribers; i++ {
+		r := root.SplitN("subscriber", i)
+		circle := pickUniformExcluding(r, members[community(i)], cfg.CirclePicks, i)
+		friends := make([]int, 0, cfg.GlobalFriends)
+		for len(friends) < cfg.GlobalFriends {
+			f := r.Intn(cfg.Subscribers)
+			if f != i && !intsContain(friends, f) {
+				friends = append(friends, f)
+			}
+		}
+		p, err := buildProfile(r,
+			pickDistinct(r, businesses, cfg.BusinessPicks), cfg.BusinessMass,
+			circle, len(circle), cfg.CircleMass,
+			friends, cfg.FriendMass)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: subscriber %d: %w", i, err)
+		}
+		profiles[i] = p
+		truth.Individuals = append(truth.Individuals, Individual{
+			ID:     fmt.Sprintf("subscriber-%05d", i),
+			Labels: []string{SubscriberLabel(i)},
+		})
+	}
+
+	windows := make([]*graph.Window, cfg.Windows)
+	for w := 0; w < cfg.Windows; w++ {
+		b := graph.NewBuilder(u, w)
+		for i := 0; i < cfg.Subscribers; i++ {
+			r := root.SplitN(fmt.Sprintf("w%d-calls", w), i)
+			active := func(dest int) bool {
+				return root.SplitN(fmt.Sprintf("w%d-act-%d", w, i), dest).
+					Bernoulli(cfg.FriendActive)
+			}
+			sampler, err := profiles[i].windowSampler(r, active)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: subscriber %d window %d: %w", i, w, err)
+			}
+			n := r.Poisson(cfg.MeanCalls)
+			src := graph.NodeID(i)
+			for call := 0; call < n; call++ {
+				var dest int
+				if r.Bernoulli(cfg.WrongNumber) {
+					dest = r.Intn(cfg.Subscribers)
+				} else {
+					dest = profiles[i].dests[sampler.Sample()]
+				}
+				if dest == i {
+					continue
+				}
+				if err := b.Add(src, graph.NodeID(dest), 1); err != nil {
+					return nil, fmt.Errorf("datagen: call %d->%d: %w", i, dest, err)
+				}
+			}
+		}
+		windows[w] = b.Build()
+	}
+	return &TelephoneData{
+		Config:   cfg,
+		Universe: u,
+		Windows:  windows,
+		Truth:    truth,
+	}, nil
+}
+
+// pickUniformExcluding samples up to k distinct pool members, never
+// returning exclude.
+func pickUniformExcluding(rng *stats.RNG, pool []int, k int, exclude int) []int {
+	filtered := make([]int, 0, len(pool))
+	for _, m := range pool {
+		if m != exclude {
+			filtered = append(filtered, m)
+		}
+	}
+	return pickUniform(rng, filtered, k)
+}
+
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

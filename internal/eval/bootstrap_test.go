@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"testing"
+
+	"graphsig/internal/stats"
+)
+
+// pairedQueries builds n paired queries where scheme A places the
+// positive at rank rA (of 10 candidates) and scheme B at rank rB, with
+// rank noise per query.
+func pairedQueries(n int, winProbA float64, seed int64) (a, b []Query) {
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		mk := func(posRank int) Query {
+			q := Query{Scores: make([]float64, 10), Positive: make([]bool, 10)}
+			for j := range q.Scores {
+				q.Scores[j] = float64(j) / 10
+			}
+			q.Positive[posRank] = true
+			return q
+		}
+		rankA, rankB := 2, 2
+		if rng.Bernoulli(winProbA) {
+			rankA = 0
+		} else {
+			rankB = 0
+		}
+		a = append(a, mk(rankA))
+		b = append(b, mk(rankB))
+	}
+	return a, b
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	a, b := pairedQueries(10, 0.5, 1)
+	if _, err := BootstrapAUCDiff(a, b[:5], 100, 0.95, 1); err == nil {
+		t.Fatal("unpaired inputs accepted")
+	}
+	if _, err := BootstrapAUCDiff(nil, nil, 100, 0.95, 1); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	if _, err := BootstrapAUCDiff(a, b, 5, 0.95, 1); err == nil {
+		t.Fatal("too few iterations accepted")
+	}
+	if _, err := BootstrapAUCDiff(a, b, 100, 1.0, 1); err == nil {
+		t.Fatal("confidence 1.0 accepted")
+	}
+}
+
+func TestBootstrapDetectsClearWinner(t *testing.T) {
+	// A wins 90% of queries: the interval must exclude zero on the
+	// positive side.
+	a, b := pairedQueries(200, 0.9, 7)
+	d, err := BootstrapAUCDiff(a, b, 1000, 0.95, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean <= 0 {
+		t.Fatalf("mean diff %g not positive", d.Mean)
+	}
+	if !d.Significant() || d.Lo <= 0 {
+		t.Fatalf("clear winner not significant: %s", d)
+	}
+	if d.Queries != 200 {
+		t.Fatalf("Queries = %d", d.Queries)
+	}
+	if d.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestBootstrapNullCoversZero(t *testing.T) {
+	// A wins exactly as often as B: the interval should cover zero.
+	a, b := pairedQueries(200, 0.5, 11)
+	d, err := BootstrapAUCDiff(a, b, 1000, 0.95, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Significant() {
+		t.Fatalf("null case flagged significant: %s", d)
+	}
+}
+
+func TestBootstrapDeterminism(t *testing.T) {
+	a, b := pairedQueries(50, 0.7, 13)
+	d1, err := BootstrapAUCDiff(a, b, 500, 0.9, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := BootstrapAUCDiff(a, b, 500, 0.9, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("same seed produced different intervals")
+	}
+}

@@ -1,0 +1,197 @@
+package eval
+
+import (
+	"fmt"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/stats"
+)
+
+// Persistence computes 1 − Dist(σ_t(v), σ_{t+1}(v)) for every source
+// present in both sets (§II-C). Sources missing from either set are
+// skipped: a label absent from a window has no signature to compare.
+func Persistence(d core.Distance, at, next *core.SignatureSet) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64)
+	for i, v := range at.Sources {
+		sig2, ok := next.Get(v)
+		if !ok {
+			continue
+		}
+		out[v] = 1 - d.Dist(at.Sigs[i], sig2)
+	}
+	return out
+}
+
+// PersistenceSummary summarizes per-node persistence as the paper's
+// (μ_p, s_p) ellipse axis.
+func PersistenceSummary(d core.Distance, at, next *core.SignatureSet) stats.Summary {
+	var acc stats.Accumulator
+	for _, p := range Persistence(d, at, next) {
+		acc.Add(p)
+	}
+	return acc.Summarize()
+}
+
+// UniquenessSummary summarizes Dist(σ_t(v), σ_t(u)) over ordered pairs
+// v ≠ u of sources within one window as the paper's (μ_u, s_u) ellipse
+// axis. For large source sets the pair count is quadratic; maxPairs > 0
+// caps the work by deterministic uniform pair sampling (0 = exact).
+func UniquenessSummary(d core.Distance, set *core.SignatureSet, maxPairs int, seed int64) stats.Summary {
+	n := set.Len()
+	var acc stats.Accumulator
+	if n < 2 {
+		return acc.Summarize()
+	}
+	total := n * (n - 1)
+	if maxPairs <= 0 || total <= maxPairs {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+			}
+		}
+		return acc.Summarize()
+	}
+	rng := stats.NewRNG(seed)
+	for p := 0; p < maxPairs; p++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n - 1)
+		if j >= i {
+			j++
+		}
+		acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+	}
+	return acc.Summarize()
+}
+
+// Robustness computes 1 − Dist(σ(v), σ̂(v)) per source, where hat is the
+// signature set computed from a perturbed graph (§II-C, §IV-C).
+func Robustness(d core.Distance, clean, perturbed *core.SignatureSet) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64)
+	for i, v := range clean.Sources {
+		sig2, ok := perturbed.Get(v)
+		if !ok {
+			continue
+		}
+		out[v] = 1 - d.Dist(clean.Sigs[i], sig2)
+	}
+	return out
+}
+
+// RobustnessSummary summarizes per-node robustness.
+func RobustnessSummary(d core.Distance, clean, perturbed *core.SignatureSet) stats.Summary {
+	var acc stats.Accumulator
+	for _, r := range Robustness(d, clean, perturbed) {
+		acc.Add(r)
+	}
+	return acc.Summarize()
+}
+
+// Ellipse is one point of Figure 1: the span of persistence and
+// uniqueness values of a (scheme, distance, window) combination,
+// centered at the means with the standard deviations as diameters.
+type Ellipse struct {
+	Scheme      string
+	Distance    string
+	Persistence stats.Summary
+	Uniqueness  stats.Summary
+}
+
+// String renders "scheme/distance: P=μ±s U=μ±s".
+func (e Ellipse) String() string {
+	return fmt.Sprintf("%s/%s: P=%.4f±%.4f U=%.4f±%.4f",
+		e.Scheme, e.Distance,
+		e.Persistence.Mean, e.Persistence.StdDev,
+		e.Uniqueness.Mean, e.Uniqueness.StdDev)
+}
+
+// EllipseFor computes the Figure 1 ellipse for one scheme and distance
+// across a window pair.
+func EllipseFor(d core.Distance, at, next *core.SignatureSet, maxPairs int, seed int64) Ellipse {
+	return Ellipse{
+		Scheme:      at.Scheme,
+		Distance:    d.Name(),
+		Persistence: PersistenceSummary(d, at, next),
+		Uniqueness:  UniquenessSummary(d, at, maxPairs, seed),
+	}
+}
+
+// SelfRetrievalQueries builds the §IV-C ROC queries: for each source v
+// present in both sets, candidates are the sources of next scored by
+// Dist(σ_t(v), σ_{t+1}(u)); v itself is the positive. Sources absent
+// from either window are skipped.
+func SelfRetrievalQueries(d core.Distance, at, next *core.SignatureSet) []Query {
+	var queries []Query
+	for i, v := range at.Sources {
+		if _, ok := next.Get(v); !ok {
+			continue
+		}
+		q := Query{
+			Scores:   make([]float64, next.Len()),
+			Positive: make([]bool, next.Len()),
+		}
+		for j, u := range next.Sources {
+			q.Scores[j] = d.Dist(at.Sigs[i], next.Sigs[j])
+			q.Positive[j] = u == v
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// SelfRetrievalAUC is the Figure 3 statistic: mean per-node AUC of the
+// self-retrieval queries.
+func SelfRetrievalAUC(d core.Distance, at, next *core.SignatureSet) (float64, error) {
+	queries := SelfRetrievalQueries(d, at, next)
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: no sources present in both windows")
+	}
+	return MeanAUC(queries)
+}
+
+// SetRetrievalQueries builds the §V multiusage ROC queries: for each
+// query node v belonging to some ground-truth set S, candidates are all
+// other sources in the same window, positives are the other members of
+// S. (The paper ranks all of V including v itself; ranking the query
+// against itself is a guaranteed hit at distance zero, so we exclude it
+// — a strictly harder and more informative variant.)
+func SetRetrievalQueries(d core.Distance, set *core.SignatureSet, groups [][]graph.NodeID) []Query {
+	member := map[graph.NodeID]int{}
+	for gi, g := range groups {
+		for _, v := range g {
+			member[v] = gi
+		}
+	}
+	var queries []Query
+	for i, v := range set.Sources {
+		gi, ok := member[v]
+		if !ok {
+			continue
+		}
+		// The group needs at least one other member with a signature.
+		positives := 0
+		q := Query{
+			Scores:   make([]float64, 0, set.Len()-1),
+			Positive: make([]bool, 0, set.Len()-1),
+		}
+		for j, u := range set.Sources {
+			if u == v {
+				continue
+			}
+			q.Scores = append(q.Scores, d.Dist(set.Sigs[i], set.Sigs[j]))
+			pos := false
+			if gj, ok := member[u]; ok && gj == gi {
+				pos = true
+				positives++
+			}
+			q.Positive = append(q.Positive, pos)
+		}
+		if positives > 0 {
+			queries = append(queries, q)
+		}
+	}
+	return queries
+}

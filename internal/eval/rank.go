@@ -1,0 +1,127 @@
+package eval
+
+import "fmt"
+
+// MRR computes the mean reciprocal rank of the first positive across
+// queries: 1 when the true match always ranks first, 1/2 when it is
+// typically second, and so on. Tied scores share the mid-rank, so a
+// positive tied with one negative at the top contributes 1/1.5. MRR
+// complements AUC for identification tasks (de-anonymization,
+// masquerade pairing), where only the top of the ranking matters.
+func MRR(queries []Query) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: MRR over zero queries")
+	}
+	sum := 0.0
+	for i := range queries {
+		rr, err := reciprocalRank(&queries[i])
+		if err != nil {
+			return 0, fmt.Errorf("eval: query %d: %w", i, err)
+		}
+		sum += rr
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// PrecisionAtK reports the mean fraction of the top-k candidates (by
+// ascending score, ties sharing proportional credit) that are positive.
+func PrecisionAtK(queries []Query, k int) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: PrecisionAtK over zero queries")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: PrecisionAtK needs k > 0, got %d", k)
+	}
+	sum := 0.0
+	for qi := range queries {
+		q := &queries[qi]
+		if err := q.Validate(); err != nil {
+			return 0, fmt.Errorf("eval: query %d: %w", qi, err)
+		}
+		credit, _ := topKCredit(q, k)
+		sum += credit / float64(k)
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// topKCredit returns the expected number of positives among the top k
+// under the random-tie-order convention.
+func topKCredit(q *Query, k int) (float64, int) {
+	all := make([]scoredCand, len(q.Scores))
+	for i := range q.Scores {
+		all[i] = scoredCand{q.Scores[i], q.Positive[i]}
+	}
+	sortScores(all)
+	credit := 0.0
+	taken := 0
+	i := 0
+	for i < len(all) && taken < k {
+		j := i
+		tiePos := 0
+		for j < len(all) && all[j].s == all[i].s {
+			if all[j].pos {
+				tiePos++
+			}
+			j++
+		}
+		groupSize := j - i
+		slots := k - taken
+		if groupSize <= slots {
+			credit += float64(tiePos)
+			taken += groupSize
+		} else {
+			// Partial group: positives fill slots proportionally.
+			credit += float64(tiePos) * float64(slots) / float64(groupSize)
+			taken = k
+		}
+		i = j
+	}
+	return credit, taken
+}
+
+func reciprocalRank(q *Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	bestScore := 0.0
+	havePos := false
+	for i, s := range q.Scores {
+		if q.Positive[i] && (!havePos || s < bestScore) {
+			bestScore = s
+			havePos = true
+		}
+	}
+	// Rank of the best positive: 1 + strictly better + half of the
+	// other candidates tied with it.
+	better := 0
+	ties := 0
+	for i, s := range q.Scores {
+		if q.Positive[i] && s == bestScore {
+			continue
+		}
+		if s < bestScore {
+			better++
+		} else if s == bestScore {
+			ties++
+		}
+	}
+	rank := 1 + float64(better) + float64(ties)/2
+	return 1 / rank, nil
+}
+
+// scoredCand pairs a candidate's score with its relevance during
+// rank-metric computation.
+type scoredCand struct {
+	s   float64
+	pos bool
+}
+
+func sortScores(all []scoredCand) {
+	// Insertion sort suffices: candidate lists here are modest, and the
+	// function keeps the tie-group walk below allocation-free.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].s < all[j-1].s; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMRRHandCases(t *testing.T) {
+	cases := []struct {
+		scores   []float64
+		positive []bool
+		want     float64
+	}{
+		// Positive first.
+		{[]float64{0.1, 0.5, 0.9}, []bool{true, false, false}, 1},
+		// Positive second.
+		{[]float64{0.5, 0.1, 0.9}, []bool{true, false, false}, 0.5},
+		// Positive last of three.
+		{[]float64{0.9, 0.1, 0.5}, []bool{true, false, false}, 1.0 / 3},
+		// Two positives: the better one (0.5, outranked by negatives
+		// 0.1 and 0.4) counts — rank 3.
+		{[]float64{0.5, 0.1, 0.9, 0.4}, []bool{true, false, true, false}, 1.0 / 3},
+		// Tie with one negative at the top: mid-rank 1.5.
+		{[]float64{0.1, 0.1, 0.9}, []bool{true, false, false}, 1 / 1.5},
+	}
+	for i, c := range cases {
+		got, err := MRR([]Query{{Scores: c.scores, Positive: c.positive}})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("case %d MRR = %g, want %g", i, got, c.want)
+		}
+	}
+	if _, err := MRR(nil); err == nil {
+		t.Fatal("MRR of nothing succeeded")
+	}
+}
+
+func TestMRRAveraging(t *testing.T) {
+	queries := []Query{
+		{Scores: []float64{0.1, 0.9}, Positive: []bool{true, false}}, // rr 1
+		{Scores: []float64{0.9, 0.1}, Positive: []bool{true, false}}, // rr 1/2
+	}
+	got, err := MRR(queries)
+	if err != nil || math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("MRR = %g, %v", got, err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	q := Query{
+		Scores:   []float64{0.1, 0.2, 0.3, 0.4, 0.5},
+		Positive: []bool{true, false, true, false, false},
+	}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1},       // top-1 is positive
+		{2, 0.5},     // one of top-2
+		{3, 2.0 / 3}, // two of top-3
+		{5, 2.0 / 5}, // both of five
+	}
+	for _, c := range cases {
+		got, err := PrecisionAtK([]Query{q}, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P@%d = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if _, err := PrecisionAtK([]Query{q}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PrecisionAtK(nil, 1); err == nil {
+		t.Fatal("empty queries accepted")
+	}
+}
+
+func TestPrecisionAtKTies(t *testing.T) {
+	// Three candidates tied at the top, one of them positive, k=1:
+	// proportional credit 1/3.
+	q := Query{
+		Scores:   []float64{0.1, 0.1, 0.1, 0.9},
+		Positive: []bool{true, false, false, false},
+	}
+	got, err := PrecisionAtK([]Query{q}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("P@1 with ties = %g, want 1/3", got)
+	}
+}

@@ -1,0 +1,225 @@
+// Package eval measures signature schemes against the paper's three
+// properties — persistence, uniqueness, robustness (§II-C) — and
+// implements the ROC/AUC machinery of §IV-C used to capture the
+// persistence/uniqueness trade-off in one statistic.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Query is one ranked-retrieval evaluation: candidates scored by
+// distance (lower ranks higher) with known relevance.
+type Query struct {
+	// Scores[i] is the distance of candidate i from the query signature.
+	Scores []float64
+	// Positive[i] marks candidate i as a true match.
+	Positive []bool
+}
+
+// Validate reports structural problems with the query.
+func (q *Query) Validate() error {
+	if len(q.Scores) != len(q.Positive) {
+		return fmt.Errorf("eval: query has %d scores but %d labels", len(q.Scores), len(q.Positive))
+	}
+	pos, neg := 0, 0
+	for i, s := range q.Scores {
+		if math.IsNaN(s) {
+			return fmt.Errorf("eval: query score %d is NaN", i)
+		}
+		if q.Positive[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 {
+		return fmt.Errorf("eval: query has no positive candidate")
+	}
+	if neg == 0 {
+		return fmt.Errorf("eval: query has no negative candidate")
+	}
+	return nil
+}
+
+// AUC computes the area under the ROC curve for one query by the
+// Mann-Whitney U statistic: the probability that a random positive
+// scores strictly below a random negative, counting ties as ½. This is
+// exactly the area traced by the paper's up/right ROC walk with the
+// mid-rank convention for tied distances.
+func (q *Query) AUC() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	type sc struct {
+		s   float64
+		pos bool
+	}
+	all := make([]sc, len(q.Scores))
+	for i := range q.Scores {
+		all[i] = sc{q.Scores[i], q.Positive[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+
+	var u float64 // number of (positive, negative) pairs won (+½ per tie)
+	var pos, neg int
+	i := 0
+	negSeen := 0
+	for i < len(all) {
+		j := i
+		tiePos, tieNeg := 0, 0
+		for j < len(all) && all[j].s == all[i].s {
+			if all[j].pos {
+				tiePos++
+			} else {
+				tieNeg++
+			}
+			j++
+		}
+		// Positives in this tie group beat every negative after the
+		// group and draw with negatives inside it.
+		negAfter := 0
+		for k := j; k < len(all); k++ {
+			if !all[k].pos {
+				negAfter++
+			}
+		}
+		u += float64(tiePos) * (float64(negAfter) + 0.5*float64(tieNeg))
+		pos += tiePos
+		neg += tieNeg
+		negSeen += tieNeg
+		i = j
+	}
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// MeanAUC averages per-query AUC values, the statistic Figures 3 and 4
+// report.
+func MeanAUC(queries []Query) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: MeanAUC over zero queries")
+	}
+	sum := 0.0
+	for i := range queries {
+		a, err := queries[i].AUC()
+		if err != nil {
+			return 0, fmt.Errorf("eval: query %d: %w", i, err)
+		}
+		sum += a
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// Curve is an ROC curve sampled at monotone (FPR, TPR) points starting
+// at (0,0) and ending at (1,1).
+type Curve struct {
+	FPR []float64
+	TPR []float64
+}
+
+// AverageROC averages the ROC curves of several queries on a uniform
+// FPR grid with the given number of points (vertical averaging), the
+// way Figures 2 and 5 aggregate per-node curves.
+func AverageROC(queries []Query, points int) (Curve, error) {
+	if points < 2 {
+		return Curve{}, fmt.Errorf("eval: AverageROC needs at least 2 grid points")
+	}
+	if len(queries) == 0 {
+		return Curve{}, fmt.Errorf("eval: AverageROC over zero queries")
+	}
+	grid := make([]float64, points)
+	tpr := make([]float64, points)
+	for i := range grid {
+		grid[i] = float64(i) / float64(points-1)
+	}
+	for qi := range queries {
+		q := &queries[qi]
+		if err := q.Validate(); err != nil {
+			return Curve{}, fmt.Errorf("eval: query %d: %w", qi, err)
+		}
+		fpr, t := rocPoints(q)
+		for i := range grid {
+			tpr[i] += interpROC(fpr, t, grid[i])
+		}
+	}
+	for i := range tpr {
+		tpr[i] /= float64(len(queries))
+	}
+	return Curve{FPR: grid, TPR: tpr}, nil
+}
+
+// rocPoints walks the ranked list emitting one point per tie group,
+// sharing a tie group's positives and negatives along the diagonal of
+// the group (the mid-rank convention).
+func rocPoints(q *Query) (fpr, tpr []float64) {
+	type sc struct {
+		s   float64
+		pos bool
+	}
+	all := make([]sc, len(q.Scores))
+	nPos, nNeg := 0, 0
+	for i := range q.Scores {
+		all[i] = sc{q.Scores[i], q.Positive[i]}
+		if q.Positive[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	fpr = []float64{0}
+	tpr = []float64{0}
+	seenPos, seenNeg := 0, 0
+	i := 0
+	for i < len(all) {
+		j := i
+		tiePos, tieNeg := 0, 0
+		for j < len(all) && all[j].s == all[i].s {
+			if all[j].pos {
+				tiePos++
+			} else {
+				tieNeg++
+			}
+			j++
+		}
+		seenPos += tiePos
+		seenNeg += tieNeg
+		fpr = append(fpr, float64(seenNeg)/float64(nNeg))
+		tpr = append(tpr, float64(seenPos)/float64(nPos))
+		i = j
+	}
+	return fpr, tpr
+}
+
+// interpROC evaluates the piecewise-linear curve at x. Where the curve
+// is vertical (several points share one FPR), the topmost TPR applies:
+// that is the best recall achievable at exactly that false-positive
+// rate.
+func interpROC(fpr, tpr []float64, x float64) float64 {
+	// Largest index whose FPR is ≤ x.
+	last := 0
+	for i := range fpr {
+		if fpr[i] <= x {
+			last = i
+		} else {
+			break
+		}
+	}
+	if fpr[last] == x || last == len(fpr)-1 {
+		return tpr[last]
+	}
+	frac := (x - fpr[last]) / (fpr[last+1] - fpr[last])
+	return tpr[last] + frac*(tpr[last+1]-tpr[last])
+}
+
+// AUC computes the area under this curve by the trapezoid rule; useful
+// for averaged curves (per-query AUC should use Query.AUC).
+func (c Curve) AUC() float64 {
+	area := 0.0
+	for i := 1; i < len(c.FPR); i++ {
+		area += (c.FPR[i] - c.FPR[i-1]) * (c.TPR[i] + c.TPR[i-1]) / 2
+	}
+	return area
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryValidate(t *testing.T) {
+	bad := []Query{
+		{Scores: []float64{1}, Positive: []bool{true, false}},
+		{Scores: []float64{1, 2}, Positive: []bool{false, false}},
+		{Scores: []float64{1, 2}, Positive: []bool{true, true}},
+		{Scores: []float64{math.NaN(), 2}, Positive: []bool{true, false}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+	good := Query{Scores: []float64{0.1, 0.9}, Positive: []bool{true, false}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCHandCases(t *testing.T) {
+	cases := []struct {
+		scores   []float64
+		positive []bool
+		want     float64
+	}{
+		// Perfect: positive scores lowest.
+		{[]float64{0.1, 0.5, 0.9}, []bool{true, false, false}, 1},
+		// Worst: positive scores highest.
+		{[]float64{0.9, 0.5, 0.1}, []bool{true, false, false}, 0},
+		// All tied: AUC ½.
+		{[]float64{0.5, 0.5, 0.5}, []bool{true, false, false}, 0.5},
+		// Positive beats one of two negatives.
+		{[]float64{0.5, 0.1, 0.9}, []bool{true, false, false}, 0.5},
+		// Two positives, middle split.
+		{[]float64{0.1, 0.2, 0.3, 0.4}, []bool{true, false, true, false}, 0.75},
+		// Tie with one negative only.
+		{[]float64{0.5, 0.5, 0.9}, []bool{true, false, false}, 0.75},
+	}
+	for i, c := range cases {
+		q := Query{Scores: c.scores, Positive: c.positive}
+		got, err := q.AUC()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("case %d AUC = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform of
+// the scores, and flipping score order complements it.
+func TestAUCProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		positive := make([]bool, len(raw))
+		nPos := 0
+		for i, b := range raw {
+			scores[i] = float64(b % 50)
+			positive[i] = b%3 == 0
+			if positive[i] {
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == len(raw) {
+			return true
+		}
+		q := Query{Scores: scores, Positive: positive}
+		base, err := q.AUC()
+		if err != nil {
+			return false
+		}
+		if base < 0 || base > 1 {
+			return false
+		}
+		// Monotone transform.
+		trans := make([]float64, len(scores))
+		for i, s := range scores {
+			trans[i] = math.Exp(s/10) + 3
+		}
+		tq := Query{Scores: trans, Positive: positive}
+		tAUC, err := tq.AUC()
+		if err != nil || math.Abs(tAUC-base) > 1e-9 {
+			return false
+		}
+		// Negated scores complement the AUC.
+		neg := make([]float64, len(scores))
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		nq := Query{Scores: neg, Positive: positive}
+		nAUC, err := nq.AUC()
+		return err == nil && math.Abs(nAUC-(1-base)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAUC(t *testing.T) {
+	queries := []Query{
+		{Scores: []float64{0.1, 0.9}, Positive: []bool{true, false}}, // 1
+		{Scores: []float64{0.9, 0.1}, Positive: []bool{true, false}}, // 0
+	}
+	got, err := MeanAUC(queries)
+	if err != nil || got != 0.5 {
+		t.Fatalf("MeanAUC = %g, %v", got, err)
+	}
+	if _, err := MeanAUC(nil); err == nil {
+		t.Fatal("MeanAUC of nothing succeeded")
+	}
+}
+
+func TestAverageROC(t *testing.T) {
+	queries := []Query{
+		{Scores: []float64{0.1, 0.5, 0.9}, Positive: []bool{true, false, false}},
+	}
+	curve, err := AverageROC(queries, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.FPR) != 11 || curve.FPR[0] != 0 || curve.FPR[10] != 1 {
+		t.Fatalf("grid wrong: %v", curve.FPR)
+	}
+	// Perfect query: TPR hits 1 at FPR 0.
+	if curve.TPR[0] != 1 {
+		t.Fatalf("TPR at 0 = %g", curve.TPR[0])
+	}
+	if auc := curve.AUC(); auc != 1 {
+		t.Fatalf("curve AUC = %g", auc)
+	}
+	if _, err := AverageROC(queries, 1); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := AverageROC(nil, 11); err == nil {
+		t.Fatal("empty query set accepted")
+	}
+}
+
+// The trapezoid AUC of a finely sampled averaged curve approximates the
+// mean Mann-Whitney AUC.
+func TestCurveAUCMatchesQueryAUC(t *testing.T) {
+	queries := []Query{
+		{Scores: []float64{0.2, 0.1, 0.9, 0.4, 0.6}, Positive: []bool{true, false, false, false, false}},
+		{Scores: []float64{0.8, 0.1, 0.9, 0.4, 0.6}, Positive: []bool{true, false, false, false, false}},
+	}
+	mean, err := MeanAUC(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := AverageROC(queries, 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(curve.AUC()-mean) > 0.01 {
+		t.Fatalf("curve AUC %.4f vs mean AUC %.4f", curve.AUC(), mean)
+	}
+}

@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV, §V) on the synthetic substitute datasets, plus the
+// extension ablations DESIGN.md calls out. Each experiment is a pure
+// function of a seeded Env, so runs are reproducible bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+
+	"graphsig/internal/core"
+	"graphsig/internal/datagen"
+	"graphsig/internal/graph"
+)
+
+// Datasets bundles the two workloads of §IV-A with their paper-mandated
+// signature lengths (half the average out-degree: k=10 for flows, k=3
+// for query logs).
+type Datasets struct {
+	Flow   *datagen.EnterpriseData
+	Query  *datagen.QueryLogData
+	FlowK  int
+	QueryK int
+}
+
+// Load generates the full-scale datasets from seed.
+func Load(seed int64) (*Datasets, error) {
+	return LoadScaled(seed, 1.0)
+}
+
+// LoadScaled generates datasets shrunk by the given factor (0 < scale ≤ 1)
+// for fast tests; scale 1 is the paper-comparable size.
+func LoadScaled(seed int64, scale float64) (*Datasets, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiments: scale %g outside (0,1]", scale)
+	}
+	fcfg := datagen.DefaultEnterpriseConfig(seed)
+	qcfg := datagen.DefaultQueryLogConfig(seed + 1)
+	if scale < 1 {
+		fcfg.LocalHosts = max(20, int(float64(fcfg.LocalHosts)*scale))
+		fcfg.ExternalHosts = max(200, int(float64(fcfg.ExternalHosts)*scale))
+		fcfg.Communities = max(3, int(float64(fcfg.Communities)*scale))
+		fcfg.MultiusageIndividuals = max(2, int(float64(fcfg.MultiusageIndividuals)*scale))
+		qcfg.Users = max(30, int(float64(qcfg.Users)*scale))
+		qcfg.Tables = max(50, int(float64(qcfg.Tables)*scale))
+		qcfg.Roles = max(5, int(float64(qcfg.Roles)*scale))
+	}
+	flow, err := datagen.GenerateEnterprise(fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: flow data: %w", err)
+	}
+	query, err := datagen.GenerateQueryLog(qcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: query data: %w", err)
+	}
+	return &Datasets{Flow: flow, Query: query, FlowK: 10, QueryK: 3}, nil
+}
+
+// Env holds the datasets plus memoized signature sets so that the
+// figures sharing scheme computations (1, 2, 3) do the work once.
+type Env struct {
+	DS   *Datasets
+	Seed int64
+
+	cache map[string]*core.SignatureSet
+}
+
+// NewEnv wraps datasets for experiment runs.
+func NewEnv(ds *Datasets, seed int64) *Env {
+	return &Env{DS: ds, Seed: seed, cache: map[string]*core.SignatureSet{}}
+}
+
+// DatasetName identifies which workload an experiment row refers to.
+type DatasetName string
+
+// The two §IV-A datasets.
+const (
+	FlowData  DatasetName = "network-flows"
+	QueryData DatasetName = "query-logs"
+)
+
+func (e *Env) windows(ds DatasetName) []*graph.Window {
+	if ds == FlowData {
+		return e.DS.Flow.Windows
+	}
+	return e.DS.Query.Windows
+}
+
+func (e *Env) k(ds DatasetName) int {
+	if ds == FlowData {
+		return e.DS.FlowK
+	}
+	return e.DS.QueryK
+}
+
+// Sigs returns the memoized signature set of scheme s on window t of
+// dataset ds, computing it on first use with the dataset's k and the
+// default (Part1-active) source rule.
+func (e *Env) Sigs(ds DatasetName, s core.Scheme, t int) (*core.SignatureSet, error) {
+	key := fmt.Sprintf("%s/%s/%d", ds, s.Name(), t)
+	if set, ok := e.cache[key]; ok {
+		return set, nil
+	}
+	wins := e.windows(ds)
+	if t < 0 || t >= len(wins) {
+		return nil, fmt.Errorf("experiments: window %d out of range for %s", t, ds)
+	}
+	w := wins[t]
+	set, err := core.ComputeSet(core.Parallel(s, 0), w, core.DefaultSources(w), e.k(ds))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s window %d: %w", s.Name(), ds, t, err)
+	}
+	e.cache[key] = set
+	return set, nil
+}
+
+// SigsOn computes (without memoization) the signature set of scheme s
+// on an ad-hoc window, e.g. a perturbed or masqueraded one.
+func (e *Env) SigsOn(ds DatasetName, s core.Scheme, w *graph.Window) (*core.SignatureSet, error) {
+	return core.ComputeSet(core.Parallel(s, 0), w, core.DefaultSources(w), e.k(ds))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsig/internal/apps"
+	"graphsig/internal/core"
+	"graphsig/internal/datagen"
+	"graphsig/internal/eval"
+	"graphsig/internal/graph"
+	"graphsig/internal/perturb"
+)
+
+// DeanonRow is one result of the X5 extension: the paper's §I third
+// application — identifying nodes of an anonymized graph from outside
+// information (reference signatures of known individuals).
+type DeanonRow struct {
+	Scheme string
+	// Top1 is nearest-reference accuracy; Greedy enforces an injective
+	// assignment (the attacker knows the relabelling is a bijection).
+	Top1   float64
+	Greedy float64
+	// MRR is the mean reciprocal rank of the true individual in each
+	// anonymized node's reference ranking.
+	MRR float64
+}
+
+// DeAnonymization runs X5 on the flow data: window 1 is wholly
+// re-labelled by a random bijection over the monitored hosts (a
+// released "anonymized" capture), and the attacker matches its
+// signatures against window-0 reference signatures.
+func DeAnonymization(e *Env) ([]DeanonRow, error) {
+	d := core.ScaledHellinger{}
+	w0 := e.windows(FlowData)[0]
+	w1 := e.windows(FlowData)[1]
+	candidates := core.DefaultSources(w0)
+	anonWin, mapping, err := perturb.SimulateMasquerade(w1, candidates, 1.0, e.Seed+777)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: deanonymize: %w", err)
+	}
+	// mapping sends v → u (v's traffic appears under u); the attacker
+	// must recover, for each anonymized label u, the individual v.
+	truth := map[graph.NodeID]graph.NodeID{}
+	for v, u := range mapping.Mapping {
+		truth[u] = v
+	}
+	var rows []DeanonRow
+	for _, s := range core.ApplicationSchemes() {
+		reference, err := e.Sigs(FlowData, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		anonymized, err := e.SigsOn(FlowData, s, anonWin)
+		if err != nil {
+			return nil, err
+		}
+		nearest, err := apps.DeAnonymize(d, reference, anonymized, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: deanonymize %s: %w", s.Name(), err)
+		}
+		top1, err := apps.DeAnonymizationAccuracy(nearest, truth)
+		if err != nil {
+			return nil, err
+		}
+		greedyMatches, err := apps.DeAnonymize(d, reference, anonymized, true)
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := apps.DeAnonymizationAccuracy(greedyMatches, truth)
+		if err != nil {
+			return nil, err
+		}
+		mrr, err := deanonMRR(d, reference, anonymized, truth)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeanonRow{Scheme: s.Name(), Top1: top1, Greedy: greedy, MRR: mrr})
+	}
+	return rows, nil
+}
+
+// deanonMRR ranks every reference signature per anonymized node and
+// reports the mean reciprocal rank of the true individual.
+func deanonMRR(d core.Distance, reference, anonymized *core.SignatureSet, truth map[graph.NodeID]graph.NodeID) (float64, error) {
+	var queries []eval.Query
+	for i, a := range anonymized.Sources {
+		want, ok := truth[a]
+		if !ok {
+			continue
+		}
+		q := eval.Query{
+			Scores:   make([]float64, reference.Len()),
+			Positive: make([]bool, reference.Len()),
+		}
+		for j, r := range reference.Sources {
+			q.Scores[j] = d.Dist(anonymized.Sigs[i], reference.Sigs[j])
+			q.Positive[j] = r == want
+		}
+		queries = append(queries, q)
+	}
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("experiments: deanon MRR has no queries")
+	}
+	return eval.MRR(queries)
+}
+
+// FormatDeanon renders X5.
+func FormatDeanon(rows []DeanonRow) string {
+	var b strings.Builder
+	b.WriteString("Extension X5: de-anonymization of a re-labelled window (Dist_SHel)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s\n", "scheme", "top-1", "greedy", "MRR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.4f %8.4f %8.4f\n", r.Scheme, r.Top1, r.Greedy, r.MRR)
+	}
+	return b.String()
+}
+
+// PhoneRow is one cell of the X6 extension: self-retrieval AUC on a
+// synthetic *general* (non-bipartite) telephone call graph — the
+// paper's original motivating setting, where random walks traverse
+// real cycles and signatures may contain any node.
+type PhoneRow struct {
+	Scheme string
+	AUC    float64
+}
+
+// phoneK is the signature length for the call graph (half the average
+// subscriber out-degree of ~12).
+const phoneK = 6
+
+// TelephoneRetrieval runs X6: generate the call graph and measure
+// cross-window self-retrieval for the paper's scheme lineup.
+func TelephoneRetrieval(seed int64, scale float64) ([]PhoneRow, error) {
+	cfg := datagen.DefaultTelephoneConfig(seed)
+	if scale < 1 {
+		cfg.Subscribers = maxInt(100, int(float64(cfg.Subscribers)*scale))
+		cfg.Communities = maxInt(5, int(float64(cfg.Communities)*scale))
+	}
+	data, err := datagen.GenerateTelephone(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: telephone: %w", err)
+	}
+	d := core.ScaledHellinger{}
+	var rows []PhoneRow
+	for _, s := range core.PaperSchemes() {
+		at, err := core.ComputeSet(core.Parallel(s, 0), data.Windows[0],
+			core.DefaultSources(data.Windows[0]), phoneK)
+		if err != nil {
+			return nil, err
+		}
+		next, err := core.ComputeSet(core.Parallel(s, 0), data.Windows[1],
+			core.DefaultSources(data.Windows[1]), phoneK)
+		if err != nil {
+			return nil, err
+		}
+		auc, err := selfAUC(d, at, next)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: telephone %s: %w", s.Name(), err)
+		}
+		rows = append(rows, PhoneRow{Scheme: s.Name(), AUC: auc})
+	}
+	return rows, nil
+}
+
+// FormatPhone renders X6.
+func FormatPhone(rows []PhoneRow) string {
+	var b strings.Builder
+	b.WriteString("Extension X6: telephone call graph (general, non-bipartite) self-retrieval AUC\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s AUC=%.4f\n", r.Scheme, r.AUC)
+	}
+	return b.String()
+}
+
+// PruneRow is one point of the edge-pruning scalability ablation:
+// drop the lightest edges before computing signatures (a storage
+// reduction any large deployment will consider, §VI) and measure what
+// retrieval quality survives.
+type PruneRow struct {
+	// MinWeight keeps only edges with C[v,u] ≥ MinWeight.
+	MinWeight float64
+	// EdgeFrac is the fraction of edges kept.
+	EdgeFrac float64
+	// AUC is TT cross-window self-retrieval on the pruned graphs.
+	AUC float64
+}
+
+// PruneAblation sweeps the pruning threshold on the flow data.
+func PruneAblation(e *Env, minWeights []float64) ([]PruneRow, error) {
+	d := core.ScaledHellinger{}
+	w0 := e.windows(FlowData)[0]
+	w1 := e.windows(FlowData)[1]
+	var rows []PruneRow
+	for _, mw := range minWeights {
+		p0, frac, err := pruneWindow(w0, mw)
+		if err != nil {
+			return nil, err
+		}
+		p1, _, err := pruneWindow(w1, mw)
+		if err != nil {
+			return nil, err
+		}
+		at, err := core.ComputeSet(core.TopTalkers{}, p0, core.DefaultSources(p0), e.k(FlowData))
+		if err != nil {
+			return nil, err
+		}
+		next, err := core.ComputeSet(core.TopTalkers{}, p1, core.DefaultSources(p1), e.k(FlowData))
+		if err != nil {
+			return nil, err
+		}
+		auc, err := selfAUC(d, at, next)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: prune %.0f: %w", mw, err)
+		}
+		rows = append(rows, PruneRow{MinWeight: mw, EdgeFrac: frac, AUC: auc})
+	}
+	return rows, nil
+}
+
+func pruneWindow(w *graph.Window, minWeight float64) (*graph.Window, float64, error) {
+	edges := w.Edges()
+	kept := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.Weight >= minWeight {
+			kept = append(kept, e)
+		}
+	}
+	out, err := graph.FromEdges(w.Universe(), w.Index(), kept)
+	if err != nil {
+		return nil, 0, err
+	}
+	frac := 1.0
+	if len(edges) > 0 {
+		frac = float64(len(kept)) / float64(len(edges))
+	}
+	return out, frac, nil
+}
+
+// FormatPrune renders the pruning ablation.
+func FormatPrune(rows []PruneRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: edge pruning (TT, keep edges with weight ≥ w)\n")
+	fmt.Fprintf(&b, "%8s %10s %8s\n", "minW", "edge-frac", "AUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.0f %10.3f %8.4f\n", r.MinWeight, r.EdgeFrac, r.AUC)
+	}
+	return b.String()
+}
+
+// selfAUC is shorthand for eval.SelfRetrievalAUC.
+func selfAUC(d core.Distance, at, next *core.SignatureSet) (float64, error) {
+	return eval.SelfRetrievalAUC(d, at, next)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+)
+
+// Fig2Series is one ROC curve of Figure 2: self-retrieval across
+// windows on the network data, one curve per scheme, Dist_SHel.
+type Fig2Series struct {
+	Scheme string
+	Curve  eval.Curve
+	AUC    float64
+}
+
+// rocGridPoints is the FPR grid resolution of reported curves.
+const rocGridPoints = 101
+
+// Figure2 reproduces Figure 2: per-scheme averaged ROC curves of the
+// cross-window self-retrieval task on the network flow data using the
+// scaled Hellinger distance (curves for the other distances look very
+// similar — Figure 3 quantifies them all).
+func Figure2(e *Env) ([]Fig2Series, error) {
+	d := core.ScaledHellinger{}
+	var out []Fig2Series
+	for _, s := range core.PaperSchemes() {
+		at, err := e.Sigs(FlowData, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		next, err := e.Sigs(FlowData, s, 1)
+		if err != nil {
+			return nil, err
+		}
+		queries := eval.SelfRetrievalQueries(d, at, next)
+		curve, err := eval.AverageROC(queries, rocGridPoints)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure2 %s: %w", s.Name(), err)
+		}
+		auc, err := eval.MeanAUC(queries)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure2 %s: %w", s.Name(), err)
+		}
+		out = append(out, Fig2Series{Scheme: s.Name(), Curve: curve, AUC: auc})
+	}
+	return out, nil
+}
+
+// FormatFigure2 renders the curves at a coarse FPR grid plus AUC.
+func FormatFigure2(series []Fig2Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: ROC curves, network data, Dist_SHel (TPR at FPR grid)\n")
+	fmt.Fprintf(&b, "%-10s", "scheme")
+	marks := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+	for _, m := range marks {
+		fmt.Fprintf(&b, " tpr@%-4.2f", m)
+	}
+	fmt.Fprintf(&b, " %8s\n", "AUC")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-10s", s.Scheme)
+		for _, m := range marks {
+			fmt.Fprintf(&b, " %8.4f", curveAt(s.Curve, m))
+		}
+		fmt.Fprintf(&b, " %8.4f\n", s.AUC)
+	}
+	return b.String()
+}
+
+// curveAt samples the piecewise-linear curve at FPR x.
+func curveAt(c eval.Curve, x float64) float64 {
+	for i := 1; i < len(c.FPR); i++ {
+		if x <= c.FPR[i] {
+			if c.FPR[i] == c.FPR[i-1] {
+				return c.TPR[i]
+			}
+			frac := (x - c.FPR[i-1]) / (c.FPR[i] - c.FPR[i-1])
+			return c.TPR[i-1] + frac*(c.TPR[i]-c.TPR[i-1])
+		}
+	}
+	if len(c.TPR) == 0 {
+		return 0
+	}
+	return c.TPR[len(c.TPR)-1]
+}

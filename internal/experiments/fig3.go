@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+)
+
+// AUCMatrix is one panel of Figure 3: mean self-retrieval AUC per
+// (distance, scheme) cell on one dataset.
+type AUCMatrix struct {
+	Dataset   DatasetName
+	Schemes   []string
+	Distances []string
+	// Values[d][s] is the AUC of Distances[d] × Schemes[s].
+	Values [][]float64
+}
+
+// Figure3a reproduces Figure 3(a): the AUC matrix on network flow data.
+func Figure3a(e *Env) (*AUCMatrix, error) { return aucMatrix(e, FlowData) }
+
+// Figure3b reproduces Figure 3(b): the AUC matrix on user query logs.
+func Figure3b(e *Env) (*AUCMatrix, error) { return aucMatrix(e, QueryData) }
+
+func aucMatrix(e *Env, ds DatasetName) (*AUCMatrix, error) {
+	schemes := core.PaperSchemes()
+	distances := core.AllDistances()
+	m := &AUCMatrix{Dataset: ds}
+	for _, s := range schemes {
+		m.Schemes = append(m.Schemes, s.Name())
+	}
+	for _, d := range distances {
+		m.Distances = append(m.Distances, d.Name())
+	}
+	m.Values = make([][]float64, len(distances))
+	for di, d := range distances {
+		m.Values[di] = make([]float64, len(schemes))
+		for si, s := range schemes {
+			at, err := e.Sigs(ds, s, 0)
+			if err != nil {
+				return nil, err
+			}
+			next, err := e.Sigs(ds, s, 1)
+			if err != nil {
+				return nil, err
+			}
+			auc, err := eval.SelfRetrievalAUC(d, at, next)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure3 %s/%s/%s: %w", ds, d.Name(), s.Name(), err)
+			}
+			m.Values[di][si] = auc
+		}
+	}
+	return m, nil
+}
+
+// Get returns the AUC for a (distance, scheme) pair by name.
+func (m *AUCMatrix) Get(distance, scheme string) (float64, bool) {
+	di, si := -1, -1
+	for i, d := range m.Distances {
+		if d == distance {
+			di = i
+		}
+	}
+	for i, s := range m.Schemes {
+		if s == scheme {
+			si = i
+		}
+	}
+	if di < 0 || si < 0 {
+		return 0, false
+	}
+	return m.Values[di][si], true
+}
+
+// Format renders the matrix like the paper's Figure 3 tables.
+func (m *AUCMatrix) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AUC matrix, %s\n", m.Dataset)
+	fmt.Fprintf(&b, "%-10s", "dist\\scheme")
+	for _, s := range m.Schemes {
+		fmt.Fprintf(&b, " %9s", s)
+	}
+	b.WriteByte('\n')
+	for di, d := range m.Distances {
+		fmt.Fprintf(&b, "%-10s", d)
+		for si := range m.Schemes {
+			fmt.Fprintf(&b, " %9.4f", m.Values[di][si])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

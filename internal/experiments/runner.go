@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+	"graphsig/internal/graph"
+	"graphsig/internal/sketch"
+	"graphsig/internal/stats"
+)
+
+// RunAll executes every experiment in DESIGN.md's per-experiment index
+// and writes the textual report to w. It is the engine behind
+// `sigbench -all` and the EXPERIMENTS.md numbers.
+func RunAll(w io.Writer, e *Env) error {
+	p := func(s string) error {
+		_, err := fmt.Fprintln(w, s)
+		return err
+	}
+	if err := p("graphsig experiment suite — reproduction of ICDE'08 \"On Signatures for Communication Graphs\""); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "seed=%d\n", e.Seed)
+	fmt.Fprintf(w, "flow data:  %s\n", graph.Summarize(e.windows(FlowData)[0]))
+	fmt.Fprintf(w, "query data: %s\n\n", graph.Summarize(e.windows(QueryData)[0]))
+
+	for _, t := range []*PropertyTable{TableI(), TableII(), TableIII()} {
+		if err := p(t.Format()); err != nil {
+			return err
+		}
+	}
+
+	f1, err := Figure1(e)
+	if err != nil {
+		return fmt.Errorf("figure 1: %w", err)
+	}
+	if err := p(FormatFigure1(f1)); err != nil {
+		return err
+	}
+
+	if err := persistenceHistograms(w, e); err != nil {
+		return err
+	}
+
+	f2, err := Figure2(e)
+	if err != nil {
+		return fmt.Errorf("figure 2: %w", err)
+	}
+	if err := p(FormatFigure2(f2)); err != nil {
+		return err
+	}
+
+	f3a, err := Figure3a(e)
+	if err != nil {
+		return fmt.Errorf("figure 3a: %w", err)
+	}
+	if err := p("Figure 3(a): " + f3a.Format()); err != nil {
+		return err
+	}
+	f3b, err := Figure3b(e)
+	if err != nil {
+		return fmt.Errorf("figure 3b: %w", err)
+	}
+	if err := p("Figure 3(b): " + f3b.Format()); err != nil {
+		return err
+	}
+
+	f4, err := Figure4(e)
+	if err != nil {
+		return fmt.Errorf("figure 4: %w", err)
+	}
+	if err := p(FormatFigure4(f4)); err != nil {
+		return err
+	}
+
+	t4, err := TableIVMeasured(e)
+	if err != nil {
+		return fmt.Errorf("table IV: %w", err)
+	}
+	if err := p(t4.Format()); err != nil {
+		return err
+	}
+
+	f5, err := Figure5(e)
+	if err != nil {
+		return fmt.Errorf("figure 5: %w", err)
+	}
+	if err := p(FormatFigure5(f5)); err != nil {
+		return err
+	}
+
+	f6, err := Figure6(e)
+	if err != nil {
+		return fmt.Errorf("figure 6: %w", err)
+	}
+	if err := p(FormatFigure6(f6)); err != nil {
+		return err
+	}
+
+	streaming, err := StreamingAblation(e, sketch.StreamConfig{Seed: uint64(e.Seed)})
+	if err != nil {
+		return fmt.Errorf("streaming ablation: %w", err)
+	}
+	lshRow, err := LSHAblation(e, 16, 2)
+	if err != nil {
+		return fmt.Errorf("lsh ablation: %w", err)
+	}
+	decay, err := DecayAblation(e, []float64{0, 0.25, 0.5, 0.75})
+	if err != nil {
+		return fmt.Errorf("decay ablation: %w", err)
+	}
+	direction, err := DirectionAblation(e)
+	if err != nil {
+		return fmt.Errorf("direction ablation: %w", err)
+	}
+	utScaling, err := UTScalingAblation(e)
+	if err != nil {
+		return fmt.Errorf("ut scaling ablation: %w", err)
+	}
+	ks, err := KSweepAblation(e, []int{5, 10, 20, 40})
+	if err != nil {
+		return fmt.Errorf("k sweep: %w", err)
+	}
+	if err := p(FormatAblations(streaming, lshRow, decay, direction, utScaling, ks)); err != nil {
+		return err
+	}
+
+	anomaly, err := AnomalyDetection(e)
+	if err != nil {
+		return fmt.Errorf("anomaly experiment: %w", err)
+	}
+	if err := p(FormatAnomaly(anomaly)); err != nil {
+		return err
+	}
+
+	blend, err := BlendAblation(e, []float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		return fmt.Errorf("blend ablation: %w", err)
+	}
+	if err := p(FormatBlend(blend)); err != nil {
+		return err
+	}
+
+	sig, err := SchemeSignificance(e)
+	if err != nil {
+		return fmt.Errorf("significance: %w", err)
+	}
+	if err := p(FormatSignificance(sig)); err != nil {
+		return err
+	}
+
+	deanon, err := DeAnonymization(e)
+	if err != nil {
+		return fmt.Errorf("deanonymization: %w", err)
+	}
+	if err := p(FormatDeanon(deanon)); err != nil {
+		return err
+	}
+
+	phone, err := TelephoneRetrieval(e.Seed, phoneScale(e))
+	if err != nil {
+		return fmt.Errorf("telephone: %w", err)
+	}
+	if err := p(FormatPhone(phone)); err != nil {
+		return err
+	}
+
+	prune, err := PruneAblation(e, []float64{1, 2, 3, 5})
+	if err != nil {
+		return fmt.Errorf("prune ablation: %w", err)
+	}
+	if err := p(FormatPrune(prune)); err != nil {
+		return err
+	}
+
+	hops, diameter, err := HopConvergence(e)
+	if err != nil {
+		return fmt.Errorf("hop convergence: %w", err)
+	}
+	if err := p(FormatHopConvergence(hops, diameter)); err != nil {
+		return err
+	}
+
+	horizon, err := PersistenceHorizon(e)
+	if err != nil {
+		return fmt.Errorf("persistence horizon: %w", err)
+	}
+	return p(FormatHorizon(horizon))
+}
+
+// persistenceHistograms renders the per-node persistence distribution
+// of the representative schemes on the flow data — the raw material
+// behind Figure 1's ellipses and Algorithm 1's δ threshold.
+func persistenceHistograms(w io.Writer, e *Env) error {
+	d := core.ScaledHellinger{}
+	for _, s := range core.ApplicationSchemes() {
+		at, err := e.Sigs(FlowData, s, 0)
+		if err != nil {
+			return err
+		}
+		next, err := e.Sigs(FlowData, s, 1)
+		if err != nil {
+			return err
+		}
+		h, err := stats.NewHistogram(0, 1, 10)
+		if err != nil {
+			return err
+		}
+		for _, v := range eval.Persistence(d, at, next) {
+			h.Add(v)
+		}
+		fmt.Fprintf(w, "Persistence distribution, %s (flows, Dist_SHel):\n%s\n", s.Name(), h)
+	}
+	return nil
+}
+
+// phoneScale derives the telephone dataset scale from the flow
+// dataset's size relative to its full-scale default, so scaled test
+// runs stay fast.
+func phoneScale(e *Env) float64 {
+	full := 300.0
+	actual := float64(e.DS.Flow.Config.LocalHosts)
+	s := actual / full
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+)
+
+// SignificanceRow is one paired-bootstrap comparison of two schemes on
+// the cross-window self-retrieval task (Figure 3's statistic): does the
+// winner's margin survive resampling of the query population?
+type SignificanceRow struct {
+	Dataset  DatasetName
+	SchemeA  string
+	SchemeB  string
+	Distance string
+	Diff     eval.AUCDiff
+}
+
+// significanceIters is the bootstrap resample count.
+const significanceIters = 2000
+
+// SchemeSignificance runs paired bootstraps for the headline Figure 3
+// comparisons: RWR³ vs TT and TT vs UT on flows; UT vs TT on query
+// logs. Queries are paired by source node.
+func SchemeSignificance(e *Env) ([]SignificanceRow, error) {
+	d := core.ScaledHellinger{}
+	comparisons := []struct {
+		ds   DatasetName
+		a, b core.Scheme
+	}{
+		{FlowData, core.RandomWalk{C: 0.1, Hops: 3}, core.TopTalkers{}},
+		{FlowData, core.TopTalkers{}, core.UnexpectedTalkers{}},
+		{QueryData, core.UnexpectedTalkers{}, core.TopTalkers{}},
+	}
+	var rows []SignificanceRow
+	for ci, cmp := range comparisons {
+		qa, err := selfQueries(e, cmp.ds, cmp.a, d)
+		if err != nil {
+			return nil, err
+		}
+		qb, err := selfQueries(e, cmp.ds, cmp.b, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(qa) != len(qb) {
+			return nil, fmt.Errorf("experiments: significance: query sets unpaired (%d/%d)", len(qa), len(qb))
+		}
+		diff, err := eval.BootstrapAUCDiff(qa, qb, significanceIters, 0.95, e.Seed+int64(ci))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: significance %s vs %s: %w", cmp.a.Name(), cmp.b.Name(), err)
+		}
+		rows = append(rows, SignificanceRow{
+			Dataset:  cmp.ds,
+			SchemeA:  cmp.a.Name(),
+			SchemeB:  cmp.b.Name(),
+			Distance: d.Name(),
+			Diff:     diff,
+		})
+	}
+	return rows, nil
+}
+
+// selfQueries builds the self-retrieval queries for one scheme, ordered
+// by source node so different schemes' query lists pair up.
+func selfQueries(e *Env, ds DatasetName, s core.Scheme, d core.Distance) ([]eval.Query, error) {
+	at, err := e.Sigs(ds, s, 0)
+	if err != nil {
+		return nil, err
+	}
+	next, err := e.Sigs(ds, s, 1)
+	if err != nil {
+		return nil, err
+	}
+	return eval.SelfRetrievalQueries(d, at, next), nil
+}
+
+// FormatSignificance renders the comparisons.
+func FormatSignificance(rows []SignificanceRow) string {
+	var b strings.Builder
+	b.WriteString("Scheme-difference significance (paired bootstrap over self-retrieval queries)\n")
+	for _, r := range rows {
+		verdict := "not significant"
+		if r.Diff.Significant() {
+			verdict = "significant"
+		}
+		fmt.Fprintf(&b, "%-14s %-10s vs %-10s %s  (%s, n=%d, %s)\n",
+			r.Dataset, r.SchemeA, r.SchemeB, r.Diff, r.Distance, r.Diff.Queries, verdict)
+	}
+	return b.String()
+}
+
+// BlendRow is one point of the blend ablation: interpolating between
+// TT and UT trades the properties the two schemes maximize, probing the
+// paper's closing observation that no single scheme fits every
+// application.
+type BlendRow struct {
+	Alpha float64
+	// SelfAUC is cross-window self-retrieval on flows.
+	SelfAUC float64
+	// MultiusageAUC is the Figure 5 statistic.
+	MultiusageAUC float64
+}
+
+// BlendAblation sweeps the TT/UT mix.
+func BlendAblation(e *Env, alphas []float64) ([]BlendRow, error) {
+	d := core.ScaledHellinger{}
+	groups, err := multiusageGroups(e)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BlendRow
+	for _, alpha := range alphas {
+		s := core.Blend{A: core.TopTalkers{}, B: core.UnexpectedTalkers{}, Alpha: alpha}
+		at, err := e.Sigs(FlowData, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		next, err := e.Sigs(FlowData, s, 1)
+		if err != nil {
+			return nil, err
+		}
+		selfAUC, err := eval.SelfRetrievalAUC(d, at, next)
+		if err != nil {
+			return nil, err
+		}
+		row := BlendRow{Alpha: alpha, SelfAUC: selfAUC}
+		if len(groups) > 0 {
+			queries := eval.SetRetrievalQueries(d, at, groups)
+			if len(queries) > 0 {
+				mu, err := eval.MeanAUC(queries)
+				if err != nil {
+					return nil, err
+				}
+				row.MultiusageAUC = mu
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatBlend renders the sweep.
+func FormatBlend(rows []BlendRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: TT/UT blend (alpha = TT share)\n")
+	fmt.Fprintf(&b, "%8s %10s %14s\n", "alpha", "self-AUC", "multiusage-AUC")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.2f %10.4f %14.4f\n", r.Alpha, r.SelfAUC, r.MultiusageAUC)
+	}
+	return b.String()
+}

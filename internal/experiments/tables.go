@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/eval"
+	"graphsig/internal/perturb"
+)
+
+// PropertyTable is a rows×columns grid of qualitative levels, the form
+// of the paper's Tables I–IV.
+type PropertyTable struct {
+	Title   string
+	RowName string
+	Rows    []string
+	Columns []string
+	Cells   [][]string
+}
+
+// Format renders the table.
+func (t *PropertyTable) Format() string {
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	fmt.Fprintf(&b, "%-22s", t.RowName)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %-24s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s", r)
+		for j := range t.Columns {
+			fmt.Fprintf(&b, " %-24s", t.Cells[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TableI reproduces Table I: the property levels each application
+// requires (a statement of the framework, §II-D).
+func TableI() *PropertyTable {
+	return &PropertyTable{
+		Title:   "Table I: applications and their requirements",
+		RowName: "application",
+		Rows:    []string{"Multiusage Detection", "Label Masquerading", "Anomaly Detection"},
+		Columns: []string{"persistence", "uniqueness", "robustness"},
+		Cells: [][]string{
+			{"Low", "High", "High"},
+			{"High", "High", "Medium"},
+			{"High", "Low", "High"},
+		},
+	}
+}
+
+// TableII reproduces Table II: which graph characteristics support
+// which signature properties (§III).
+func TableII() *PropertyTable {
+	return &PropertyTable{
+		Title:   "Table II: communication graph characteristics and properties",
+		RowName: "characteristic",
+		Rows:    []string{"Engagement", "Novelty", "Locality", "Transitivity"},
+		Columns: []string{"properties"},
+		Cells: [][]string{
+			{"persistence, robustness"},
+			{"uniqueness"},
+			{"uniqueness"},
+			{"persistence, robustness"},
+		},
+	}
+}
+
+// TableIII reproduces Table III: the characteristics each scheme
+// exploits and the properties it thereby captures (§III).
+func TableIII() *PropertyTable {
+	return &PropertyTable{
+		Title:   "Table III: properties used by signature schemes",
+		RowName: "scheme",
+		Rows:    []string{"TT", "UT", "RWR", "RWR^h"},
+		Columns: []string{"characteristics", "properties"},
+		Cells: [][]string{
+			{"locality, engagement", "uniqueness, robustness"},
+			{"novelty, locality", "uniqueness"},
+			{"transitivity, engagement", "persistence, robustness"},
+			{"locality, transitivity", "persistence, uniqueness, robustness"},
+		},
+	}
+}
+
+// TableIVMeasured derives Table IV — the relative behaviour of TT, UT
+// and RWR on persistence, uniqueness and robustness — from
+// measurements on the flow data, ranking the three schemes per
+// property into high/medium/low (the paper reports exactly this
+// three-way ordering). Distance: Dist_SHel.
+func TableIVMeasured(e *Env) (*PropertyTable, error) {
+	d := core.ScaledHellinger{}
+	schemes := core.ApplicationSchemes()
+	names := []string{"TT", "UT", "RWR"}
+
+	pers := make([]float64, len(schemes))
+	uniq := make([]float64, len(schemes))
+	robu := make([]float64, len(schemes))
+
+	w0 := e.windows(FlowData)[0]
+	perturbed, err := perturb.Perturb(w0, perturb.Options{InsertFrac: 0.1, DeleteFrac: 0.1, Seed: e.Seed + 41})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tableIV perturb: %w", err)
+	}
+	for i, s := range schemes {
+		at, err := e.Sigs(FlowData, s, 0)
+		if err != nil {
+			return nil, err
+		}
+		next, err := e.Sigs(FlowData, s, 1)
+		if err != nil {
+			return nil, err
+		}
+		hat, err := e.SigsOn(FlowData, s, perturbed)
+		if err != nil {
+			return nil, err
+		}
+		pers[i] = eval.PersistenceSummary(d, at, next).Mean
+		uniq[i] = eval.UniquenessSummary(d, at, maxUniquenessPairs, e.Seed).Mean
+		robu[i] = eval.RobustnessSummary(d, at, hat).Mean
+	}
+
+	table := &PropertyTable{
+		Title:   "Table IV: relative behaviour of the signature schemes (measured)",
+		RowName: "property",
+		Rows:    []string{"persistence", "uniqueness", "robustness"},
+		Columns: names,
+		Cells:   make([][]string, 3),
+	}
+	for r, vals := range [][]float64{pers, uniq, robu} {
+		table.Cells[r] = rankLevels(vals)
+	}
+	return table, nil
+}
+
+// rankLevels maps three values to high/medium/low by rank, annotated
+// with the measured value.
+func rankLevels(vals []float64) []string {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	levels := []string{"high", "medium", "low"}
+	out := make([]string, len(vals))
+	for rank, i := range idx {
+		lvl := "low"
+		if rank < len(levels) {
+			lvl = levels[rank]
+		}
+		out[i] = fmt.Sprintf("%s (%.4f)", lvl, vals[i])
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder aggregates directed edge observations into a Window. Repeated
+// (from, to) observations sum their weights, matching the paper's model
+// of C[v,u] as total communication volume over the interval. Zero- and
+// negative-total edges are dropped at Build time, which is how the
+// perturbation module expresses weight decrements and deletions.
+type Builder struct {
+	universe *Universe
+	index    int
+	weights  map[edgeKey]float64
+}
+
+type edgeKey struct {
+	from, to NodeID
+}
+
+// NewBuilder starts a Window for time index t over the given universe.
+func NewBuilder(u *Universe, index int) *Builder {
+	return &Builder{
+		universe: u,
+		index:    index,
+		weights:  make(map[edgeKey]float64),
+	}
+}
+
+// Add records one communication from v to u with the given weight
+// (weight may be negative to express a decrement). Self-loops are
+// rejected: a node does not communicate with itself in this model, and
+// Definition 1 excludes v from its own signature anyway.
+func (b *Builder) Add(from, to NodeID, weight float64) error {
+	if from == to {
+		return fmt.Errorf("graph: self-loop on node %d rejected", from)
+	}
+	if int(from) < 0 || int(from) >= b.universe.Size() || int(to) < 0 || int(to) >= b.universe.Size() {
+		return fmt.Errorf("graph: edge (%d,%d) references node outside universe of size %d", from, to, b.universe.Size())
+	}
+	b.weights[edgeKey{from, to}] += weight
+	return nil
+}
+
+// AddLabeled interns both labels (with the given parts) and records the
+// edge. It is the entry point used by the netflow aggregator.
+func (b *Builder) AddLabeled(from string, fromPart Part, to string, toPart Part, weight float64) error {
+	f, err := b.universe.Intern(from, fromPart)
+	if err != nil {
+		return err
+	}
+	t, err := b.universe.Intern(to, toPart)
+	if err != nil {
+		return err
+	}
+	return b.Add(f, t, weight)
+}
+
+// AddEdges records a batch of edges; used when rebuilding perturbed
+// windows from an edge list.
+func (b *Builder) AddEdges(edges []Edge) error {
+	for _, e := range edges {
+		if err := b.Add(e.From, e.To, e.Weight); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of distinct edges accumulated so far (including
+// edges whose running weight is currently <= 0).
+func (b *Builder) Len() int { return len(b.weights) }
+
+// Build freezes the accumulated edges into an immutable Window. Edges
+// whose total weight is <= 0 are dropped. The Builder can be reused for
+// further aggregation after Build; subsequent Builds see all edges added
+// so far.
+func (b *Builder) Build() *Window {
+	n := b.universe.Size()
+	w := &Window{
+		universe: b.universe,
+		index:    b.index,
+		built:    n,
+		outIndex: make([]int32, n+1),
+		inIndex:  make([]int32, n+1),
+		outSum:   make([]float64, n),
+	}
+	type rec struct {
+		k edgeKey
+		w float64
+	}
+	recs := make([]rec, 0, len(b.weights))
+	for k, wt := range b.weights {
+		if wt > 0 {
+			recs = append(recs, rec{k, wt})
+		}
+	}
+
+	// Out-CSR: sort by (from, to).
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].k.from != recs[j].k.from {
+			return recs[i].k.from < recs[j].k.from
+		}
+		return recs[i].k.to < recs[j].k.to
+	})
+	w.outTo = make([]NodeID, len(recs))
+	w.outW = make([]float64, len(recs))
+	for i, r := range recs {
+		w.outTo[i] = r.k.to
+		w.outW[i] = r.w
+		w.outIndex[r.k.from+1]++
+		w.outSum[r.k.from] += r.w
+		w.totalWeight += r.w
+	}
+	for v := 0; v < n; v++ {
+		w.outIndex[v+1] += w.outIndex[v]
+	}
+
+	// In-CSR: sort by (to, from).
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].k.to != recs[j].k.to {
+			return recs[i].k.to < recs[j].k.to
+		}
+		return recs[i].k.from < recs[j].k.from
+	})
+	w.inFrom = make([]NodeID, len(recs))
+	w.inW = make([]float64, len(recs))
+	for i, r := range recs {
+		w.inFrom[i] = r.k.from
+		w.inW[i] = r.w
+		w.inIndex[r.k.to+1]++
+	}
+	for v := 0; v < n; v++ {
+		w.inIndex[v+1] += w.inIndex[v]
+	}
+	return w
+}
+
+// FromEdges builds a Window directly from an edge list.
+func FromEdges(u *Universe, index int, edges []Edge) (*Window, error) {
+	b := NewBuilder(u, index)
+	if err := b.AddEdges(edges); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,59 @@
+package graph
+
+import "testing"
+
+func pathGraph(t *testing.T, n int) *Window {
+	t.Helper()
+	u := NewUniverse()
+	for i := 0; i < n; i++ {
+		u.MustIntern(string(rune('a'+i)), PartNone)
+	}
+	b := NewBuilder(u, 0)
+	for i := 0; i+1 < n; i++ {
+		if err := b.Add(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	// A directed path a→b→…→f has undirected diameter n−1; sampling
+	// every node must find it exactly.
+	w := pathGraph(t, 6)
+	if got := EstimateDiameter(w, 6, 1); got != 5 {
+		t.Fatalf("diameter = %d, want 5", got)
+	}
+	// Few samples still lower-bound it.
+	if got := EstimateDiameter(w, 2, 1); got < 3 || got > 5 {
+		t.Fatalf("sampled diameter = %d outside [3,5]", got)
+	}
+}
+
+func TestEstimateDiameterStar(t *testing.T) {
+	u := NewUniverse()
+	hub := u.MustIntern("hub", PartNone)
+	b := NewBuilder(u, 0)
+	for i := 0; i < 8; i++ {
+		leaf := u.MustIntern(string(rune('a'+i)), PartNone)
+		if err := b.Add(hub, leaf, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := b.Build()
+	if got := EstimateDiameter(w, 9, 2); got != 2 {
+		t.Fatalf("star diameter = %d, want 2", got)
+	}
+}
+
+func TestEstimateDiameterEmpty(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("solo", PartNone)
+	w, err := FromEdges(u, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EstimateDiameter(w, 4, 3); got != 0 {
+		t.Fatalf("empty diameter = %d", got)
+	}
+}

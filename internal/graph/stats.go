@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes structural properties of a Window that the paper's
+// signature schemes exploit: size, degree distribution, and weight
+// distribution. Used by experiment logs and by the generators' self
+// checks.
+type Stats struct {
+	Nodes        int
+	ActiveNodes  int
+	Edges        int
+	TotalWeight  float64
+	AvgOutDegree float64 // over active sources
+	MaxOutDegree int
+	MaxInDegree  int
+}
+
+// Summarize computes Stats for w.
+func Summarize(w *Window) Stats {
+	s := Stats{
+		Nodes:       w.NumNodes(),
+		Edges:       w.NumEdges(),
+		TotalWeight: w.TotalWeight(),
+	}
+	sources := 0
+	for v := 0; v < w.NumNodes(); v++ {
+		od := w.OutDegree(NodeID(v))
+		id := w.InDegree(NodeID(v))
+		if od > 0 || id > 0 {
+			s.ActiveNodes++
+		}
+		if od > 0 {
+			sources++
+			s.AvgOutDegree += float64(od)
+		}
+		if od > s.MaxOutDegree {
+			s.MaxOutDegree = od
+		}
+		if id > s.MaxInDegree {
+			s.MaxInDegree = id
+		}
+	}
+	if sources > 0 {
+		s.AvgOutDegree /= float64(sources)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d (active %d) |E|=%d W=%.0f avgOut=%.1f maxOut=%d maxIn=%d",
+		s.Nodes, s.ActiveNodes, s.Edges, s.TotalWeight, s.AvgOutDegree, s.MaxOutDegree, s.MaxInDegree)
+}
+
+// AvgOutDegreePart reports the average out-degree of active nodes in the
+// given part. The paper sets signature length k to half this value
+// (k=10 for hosts with average out-degree ~20; k=3 for query-log users).
+func AvgOutDegreePart(w *Window, part Part) float64 {
+	sum, n := 0.0, 0
+	for v := 0; v < w.NumNodes(); v++ {
+		id := NodeID(v)
+		if w.Universe().PartOf(id) != part {
+			continue
+		}
+		if d := w.OutDegree(id); d > 0 {
+			sum += float64(d)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DegreeDistribution returns the sorted distinct (degree, count) pairs of
+// in-degrees across all nodes, exposing the heavy-tailed "novelty"
+// characteristic (§III) that the UT scheme exploits.
+func DegreeDistribution(w *Window) (degrees []int, counts []int) {
+	m := map[int]int{}
+	for v := 0; v < w.NumNodes(); v++ {
+		m[w.InDegree(NodeID(v))]++
+	}
+	degrees = make([]int, 0, len(m))
+	for d := range m {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = m[d]
+	}
+	return degrees, counts
+}
+
+// Format renders a window's adjacency for debugging small graphs in
+// tests: one line per source, "label -> to:w to:w".
+func Format(w *Window) string {
+	var b strings.Builder
+	for v := 0; v < w.NumNodes(); v++ {
+		id := NodeID(v)
+		if w.OutDegree(id) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s ->", w.Universe().Label(id))
+		w.Out(id, func(u NodeID, wt float64) bool {
+			fmt.Fprintf(&b, " %s:%g", w.Universe().Label(u), wt)
+			return true
+		})
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

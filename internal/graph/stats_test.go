@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	u := NewUniverse()
+	for _, l := range []string{"a", "b", "c", "d"} {
+		u.MustIntern(l, PartNone)
+	}
+	b := NewBuilder(u, 0)
+	for _, e := range [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 2, 4}} {
+		if err := b.Add(NodeID(e[0]), NodeID(e[1]), float64(e[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := b.Build()
+	s := Summarize(w)
+	if s.Nodes != 4 || s.ActiveNodes != 3 || s.Edges != 3 || s.TotalWeight != 7 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.MaxOutDegree != 2 || s.MaxInDegree != 2 {
+		t.Fatalf("degree stats wrong: %+v", s)
+	}
+	if s.AvgOutDegree != 1.5 { // sources 0 (deg 2) and 1 (deg 1)
+		t.Fatalf("AvgOutDegree = %g", s.AvgOutDegree)
+	}
+	if !strings.Contains(s.String(), "|E|=3") {
+		t.Fatalf("String missing fields: %s", s)
+	}
+}
+
+func TestAvgOutDegreePart(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("l1", Part1)
+	u.MustIntern("l2", Part1)
+	u.MustIntern("e1", Part2)
+	u.MustIntern("e2", Part2)
+	b := NewBuilder(u, 0)
+	mustAdd := func(f, to NodeID) {
+		if err := b.Add(f, to, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 2)
+	mustAdd(0, 3)
+	mustAdd(1, 2)
+	w := b.Build()
+	if got := AvgOutDegreePart(w, Part1); got != 1.5 {
+		t.Fatalf("AvgOutDegreePart(Part1) = %g", got)
+	}
+	if got := AvgOutDegreePart(w, Part2); got != 0 {
+		t.Fatalf("AvgOutDegreePart(Part2) = %g", got)
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	u := NewUniverse()
+	for _, l := range []string{"a", "b", "c"} {
+		u.MustIntern(l, PartNone)
+	}
+	b := NewBuilder(u, 0)
+	if err := b.Add(0, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := b.Build()
+	degrees, counts := DegreeDistribution(w)
+	// in-degrees: a=0, b=0, c=2 → {0:2, 2:1}
+	if len(degrees) != 2 || degrees[0] != 0 || degrees[1] != 2 || counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("distribution wrong: %v %v", degrees, counts)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("a", PartNone)
+	u.MustIntern("b", PartNone)
+	b := NewBuilder(u, 0)
+	if err := b.Add(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	got := Format(b.Build())
+	if !strings.Contains(got, "a -> b:2.5") {
+		t.Fatalf("Format output: %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import "testing"
+
+func TestUniverseIntern(t *testing.T) {
+	u := NewUniverse()
+	a, err := u.Intern("alice", Part1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Intern("bob", Part1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("distinct labels got the same id")
+	}
+	again, err := u.Intern("alice", Part1)
+	if err != nil || again != a {
+		t.Fatalf("re-intern changed id: %v %v", again, err)
+	}
+	if u.Size() != 2 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+	if u.Label(a) != "alice" || u.PartOf(a) != Part1 {
+		t.Fatal("label/part lookup wrong")
+	}
+	if id, ok := u.Lookup("alice"); !ok || id != a {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := u.Lookup("carol"); ok {
+		t.Fatal("Lookup invented a label")
+	}
+}
+
+func TestUniversePartConflict(t *testing.T) {
+	u := NewUniverse()
+	if _, err := u.Intern("x", Part1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Intern("x", Part2); err == nil {
+		t.Fatal("part conflict not rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIntern did not panic on conflict")
+		}
+	}()
+	u.MustIntern("x", PartNone)
+}
+
+func TestUniverseBipartite(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("a", PartNone)
+	if u.Bipartite() {
+		t.Fatal("PartNone-only universe claimed bipartite")
+	}
+	u.MustIntern("b", Part1)
+	u.MustIntern("c", Part2)
+	u.MustIntern("d", Part2)
+	if !u.Bipartite() {
+		t.Fatal("bipartite universe not detected")
+	}
+	if got := u.CountPart(Part2); got != 2 {
+		t.Fatalf("CountPart(Part2) = %d", got)
+	}
+	members := u.PartMembers(Part2)
+	if len(members) != 2 || u.Label(members[0]) != "c" || u.Label(members[1]) != "d" {
+		t.Fatalf("PartMembers wrong: %v", members)
+	}
+}
+
+func TestPartString(t *testing.T) {
+	if Part1.String() != "V1" || Part2.String() != "V2" || PartNone.String() != "V" {
+		t.Fatal("Part.String wrong")
+	}
+}

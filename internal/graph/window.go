@@ -1,0 +1,163 @@
+package graph
+
+import "sort"
+
+// Edge is one weighted directed edge (v, u) with aggregated weight
+// C[v,u] (e.g. number of TCP sessions, number of table accesses).
+type Edge struct {
+	From   NodeID
+	To     NodeID
+	Weight float64
+}
+
+// Window is a communication graph G_t = (V, E_t) aggregated over one time
+// interval. V is the shared Universe; E_t is stored twice, as CSR
+// out-adjacency (sorted by destination) and CSR in-adjacency (sorted by
+// source), enabling O(deg) neighbour scans and O(log deg) weight lookups
+// in either direction.
+//
+// A Window is immutable after Build and safe for concurrent reads.
+type Window struct {
+	universe *Universe
+	index    int
+	// built is the universe size when the window was frozen. Labels
+	// interned afterwards are valid NodeIDs with no edges here; every
+	// per-node accessor treats them as isolated nodes.
+	built int
+
+	outIndex []int32 // len = |V|+1
+	outTo    []NodeID
+	outW     []float64
+
+	inIndex []int32 // len = |V|+1
+	inFrom  []NodeID
+	inW     []float64
+
+	outSum      []float64 // Σ_u C[v,u] per node v
+	totalWeight float64
+}
+
+// Universe returns the shared node universe.
+func (w *Window) Universe() *Universe { return w.universe }
+
+// Index reports the window's time index t.
+func (w *Window) Index() int { return w.index }
+
+// NumNodes reports |V| of the shared universe. Labels interned after
+// this window was built count toward |V| and behave as isolated nodes.
+func (w *Window) NumNodes() int { return w.universe.Size() }
+
+// inBuilt reports whether v existed when the window was frozen (and is
+// therefore indexable in the adjacency arrays).
+func (w *Window) inBuilt(v NodeID) bool { return v >= 0 && int(v) < w.built }
+
+// NumEdges reports |E_t|, the number of distinct directed edges.
+func (w *Window) NumEdges() int { return len(w.outTo) }
+
+// TotalWeight reports Σ C[v,u] over all edges.
+func (w *Window) TotalWeight() float64 { return w.totalWeight }
+
+// OutDegree reports |O(v)|.
+func (w *Window) OutDegree(v NodeID) int {
+	if !w.inBuilt(v) {
+		return 0
+	}
+	return int(w.outIndex[v+1] - w.outIndex[v])
+}
+
+// InDegree reports |I(v)|.
+func (w *Window) InDegree(v NodeID) int {
+	if !w.inBuilt(v) {
+		return 0
+	}
+	return int(w.inIndex[v+1] - w.inIndex[v])
+}
+
+// OutWeightSum reports Σ_u C[v,u], the denominator of the Top Talkers
+// relevance and of the random-walk transition row for v.
+func (w *Window) OutWeightSum(v NodeID) float64 {
+	if !w.inBuilt(v) {
+		return 0
+	}
+	return w.outSum[v]
+}
+
+// Out calls fn for every out-neighbour u of v with weight C[v,u],
+// in increasing NodeID order. Iteration stops early if fn returns false.
+func (w *Window) Out(v NodeID, fn func(u NodeID, weight float64) bool) {
+	if !w.inBuilt(v) {
+		return
+	}
+	for i := w.outIndex[v]; i < w.outIndex[v+1]; i++ {
+		if !fn(w.outTo[i], w.outW[i]) {
+			return
+		}
+	}
+}
+
+// In calls fn for every in-neighbour u of v with weight C[u,v],
+// in increasing NodeID order. Iteration stops early if fn returns false.
+func (w *Window) In(v NodeID, fn func(u NodeID, weight float64) bool) {
+	if !w.inBuilt(v) {
+		return
+	}
+	for i := w.inIndex[v]; i < w.inIndex[v+1]; i++ {
+		if !fn(w.inFrom[i], w.inW[i]) {
+			return
+		}
+	}
+}
+
+// Weight reports C[v,u], or 0 when the edge is absent.
+func (w *Window) Weight(v, u NodeID) float64 {
+	if !w.inBuilt(v) {
+		return 0
+	}
+	lo, hi := int(w.outIndex[v]), int(w.outIndex[v+1])
+	i := lo + sort.Search(hi-lo, func(i int) bool { return w.outTo[lo+i] >= u })
+	if i < hi && w.outTo[i] == u {
+		return w.outW[i]
+	}
+	return 0
+}
+
+// HasEdge reports whether the directed edge (v, u) exists.
+func (w *Window) HasEdge(v, u NodeID) bool { return w.Weight(v, u) > 0 }
+
+// Edges returns a copy of the edge list in (From, To) order. The paper's
+// perturbation procedure (§IV-C) and masquerade simulation (§V) consume
+// this list and rebuild a Window through a Builder.
+func (w *Window) Edges() []Edge {
+	out := make([]Edge, 0, len(w.outTo))
+	for v := 0; v < w.built; v++ {
+		for i := w.outIndex[v]; i < w.outIndex[v+1]; i++ {
+			out = append(out, Edge{From: NodeID(v), To: w.outTo[i], Weight: w.outW[i]})
+		}
+	}
+	return out
+}
+
+// ActiveNodes returns the nodes with at least one incident edge in this
+// window, in ID order. Experiments restrict per-node measurements to
+// active nodes so that labels absent from a window do not dilute results.
+func (w *Window) ActiveNodes() []NodeID {
+	var out []NodeID
+	for v := 0; v < w.built; v++ {
+		if w.outIndex[v+1] > w.outIndex[v] || w.inIndex[v+1] > w.inIndex[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// ActiveSources returns the nodes with at least one outgoing edge, in ID
+// order. These are the nodes for which one-hop signatures are non-empty.
+func (w *Window) ActiveSources() []NodeID {
+	var out []NodeID
+	for v := 0; v < w.built; v++ {
+		if w.outIndex[v+1] > w.outIndex[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

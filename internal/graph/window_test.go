@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildTest constructs a window over fresh labels n0..n5.
+func buildTest(t *testing.T, edges [][3]float64) (*Universe, *Window) {
+	t.Helper()
+	u := NewUniverse()
+	for i := 0; i < 6; i++ {
+		u.MustIntern(label6(i), PartNone)
+	}
+	b := NewBuilder(u, 0)
+	for _, e := range edges {
+		if err := b.Add(NodeID(e[0]), NodeID(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u, b.Build()
+}
+
+func label6(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestBuilderAggregatesDuplicates(t *testing.T) {
+	_, w := buildTest(t, [][3]float64{{0, 1, 2}, {0, 1, 3}, {0, 2, 1}})
+	if got := w.Weight(0, 1); got != 5 {
+		t.Fatalf("C[0,1] = %g, want 5", got)
+	}
+	if w.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", w.NumEdges())
+	}
+	if w.OutWeightSum(0) != 6 {
+		t.Fatalf("OutWeightSum = %g", w.OutWeightSum(0))
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("a", PartNone)
+	b := NewBuilder(u, 0)
+	if err := b.Add(0, 0, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := b.Add(0, 7, 1); err == nil {
+		t.Fatal("out-of-universe edge accepted")
+	}
+}
+
+func TestBuilderDropsNonPositive(t *testing.T) {
+	_, w := buildTest(t, [][3]float64{{0, 1, 2}, {0, 1, -2}, {2, 3, 4}, {2, 3, -5}})
+	if w.HasEdge(0, 1) || w.HasEdge(2, 3) {
+		t.Fatal("non-positive-total edges not dropped")
+	}
+	if w.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d", w.NumEdges())
+	}
+}
+
+func TestWindowAdjacency(t *testing.T) {
+	_, w := buildTest(t, [][3]float64{
+		{0, 1, 2}, {0, 2, 7}, {1, 2, 1}, {3, 2, 4}, {2, 0, 5},
+	})
+	if w.OutDegree(0) != 2 || w.InDegree(2) != 3 || w.OutDegree(5) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	// Out iteration in increasing NodeID order.
+	var got []NodeID
+	w.Out(0, func(u NodeID, wt float64) bool {
+		got = append(got, u)
+		return true
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Out order wrong: %v", got)
+	}
+	// Early stop.
+	calls := 0
+	w.In(2, func(u NodeID, wt float64) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored, %d calls", calls)
+	}
+	if w.TotalWeight() != 19 {
+		t.Fatalf("TotalWeight = %g", w.TotalWeight())
+	}
+	active := w.ActiveNodes()
+	if len(active) != 4 {
+		t.Fatalf("ActiveNodes = %v", active)
+	}
+	sources := w.ActiveSources()
+	if len(sources) != 4 { // 0,1,2,3 all have out-edges
+		t.Fatalf("ActiveSources = %v", sources)
+	}
+}
+
+func TestWindowEdgesRoundTrip(t *testing.T) {
+	u, w := buildTest(t, [][3]float64{{0, 1, 2}, {4, 5, 3}, {1, 0, 1}})
+	w2, err := FromEdges(u, 1, w.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Index() != 1 {
+		t.Fatalf("index = %d", w2.Index())
+	}
+	if w2.NumEdges() != w.NumEdges() || w2.TotalWeight() != w.TotalWeight() {
+		t.Fatal("edge round trip changed the graph")
+	}
+	for _, e := range w.Edges() {
+		if w2.Weight(e.From, e.To) != e.Weight {
+			t.Fatalf("edge (%d,%d) weight changed", e.From, e.To)
+		}
+	}
+}
+
+// TestWindowAgainstNaive cross-checks the CSR representation against a
+// straightforward map-based model on random multigraphs.
+func TestWindowAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		u := NewUniverse()
+		for i := 0; i < n; i++ {
+			u.MustIntern(string(rune('A'+i)), PartNone)
+		}
+		b := NewBuilder(u, 0)
+		naive := map[[2]NodeID]float64{}
+		for e := 0; e < rng.Intn(60); e++ {
+			from := NodeID(rng.Intn(n))
+			to := NodeID(rng.Intn(n))
+			if from == to {
+				continue
+			}
+			wt := float64(rng.Intn(9)) - 2 // sometimes negative
+			naive[[2]NodeID{from, to}] += wt
+			if err := b.Add(from, to, wt); err != nil {
+				return false
+			}
+		}
+		w := b.Build()
+		// Edge set must match positive-weight naive entries.
+		edges := 0
+		outSum := make([]float64, n)
+		inDeg := make([]int, n)
+		for k, wt := range naive {
+			if wt <= 0 {
+				if w.HasEdge(k[0], k[1]) {
+					return false
+				}
+				continue
+			}
+			edges++
+			outSum[k[0]] += wt
+			inDeg[k[1]]++
+			if math.Abs(w.Weight(k[0], k[1])-wt) > 1e-9 {
+				return false
+			}
+		}
+		if w.NumEdges() != edges {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(w.OutWeightSum(NodeID(v))-outSum[v]) > 1e-9 {
+				return false
+			}
+			if w.InDegree(NodeID(v)) != inDeg[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowPostBuildInterning(t *testing.T) {
+	u, w := buildTest(t, [][3]float64{{0, 1, 2}})
+	late := u.MustIntern("late", PartNone)
+	// The late node is a valid, isolated node in the earlier window.
+	if w.OutDegree(late) != 0 || w.InDegree(late) != 0 || w.OutWeightSum(late) != 0 {
+		t.Fatal("late node not isolated")
+	}
+	if w.Weight(late, 0) != 0 || w.HasEdge(late, 0) {
+		t.Fatal("late node has edges")
+	}
+	w.Out(late, func(NodeID, float64) bool { t.Fatal("Out visited"); return false })
+	w.In(late, func(NodeID, float64) bool { t.Fatal("In visited"); return false })
+	for _, v := range w.ActiveNodes() {
+		if v == late {
+			t.Fatal("late node listed active")
+		}
+	}
+	if w.NumNodes() != u.Size() {
+		t.Fatal("NumNodes should track the universe")
+	}
+}
+
+func TestBuilderReuse(t *testing.T) {
+	u := NewUniverse()
+	u.MustIntern("a", PartNone)
+	u.MustIntern("b", PartNone)
+	b := NewBuilder(u, 0)
+	if err := b.Add(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	w1 := b.Build()
+	if err := b.Add(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	w2 := b.Build()
+	if w1.Weight(0, 1) != 1 {
+		t.Fatal("first build mutated by later Add")
+	}
+	if w2.Weight(0, 1) != 3 {
+		t.Fatalf("second build weight = %g", w2.Weight(0, 1))
+	}
+}
+
+func TestAddLabeled(t *testing.T) {
+	u := NewUniverse()
+	b := NewBuilder(u, 0)
+	if err := b.AddLabeled("10.0.0.1", Part1, "ext", Part2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLabeled("10.0.0.1", Part2, "ext2", Part2, 1); err == nil {
+		t.Fatal("part conflict not surfaced")
+	}
+	w := b.Build()
+	src, _ := u.Lookup("10.0.0.1")
+	dst, _ := u.Lookup("ext")
+	if w.Weight(src, dst) != 2 {
+		t.Fatal("labeled edge missing")
+	}
+}

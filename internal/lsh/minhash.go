@@ -1,0 +1,205 @@
+// Package lsh implements approximate nearest-neighbour signature
+// comparison via MinHash and Locality-Sensitive Hashing banding (§VI
+// "Scalable signature comparison"): given a signature, find the most
+// Jaccard-similar signatures in a population without the quadratic
+// all-pairs scan.
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// MinHash is an h-component MinHash fingerprint of a signature's node
+// set. Two fingerprints agree on each component with probability equal
+// to the Jaccard similarity of the underlying sets.
+type MinHash struct {
+	vals []uint64
+}
+
+// Hasher produces MinHash fingerprints with a fixed hash family so that
+// fingerprints from the same Hasher are comparable.
+type Hasher struct {
+	seeds []uint64
+}
+
+// NewHasher builds a hasher with h hash functions.
+func NewHasher(h int, seed uint64) (*Hasher, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("lsh: hasher needs a positive component count, got %d", h)
+	}
+	seeds := make([]uint64, h)
+	s := mix(seed ^ 0xA5A5A5A5A5A5A5A5)
+	for i := range seeds {
+		s = mix(s)
+		seeds[i] = s
+	}
+	return &Hasher{seeds: seeds}, nil
+}
+
+// Components reports the number of hash functions.
+func (h *Hasher) Components() int { return len(h.seeds) }
+
+// Fingerprint computes the MinHash of the signature's node set. Weights
+// are deliberately ignored: this index serves the Jaccard distance,
+// matching the paper's pointer to LSH for Dist_Jac [14].
+func (h *Hasher) Fingerprint(sig core.Signature) MinHash {
+	vals := make([]uint64, len(h.seeds))
+	for i := range vals {
+		vals[i] = math.MaxUint64
+	}
+	for _, u := range sig.Nodes {
+		for i, seed := range h.seeds {
+			if v := mix(uint64(u) ^ seed); v < vals[i] {
+				vals[i] = v
+			}
+		}
+	}
+	return MinHash{vals: vals}
+}
+
+// EstimateJaccard estimates the Jaccard *similarity* (1 − Dist_Jac) of
+// the sets behind two fingerprints from the same Hasher.
+func EstimateJaccard(a, b MinHash) (float64, error) {
+	if len(a.vals) != len(b.vals) || len(a.vals) == 0 {
+		return 0, fmt.Errorf("lsh: fingerprints of mismatched size %d/%d", len(a.vals), len(b.vals))
+	}
+	match := 0
+	for i := range a.vals {
+		if a.vals[i] == b.vals[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a.vals)), nil
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Index is an LSH banding index over MinHash fingerprints: bands of
+// rows hashed into buckets; signatures sharing any band bucket become
+// candidate neighbours. With b bands of r rows, a pair with Jaccard
+// similarity s collides with probability 1 − (1 − s^r)^b.
+type Index struct {
+	hasher *Hasher
+	bands  int
+	rows   int
+
+	buckets []map[uint64][]int // one bucket map per band
+	items   []indexedItem
+	ids     map[graph.NodeID]int
+}
+
+type indexedItem struct {
+	node graph.NodeID
+	fp   MinHash
+}
+
+// NewIndex builds an index with the given band/row split; the hasher
+// must have exactly bands·rows components.
+func NewIndex(hasher *Hasher, bands, rows int) (*Index, error) {
+	if bands <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("lsh: bands and rows must be positive, got %d×%d", bands, rows)
+	}
+	if hasher.Components() != bands*rows {
+		return nil, fmt.Errorf("lsh: hasher has %d components, want bands·rows = %d", hasher.Components(), bands*rows)
+	}
+	idx := &Index{
+		hasher:  hasher,
+		bands:   bands,
+		rows:    rows,
+		buckets: make([]map[uint64][]int, bands),
+		ids:     map[graph.NodeID]int{},
+	}
+	for b := range idx.buckets {
+		idx.buckets[b] = map[uint64][]int{}
+	}
+	return idx, nil
+}
+
+// Add inserts a node's signature. Re-adding a node is an error; build
+// the index once per (window, scheme).
+func (idx *Index) Add(node graph.NodeID, sig core.Signature) error {
+	if _, dup := idx.ids[node]; dup {
+		return fmt.Errorf("lsh: node %d already indexed", node)
+	}
+	fp := idx.hasher.Fingerprint(sig)
+	item := len(idx.items)
+	idx.items = append(idx.items, indexedItem{node: node, fp: fp})
+	idx.ids[node] = item
+	for b := 0; b < idx.bands; b++ {
+		key := idx.bandKey(fp, b)
+		idx.buckets[b][key] = append(idx.buckets[b][key], item)
+	}
+	return nil
+}
+
+// Len reports the number of indexed signatures.
+func (idx *Index) Len() int { return len(idx.items) }
+
+func (idx *Index) bandKey(fp MinHash, b int) uint64 {
+	h := uint64(0x811C9DC5C0FFEE00) ^ uint64(b)
+	for r := 0; r < idx.rows; r++ {
+		h = mix(h ^ fp.vals[b*idx.rows+r])
+	}
+	return h
+}
+
+// Neighbor is one approximate nearest-neighbour result.
+type Neighbor struct {
+	Node graph.NodeID
+	// Similarity is the MinHash-estimated Jaccard similarity.
+	Similarity float64
+}
+
+// Query returns candidate neighbours of sig — every indexed signature
+// sharing at least one band bucket — ranked by estimated similarity
+// descending (ties by NodeID), excluding exclude. Candidates with
+// estimated similarity below minSim are dropped.
+func (idx *Index) Query(sig core.Signature, exclude graph.NodeID, minSim float64) ([]Neighbor, error) {
+	fp := idx.hasher.Fingerprint(sig)
+	seen := map[int]struct{}{}
+	var out []Neighbor
+	for b := 0; b < idx.bands; b++ {
+		for _, item := range idx.buckets[b][idx.bandKey(fp, b)] {
+			if _, dup := seen[item]; dup {
+				continue
+			}
+			seen[item] = struct{}{}
+			it := idx.items[item]
+			if it.node == exclude {
+				continue
+			}
+			sim, err := EstimateJaccard(fp, it.fp)
+			if err != nil {
+				return nil, err
+			}
+			if sim >= minSim {
+				out = append(out, Neighbor{Node: it.node, Similarity: sim})
+			}
+		}
+	}
+	sortNeighbors(out)
+	return out, nil
+}
+
+func sortNeighbors(ns []Neighbor) {
+	// Insertion sort: candidate lists are short by design.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ns[j-1], ns[j]
+			if b.Similarity > a.Similarity || (b.Similarity == a.Similarity && b.Node < a.Node) {
+				ns[j-1], ns[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

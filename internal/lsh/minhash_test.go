@@ -1,0 +1,209 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+func sigOf(nodes ...graph.NodeID) core.Signature {
+	w := map[graph.NodeID]float64{}
+	for _, n := range nodes {
+		w[n] = 1
+	}
+	return core.FromWeights(w, len(nodes))
+}
+
+func TestHasherValidation(t *testing.T) {
+	if _, err := NewHasher(0, 1); err == nil {
+		t.Fatal("0 components accepted")
+	}
+}
+
+func TestMinHashIdenticalSets(t *testing.T) {
+	h, err := NewHasher(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sigOf(1, 2, 3)
+	b := sigOf(1, 2, 3)
+	sim, err := EstimateJaccard(h.Fingerprint(a), h.Fingerprint(b))
+	if err != nil || sim != 1 {
+		t.Fatalf("identical sets sim = %g, %v", sim, err)
+	}
+	c := sigOf(9, 10, 11)
+	sim, err = EstimateJaccard(h.Fingerprint(a), h.Fingerprint(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim > 0.2 {
+		t.Fatalf("disjoint sets sim = %g", sim)
+	}
+}
+
+func TestMinHashMismatchedSizes(t *testing.T) {
+	h1, _ := NewHasher(16, 1)
+	h2, _ := NewHasher(32, 1)
+	if _, err := EstimateJaccard(h1.Fingerprint(sigOf(1)), h2.Fingerprint(sigOf(1))); err == nil {
+		t.Fatal("mismatched fingerprints compared")
+	}
+}
+
+// Property: the MinHash estimate concentrates around the true Jaccard
+// similarity.
+func TestMinHashEstimatesJaccard(t *testing.T) {
+	h, err := NewHasher(256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		setA := map[graph.NodeID]bool{}
+		setB := map[graph.NodeID]bool{}
+		for i := 0; i < 30; i++ {
+			n := graph.NodeID(rng.Intn(40))
+			if rng.Intn(2) == 0 {
+				setA[n] = true
+			}
+			if rng.Intn(2) == 0 {
+				setB[n] = true
+			}
+		}
+		if len(setA) == 0 || len(setB) == 0 {
+			return true
+		}
+		inter, union := 0, 0
+		all := map[graph.NodeID]bool{}
+		for n := range setA {
+			all[n] = true
+		}
+		for n := range setB {
+			all[n] = true
+		}
+		for n := range all {
+			union++
+			if setA[n] && setB[n] {
+				inter++
+			}
+		}
+		truth := float64(inter) / float64(union)
+		var a, b []graph.NodeID
+		for n := range setA {
+			a = append(a, n)
+		}
+		for n := range setB {
+			b = append(b, n)
+		}
+		sim, err := EstimateJaccard(h.Fingerprint(sigOf(a...)), h.Fingerprint(sigOf(b...)))
+		if err != nil {
+			return false
+		}
+		// 256 components: standard error √(s(1−s)/256) ≤ 0.032.
+		return math.Abs(sim-truth) < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	h, _ := NewHasher(32, 1)
+	if _, err := NewIndex(h, 0, 4); err == nil {
+		t.Fatal("0 bands accepted")
+	}
+	if _, err := NewIndex(h, 4, 0); err == nil {
+		t.Fatal("0 rows accepted")
+	}
+	if _, err := NewIndex(h, 4, 4); err == nil {
+		t.Fatal("mismatched hasher accepted")
+	}
+	idx, err := NewIndex(h, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(1, sigOf(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(1, sigOf(1, 2)); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestIndexFindsNearDuplicates(t *testing.T) {
+	h, err := NewHasher(32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(h, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 random signatures plus one near-duplicate pair.
+	rng := rand.New(rand.NewSource(4))
+	for i := graph.NodeID(0); i < 50; i++ {
+		var nodes []graph.NodeID
+		for j := 0; j < 10; j++ {
+			nodes = append(nodes, graph.NodeID(1000+rng.Intn(2000)))
+		}
+		if err := idx.Add(i, sigOf(nodes...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := sigOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	twin := sigOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 11)
+	if err := idx.Add(100, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(101, twin); err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.Query(target, 100, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].Node != 101 {
+		t.Fatalf("twin not found: %+v", got)
+	}
+	if got[0].Similarity < 0.5 {
+		t.Fatalf("twin similarity = %g", got[0].Similarity)
+	}
+	// The query excludes the queried node itself.
+	for _, n := range got {
+		if n.Node == 100 {
+			t.Fatal("query returned the excluded node")
+		}
+	}
+}
+
+func TestIndexQueryRanking(t *testing.T) {
+	h, _ := NewHasher(32, 2)
+	idx, _ := NewIndex(h, 16, 2)
+	if err := idx.Add(1, sigOf(1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(2, sigOf(1, 2, 3, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Add(3, sigOf(1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.Query(sigOf(1, 2, 3, 4), -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 || got[0].Node != 1 || got[1].Node != 3 {
+		t.Fatalf("ranking wrong: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Similarity > got[i-1].Similarity {
+			t.Fatal("neighbours not sorted by similarity")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package netflow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"graphsig/internal/graph"
+)
+
+// Classifier assigns each node label to a bipartite part. The enterprise
+// setting uses a prefix classifier (local hosts are Part1, externals
+// Part2); general graphs use General.
+type Classifier func(label string) graph.Part
+
+// General classifies every label as PartNone (non-bipartite graph).
+func General(string) graph.Part { return graph.PartNone }
+
+// PrefixClassifier classifies labels with the given prefix as Part1 and
+// everything else as Part2, matching the local/external split of the
+// enterprise capture.
+func PrefixClassifier(localPrefix string) Classifier {
+	return func(label string) graph.Part {
+		if len(label) >= len(localPrefix) && label[:len(localPrefix)] == localPrefix {
+			return graph.Part1
+		}
+		return graph.Part2
+	}
+}
+
+// AggregateOptions controls how a flow-record stream becomes a sequence
+// of communication graphs.
+type AggregateOptions struct {
+	// WindowSize is the aggregation interval (the paper uses five
+	// weekdays per window on the enterprise data).
+	WindowSize time.Duration
+	// Origin anchors window boundaries; records before Origin are
+	// rejected. Zero means the start time of the earliest record.
+	Origin time.Time
+	// Classify assigns bipartite parts; nil means General.
+	Classify Classifier
+	// TCPOnly drops non-TCP records, matching the paper's setup.
+	TCPOnly bool
+	// Universe receives interned labels; nil allocates a fresh one.
+	Universe *graph.Universe
+}
+
+// Aggregate buckets records into consecutive windows of WindowSize and
+// builds one communication graph per window, weighting each directed
+// edge by total sessions (the paper's edge-weight measure). Windows with
+// no records still appear (empty) so that window indices align with
+// wall-clock intervals.
+func Aggregate(records []Record, opts AggregateOptions) ([]*graph.Window, error) {
+	if opts.WindowSize <= 0 {
+		return nil, fmt.Errorf("netflow: aggregate requires positive window size")
+	}
+	classify := opts.Classify
+	if classify == nil {
+		classify = General
+	}
+	u := opts.Universe
+	if u == nil {
+		u = graph.NewUniverse()
+	}
+	kept := make([]Record, 0, len(records))
+	for i := range records {
+		r := records[i]
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("netflow: aggregate: record %d: %w", i, err)
+		}
+		if opts.TCPOnly && r.Proto != TCP {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	origin := opts.Origin
+	if origin.IsZero() {
+		origin = kept[0].Start
+		for _, r := range kept[1:] {
+			if r.Start.Before(origin) {
+				origin = r.Start
+			}
+		}
+	}
+	maxIdx := 0
+	idxOf := func(r *Record) (int, error) {
+		d := r.Start.Sub(origin)
+		if d < 0 {
+			return 0, fmt.Errorf("netflow: record at %v precedes origin %v", r.Start, origin)
+		}
+		return int(d / opts.WindowSize), nil
+	}
+	for i := range kept {
+		idx, err := idxOf(&kept[i])
+		if err != nil {
+			return nil, err
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	// Intern labels in a deterministic order (sorted by label) so that
+	// NodeIDs do not depend on record order.
+	labels := map[string]graph.Part{}
+	for i := range kept {
+		labels[kept[i].Src] = classify(kept[i].Src)
+		labels[kept[i].Dst] = classify(kept[i].Dst)
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	for _, l := range sorted {
+		if _, err := u.Intern(l, labels[l]); err != nil {
+			return nil, fmt.Errorf("netflow: aggregate: %w", err)
+		}
+	}
+
+	builders := make([]*graph.Builder, maxIdx+1)
+	for i := range builders {
+		builders[i] = graph.NewBuilder(u, i)
+	}
+	for i := range kept {
+		r := &kept[i]
+		idx, err := idxOf(r)
+		if err != nil {
+			return nil, err
+		}
+		src, _ := u.Lookup(r.Src)
+		dst, _ := u.Lookup(r.Dst)
+		if err := builders[idx].Add(src, dst, float64(r.Sessions)); err != nil {
+			return nil, fmt.Errorf("netflow: aggregate: record %d: %w", i, err)
+		}
+	}
+	windows := make([]*graph.Window, len(builders))
+	for i, b := range builders {
+		windows[i] = b.Build()
+	}
+	return windows, nil
+}

@@ -1,0 +1,161 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+
+	"graphsig/internal/graph"
+)
+
+func rec(src, dst string, at time.Time, sessions int, proto Proto) Record {
+	return Record{
+		Src: src, Dst: dst, Start: at, Sessions: sessions,
+		Duration: time.Second, Bytes: 100, Packets: 2, Proto: proto,
+	}
+}
+
+var t0 = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func TestAggregateWindows(t *testing.T) {
+	day := 24 * time.Hour
+	records := []Record{
+		rec("10.0.0.1", "e1", t0, 2, TCP),
+		rec("10.0.0.1", "e1", t0.Add(3*day), 3, TCP),  // same window (5d)
+		rec("10.0.0.1", "e2", t0.Add(6*day), 1, TCP),  // window 1
+		rec("10.0.0.2", "e1", t0.Add(12*day), 4, TCP), // window 2
+	}
+	windows, err := Aggregate(records, AggregateOptions{
+		WindowSize: 5 * day,
+		Origin:     t0,
+		Classify:   PrefixClassifier("10."),
+		TCPOnly:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	u := windows[0].Universe()
+	h1, _ := u.Lookup("10.0.0.1")
+	e1, _ := u.Lookup("e1")
+	if got := windows[0].Weight(h1, e1); got != 5 {
+		t.Fatalf("window0 C = %g", got)
+	}
+	if windows[1].NumEdges() != 1 || windows[2].NumEdges() != 1 {
+		t.Fatal("later windows wrong")
+	}
+	// Bipartite classification.
+	if u.PartOf(h1) != graph.Part1 || u.PartOf(e1) != graph.Part2 {
+		t.Fatal("classifier parts wrong")
+	}
+}
+
+func TestAggregateTCPOnly(t *testing.T) {
+	records := []Record{
+		rec("a", "b", t0, 2, TCP),
+		rec("a", "c", t0, 9, UDP),
+	}
+	windows, err := Aggregate(records, AggregateOptions{WindowSize: time.Hour, TCPOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows[0].NumEdges() != 1 {
+		t.Fatalf("UDP record not dropped: %d edges", windows[0].NumEdges())
+	}
+	windows, err = Aggregate(records, AggregateOptions{WindowSize: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows[0].NumEdges() != 2 {
+		t.Fatal("non-TCPOnly dropped records")
+	}
+}
+
+func TestAggregateDeterministicInterning(t *testing.T) {
+	records := []Record{
+		rec("b", "z", t0, 1, TCP),
+		rec("a", "y", t0, 1, TCP),
+	}
+	reversed := []Record{records[1], records[0]}
+	w1, err := Aggregate(records, AggregateOptions{WindowSize: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Aggregate(reversed, AggregateOptions{WindowSize: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"a", "b", "y", "z"} {
+		id1, _ := w1[0].Universe().Lookup(l)
+		id2, _ := w2[0].Universe().Lookup(l)
+		if id1 != id2 {
+			t.Fatalf("label %q got ids %d/%d depending on record order", l, id1, id2)
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil, AggregateOptions{}); err == nil {
+		t.Fatal("zero window size accepted")
+	}
+	// Records before the origin are rejected.
+	_, err := Aggregate(
+		[]Record{rec("a", "b", t0, 1, TCP)},
+		AggregateOptions{WindowSize: time.Hour, Origin: t0.Add(time.Hour)},
+	)
+	if err == nil {
+		t.Fatal("pre-origin record accepted")
+	}
+	// Invalid records are rejected with their index.
+	_, err = Aggregate(
+		[]Record{{Src: "a", Dst: "a", Start: t0, Sessions: 1, Proto: TCP}},
+		AggregateOptions{WindowSize: time.Hour},
+	)
+	if err == nil {
+		t.Fatal("self-flow accepted")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	windows, err := Aggregate(nil, AggregateOptions{WindowSize: time.Hour})
+	if err != nil || windows != nil {
+		t.Fatalf("empty aggregate: %v %v", windows, err)
+	}
+	// All records filtered out also yields no windows.
+	windows, err = Aggregate(
+		[]Record{rec("a", "b", t0, 1, UDP)},
+		AggregateOptions{WindowSize: time.Hour, TCPOnly: true},
+	)
+	if err != nil || windows != nil {
+		t.Fatalf("filtered aggregate: %v %v", windows, err)
+	}
+}
+
+func TestAggregateSharedUniverse(t *testing.T) {
+	u := graph.NewUniverse()
+	u.MustIntern("pre", graph.PartNone)
+	windows, err := Aggregate(
+		[]Record{rec("a", "b", t0, 1, TCP)},
+		AggregateOptions{WindowSize: time.Hour, Universe: u},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows[0].Universe() != u {
+		t.Fatal("universe not shared")
+	}
+	if _, ok := u.Lookup("pre"); !ok {
+		t.Fatal("pre-existing label lost")
+	}
+}
+
+func TestGeneralClassifier(t *testing.T) {
+	if General("anything") != graph.PartNone {
+		t.Fatal("General misclassified")
+	}
+	c := PrefixClassifier("10.")
+	if c("10.1.2.3") != graph.Part1 || c("192.168.0.1") != graph.Part2 || c("1") != graph.Part2 {
+		t.Fatal("PrefixClassifier wrong")
+	}
+}

@@ -1,0 +1,231 @@
+package netflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text codec: one record per line,
+//
+//	start_unix_ms  duration_ms  src  dst  proto  sessions  bytes  packets
+//
+// separated by single spaces. Lines beginning with '#' and blank lines
+// are ignored. This is the on-disk format emitted by cmd/siggen and
+// consumed by cmd/sigtool.
+
+// WriteText writes records in the text format.
+func WriteText(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# start_ms duration_ms src dst proto sessions bytes packets"); err != nil {
+		return err
+	}
+	for i := range records {
+		r := &records[i]
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("netflow: record %d: %w", i, err)
+		}
+		_, err := fmt.Fprintf(bw, "%d %d %s %s %s %d %d %d\n",
+			r.Start.UnixMilli(), r.Duration.Milliseconds(),
+			r.Src, r.Dst, r.Proto, r.Sessions, r.Bytes, r.Packets)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses records from the text format, rejecting malformed
+// lines with the line number in the error.
+func ReadText(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rec, err := parseTextLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("netflow: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netflow: read: %w", err)
+	}
+	return out, nil
+}
+
+func parseTextLine(text string) (Record, error) {
+	f := strings.Fields(text)
+	if len(f) != 8 {
+		return Record{}, fmt.Errorf("want 8 fields, got %d", len(f))
+	}
+	startMS, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad start: %w", err)
+	}
+	durMS, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad duration: %w", err)
+	}
+	proto, err := ParseProto(f[4])
+	if err != nil {
+		return Record{}, err
+	}
+	sessions, err := strconv.Atoi(f[5])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad sessions: %w", err)
+	}
+	bytes, err := strconv.ParseInt(f[6], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad bytes: %w", err)
+	}
+	packets, err := strconv.ParseInt(f[7], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad packets: %w", err)
+	}
+	rec := Record{
+		Src:      f[2],
+		Dst:      f[3],
+		Start:    time.UnixMilli(startMS).UTC(),
+		Duration: time.Duration(durMS) * time.Millisecond,
+		Proto:    proto,
+		Sessions: sessions,
+		Bytes:    bytes,
+		Packets:  packets,
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Binary codec: a compact length-prefixed little-endian framing with a
+// magic header, for large captures where the text form is too slow.
+//
+//	header:  "NFB1"
+//	record:  u16 srcLen, src, u16 dstLen, dst,
+//	         i64 startUnixMs, i64 durationMs,
+//	         u8 proto, u32 sessions, i64 bytes, i64 packets
+
+var binaryMagic = [4]byte{'N', 'F', 'B', '1'}
+
+// WriteBinary writes records in the binary format.
+func WriteBinary(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	for i := range records {
+		r := &records[i]
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("netflow: record %d: %w", i, err)
+		}
+		if len(r.Src) > 0xFFFF || len(r.Dst) > 0xFFFF {
+			return fmt.Errorf("netflow: record %d: label too long", i)
+		}
+		if err := writeString(bw, r.Src); err != nil {
+			return err
+		}
+		if err := writeString(bw, r.Dst); err != nil {
+			return err
+		}
+		fixed := []any{
+			r.Start.UnixMilli(), r.Duration.Milliseconds(),
+			uint8(r.Proto), uint32(r.Sessions), r.Bytes, r.Packets,
+		}
+		for _, v := range fixed {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// ReadBinary parses records from the binary format.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("netflow: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("netflow: bad magic %q", magic[:])
+	}
+	var out []Record
+	for {
+		src, err := readString(br)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netflow: record %d: src: %w", len(out), err)
+		}
+		dst, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("netflow: record %d: dst: %w", len(out), eofIsUnexpected(err))
+		}
+		var startMS, durMS int64
+		var proto uint8
+		var sessions uint32
+		var bytes, packets int64
+		for _, v := range []any{&startMS, &durMS, &proto, &sessions, &bytes, &packets} {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("netflow: record %d: %w", len(out), eofIsUnexpected(err))
+			}
+		}
+		rec := Record{
+			Src:      src,
+			Dst:      dst,
+			Start:    time.UnixMilli(startMS).UTC(),
+			Duration: time.Duration(durMS) * time.Millisecond,
+			Proto:    Proto(proto),
+			Sessions: int(sessions),
+			Bytes:    bytes,
+			Packets:  packets,
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("netflow: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", eofIsUnexpected(err)
+	}
+	return string(buf), nil
+}
+
+// eofIsUnexpected converts a mid-record io.EOF into io.ErrUnexpectedEOF
+// so truncated files are reported as corruption, not clean end-of-input.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+package perturb
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/stats"
+)
+
+// Masquerade records a simulated label-masquerade event set E_P (§V): a
+// bijective mapping over the perturbed node set P. A pair v→u means the
+// individual behind v re-appears under label u in the later window
+// (all of v's communications are relabelled to u).
+type Masquerade struct {
+	// Mapping holds v → u for every v ∈ P.
+	Mapping map[graph.NodeID]graph.NodeID
+}
+
+// Perturbed returns P, the sorted set of relabelled nodes.
+func (m *Masquerade) Perturbed() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m.Mapping))
+	for v := range m.Mapping {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether v ∈ P.
+func (m *Masquerade) Contains(v graph.NodeID) bool {
+	_, ok := m.Mapping[v]
+	return ok
+}
+
+// SimulateMasquerade relabels f·|candidates| randomly selected nodes of
+// the window via a fixed-point-free bijection (a random cyclic
+// permutation of P) and rebuilds the graph with all of each node's
+// communications carried over to its new label. The returned Masquerade
+// is the ground truth E_P that detection must recover.
+//
+// candidates is typically the window's Part1 sources (the local hosts
+// the paper monitors). frac values yielding fewer than 2 nodes produce
+// an empty masquerade: a bijection with no fixed points needs |P| ≥ 2.
+func SimulateMasquerade(w *graph.Window, candidates []graph.NodeID, frac float64, seed int64) (*graph.Window, *Masquerade, error) {
+	if frac < 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("perturb: masquerade fraction %g outside [0,1]", frac)
+	}
+	rng := stats.NewRNG(seed)
+	n := int(frac * float64(len(candidates)))
+	m := &Masquerade{Mapping: map[graph.NodeID]graph.NodeID{}}
+	if n >= 2 {
+		// Choose P uniformly and relabel along a random cycle, which is
+		// a bijection with no fixed points.
+		perm := rng.Perm(len(candidates))
+		p := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			p[i] = candidates[perm[i]]
+		}
+		for i, v := range p {
+			m.Mapping[v] = p[(i+1)%n]
+		}
+	}
+	relabel := func(v graph.NodeID) graph.NodeID {
+		if u, ok := m.Mapping[v]; ok {
+			return u
+		}
+		return v
+	}
+	edges := w.Edges()
+	out := make([]graph.Edge, 0, len(edges))
+	for _, e := range edges {
+		from, to := relabel(e.From), relabel(e.To)
+		if from == to {
+			// A cycle of length 2 can map an edge onto itself
+			// (v→u while u also communicated with v); drop such
+			// degenerate self-loops.
+			continue
+		}
+		out = append(out, graph.Edge{From: from, To: to, Weight: e.Weight})
+	}
+	win, err := graph.FromEdges(w.Universe(), w.Index(), out)
+	if err != nil {
+		return nil, nil, fmt.Errorf("perturb: masquerade rebuild: %w", err)
+	}
+	return win, m, nil
+}

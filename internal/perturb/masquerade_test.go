@@ -1,0 +1,102 @@
+package perturb
+
+import (
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+func TestSimulateMasqueradeBijection(t *testing.T) {
+	w := bipartiteWindow(t)
+	candidates := w.Universe().PartMembers(graph.Part1)
+	got, m, err := SimulateMasquerade(w, candidates, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mapping) != len(candidates) {
+		t.Fatalf("mapping covers %d of %d", len(m.Mapping), len(candidates))
+	}
+	// Bijective with no fixed points.
+	seen := map[graph.NodeID]bool{}
+	for v, u := range m.Mapping {
+		if v == u {
+			t.Fatal("fixed point in masquerade mapping")
+		}
+		if seen[u] {
+			t.Fatal("mapping not injective")
+		}
+		seen[u] = true
+		if !m.Contains(v) {
+			t.Fatal("Contains inconsistent")
+		}
+	}
+	if len(m.Perturbed()) != len(candidates) {
+		t.Fatal("Perturbed() wrong size")
+	}
+	// Out-weight moves with the relabelling.
+	for v, u := range m.Mapping {
+		if got.OutWeightSum(u) != w.OutWeightSum(v) {
+			t.Fatalf("traffic of %d (now %d) changed: %g vs %g",
+				v, u, got.OutWeightSum(u), w.OutWeightSum(v))
+		}
+	}
+}
+
+func TestSimulateMasqueradeFraction(t *testing.T) {
+	w := bipartiteWindow(t)
+	candidates := w.Universe().PartMembers(graph.Part1)
+	_, m, err := SimulateMasquerade(w, candidates, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mapping) != 2 { // 0.5 × 4
+		t.Fatalf("|P| = %d, want 2", len(m.Mapping))
+	}
+}
+
+func TestSimulateMasqueradeTooSmall(t *testing.T) {
+	w := bipartiteWindow(t)
+	candidates := w.Universe().PartMembers(graph.Part1)
+	// A fraction yielding fewer than 2 nodes produces no masquerade.
+	got, m, err := SimulateMasquerade(w, candidates, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Mapping) != 0 {
+		t.Fatalf("|P| = %d, want 0", len(m.Mapping))
+	}
+	if got.TotalWeight() != w.TotalWeight() {
+		t.Fatal("no-op masquerade changed the graph")
+	}
+}
+
+func TestSimulateMasqueradeValidation(t *testing.T) {
+	w := bipartiteWindow(t)
+	candidates := w.Universe().PartMembers(graph.Part1)
+	for _, f := range []float64{-0.1, 1.1} {
+		if _, _, err := SimulateMasquerade(w, candidates, f, 1); err == nil {
+			t.Fatalf("fraction %g accepted", f)
+		}
+	}
+}
+
+func TestSimulateMasqueradeDeterminism(t *testing.T) {
+	w := bipartiteWindow(t)
+	candidates := w.Universe().PartMembers(graph.Part1)
+	_, m1, err := SimulateMasquerade(w, candidates, 0.75, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m2, err := SimulateMasquerade(w, candidates, 0.75, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Mapping) != len(m2.Mapping) {
+		t.Fatal("same seed produced different mappings")
+	}
+	for v, u := range m1.Mapping {
+		if m2.Mapping[v] != u {
+			t.Fatal("same seed produced different mappings")
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package perturb implements the paper's two controlled graph
+// modifications: the random edge insertion/deletion used to measure
+// signature robustness (§IV-C) and the label-masquerade simulation used
+// to evaluate Algorithm 1 (§V).
+package perturb
+
+import (
+	"fmt"
+
+	"graphsig/internal/graph"
+	"graphsig/internal/stats"
+)
+
+// Options parameterizes the §IV-C perturbation: insert α·|E| fresh
+// edges and perform β·|E| unit-weight decrements.
+type Options struct {
+	// InsertFrac is α.
+	InsertFrac float64
+	// DeleteFrac is β.
+	DeleteFrac float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (o Options) validate() error {
+	if o.InsertFrac < 0 || o.DeleteFrac < 0 {
+		return fmt.Errorf("perturb: fractions must be non-negative (α=%g β=%g)", o.InsertFrac, o.DeleteFrac)
+	}
+	return nil
+}
+
+// Perturb produces G′_t from G_t per §IV-C:
+//
+//   - Insertions: α|E| times, sample a source v′ proportional to
+//     out-degree and a destination u′ proportional to in-degree (from
+//     Part1/Part2 respectively when the graph is bipartite), then assign
+//     the edge a weight drawn from the empirical distribution of all
+//     edge weights, independent of any existing C[v′,u′].
+//   - Deletions: β|E| times, sample an existing edge proportional to its
+//     current weight and decrement it by one unit; edges at zero vanish.
+func Perturb(w *graph.Window, opts Options) (*graph.Window, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(opts.Seed)
+	edges := w.Edges()
+	if len(edges) == 0 {
+		return graph.FromEdges(w.Universe(), w.Index(), nil)
+	}
+
+	weights := map[[2]graph.NodeID]float64{}
+	for _, e := range edges {
+		weights[[2]graph.NodeID{e.From, e.To}] = e.Weight
+	}
+
+	// ---- Insertions ----
+	nInsert := int(opts.InsertFrac * float64(len(edges)))
+	if nInsert > 0 {
+		srcSampler, dstSampler, srcIDs, dstIDs, err := endpointSamplers(w, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nInsert; i++ {
+			var v, u graph.NodeID
+			for attempt := 0; ; attempt++ {
+				v = srcIDs[srcSampler.Sample()]
+				u = dstIDs[dstSampler.Sample()]
+				if v != u {
+					break
+				}
+				if attempt > 1000 {
+					return nil, fmt.Errorf("perturb: cannot sample a non-loop edge")
+				}
+			}
+			// Weight from the empirical edge-weight distribution.
+			wt := edges[rng.Intn(len(edges))].Weight
+			weights[[2]graph.NodeID{v, u}] = wt
+		}
+	}
+
+	// ---- Deletions ----
+	nDelete := int(opts.DeleteFrac * float64(len(edges)))
+	if nDelete > 0 {
+		// Deletions sample the *original* edge population proportional
+		// to current weight; a Fenwick tree keeps sampling exact as
+		// decrements shift the distribution.
+		cur := make([]float64, len(edges))
+		for i, e := range edges {
+			cur[i] = e.Weight
+		}
+		fw, err := stats.NewFenwick(cur)
+		if err != nil {
+			return nil, fmt.Errorf("perturb: %w", err)
+		}
+		for i := 0; i < nDelete; i++ {
+			if fw.Total() <= 0 {
+				break
+			}
+			idx := fw.Sample(rng)
+			if fw.Get(idx) <= 0 {
+				continue
+			}
+			fw.Add(idx, -1)
+			key := [2]graph.NodeID{edges[idx].From, edges[idx].To}
+			weights[key]--
+			if weights[key] <= 0 {
+				delete(weights, key)
+			}
+		}
+	}
+
+	out := make([]graph.Edge, 0, len(weights))
+	for k, wt := range weights {
+		if wt > 0 {
+			out = append(out, graph.Edge{From: k[0], To: k[1], Weight: wt})
+		}
+	}
+	return graph.FromEdges(w.Universe(), w.Index(), out)
+}
+
+// endpointSamplers builds degree-proportional samplers over eligible
+// sources (positive out-degree; Part1 when bipartite) and destinations
+// (positive in-degree; Part2 when bipartite).
+func endpointSamplers(w *graph.Window, rng *stats.RNG) (src, dst *stats.Weighted, srcIDs, dstIDs []graph.NodeID, err error) {
+	bip := w.Universe().Bipartite()
+	var srcW, dstW []float64
+	for v := 0; v < w.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		part := w.Universe().PartOf(id)
+		if od := w.OutDegree(id); od > 0 && (!bip || part == graph.Part1) {
+			srcIDs = append(srcIDs, id)
+			srcW = append(srcW, float64(od))
+		}
+		if ind := w.InDegree(id); ind > 0 && (!bip || part == graph.Part2) {
+			dstIDs = append(dstIDs, id)
+			dstW = append(dstW, float64(ind))
+		}
+	}
+	if len(srcIDs) == 0 || len(dstIDs) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("perturb: graph has no eligible endpoints")
+	}
+	src, err = stats.NewWeighted(rng.Split("perturb-src"), srcW)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("perturb: src sampler: %w", err)
+	}
+	dst, err = stats.NewWeighted(rng.Split("perturb-dst"), dstW)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("perturb: dst sampler: %w", err)
+	}
+	return src, dst, srcIDs, dstIDs, nil
+}

@@ -1,0 +1,157 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// bipartiteWindow builds hosts h0..h3 → externals e0..e5 with varied
+// weights.
+func bipartiteWindow(t *testing.T) *graph.Window {
+	t.Helper()
+	u := graph.NewUniverse()
+	var hosts, exts []graph.NodeID
+	for i := 0; i < 4; i++ {
+		hosts = append(hosts, u.MustIntern(hostLabel(i), graph.Part1))
+	}
+	for i := 0; i < 6; i++ {
+		exts = append(exts, u.MustIntern(extLabel(i), graph.Part2))
+	}
+	b := graph.NewBuilder(u, 0)
+	w := 1.0
+	for _, h := range hosts {
+		for j, e := range exts {
+			if (int(h)+j)%2 == 0 {
+				if err := b.Add(h, e, w); err != nil {
+					t.Fatal(err)
+				}
+				w += 1
+			}
+		}
+	}
+	return b.Build()
+}
+
+func hostLabel(i int) string { return "h" + string(rune('0'+i)) }
+func extLabel(i int) string  { return "e" + string(rune('0'+i)) }
+
+func TestPerturbValidation(t *testing.T) {
+	w := bipartiteWindow(t)
+	if _, err := Perturb(w, Options{InsertFrac: -1}); err == nil {
+		t.Fatal("negative α accepted")
+	}
+	if _, err := Perturb(w, Options{DeleteFrac: -0.5}); err == nil {
+		t.Fatal("negative β accepted")
+	}
+}
+
+func TestPerturbNoOp(t *testing.T) {
+	w := bipartiteWindow(t)
+	got, err := Perturb(w, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != w.NumEdges() || got.TotalWeight() != w.TotalWeight() {
+		t.Fatal("zero-fraction perturbation changed the graph")
+	}
+}
+
+func TestPerturbDeterminism(t *testing.T) {
+	w := bipartiteWindow(t)
+	opts := Options{InsertFrac: 0.3, DeleteFrac: 0.3, Seed: 5}
+	a, err := Perturb(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Perturb(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("same seed produced different perturbations")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed produced different perturbations")
+		}
+	}
+}
+
+func TestPerturbDeletionsReduceWeight(t *testing.T) {
+	w := bipartiteWindow(t)
+	got, err := Perturb(w, Options{DeleteFrac: 0.5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDelete := int(0.5 * float64(w.NumEdges()))
+	if math.Abs(w.TotalWeight()-got.TotalWeight()-float64(nDelete)) > 1e-9 {
+		t.Fatalf("deleted weight %g, want %d", w.TotalWeight()-got.TotalWeight(), nDelete)
+	}
+	// Deletion alone never adds edges.
+	if got.NumEdges() > w.NumEdges() {
+		t.Fatal("deletions added edges")
+	}
+}
+
+func TestPerturbInsertionsRespectPartition(t *testing.T) {
+	w := bipartiteWindow(t)
+	got, err := Perturb(w, Options{InsertFrac: 1.0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.Universe()
+	for _, e := range got.Edges() {
+		if u.PartOf(e.From) != graph.Part1 || u.PartOf(e.To) != graph.Part2 {
+			t.Fatalf("inserted edge (%d,%d) violates the partition", e.From, e.To)
+		}
+		if e.Weight <= 0 {
+			t.Fatal("non-positive edge weight after perturbation")
+		}
+	}
+	if got.NumEdges() < w.NumEdges() {
+		t.Fatal("insertion-only perturbation lost edges")
+	}
+}
+
+func TestPerturbInsertedWeightsFromEmpiricalDistribution(t *testing.T) {
+	w := bipartiteWindow(t)
+	// Collect the set of original weights; every inserted edge's weight
+	// must be one of them (the §IV-C "total distribution of all edge
+	// weights").
+	legal := map[float64]bool{}
+	for _, e := range w.Edges() {
+		legal[e.Weight] = true
+	}
+	got, err := Perturb(w, Options{InsertFrac: 2.0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range got.Edges() {
+		if !legal[e.Weight] {
+			// The edge may be an untouched original. Check identity.
+			if w.Weight(e.From, e.To) == e.Weight {
+				continue
+			}
+			t.Fatalf("edge (%d,%d) weight %g outside the empirical distribution", e.From, e.To, e.Weight)
+		}
+	}
+}
+
+func TestPerturbEmptyGraph(t *testing.T) {
+	u := graph.NewUniverse()
+	u.MustIntern("a", graph.PartNone)
+	w, err := graph.FromEdges(u, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Perturb(w, Options{InsertFrac: 0.5, DeleteFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 0 {
+		t.Fatal("empty graph grew edges")
+	}
+}

@@ -1,0 +1,173 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinValidation(t *testing.T) {
+	if _, err := NewCountMin(0, 4); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if _, err := NewCountMin(4, 0); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	for _, c := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := NewCountMinForError(c[0], c[1]); err == nil {
+			t.Fatalf("accuracy (%g,%g) accepted", c[0], c[1])
+		}
+	}
+	cm, err := NewCountMinForError(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Width() < 250 || cm.Depth() < 4 {
+		t.Fatalf("sizing wrong: %d×%d", cm.Depth(), cm.Width())
+	}
+}
+
+// The Count-Min estimate never underestimates.
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cm, err := NewCountMin(4, 64)
+		if err != nil {
+			return false
+		}
+		truth := map[uint64]float64{}
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(200))
+			cm.Add(key, 1)
+			truth[key]++
+		}
+		for key, want := range truth {
+			if cm.Estimate(key) < want-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm, err := NewCountMin(4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 20; k++ {
+		cm.Add(k, float64(k+1))
+	}
+	for k := uint64(0); k < 20; k++ {
+		if got := cm.Estimate(k); got != float64(k+1) {
+			t.Fatalf("estimate(%d) = %g", k, got)
+		}
+	}
+	if cm.Total() != 210 {
+		t.Fatalf("total = %g", cm.Total())
+	}
+	if cm.Estimate(999) < 0 {
+		t.Fatal("negative estimate")
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// With width w, error ≤ e/w · N in expectation per row; the min
+	// over 4 rows on a heavy-tailed stream should stay within a few
+	// N/w.
+	cm, err := NewCountMin(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]float64{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		key := uint64(rng.Intn(5000))
+		cm.Add(key, 1)
+		truth[key]++
+	}
+	bound := 4.0 * n / 256
+	for key, want := range truth {
+		if over := cm.Estimate(key) - want; over > bound {
+			t.Fatalf("key %d overestimated by %g (bound %g)", key, over, bound)
+		}
+	}
+}
+
+func TestFMValidation(t *testing.T) {
+	for _, m := range []int{0, 3, 12, -8} {
+		if _, err := NewFM(m, 1); err == nil {
+			t.Fatalf("m=%d accepted", m)
+		}
+	}
+}
+
+func TestFMDuplicateInvariance(t *testing.T) {
+	fm, err := NewFM(16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		fm.Add(i)
+	}
+	before := fm.Estimate()
+	for rep := 0; rep < 10; rep++ {
+		for i := uint64(0); i < 50; i++ {
+			fm.Add(i)
+		}
+	}
+	if fm.Estimate() != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestFMAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		fm, err := NewFM(64, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			fm.Add(uint64(i) * 2654435761)
+		}
+		est := fm.Estimate()
+		if est < float64(n)/2 || est > float64(n)*2 {
+			t.Fatalf("n=%d estimated as %.0f", n, est)
+		}
+	}
+}
+
+func TestFMMerge(t *testing.T) {
+	a, _ := NewFM(16, 3)
+	b, _ := NewFM(16, 3)
+	for i := uint64(0); i < 200; i++ {
+		if i%2 == 0 {
+			a.Add(i)
+		} else {
+			b.Add(i)
+		}
+	}
+	union, _ := NewFM(16, 3)
+	for i := uint64(0); i < 200; i++ {
+		union.Add(i)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Estimate()-union.Estimate()) > 1e-9 {
+		t.Fatalf("merge estimate %g, union %g", a.Estimate(), union.Estimate())
+	}
+	c, _ := NewFM(32, 3)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+	d, _ := NewFM(16, 4)
+	if err := a.Merge(d); err == nil {
+		t.Fatal("seed-mismatched merge accepted")
+	}
+}

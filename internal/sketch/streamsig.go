@@ -1,0 +1,219 @@
+package sketch
+
+import (
+	"fmt"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// StreamConfig sizes the per-node state of the streaming signature
+// extractors. Zero values take the defaults noted per field.
+type StreamConfig struct {
+	// Depth and Width size each source's Count-Min sketch
+	// (defaults 4 × 256).
+	Depth, Width int
+	// Candidates caps each source's tracked heavy-neighbour set; it
+	// must be at least the signature length k you will ask for
+	// (default 64).
+	Candidates int
+	// FMBitmaps sizes the per-destination in-degree sketch used by the
+	// UT extractor; power of two (default 16).
+	FMBitmaps int
+	// Seed drives the hash families.
+	Seed uint64
+}
+
+func (c *StreamConfig) fill() {
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+	if c.Width == 0 {
+		c.Width = 256
+	}
+	if c.Candidates == 0 {
+		c.Candidates = 64
+	}
+	if c.FMBitmaps == 0 {
+		c.FMBitmaps = 16
+	}
+}
+
+// sourceState is the constant-size per-source state: a CM sketch of
+// outgoing weights, the running total, and the tracked heavy-candidate
+// set (the "CM-sketch heap" of §VI).
+type sourceState struct {
+	cm    *CountMin
+	total float64
+	cand  map[graph.NodeID]float64 // candidate → current CM estimate
+}
+
+func newSourceState(cfg *StreamConfig) (*sourceState, error) {
+	cm, err := NewCountMin(cfg.Depth, cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	return &sourceState{cm: cm, cand: make(map[graph.NodeID]float64, cfg.Candidates+1)}, nil
+}
+
+func (st *sourceState) observe(dst graph.NodeID, weight float64, cap int) {
+	st.cm.Add(uint64(dst), weight)
+	st.total += weight
+	st.cand[dst] = st.cm.Estimate(uint64(dst))
+	if len(st.cand) > cap {
+		// Evict the current lightest candidate (ties by larger ID so
+		// eviction is deterministic).
+		var victim graph.NodeID
+		min := -1.0
+		for u, w := range st.cand {
+			if min < 0 || w < min || (w == min && u > victim) {
+				victim, min = u, w
+			}
+		}
+		delete(st.cand, victim)
+	}
+}
+
+// StreamTT computes approximate Top Talkers signatures from a single
+// pass over an edge stream (§VI "Scalable signature computation"): per
+// source it keeps a CM sketch of outgoing weights plus a bounded heavy
+// candidate set, from which the top-k normalized weights form the
+// signature.
+type StreamTT struct {
+	cfg     StreamConfig
+	sources map[graph.NodeID]*sourceState
+}
+
+// NewStreamTT builds an extractor.
+func NewStreamTT(cfg StreamConfig) *StreamTT {
+	cfg.fill()
+	return &StreamTT{cfg: cfg, sources: map[graph.NodeID]*sourceState{}}
+}
+
+// Observe ingests one communication src → dst of the given weight.
+// Self-communications are ignored, mirroring the graph builder.
+func (s *StreamTT) Observe(src, dst graph.NodeID, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("sketch: stream observation weight must be positive, got %g", weight)
+	}
+	if src == dst {
+		return nil
+	}
+	st, ok := s.sources[src]
+	if !ok {
+		var err error
+		st, err = newSourceState(&s.cfg)
+		if err != nil {
+			return err
+		}
+		s.sources[src] = st
+	}
+	st.observe(dst, weight, s.cfg.Candidates)
+	return nil
+}
+
+// Sources returns the sources observed so far, unordered.
+func (s *StreamTT) Sources() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.sources))
+	for v := range s.sources {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Signature extracts the approximate TT signature of v: candidates
+// weighted by CM-estimated count over the exact running total.
+func (s *StreamTT) Signature(v graph.NodeID, k int) (core.Signature, error) {
+	if k <= 0 {
+		return core.Signature{}, fmt.Errorf("sketch: k must be positive, got %d", k)
+	}
+	st, ok := s.sources[v]
+	if !ok || st.total == 0 {
+		return core.Signature{}, nil
+	}
+	weights := make(map[graph.NodeID]float64, len(st.cand))
+	for u := range st.cand {
+		weights[u] = st.cm.Estimate(uint64(u)) / st.total
+	}
+	return core.FromWeights(weights, k), nil
+}
+
+// StreamUT computes approximate Unexpected Talkers signatures from one
+// pass: the TT machinery estimates C[i,j], and a per-destination FM
+// sketch estimates the distinct in-neighbour count |I(j)|; their
+// quotient approximates Definition 4's relevance (§VI).
+type StreamUT struct {
+	tt     *StreamTT
+	indeg  map[graph.NodeID]*FM
+	cfg    StreamConfig
+	fmSeed uint64
+}
+
+// NewStreamUT builds an extractor.
+func NewStreamUT(cfg StreamConfig) *StreamUT {
+	cfg.fill()
+	return &StreamUT{
+		tt:     NewStreamTT(cfg),
+		indeg:  map[graph.NodeID]*FM{},
+		cfg:    cfg,
+		fmSeed: splitmix64(cfg.Seed ^ 0xF00D),
+	}
+}
+
+// Observe ingests one communication src → dst of the given weight.
+func (s *StreamUT) Observe(src, dst graph.NodeID, weight float64) error {
+	if err := s.tt.Observe(src, dst, weight); err != nil {
+		return err
+	}
+	if src == dst {
+		return nil
+	}
+	fm, ok := s.indeg[dst]
+	if !ok {
+		var err error
+		fm, err = NewFM(s.cfg.FMBitmaps, s.fmSeed)
+		if err != nil {
+			return err
+		}
+		s.indeg[dst] = fm
+	}
+	fm.Add(uint64(src))
+	return nil
+}
+
+// Sources returns the sources observed so far, unordered.
+func (s *StreamUT) Sources() []graph.NodeID { return s.tt.Sources() }
+
+// EstimateInDegree reports the FM estimate of |I(j)|, at least 1 for
+// any destination that has been observed.
+func (s *StreamUT) EstimateInDegree(j graph.NodeID) float64 {
+	fm, ok := s.indeg[j]
+	if !ok {
+		return 0
+	}
+	est := fm.Estimate()
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Signature extracts the approximate UT signature of v.
+func (s *StreamUT) Signature(v graph.NodeID, k int) (core.Signature, error) {
+	if k <= 0 {
+		return core.Signature{}, fmt.Errorf("sketch: k must be positive, got %d", k)
+	}
+	st, ok := s.tt.sources[v]
+	if !ok || st.total == 0 {
+		return core.Signature{}, nil
+	}
+	weights := make(map[graph.NodeID]float64, len(st.cand))
+	for u := range st.cand {
+		indeg := s.EstimateInDegree(u)
+		if indeg <= 0 {
+			continue
+		}
+		weights[u] = st.cm.Estimate(uint64(u)) / indeg
+	}
+	return core.FromWeights(weights, k), nil
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "fmt"
+
+// Fenwick is a binary indexed tree over non-negative float weights,
+// supporting O(log n) point updates and O(log n) sampling proportional
+// to current weights. The perturbation module uses it to delete graph
+// edges proportionally to their *current* weights as the paper's §IV-C
+// procedure requires (each decrement changes the distribution).
+type Fenwick struct {
+	tree []float64 // 1-based
+	n    int
+}
+
+// NewFenwick builds a tree over the given initial weights in O(n).
+func NewFenwick(weights []float64) (*Fenwick, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: Fenwick requires at least one weight")
+	}
+	f := &Fenwick{tree: make([]float64, n+1), n: n}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("stats: Fenwick weight %d is negative (%g)", i, w)
+		}
+		f.tree[i+1] = w
+	}
+	for i := 1; i <= n; i++ {
+		if p := i + (i & -i); p <= n {
+			f.tree[p] += f.tree[i]
+		}
+	}
+	return f, nil
+}
+
+// Add adds delta to weight i (delta may be negative; callers must keep
+// weights non-negative for Sample to remain meaningful).
+func (f *Fenwick) Add(i int, delta float64) {
+	for j := i + 1; j <= f.n; j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// Prefix reports the sum of weights [0, i].
+func (f *Fenwick) Prefix(i int) float64 {
+	s := 0.0
+	for j := i + 1; j > 0; j -= j & -j {
+		s += f.tree[j]
+	}
+	return s
+}
+
+// Get reports weight i.
+func (f *Fenwick) Get(i int) float64 {
+	return f.Prefix(i) - f.Prefix(i-1)
+}
+
+// Total reports the sum of all weights.
+func (f *Fenwick) Total() float64 { return f.Prefix(f.n - 1) }
+
+// SampleIndex returns the smallest index i whose prefix sum exceeds
+// target; target should be drawn uniformly from [0, Total()). Negative
+// floating residue is clamped to the last index.
+func (f *Fenwick) SampleIndex(target float64) int {
+	idx := 0
+	// Descend the implicit tree from the highest power of two.
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= f.n && f.tree[next] <= target {
+			target -= f.tree[next]
+			idx = next
+		}
+	}
+	if idx >= f.n {
+		idx = f.n - 1
+	}
+	return idx
+}
+
+// Sample draws an index proportional to current weights using rng.
+func (f *Fenwick) Sample(rng *RNG) int {
+	return f.SampleIndex(rng.Float64() * f.Total())
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFenwickValidation(t *testing.T) {
+	if _, err := NewFenwick(nil); err == nil {
+		t.Fatal("NewFenwick accepted empty weights")
+	}
+	if _, err := NewFenwick([]float64{1, -2}); err == nil {
+		t.Fatal("NewFenwick accepted negative weight")
+	}
+}
+
+func TestFenwickPrefixAgainstNaive(t *testing.T) {
+	f := func(raw []uint8, updates []uint16) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		for i, b := range raw {
+			weights[i] = float64(b % 32)
+		}
+		fw, err := NewFenwick(weights)
+		if err != nil {
+			return false
+		}
+		naive := append([]float64(nil), weights...)
+		for _, u := range updates {
+			i := int(u) % len(naive)
+			delta := float64(u%7) - 3
+			if naive[i]+delta < 0 {
+				continue
+			}
+			naive[i] += delta
+			fw.Add(i, delta)
+		}
+		run := 0.0
+		for i := range naive {
+			run += naive[i]
+			if math.Abs(fw.Prefix(i)-run) > 1e-9 {
+				return false
+			}
+			if math.Abs(fw.Get(i)-naive[i]) > 1e-9 {
+				return false
+			}
+		}
+		return math.Abs(fw.Total()-run) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenwickSampleIndex(t *testing.T) {
+	fw, err := NewFenwick([]float64{2, 0, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		target float64
+		want   int
+	}{
+		{0, 0}, {1.9, 0}, {2.0, 2}, {4.9, 2}, {5.0, 3}, {9.99, 3},
+	}
+	for _, c := range cases {
+		if got := fw.SampleIndex(c.target); got != c.want {
+			t.Fatalf("SampleIndex(%g) = %d, want %d", c.target, got, c.want)
+		}
+	}
+	// Beyond-total targets clamp to the last index.
+	if got := fw.SampleIndex(100); got != 3 {
+		t.Fatalf("SampleIndex(100) = %d, want 3", got)
+	}
+}
+
+func TestFenwickSampleDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	fw, err := NewFenwick(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(17)
+	counts := make([]int, len(weights))
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[fw.Sample(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestFenwickDecrementToZero(t *testing.T) {
+	fw, err := NewFenwick([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Add(0, -1)
+	if fw.Get(0) != 0 || fw.Total() != 1 {
+		t.Fatalf("after decrement: get=%g total=%g", fw.Get(0), fw.Total())
+	}
+	rng := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if fw.Sample(rng) != 1 {
+			t.Fatal("sampled a zero-weight index")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [lo, hi).
+// Observations outside the range are clamped into the edge bins so that
+// totals always reconcile with the number of Add calls.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram builds a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%g,%g)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if math.IsNaN(x) {
+		x = h.lo
+	}
+	idx := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+}
+
+// N reports the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Bin reports the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins reports the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinRange reports the [lo, hi) interval covered by bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// String renders a compact ASCII bar chart, one line per bin, suitable
+// for experiment logs.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		lo, hi := h.BinRange(i)
+		width := 0
+		if maxCount > 0 {
+			width = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%7.3f,%7.3f) %6d %s\n", lo, hi, c, strings.Repeat("#", width))
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("NewHistogram accepted zero bins")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Fatal("NewHistogram accepted empty range")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Fatal("NewHistogram accepted inverted range")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.1, 0.3, 0.6, 0.9, 0.999} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 2}
+	for i, w := range want {
+		if h.Bin(i) != w {
+			t.Fatalf("bin %d = %d, want %d", i, h.Bin(i), w)
+		}
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-5)
+	h.Add(7)
+	h.Add(math.NaN())
+	if h.Bin(0) != 2 || h.Bin(1) != 1 {
+		t.Fatalf("clamping wrong: %d/%d", h.Bin(0), h.Bin(1))
+	}
+	total := h.Bin(0) + h.Bin(1)
+	if total != h.N() {
+		t.Fatalf("counts (%d) do not reconcile with N (%d)", total, h.N())
+	}
+}
+
+func TestHistogramBinRangeAndString(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := h.BinRange(2)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("BinRange(2) = [%g,%g)", lo, hi)
+	}
+	h.Add(4.5)
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 5 {
+		t.Fatalf("unexpected render:\n%s", s)
+	}
+}

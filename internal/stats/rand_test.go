@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if NewRNG(7).Int63() == NewRNG(8).Int63() && NewRNG(7).Int63() == NewRNG(8).Int63() {
+		t.Fatal("different seeds produced identical first draws twice")
+	}
+}
+
+func TestRNGSplitIndependentOfOrder(t *testing.T) {
+	r1 := NewRNG(42)
+	a1 := r1.Split("a").Int63()
+	b1 := r1.Split("b").Int63()
+
+	r2 := NewRNG(42)
+	b2 := r2.Split("b").Int63()
+	a2 := r2.Split("a").Int63()
+
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("split streams depend on derivation order")
+	}
+	if a1 == b1 {
+		t.Fatal("distinct labels produced the same stream")
+	}
+}
+
+func TestRNGSplitN(t *testing.T) {
+	r := NewRNG(1)
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		v := r.SplitN("node", i).Int63()
+		if seen[v] {
+			t.Fatalf("SplitN collision at %d", i)
+		}
+		seen[v] = true
+	}
+	if r.SplitN("node", 3).Int63() != r.SplitN("node", 3).Int63() {
+		t.Fatal("SplitN not deterministic")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+	n := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			n++
+		}
+	}
+	if p := float64(n) / trials; math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency %.3f", p)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(11)
+	for _, lambda := range []float64{0.5, 4, 60, 800} {
+		sum := 0.0
+		const trials = 5000
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / trials
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Fatalf("Poisson(%g) mean %.3f", lambda, mean)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v := r.LogNormal(0, 0.35)
+		if v <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+		sum += v
+	}
+	// E[lognormal(0, σ)] = exp(σ²/2) ≈ 1.063 for σ=0.35.
+	want := math.Exp(0.35 * 0.35 / 2)
+	if mean := sum / trials; math.Abs(mean-want) > 0.03 {
+		t.Fatalf("LogNormal mean %.4f, want ≈%.4f", mean, want)
+	}
+}
+
+func TestPerm31(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm31(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm31 not a permutation: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(r.Perm31(0)) != 0 {
+		t.Fatal("Perm31(0) should be empty")
+	}
+}

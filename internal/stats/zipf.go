@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s for arbitrary s > 0. Unlike math/rand.Zipf it supports
+// exponents at or below 1, which communication-graph degree distributions
+// commonly exhibit. Sampling is O(log n) by binary search over a
+// precomputed CDF; construction is O(n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: Zipf requires n > 0, got %d", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("stats: Zipf requires s >= 0, got %g", s)
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}, nil
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one rank in [0, N()).
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob reports the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Weighted samples indices in [0, len(weights)) with probability
+// proportional to weights using Walker's alias method: O(n) setup,
+// O(1) per sample.
+type Weighted struct {
+	prob  []float64
+	alias []int32
+	rng   *RNG
+}
+
+// NewWeighted builds an alias-method sampler over the given non-negative
+// weights. At least one weight must be positive.
+func NewWeighted(rng *RNG, weights []float64) (*Weighted, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: Weighted requires at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: Weighted weight %d is invalid (%g)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: Weighted requires a positive total weight")
+	}
+	w := &Weighted{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		rng:   rng,
+	}
+	// Scale so the average cell holds probability 1.
+	scaled := make([]float64, n)
+	for i, wt := range weights {
+		scaled[i] = wt * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		w.prob[s] = scaled[s]
+		w.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers are all probability-1 cells.
+	for _, i := range large {
+		w.prob[i] = 1
+		w.alias[i] = i
+	}
+	for _, i := range small {
+		w.prob[i] = 1
+		w.alias[i] = i
+	}
+	return w, nil
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (w *Weighted) Sample() int {
+	i := w.rng.Intn(len(w.prob))
+	if w.rng.Float64() < w.prob[i] {
+		return i
+	}
+	return int(w.alias[i])
+}
+
+// N reports the number of weights.
+func (w *Weighted) N() int { return len(w.prob) }
+
+// SampleDistinct draws up to k distinct indices by rejection. If k
+// exceeds the population it returns all indices. The rejection loop is
+// bounded; once progress stalls the remainder is filled from the
+// unsampled population in index order, which only matters when k is
+// close to N and the weight mass is concentrated.
+func (w *Weighted) SampleDistinct(k int) []int {
+	n := w.N()
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	attempts := 0
+	limit := 50 * k
+	for len(out) < k && attempts < limit {
+		attempts++
+		i := w.Sample()
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, i)
+	}
+	for i := 0; len(out) < k && i < n; i++ {
+		if _, dup := seen[i]; !dup {
+			seen[i] = struct{}{}
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfValidation(t *testing.T) {
+	r := NewRNG(1)
+	if _, err := NewZipf(r, 0, 1); err == nil {
+		t.Fatal("NewZipf accepted n=0")
+	}
+	if _, err := NewZipf(r, 10, -1); err == nil {
+		t.Fatal("NewZipf accepted negative exponent")
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := NewRNG(2)
+	z, err := NewZipf(r, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[z.Sample()]++
+	}
+	// Rank 0 should be drawn twice as often as rank 1, and all
+	// empirical frequencies should track Prob().
+	if ratio := float64(counts[0]) / float64(counts[1]); math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("rank0/rank1 ratio %.2f, want ≈2", ratio)
+	}
+	for i := 0; i < 10; i++ {
+		emp := float64(counts[i]) / trials
+		if math.Abs(emp-z.Prob(i)) > 0.01 {
+			t.Fatalf("rank %d empirical %.4f vs Prob %.4f", i, emp, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	r := NewRNG(3)
+	z, err := NewZipf(r, 57, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %.12f", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(z.N()) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	r := NewRNG(4)
+	for _, weights := range [][]float64{
+		nil,
+		{},
+		{0, 0},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		if _, err := NewWeighted(r, weights); err == nil {
+			t.Fatalf("NewWeighted accepted %v", weights)
+		}
+	}
+}
+
+func TestWeightedFrequencies(t *testing.T) {
+	r := NewRNG(5)
+	weights := []float64{1, 0, 3, 6}
+	w, err := NewWeighted(r, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(weights))
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[w.Sample()]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index sampled %d times", counts[1])
+	}
+	total := 10.0
+	for i, wt := range weights {
+		want := wt / total
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedAliasProperty(t *testing.T) {
+	// Property: for any valid weight vector, every sampled index has
+	// positive weight.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPositive := false
+		for i, b := range raw {
+			weights[i] = float64(b % 16)
+			if weights[i] > 0 {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return true
+		}
+		w, err := NewWeighted(NewRNG(99), weights)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if weights[w.Sample()] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := NewRNG(6)
+	weights := make([]float64, 20)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	w, err := NewWeighted(r, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.SampleDistinct(8)
+	if len(got) != 8 {
+		t.Fatalf("SampleDistinct(8) returned %d items", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Fatal("SampleDistinct repeated an index")
+		}
+		seen[i] = true
+	}
+	// Requesting everything (or more) returns the full population.
+	if got := w.SampleDistinct(25); len(got) != 20 {
+		t.Fatalf("SampleDistinct(25) returned %d items, want 20", len(got))
+	}
+}

@@ -1,0 +1,215 @@
+// Package stream implements the end-to-end semi-streaming pipeline of
+// the paper's §VI: flow records are consumed one at a time, bucketed
+// into consecutive time windows, and summarized by per-node sketches —
+// so per-window signature sets are produced without ever materializing
+// a communication graph. This is the deployment mode for graphs too
+// large to store (the paper's "graph of all phone calls made over a
+// week").
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/netflow"
+	"graphsig/internal/sketch"
+)
+
+// Config parameterizes a streaming signature pipeline.
+type Config struct {
+	// WindowSize is the aggregation interval.
+	WindowSize time.Duration
+	// Origin anchors window boundaries; zero means the first record's
+	// start time.
+	Origin time.Time
+	// Classify assigns bipartite parts (nil = general graph).
+	Classify netflow.Classifier
+	// TCPOnly drops non-TCP records (the paper's setting).
+	TCPOnly bool
+	// K is the signature length extracted per window.
+	K int
+	// Scheme selects the extractor: "tt" or "ut".
+	Scheme string
+	// Sketch sizes the per-node state.
+	Sketch sketch.StreamConfig
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.WindowSize <= 0:
+		return fmt.Errorf("stream: WindowSize must be positive")
+	case c.K <= 0:
+		return fmt.Errorf("stream: K must be positive")
+	case c.Scheme != "tt" && c.Scheme != "ut":
+		return fmt.Errorf("stream: scheme %q not streamable (want tt or ut)", c.Scheme)
+	}
+	return nil
+}
+
+// extractor is the common surface of StreamTT and StreamUT.
+type extractor interface {
+	Observe(src, dst graph.NodeID, weight float64) error
+	Signature(v graph.NodeID, k int) (core.Signature, error)
+	Sources() []graph.NodeID
+}
+
+// Pipeline ingests flow records in time order and emits one
+// SignatureSet per completed window. Records may arrive slightly out of
+// order within the current window; a record belonging to an already
+// emitted window is rejected (the sketch state is gone).
+type Pipeline struct {
+	cfg      Config
+	universe *graph.Universe
+
+	originSet bool
+	origin    time.Time
+	window    int
+	ingested  int
+
+	current extractor
+}
+
+// NewPipeline builds a pipeline over a shared (possibly pre-populated)
+// universe; nil allocates a fresh one.
+func NewPipeline(cfg Config, u *graph.Universe) (*Pipeline, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Classify == nil {
+		cfg.Classify = netflow.General
+	}
+	if u == nil {
+		u = graph.NewUniverse()
+	}
+	p := &Pipeline{cfg: cfg, universe: u}
+	if !cfg.Origin.IsZero() {
+		p.origin = cfg.Origin
+		p.originSet = true
+	}
+	p.current = p.newExtractor()
+	return p, nil
+}
+
+func (p *Pipeline) newExtractor() extractor {
+	if p.cfg.Scheme == "ut" {
+		return sketch.NewStreamUT(p.cfg.Sketch)
+	}
+	return sketch.NewStreamTT(p.cfg.Sketch)
+}
+
+// Universe returns the shared label universe.
+func (p *Pipeline) Universe() *graph.Universe { return p.universe }
+
+// CurrentWindow reports the index of the window now accumulating.
+func (p *Pipeline) CurrentWindow() int { return p.window }
+
+// Ingested reports the number of records accepted so far.
+func (p *Pipeline) Ingested() int { return p.ingested }
+
+// Ingest consumes one record. When the record starts a later window,
+// every window up to it is closed and their signature sets returned
+// (empty windows yield sets with zero sources).
+func (p *Pipeline) Ingest(r netflow.Record) ([]*core.SignatureSet, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if p.cfg.TCPOnly && r.Proto != netflow.TCP {
+		return nil, nil
+	}
+	if !p.originSet {
+		p.origin = r.Start
+		p.originSet = true
+	}
+	d := r.Start.Sub(p.origin)
+	if d < 0 {
+		return nil, fmt.Errorf("stream: record at %v precedes origin %v", r.Start, p.origin)
+	}
+	idx := int(d / p.cfg.WindowSize)
+	if idx < p.window {
+		return nil, fmt.Errorf("stream: record at %v belongs to emitted window %d (current %d)", r.Start, idx, p.window)
+	}
+	var emitted []*core.SignatureSet
+	for p.window < idx {
+		set, err := p.closeWindow()
+		if err != nil {
+			return nil, err
+		}
+		emitted = append(emitted, set)
+	}
+	src, err := p.universe.Intern(r.Src, p.cfg.Classify(r.Src))
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	dst, err := p.universe.Intern(r.Dst, p.cfg.Classify(r.Dst))
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if err := p.current.Observe(src, dst, float64(r.Sessions)); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	p.ingested++
+	return emitted, nil
+}
+
+// Flush closes the current window and returns its signature set; the
+// pipeline then continues with the next window (used at end of input).
+func (p *Pipeline) Flush() (*core.SignatureSet, error) {
+	return p.closeWindow()
+}
+
+func (p *Pipeline) closeWindow() (*core.SignatureSet, error) {
+	sources := p.current.Sources()
+	// Bipartite discipline: signatures only for Part1 sources, matching
+	// core.DefaultSources on materialized graphs.
+	bip := p.universe.Bipartite()
+	kept := sources[:0]
+	for _, v := range sources {
+		if !bip || p.universe.PartOf(v) == graph.Part1 {
+			kept = append(kept, v)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	sigs := make([]core.Signature, len(kept))
+	for i, v := range kept {
+		sig, err := p.current.Signature(v, p.cfg.K)
+		if err != nil {
+			return nil, fmt.Errorf("stream: window %d: %w", p.window, err)
+		}
+		sigs[i] = sig
+	}
+	set, err := core.NewSignatureSet(p.cfg.Scheme+"-stream", p.window, kept, sigs)
+	if err != nil {
+		return nil, fmt.Errorf("stream: window %d: %w", p.window, err)
+	}
+	p.window++
+	p.current = p.newExtractor()
+	return set, nil
+}
+
+// Run ingests a whole record slice (already time-ordered) and returns
+// one signature set per window including the final partial window.
+func Run(cfg Config, u *graph.Universe, records []netflow.Record) ([]*core.SignatureSet, error) {
+	p, err := NewPipeline(cfg, u)
+	if err != nil {
+		return nil, err
+	}
+	var out []*core.SignatureSet
+	for i := range records {
+		emitted, err := p.Ingest(records[i])
+		if err != nil {
+			return nil, fmt.Errorf("stream: record %d: %w", i, err)
+		}
+		out = append(out, emitted...)
+	}
+	if p.Ingested() == 0 {
+		return out, nil
+	}
+	last, err := p.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, last), nil
+}
