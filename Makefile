@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race bench tidy
+
+# Tier-1 gate: everything a PR must keep green. Examples live under
+# ./... so `go build`/`go vet` compile-check them too.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+tidy:
+	gofmt -l -w .

@@ -1,0 +1,265 @@
+// Command sigserverd is the online signature service: it ingests flow
+// records over HTTP through the §VI streaming pipeline, archives each
+// completed window's signatures in a bounded in-memory store, and
+// serves history, nearest-signature search, watchlist and anomaly
+// queries against the archive.
+//
+//	sigserverd -addr :8787 -window 120h -scheme tt -k 10 \
+//	    -snapshot /var/lib/sigserverd
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/flows              batch flow ingestion
+//	GET  /v1/signatures/{label} per-label signature history
+//	POST /v1/search             top-k nearest signatures
+//	POST /v1/watchlist          archive a label under an individual
+//	GET  /v1/watchlist/hits     recorded reappearance hits
+//	GET  /v1/anomalies          behaviour changes, last two windows
+//	GET  /healthz               liveness
+//	GET  /metrics               expvar-style counters
+//
+// On SIGINT/SIGTERM the daemon drains HTTP, flushes the partial
+// window, and — when -snapshot is set — saves the store so a restart
+// resumes with its archive.
+//
+// With -replay the daemon feeds a synthetic datagen enterprise
+// workload to itself through the real HTTP ingest path, prints a
+// throughput summary and the final counters, and exits: a self-
+// benchmark of the full serving stack.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/datagen"
+	"graphsig/internal/netflow"
+	"graphsig/internal/server"
+	"graphsig/internal/sketch"
+	"graphsig/internal/stream"
+)
+
+type options struct {
+	addr        string
+	window      time.Duration
+	origin      string
+	localPrefix string
+	scheme      string
+	k           int
+	tcpOnly     bool
+	distance    string
+	capacity    int
+	watchDist   float64
+	snapshot    string
+	lshBands    int
+	lshRows     int
+	lshSeed     uint64
+	sketchWidth int
+	sketchDepth int
+	sketchCand  int
+
+	replay        bool
+	replaySeed    int64
+	replayHosts   int
+	replayWindows int
+	replayBatch   int
+}
+
+func main() {
+	var o options
+	fs := flag.NewFlagSet("sigserverd", flag.ExitOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8787", "listen address")
+	fs.DurationVar(&o.window, "window", 5*24*time.Hour, "aggregation window size")
+	fs.StringVar(&o.origin, "origin", "", "window origin (RFC3339; empty = first record)")
+	fs.StringVar(&o.localPrefix, "local-prefix", "10.", "label prefix marking local hosts")
+	fs.StringVar(&o.scheme, "scheme", "tt", "streaming signature scheme (tt or ut)")
+	fs.IntVar(&o.k, "k", 10, "signature length")
+	fs.BoolVar(&o.tcpOnly, "tcp-only", true, "drop non-TCP records")
+	fs.StringVar(&o.distance, "distance", "jaccard", "default distance (jaccard, dice, sdice, shel, ...)")
+	fs.IntVar(&o.capacity, "capacity", 16, "windows retained in the store")
+	fs.Float64Var(&o.watchDist, "watch-maxdist", 0.5, "watchlist screening threshold")
+	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot directory (empty = no persistence)")
+	fs.IntVar(&o.lshBands, "lsh-bands", 0, "LSH bands for search prefiltering (0 = exact scans)")
+	fs.IntVar(&o.lshRows, "lsh-rows", 0, "LSH rows per band")
+	fs.Uint64Var(&o.lshSeed, "lsh-seed", 1, "LSH hash seed")
+	fs.IntVar(&o.sketchWidth, "sketch-width", 4096, "Count-Min width per source")
+	fs.IntVar(&o.sketchDepth, "sketch-depth", 5, "Count-Min depth per source")
+	fs.IntVar(&o.sketchCand, "sketch-candidates", 256, "tracked heavy neighbours per source")
+	fs.BoolVar(&o.replay, "replay", false, "self-benchmark: replay a synthetic workload over HTTP, then exit")
+	fs.Int64Var(&o.replaySeed, "replay-seed", 1, "replay workload seed")
+	fs.IntVar(&o.replayHosts, "replay-hosts", 300, "replay local hosts")
+	fs.IntVar(&o.replayWindows, "replay-windows", 6, "replay windows")
+	fs.IntVar(&o.replayBatch, "replay-batch", 2000, "replay records per POST")
+	_ = fs.Parse(os.Args[1:])
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sigserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func serverConfig(o options) (server.Config, error) {
+	d, ok := core.DistanceByName(o.distance)
+	if !ok {
+		return server.Config{}, fmt.Errorf("unknown distance %q", o.distance)
+	}
+	scfg := stream.Config{
+		WindowSize: o.window,
+		Classify:   netflow.PrefixClassifier(o.localPrefix),
+		TCPOnly:    o.tcpOnly,
+		K:          o.k,
+		Scheme:     o.scheme,
+		Sketch: sketch.StreamConfig{
+			Width:      o.sketchWidth,
+			Depth:      o.sketchDepth,
+			Candidates: o.sketchCand,
+			Seed:       1,
+		},
+	}
+	if o.origin != "" {
+		t, err := time.Parse(time.RFC3339, o.origin)
+		if err != nil {
+			return server.Config{}, fmt.Errorf("bad -origin: %w", err)
+		}
+		scfg.Origin = t
+	}
+	return server.Config{
+		Stream:        scfg,
+		StoreCapacity: o.capacity,
+		Distance:      d,
+		WatchMaxDist:  o.watchDist,
+		LSHBands:      o.lshBands,
+		LSHRows:       o.lshRows,
+		LSHSeed:       o.lshSeed,
+		SnapshotDir:   o.snapshot,
+	}, nil
+}
+
+func run(o options, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cfg, err := serverConfig(o)
+	if err != nil {
+		return err
+	}
+	if o.replay {
+		// Replay feeds records anchored at the generator's origin; pin
+		// the pipeline to it so window indices are predictable.
+		gcfg := replayConfig(o)
+		cfg.Stream.Origin = gcfg.Origin
+		cfg.Stream.WindowSize = gcfg.WindowLength
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if lo, hi, ok := srv.Store().WindowRange(); ok {
+		fmt.Fprintf(out, "sigserverd: snapshot restored windows [%d,%d]\n", lo, hi)
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(out, "sigserverd: serving on http://%s (window %v, scheme %s, k %d)\n",
+		ln.Addr(), cfg.Stream.WindowSize, cfg.Stream.Scheme, cfg.Stream.K)
+
+	if o.replay {
+		go func() {
+			errc <- replay(o, "http://"+ln.Addr().String(), out)
+		}()
+	}
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "sigserverd: signal received, shutting down")
+	case runErr = <-errc:
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := srv.Shutdown(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if o.snapshot != "" {
+		fmt.Fprintf(out, "sigserverd: snapshot saved to %s (%d windows)\n", o.snapshot, srv.Store().Len())
+	}
+	return runErr
+}
+
+func replayConfig(o options) datagen.EnterpriseConfig {
+	gcfg := datagen.DefaultEnterpriseConfig(o.replaySeed)
+	gcfg.LocalHosts = o.replayHosts
+	gcfg.ExternalHosts = max(8*o.replayHosts, 200)
+	gcfg.Windows = o.replayWindows
+	gcfg.MultiusageIndividuals = min(gcfg.MultiusageIndividuals, o.replayHosts/15)
+	return gcfg
+}
+
+// replay generates a synthetic enterprise capture and pushes it through
+// the daemon's own HTTP ingest path, reporting end-to-end throughput —
+// the serving analogue of the EXPERIMENTS self-benchmarks.
+func replay(o options, base string, out io.Writer) error {
+	gcfg := replayConfig(o)
+	data, err := datagen.GenerateEnterprise(gcfg)
+	if err != nil {
+		return err
+	}
+	c := server.NewClient(base)
+	fmt.Fprintf(out, "replay: %d records, %d local hosts, %d windows\n",
+		len(data.Records), gcfg.LocalHosts, gcfg.Windows)
+
+	begin := time.Now()
+	accepted, rejected, windows := 0, 0, 0
+	for i := 0; i < len(data.Records); i += o.replayBatch {
+		end := min(i+o.replayBatch, len(data.Records))
+		res, err := c.Ingest(data.Records[i:end])
+		if err != nil {
+			return err
+		}
+		accepted += res.Accepted
+		rejected += res.Rejected
+		windows += res.WindowsClosed
+	}
+	elapsed := time.Since(begin)
+	rate := float64(accepted) / elapsed.Seconds()
+	fmt.Fprintf(out, "replay: ingested %d records (%d rejected) in %v — %.0f records/s, %d windows closed\n",
+		accepted, rejected, elapsed.Round(time.Millisecond), rate, windows)
+
+	m, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	for _, k := range []string{"flows_received", "flows_accepted", "windows_closed", "http_requests_total", "request_micros_sum"} {
+		fmt.Fprintf(out, "replay: metric %s = %d\n", k, m[k])
+	}
+	if m["flows_received"] != int64(len(data.Records)) {
+		return fmt.Errorf("replay: server received %d of %d records", m["flows_received"], len(data.Records))
+	}
+	if m["flows_accepted"]+m["flows_dropped"]+m["flows_rejected"] != m["flows_received"] {
+		return fmt.Errorf("replay: inconsistent flow counters: %v", m)
+	}
+	return nil
+}

@@ -12,9 +12,14 @@
 //	sigtool multiusage -flows FILE [-scheme S] [-k N] [-t IDX] [-threshold D]
 //	sigtool masquerade -flows FILE [-scheme S] [-k N] [-t IDX] [-ell N] [-c N]
 //	sigtool anomalies  -flows FILE [-scheme S] [-k N] [-t IDX] [-z Z]
+//	sigtool client     -addr URL -op OP [options]
 //
 // -scheme accepts tt, ut, ut-tfidf, rwr@C, rwrH@C (default rwr3@0.1 for
 // masquerade/anomalies, tt otherwise, per the paper's recommendations).
+//
+// The client subcommand talks to a running sigserverd instead of a flow
+// file; -op selects search, history, watch, hits, anomalies, metrics,
+// or health.
 package main
 
 import (
@@ -49,7 +54,10 @@ func main() {
 	z := fs.Float64("z", 2.0, "anomaly z-score cut")
 	out := fs.String("out", "", "output path (export)")
 	sigsPath := fs.String("sigs", "", "serialized signature file (compare/screen)")
-	maxDist := fs.Float64("maxdist", 0.5, "watchlist hit threshold (screen)")
+	maxDist := fs.Float64("maxdist", 0.5, "watchlist hit threshold (screen/client search)")
+	addr := fs.String("addr", "http://127.0.0.1:8787", "sigserverd base URL (client)")
+	op := fs.String("op", "", "client operation (search|history|watch|hits|anomalies|metrics|health)")
+	individual := fs.String("individual", "", "watchlist individual key (client -op watch)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -58,6 +66,7 @@ func main() {
 		flows: *flows, window: *window, prefix: *prefix, scheme: *scheme,
 		k: *k, t: *t, node: *node, top: *top, threshold: *threshold,
 		ell: *ell, c: *c, z: *z, out: *out, sigs: *sigsPath, maxDist: *maxDist,
+		addr: *addr, op: *op, individual: *individual,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sigtool:", err)
 		os.Exit(1)
@@ -65,28 +74,36 @@ func main() {
 }
 
 type config struct {
-	flows     string
-	window    time.Duration
-	prefix    string
-	scheme    string
-	k         int
-	t         int
-	node      string
-	top       int
-	threshold float64
-	ell       int
-	c         int
-	z         float64
-	out       string
-	sigs      string
-	maxDist   float64
+	flows      string
+	window     time.Duration
+	prefix     string
+	scheme     string
+	k          int
+	t          int
+	node       string
+	top        int
+	threshold  float64
+	ell        int
+	c          int
+	z          float64
+	out        string
+	sigs       string
+	maxDist    float64
+	addr       string
+	op         string
+	individual string
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sigtool <stats|sig|neighbors|multiusage|masquerade|anomalies|export|compare|screen> -flows FILE [options]`)
+	fmt.Fprintln(os.Stderr, `usage: sigtool <stats|sig|neighbors|multiusage|masquerade|anomalies|export|compare|screen> -flows FILE [options]
+       sigtool client -addr URL -op <search|history|watch|hits|anomalies|metrics|health> [options]`)
 }
 
 func run(cmd string, cfg config) error {
+	if cmd == "client" {
+		// The client talks to a running sigserverd; no flow file needed.
+		return runClient(cfg, os.Stdout)
+	}
 	if cfg.flows == "" {
 		usage()
 		return fmt.Errorf("missing -flows")

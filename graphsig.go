@@ -65,6 +65,14 @@ type (
 	FlowAggregateOptions = netflow.AggregateOptions
 	// Classifier assigns node labels to bipartite parts.
 	Classifier = netflow.Classifier
+	// FlowProto is a flow record's transport protocol.
+	FlowProto = netflow.Proto
+)
+
+// Flow protocols.
+const (
+	ProtoTCP = netflow.TCP
+	ProtoUDP = netflow.UDP
 )
 
 // Evaluation and application types.

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
@@ -15,7 +16,13 @@ import (
 // signature against the archive. One individual may contribute several
 // archived signatures (one per window observed); a hit against any of
 // them implicates the individual.
+//
+// A Watchlist is safe for concurrent use: in the serving path
+// (internal/server) it sits behind concurrent HTTP handlers that add
+// entries and screen windows simultaneously. Archived signatures are
+// never mutated after Add, so queries copy nothing.
 type Watchlist struct {
+	mu      sync.RWMutex
 	entries []watchEntry
 }
 
@@ -42,7 +49,9 @@ func (w *Watchlist) Add(individual string, window int, sig core.Signature) error
 	if err := sig.Validate(); err != nil {
 		return fmt.Errorf("apps: watchlist entry for %q: %w", individual, err)
 	}
+	w.mu.Lock()
 	w.entries = append(w.entries, watchEntry{individual: individual, window: window, sig: sig})
+	w.mu.Unlock()
 	return nil
 }
 
@@ -62,7 +71,11 @@ func (w *Watchlist) AddSet(set *core.SignatureSet, label func(graph.NodeID) stri
 }
 
 // Len reports the number of archived signatures.
-func (w *Watchlist) Len() int { return len(w.entries) }
+func (w *Watchlist) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.entries)
+}
 
 // Hit is one watchlist match: an archived individual whose signature is
 // close to the query.
@@ -83,6 +96,8 @@ func (w *Watchlist) Query(d core.Distance, sig core.Signature, maxDist float64) 
 	if sig.IsEmpty() {
 		return nil, fmt.Errorf("apps: watchlist query with empty signature")
 	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	best := map[string]Hit{}
 	for _, e := range w.entries {
 		dist := d.Dist(sig, e.sig)

@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// TestWatchlistConcurrentAddAndRank exercises the watchlist the way
+// the server does — handlers adding entries while others rank queries
+// and screen whole windows — and relies on -race to flag unsafe
+// access.
+func TestWatchlistConcurrentAddAndRank(t *testing.T) {
+	w := NewWatchlist()
+	d := core.Jaccard{}
+	query := core.FromWeights(map[graph.NodeID]float64{1: 1, 2: 1}, 5)
+	set := makeSet(t, 7, map[graph.NodeID]map[graph.NodeID]float64{
+		100: {1: 1, 2: 1},
+		101: {3: 1},
+	})
+	// Seed one entry so ranking always has work.
+	if err := w.Add("seed", 0, query); err != nil {
+		t.Fatal(err)
+	}
+
+	const adders, rankers, iters = 4, 4, 200
+	var wg sync.WaitGroup
+	wg.Add(adders + rankers)
+	for a := 0; a < adders; a++ {
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Node IDs offset past the query's {1, 2} so only the
+				// seed entry is ever an exact match.
+				sig := core.FromWeights(map[graph.NodeID]float64{
+					graph.NodeID(10 + a*iters + i): 1,
+					1:                              0.5,
+				}, 5)
+				if err := w.Add(fmt.Sprintf("ind-%d-%d", a, i), i, sig); err != nil {
+					t.Error(err)
+					return
+				}
+				w.Len()
+			}
+		}(a)
+	}
+	for r := 0; r < rankers; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := w.Query(d, query, 0.8); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := w.Screen(d, set, 0.8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := w.Len(); got != 1+adders*iters {
+		t.Fatalf("watchlist holds %d entries, want %d", got, 1+adders*iters)
+	}
+	hits, err := w.Query(d, query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].Individual != "seed" {
+		t.Fatalf("exact match lost after concurrent adds: %+v", hits)
+	}
+}

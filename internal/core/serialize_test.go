@@ -145,3 +145,65 @@ func TestReadSignatureSetPartConflict(t *testing.T) {
 		t.Fatal("part conflict accepted")
 	}
 }
+
+// TestSignatureSetHostileLabels round-trips every label class the codec
+// must survive: shell metacharacters, embedded quotes and newlines,
+// leading/trailing whitespace, the codec's own keywords, and raw
+// non-UTF8 bytes (Go quoting escapes them as \xNN, so they travel
+// through the line-oriented format intact).
+func TestSignatureSetHostileLabels(t *testing.T) {
+	labels := []string{
+		`plain`,
+		`sp ace`,
+		`"double" and 'single' quotes`,
+		"tab\tand\nnewline\r\n",
+		`back\slash and $(subshell) and ` + "`backtick`",
+		`  leading and trailing  `,
+		"sig \"fake\" 1", // looks like a codec line
+		"node \"x\" V",   // looks like a codec line
+		"\xff\xfe raw bytes \x80",
+		"utf8 snow☃man",
+		"\x00nul",
+	}
+	u := graph.NewUniverse()
+	sources := make([]graph.NodeID, len(labels))
+	sigs := make([]Signature, len(labels))
+	for i, l := range labels {
+		sources[i] = u.MustIntern(l, graph.PartNone)
+	}
+	// Each source's signature points at the next hostile label.
+	for i := range labels {
+		member := sources[(i+1)%len(sources)]
+		sigs[i] = FromWeights(map[graph.NodeID]float64{member: 0.75}, 1)
+	}
+	set, err := NewSignatureSet("tt", 4, sources, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSignatureSet(&buf, set, u); err != nil {
+		t.Fatal(err)
+	}
+	fresh := graph.NewUniverse()
+	got, err := ReadSignatureSet(bytes.NewReader(buf.Bytes()), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(labels) {
+		t.Fatalf("round trip kept %d of %d sources", got.Len(), len(labels))
+	}
+	for i, l := range labels {
+		id, ok := fresh.Lookup(l)
+		if !ok {
+			t.Fatalf("label %q lost", l)
+		}
+		sig, ok := got.Get(id)
+		if !ok {
+			t.Fatalf("signature of %q lost", l)
+		}
+		wantMember := labels[(i+1)%len(labels)]
+		if sig.Len() != 1 || fresh.Label(sig.Nodes[0]) != wantMember || sig.Weights[0] != 0.75 {
+			t.Fatalf("signature of %q corrupted: %v", l, sig)
+		}
+	}
+}

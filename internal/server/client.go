@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"graphsig/internal/netflow"
+)
+
+// Client is a thin Go client for the sigserverd HTTP API, used by the
+// sigtool `client` subcommand, by --replay self-benchmarking, and by
+// the end-to-end tests.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (default: 30 s timeout).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.Base+path, reader)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return fmt.Errorf("client: %s %s: %s", method, path, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: %s %s: decoding response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Ingest POSTs a batch of flow records.
+func (c *Client) Ingest(records []netflow.Record) (IngestResult, error) {
+	req := IngestRequest{Records: make([]RecordJSON, len(records))}
+	for i, r := range records {
+		req.Records[i] = RecordToJSON(r)
+	}
+	var out IngestResult
+	err := c.do(http.MethodPost, "/v1/flows", req, &out)
+	return out, err
+}
+
+// History fetches a label's archived signatures.
+func (c *Client) History(label string) (HistoryResponse, error) {
+	var out HistoryResponse
+	err := c.do(http.MethodGet, "/v1/signatures/"+url.PathEscape(label), nil, &out)
+	return out, err
+}
+
+// Search runs a nearest-signature query.
+func (c *Client) Search(req SearchRequest) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.do(http.MethodPost, "/v1/search", req, &out)
+	return out, err
+}
+
+// WatchlistAdd archives a label's stored signatures under an
+// individual key.
+func (c *Client) WatchlistAdd(req WatchlistAddRequest) (WatchlistAddResponse, error) {
+	var out WatchlistAddResponse
+	err := c.do(http.MethodPost, "/v1/watchlist", req, &out)
+	return out, err
+}
+
+// WatchlistHits fetches the recorded hit log.
+func (c *Client) WatchlistHits() (WatchlistHitsResponse, error) {
+	var out WatchlistHitsResponse
+	err := c.do(http.MethodGet, "/v1/watchlist/hits", nil, &out)
+	return out, err
+}
+
+// Anomalies fetches behaviour-change reports between the last two
+// archived windows (zCut ≤ 0 uses the server default).
+func (c *Client) Anomalies(zCut float64) (AnomaliesResponse, error) {
+	path := "/v1/anomalies"
+	if zCut > 0 {
+		path += fmt.Sprintf("?z=%g", zCut)
+	}
+	var out AnomaliesResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Metrics fetches the counter snapshot.
+func (c *Client) Metrics() (map[string]int64, error) {
+	var out map[string]int64
+	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// Health fetches the liveness report.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"graphsig/internal/apps"
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/netflow"
+	"graphsig/internal/store"
+)
+
+// convertHits maps store hits to their wire form.
+func convertHits(raw []store.Hit) []SearchHitJSON {
+	out := make([]SearchHitJSON, len(raw))
+	for i, h := range raw {
+		out[i] = SearchHitJSON{Label: h.Label, Window: h.Window, Dist: h.Dist}
+	}
+	return out
+}
+
+// Wire types. Signatures travel as parallel label/weight arrays so the
+// API is NodeID-free: labels are the stable cross-process identity.
+
+// RecordJSON is one flow record on the wire.
+type RecordJSON struct {
+	Src        string    `json:"src"`
+	Dst        string    `json:"dst"`
+	Start      time.Time `json:"start"`
+	DurationMS int64     `json:"duration_ms,omitempty"`
+	Sessions   int       `json:"sessions"`
+	Bytes      int64     `json:"bytes,omitempty"`
+	Packets    int64     `json:"packets,omitempty"`
+	// Proto is "tcp" (default) or "udp" or a numeric protocol.
+	Proto string `json:"proto,omitempty"`
+}
+
+func (r RecordJSON) record() (netflow.Record, error) {
+	proto := netflow.TCP
+	if r.Proto != "" {
+		p, err := netflow.ParseProto(r.Proto)
+		if err != nil {
+			return netflow.Record{}, err
+		}
+		proto = p
+	}
+	return netflow.Record{
+		Src:      r.Src,
+		Dst:      r.Dst,
+		Start:    r.Start,
+		Duration: time.Duration(r.DurationMS) * time.Millisecond,
+		Sessions: r.Sessions,
+		Bytes:    r.Bytes,
+		Packets:  r.Packets,
+		Proto:    proto,
+	}, nil
+}
+
+// RecordToJSON converts a flow record to its wire form.
+func RecordToJSON(r netflow.Record) RecordJSON {
+	return RecordJSON{
+		Src:        r.Src,
+		Dst:        r.Dst,
+		Start:      r.Start,
+		DurationMS: r.Duration.Milliseconds(),
+		Sessions:   r.Sessions,
+		Bytes:      r.Bytes,
+		Packets:    r.Packets,
+		Proto:      r.Proto.String(),
+	}
+}
+
+// IngestRequest is the POST /v1/flows body.
+type IngestRequest struct {
+	Records []RecordJSON `json:"records"`
+}
+
+// SignatureJSON is a signature with members resolved to labels.
+type SignatureJSON struct {
+	Nodes   []string  `json:"nodes"`
+	Weights []float64 `json:"weights"`
+}
+
+func (s *Server) signatureJSON(sig core.Signature) SignatureJSON {
+	u := s.store.Universe()
+	out := SignatureJSON{Nodes: make([]string, sig.Len()), Weights: append([]float64(nil), sig.Weights...)}
+	for i, n := range sig.Nodes {
+		out.Nodes[i] = u.Label(n)
+	}
+	return out
+}
+
+// HistoryEntryJSON is one archived window of a label.
+type HistoryEntryJSON struct {
+	Window    int           `json:"window"`
+	Scheme    string        `json:"scheme"`
+	Signature SignatureJSON `json:"signature"`
+}
+
+// HistoryResponse is the GET /v1/signatures/{label} body.
+type HistoryResponse struct {
+	Label   string             `json:"label"`
+	History []HistoryEntryJSON `json:"history"`
+}
+
+// SearchRequest is the POST /v1/search body: query by archived label
+// or by an inline signature.
+type SearchRequest struct {
+	Label     string         `json:"label,omitempty"`
+	Signature *SignatureJSON `json:"signature,omitempty"`
+	K         int            `json:"k,omitempty"`
+	MaxDist   float64        `json:"max_dist,omitempty"`
+	// Distance overrides the server default ("jaccard", "dice", ...).
+	Distance    string `json:"distance,omitempty"`
+	LastWindows int    `json:"last_windows,omitempty"`
+}
+
+// SearchHitJSON is one nearest-signature hit.
+type SearchHitJSON struct {
+	Label  string  `json:"label"`
+	Window int     `json:"window"`
+	Dist   float64 `json:"dist"`
+}
+
+// SearchResponse is the POST /v1/search body.
+type SearchResponse struct {
+	Distance string          `json:"distance"`
+	Hits     []SearchHitJSON `json:"hits"`
+}
+
+// WatchlistAddRequest archives a label's stored signatures under an
+// individual key. With Window set, only that window is archived;
+// otherwise every archived window of the label is.
+type WatchlistAddRequest struct {
+	Individual string `json:"individual"`
+	Label      string `json:"label"`
+	Window     *int   `json:"window,omitempty"`
+}
+
+// WatchlistAddResponse reports the archive growth.
+type WatchlistAddResponse struct {
+	Archived int `json:"archived"`
+	Total    int `json:"watchlist_size"`
+}
+
+// WatchHitJSON is one recorded watchlist hit.
+type WatchHitJSON struct {
+	Window         int     `json:"window"`
+	Label          string  `json:"label"`
+	Individual     string  `json:"individual"`
+	ArchivedWindow int     `json:"archived_window"`
+	Dist           float64 `json:"dist"`
+}
+
+// WatchlistHitsResponse is the GET /v1/watchlist/hits body.
+type WatchlistHitsResponse struct {
+	Hits []WatchHitJSON `json:"hits"`
+}
+
+// AnomalyJSON is one flagged label.
+type AnomalyJSON struct {
+	Label       string  `json:"label"`
+	Persistence float64 `json:"persistence"`
+	ZScore      float64 `json:"z_score"`
+}
+
+// AnomaliesResponse is the GET /v1/anomalies body.
+type AnomaliesResponse struct {
+	FromWindow int           `json:"from_window"`
+	ToWindow   int           `json:"to_window"`
+	Mean       float64       `json:"mean_persistence"`
+	StdDev     float64       `json:"stddev_persistence"`
+	Anomalies  []AnomalyJSON `json:"anomalies"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Windows       int     `json:"windows"`
+	CurrentWindow int     `json:"current_window"`
+	Ingested      int     `json:"ingested"`
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/flows", s.handleFlows)
+	s.mux.HandleFunc("GET /v1/signatures/{label}", s.handleHistory)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/watchlist", s.handleWatchlistAdd)
+	s.mux.HandleFunc("GET /v1/watchlist/hits", s.handleWatchlistHits)
+	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// instrument wraps the mux with request counting and latency summing.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		s.metrics.HTTPRequests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			s.metrics.HTTPErrors.Add(1)
+		}
+		s.metrics.RequestMicros.Add(time.Since(begin).Microseconds())
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies (64 MiB: a generous flow batch).
+const maxBodyBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	records := make([]netflow.Record, 0, len(req.Records))
+	for i, rj := range req.Records {
+		rec, err := rj.record()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+			return
+		}
+		records = append(records, rec)
+	}
+	writeJSON(w, http.StatusOK, s.IngestRecords(records))
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	label := r.PathValue("label")
+	s.metrics.HistoryQueries.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.store.History(label)
+	if len(entries) == 0 {
+		writeError(w, http.StatusNotFound, "label %q has no archived signatures", label)
+		return
+	}
+	resp := HistoryResponse{Label: label}
+	for _, e := range entries {
+		resp.History = append(resp.History, HistoryEntryJSON{
+			Window:    e.Window,
+			Scheme:    e.Scheme,
+			Signature: s.signatureJSON(e.Sig),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.metrics.SearchQueries.Add(1)
+	d, err := s.distanceFor(req.Distance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := store.SearchOptions{TopK: req.K, MaxDist: req.MaxDist, LastWindows: req.LastWindows}
+	var hits []SearchHitJSON
+	switch {
+	case req.Label != "" && req.Signature != nil:
+		writeError(w, http.StatusBadRequest, "set either label or signature, not both")
+		return
+	case req.Label != "":
+		s.mu.RLock()
+		raw, err := s.store.SearchLabel(d, req.Label, opts)
+		if err == nil {
+			hits = convertHits(raw)
+		}
+		s.mu.RUnlock()
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	case req.Signature != nil:
+		// Inline signatures may name labels the universe has never seen;
+		// interning mutates the universe, so take the write lock.
+		s.mu.Lock()
+		sig, err := s.internSignature(*req.Signature)
+		if err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		raw, err := s.store.Search(d, sig, opts)
+		if err == nil {
+			hits = convertHits(raw)
+		}
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "search needs a label or a signature")
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Distance: d.Name(), Hits: hits})
+}
+
+// internSignature builds a core.Signature from wire form, interning
+// unknown member labels through the pipeline's classifier. Callers
+// hold the write lock.
+func (s *Server) internSignature(sj SignatureJSON) (core.Signature, error) {
+	if len(sj.Nodes) != len(sj.Weights) {
+		return core.Signature{}, fmt.Errorf("signature nodes/weights length mismatch %d/%d", len(sj.Nodes), len(sj.Weights))
+	}
+	classify := s.cfg.Stream.Classify
+	if classify == nil {
+		classify = netflow.General
+	}
+	u := s.store.Universe()
+	weights := make(map[graph.NodeID]float64, len(sj.Nodes))
+	for i, label := range sj.Nodes {
+		v, err := u.Intern(label, classify(label))
+		if err != nil {
+			return core.Signature{}, err
+		}
+		weights[v] += sj.Weights[i]
+	}
+	sig := core.FromWeights(weights, len(weights))
+	if sig.IsEmpty() {
+		return core.Signature{}, fmt.Errorf("signature has no positive-weight members")
+	}
+	return sig, nil
+}
+
+func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
+	var req WatchlistAddRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Individual == "" || req.Label == "" {
+		writeError(w, http.StatusBadRequest, "watchlist add needs individual and label")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := s.store.History(req.Label)
+	archived := 0
+	for _, e := range entries {
+		if req.Window != nil && e.Window != *req.Window {
+			continue
+		}
+		if e.Sig.IsEmpty() {
+			continue
+		}
+		if err := s.watch.Add(req.Individual, e.Window, e.Sig); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		archived++
+	}
+	if archived == 0 {
+		writeError(w, http.StatusNotFound, "label %q has no archivable signature", req.Label)
+		return
+	}
+	s.metrics.WatchlistAdds.Add(int64(archived))
+	writeJSON(w, http.StatusOK, WatchlistAddResponse{Archived: archived, Total: s.watch.Len()})
+}
+
+func (s *Server) handleWatchlistHits(w http.ResponseWriter, r *http.Request) {
+	hits := s.Hits()
+	resp := WatchlistHitsResponse{Hits: make([]WatchHitJSON, len(hits))}
+	for i, h := range hits {
+		resp.Hits[i] = WatchHitJSON(h)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	s.metrics.AnomalyQueries.Add(1)
+	zCut := 2.0
+	if zs := r.URL.Query().Get("z"); zs != "" {
+		z, err := strconv.ParseFloat(zs, 64)
+		if err != nil || z <= 0 {
+			writeError(w, http.StatusBadRequest, "bad z parameter %q", zs)
+			return
+		}
+		zCut = z
+	}
+	d, err := s.distanceFor(r.URL.Query().Get("distance"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	windows := s.store.Windows()
+	if len(windows) < 2 {
+		writeError(w, http.StatusConflict, "anomaly detection needs two archived windows, have %d", len(windows))
+		return
+	}
+	at, next := windows[len(windows)-2], windows[len(windows)-1]
+	anomalies, summary, err := apps.DetectAnomalies(d, at, next, zCut)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	resp := AnomaliesResponse{
+		FromWindow: at.Window,
+		ToWindow:   next.Window,
+		Mean:       summary.Mean,
+		StdDev:     summary.StdDev,
+	}
+	u := s.store.Universe()
+	for _, a := range anomalies {
+		resp.Anomalies = append(resp.Anomalies, AnomalyJSON{
+			Label:       u.Label(a.Node),
+			Persistence: a.Persistence,
+			ZScore:      a.ZScore,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	resp := HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Windows:       s.store.Len(),
+		CurrentWindow: s.pipeline.CurrentWindow(),
+		Ingested:      s.pipeline.Ingested(),
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start)))
+}

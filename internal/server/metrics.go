@@ -1,0 +1,46 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's expvar-style counter set: monotone atomic
+// counters, rendered as a flat JSON object by GET /metrics. Counters
+// (not gauges) so scrapers can rate() them; latency is exported as a
+// (sum, count) pair per the usual convention.
+type metrics struct {
+	FlowsReceived  atomic.Int64 // records arriving at POST /v1/flows
+	FlowsAccepted  atomic.Int64 // records the pipeline ingested
+	FlowsDropped   atomic.Int64 // records filtered (e.g. non-TCP)
+	FlowsRejected  atomic.Int64 // records the pipeline refused
+	WindowsClosed  atomic.Int64 // signature sets emitted into the store
+	SearchQueries  atomic.Int64 // POST /v1/search served
+	HistoryQueries atomic.Int64 // GET /v1/signatures/{label} served
+	AnomalyQueries atomic.Int64 // GET /v1/anomalies served
+	WatchlistAdds  atomic.Int64 // archived watchlist signatures
+	WatchlistHits  atomic.Int64 // hits recorded at window close
+	HTTPRequests   atomic.Int64 // all requests routed
+	HTTPErrors     atomic.Int64 // responses with status >= 400
+	RequestMicros  atomic.Int64 // summed handler latency (µs)
+}
+
+// snapshot renders the counters for /metrics.
+func (m *metrics) snapshot(uptime time.Duration) map[string]int64 {
+	return map[string]int64{
+		"flows_received":      m.FlowsReceived.Load(),
+		"flows_accepted":      m.FlowsAccepted.Load(),
+		"flows_dropped":       m.FlowsDropped.Load(),
+		"flows_rejected":      m.FlowsRejected.Load(),
+		"windows_closed":      m.WindowsClosed.Load(),
+		"search_queries":      m.SearchQueries.Load(),
+		"history_queries":     m.HistoryQueries.Load(),
+		"anomaly_queries":     m.AnomalyQueries.Load(),
+		"watchlist_adds":      m.WatchlistAdds.Load(),
+		"watchlist_hits":      m.WatchlistHits.Load(),
+		"http_requests_total": m.HTTPRequests.Load(),
+		"http_errors_total":   m.HTTPErrors.Load(),
+		"request_micros_sum":  m.RequestMicros.Load(),
+		"uptime_seconds":      int64(uptime.Seconds()),
+	}
+}

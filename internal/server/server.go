@@ -1,0 +1,282 @@
+// Package server exposes the signature machinery as an online HTTP
+// service — the serving surface behind cmd/sigserverd. Flow records
+// are POSTed in batches and run through the §VI streaming pipeline;
+// each completed window's signature set lands in a bounded
+// internal/store ring, is screened against the watchlist, and becomes
+// queryable: per-label history, top-k nearest-signature search,
+// watchlist hits and anomaly detection, plus health and expvar-style
+// metrics endpoints.
+//
+// Locking model: the streaming pipeline interns labels into the shared
+// graph.Universe on ingest, and the Universe is not safe for
+// concurrent mutation. One RWMutex therefore guards every handler:
+// ingestion (and any other interning path) takes the write lock; pure
+// queries take the read lock. The store and watchlist carry their own
+// internal locks so they also stay safe for direct library use.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"graphsig/internal/apps"
+	"graphsig/internal/core"
+	"graphsig/internal/netflow"
+	"graphsig/internal/store"
+	"graphsig/internal/stream"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Stream configures the ingestion pipeline (window size, scheme, k,
+	// sketch sizing). Origin should be set for restartable deployments
+	// so window indices stay aligned across runs.
+	Stream stream.Config
+	// StoreCapacity bounds the signature store ring (default 16).
+	StoreCapacity int
+	// Distance scores search, watchlist and anomaly queries
+	// (default Jaccard; per-request override via the API).
+	Distance core.Distance
+	// WatchMaxDist is the watchlist screening threshold applied when
+	// windows close (default 0.5).
+	WatchMaxDist float64
+	// LSHBands/LSHRows/LSHSeed enable the store's MinHash prefilter.
+	LSHBands, LSHRows int
+	LSHSeed           uint64
+	// SnapshotDir, when non-empty, is loaded at startup (if a snapshot
+	// exists) and written by Shutdown.
+	SnapshotDir string
+	// HitLogSize bounds the retained watchlist hit log (default 1024).
+	HitLogSize int
+}
+
+// WatchHit is one recorded watchlist match: label's signature in the
+// window that just closed was within WatchMaxDist of an archived
+// individual.
+type WatchHit struct {
+	Window         int
+	Label          string
+	Individual     string
+	ArchivedWindow int
+	Dist           float64
+}
+
+// Server is the online signature service.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	// mu serializes Universe mutation (ingest, label interning) against
+	// all readers; see the package comment.
+	mu       sync.RWMutex
+	pipeline *stream.Pipeline
+	store    *store.Store
+	watch    *apps.Watchlist
+	hits     []WatchHit
+	pending  int // records accepted into the still-open window
+	dropped  int // windows lost to index conflicts (snapshot overlap)
+
+	metrics metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server, loading a prior snapshot when cfg.SnapshotDir
+// holds one.
+func New(cfg Config) (*Server, error) {
+	if cfg.StoreCapacity == 0 {
+		cfg.StoreCapacity = 16
+	}
+	if cfg.Distance == nil {
+		cfg.Distance = core.Jaccard{}
+	}
+	if cfg.WatchMaxDist == 0 {
+		cfg.WatchMaxDist = 0.5
+	}
+	if cfg.HitLogSize == 0 {
+		cfg.HitLogSize = 1024
+	}
+	scfg := store.Config{
+		Capacity: cfg.StoreCapacity,
+		LSHBands: cfg.LSHBands,
+		LSHRows:  cfg.LSHRows,
+		LSHSeed:  cfg.LSHSeed,
+	}
+	var st *store.Store
+	var err error
+	if cfg.SnapshotDir != "" && store.SnapshotExists(cfg.SnapshotDir) {
+		st, err = store.Load(cfg.SnapshotDir, scfg)
+	} else {
+		st, err = store.New(scfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p, err := stream.NewPipeline(cfg.Stream, st.Universe())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		pipeline: p,
+		store:    st,
+		watch:    apps.NewWatchlist(),
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	return s.instrument(s.mux)
+}
+
+// Store exposes the underlying signature store (read-mostly; see the
+// package locking model before mutating concurrently with serving).
+func (s *Server) Store() *store.Store { return s.store }
+
+// IngestResult summarizes one batch ingestion.
+type IngestResult struct {
+	Received      int      `json:"received"`
+	Accepted      int      `json:"accepted"`
+	Dropped       int      `json:"dropped"`
+	Rejected      int      `json:"rejected"`
+	WindowsClosed int      `json:"windows_closed"`
+	CurrentWindow int      `json:"current_window"`
+	Errors        []string `json:"errors,omitempty"`
+}
+
+// maxReportedErrors bounds the per-batch error detail.
+const maxReportedErrors = 5
+
+// IngestRecords feeds a batch through the pipeline, committing every
+// completed window to the store. Invalid or out-of-order records are
+// rejected individually; the rest of the batch proceeds.
+func (s *Server) IngestRecords(records []netflow.Record) IngestResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := IngestResult{Received: len(records)}
+	s.metrics.FlowsReceived.Add(int64(len(records)))
+	for i := range records {
+		before := s.pipeline.Ingested()
+		emitted, err := s.pipeline.Ingest(records[i])
+		if err != nil {
+			res.Rejected++
+			s.metrics.FlowsRejected.Add(1)
+			if len(res.Errors) < maxReportedErrors {
+				res.Errors = append(res.Errors, err.Error())
+			}
+			continue
+		}
+		if len(emitted) > 0 {
+			s.pending = 0
+		}
+		for _, set := range emitted {
+			s.commitWindowLocked(set)
+			res.WindowsClosed++
+		}
+		if accepted := s.pipeline.Ingested() - before; accepted > 0 {
+			res.Accepted += accepted
+			s.pending += accepted
+			s.metrics.FlowsAccepted.Add(int64(accepted))
+		} else {
+			res.Dropped++ // filtered (e.g. non-TCP under TCPOnly)
+			s.metrics.FlowsDropped.Add(1)
+		}
+	}
+	res.CurrentWindow = s.pipeline.CurrentWindow()
+	return res
+}
+
+// commitWindowLocked archives one completed window and screens it
+// against the watchlist. Callers hold s.mu.
+func (s *Server) commitWindowLocked(set *core.SignatureSet) {
+	if err := s.store.Add(set); err != nil {
+		// A snapshot/replay overlap: the window index already exists.
+		// The archived window wins; the new one is dropped and counted.
+		s.dropped++
+		return
+	}
+	s.metrics.WindowsClosed.Add(1)
+	if s.watch.Len() == 0 || set.Len() == 0 {
+		return
+	}
+	u := s.store.Universe()
+	screened, err := s.watch.Screen(s.cfg.Distance, set, s.cfg.WatchMaxDist)
+	if err != nil {
+		return
+	}
+	for v, hits := range screened {
+		for _, h := range hits {
+			s.hits = append(s.hits, WatchHit{
+				Window:         set.Window,
+				Label:          u.Label(v),
+				Individual:     h.Individual,
+				ArchivedWindow: h.Window,
+				Dist:           h.Dist,
+			})
+			s.metrics.WatchlistHits.Add(1)
+		}
+	}
+	if over := len(s.hits) - s.cfg.HitLogSize; over > 0 {
+		s.hits = append(s.hits[:0:0], s.hits[over:]...)
+	}
+}
+
+// Flush closes the current window if any records are pending in it and
+// commits the resulting signature set. It returns the number of
+// windows closed (0 or 1).
+func (s *Server) Flush() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == 0 {
+		return 0, nil
+	}
+	set, err := s.pipeline.Flush()
+	if err != nil {
+		return 0, fmt.Errorf("server: flush: %w", err)
+	}
+	s.pending = 0
+	s.commitWindowLocked(set)
+	return 1, nil
+}
+
+// Shutdown finalizes the server: the partial window (if non-empty) is
+// flushed into the store, and — when a snapshot directory is
+// configured — the store is saved so a restart resumes with its
+// archive. The HTTP listener itself is owned and drained by the
+// caller (cmd/sigserverd) before calling Shutdown.
+func (s *Server) Shutdown() error {
+	if _, err := s.Flush(); err != nil {
+		return err
+	}
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	// Hold the read lock: Save resolves labels through the universe.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Save(s.cfg.SnapshotDir)
+}
+
+// Hits returns a copy of the recorded watchlist hit log, oldest first.
+func (s *Server) Hits() []WatchHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]WatchHit(nil), s.hits...)
+}
+
+// distanceFor resolves a per-request distance override.
+func (s *Server) distanceFor(name string) (core.Distance, error) {
+	if name == "" {
+		return s.cfg.Distance, nil
+	}
+	d, ok := core.DistanceByName(name)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown distance %q", name)
+	}
+	return d, nil
+}

@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// A snapshot is a directory: a manifest listing the retained windows
+// oldest-first, plus one file per window in the established
+// line-oriented signature text format (core.WriteSignatureSet). Using
+// the existing codec means a snapshot is also directly consumable by
+// `sigtool compare`/`screen` and by any other tool that reads signature
+// files — the store adds only the manifest.
+//
+// The manifest also dumps the universe's labels in NodeID order.
+// Signature canonical order breaks weight ties by NodeID, so a reload
+// must re-intern labels in the original ID order — interning them
+// lazily per set file would permute IDs of nodes shared across windows
+// and invalidate tie ordering.
+
+// manifestName is the snapshot directory's index file.
+const manifestName = "MANIFEST"
+
+const manifestHeader = "graphsig-store v1"
+
+// setFileName names the snapshot file holding window w.
+func setFileName(w int) string { return fmt.Sprintf("window-%09d.sig", w) }
+
+// Save writes a point-in-time snapshot of the store into dir, creating
+// it if needed. The write is atomic at the manifest level: set files
+// are written first and the manifest last, so a crash mid-save leaves
+// the previous manifest (if any) pointing at complete files.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	// Capture the ring under the read lock, then serialize outside it:
+	// sets are immutable and the universe only grows.
+	sets := s.Windows()
+	var manifest strings.Builder
+	fmt.Fprintln(&manifest, manifestHeader)
+	fmt.Fprintf(&manifest, "windows %d\n", len(sets))
+	for id := 0; id < s.universe.Size(); id++ {
+		nid := graph.NodeID(id)
+		fmt.Fprintf(&manifest, "node %q %s\n", s.universe.Label(nid), s.universe.PartOf(nid))
+	}
+	for _, set := range sets {
+		name := setFileName(set.Window)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		err = core.WriteSignatureSet(f, set, s.universe)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("store: snapshot window %d: %w", set.Window, err)
+		}
+		fmt.Fprintf(&manifest, "set %s\n", name)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(manifest.String()), 0o644); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// SnapshotExists reports whether dir holds a loadable snapshot.
+func SnapshotExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Load rebuilds a store from a snapshot directory, interning every
+// label into cfg.Universe (a fresh one when nil). Window order and
+// indices are restored from the manifest; capacity applies as usual, so
+// loading a larger snapshot into a smaller store keeps the newest
+// windows.
+func Load(dir string, cfg Config) (*Store, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	defer mf.Close()
+	sc := bufio.NewScanner(mf)
+	if !sc.Scan() || sc.Text() != manifestHeader {
+		return nil, fmt.Errorf("store: snapshot: bad manifest header %q", sc.Text())
+	}
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "windows ") {
+		return nil, fmt.Errorf("store: snapshot: missing windows line")
+	}
+	want, err := strconv.Atoi(strings.TrimPrefix(sc.Text(), "windows "))
+	if err != nil || want < 0 {
+		return nil, fmt.Errorf("store: snapshot: bad window count %q", sc.Text())
+	}
+	loaded := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "node "); ok {
+			if err := internNodeLine(s.universe, rest); err != nil {
+				return nil, fmt.Errorf("store: snapshot: %w", err)
+			}
+			continue
+		}
+		name, ok := strings.CutPrefix(line, "set ")
+		if !ok {
+			return nil, fmt.Errorf("store: snapshot: unknown manifest line %q", line)
+		}
+		if name != filepath.Base(name) {
+			return nil, fmt.Errorf("store: snapshot: manifest escapes directory: %q", name)
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot: %w", err)
+		}
+		set, err := core.ReadSignatureSet(f, s.universe)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot %s: %w", name, err)
+		}
+		if err := s.Add(set); err != nil {
+			return nil, fmt.Errorf("store: snapshot %s: %w", name, err)
+		}
+		loaded++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	if loaded != want {
+		return nil, fmt.Errorf("store: snapshot: manifest promises %d windows, found %d", want, loaded)
+	}
+	return s, nil
+}
+
+// internNodeLine parses `"label" PART` and interns it, restoring the
+// snapshot's NodeID assignment order.
+func internNodeLine(u *graph.Universe, rest string) error {
+	quoted, err := strconv.QuotedPrefix(rest)
+	if err != nil {
+		return fmt.Errorf("bad node line %q: %w", rest, err)
+	}
+	label, err := strconv.Unquote(quoted)
+	if err != nil {
+		return fmt.Errorf("bad node label in %q: %w", rest, err)
+	}
+	var part graph.Part
+	switch strings.TrimSpace(rest[len(quoted):]) {
+	case "V":
+		part = graph.PartNone
+	case "V1":
+		part = graph.Part1
+	case "V2":
+		part = graph.Part2
+	default:
+		return fmt.Errorf("bad node part in %q", rest)
+	}
+	_, err = u.Intern(label, part)
+	return err
+}

@@ -1,0 +1,340 @@
+// Package store implements the serving-side signature archive: a
+// goroutine-safe, bounded ring of the most recent signature windows,
+// keyed by node label through a shared graph.Universe. It is the state
+// behind sigserverd — per-label history lookup ("what did this host
+// look like over the last N windows?"), top-k nearest-signature search
+// (the watchlist/reappearance primitive, optionally pre-filtered by an
+// LSH MinHash index), and snapshot save/load so an online service can
+// restart without losing its archive.
+//
+// Concurrency contract: all Store methods are safe for concurrent use
+// with each other. The shared Universe, however, is not safe for
+// concurrent mutation — a caller that interns new labels while serving
+// (the streaming pipeline does, on ingest) must serialize interning
+// against Store reads. internal/server does exactly that with one
+// RWMutex around pipeline ingestion.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+	"graphsig/internal/lsh"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Capacity bounds the number of retained windows; older windows are
+	// evicted oldest-first.
+	Capacity int
+	// Universe resolves NodeIDs to labels; nil allocates a fresh one.
+	Universe *graph.Universe
+	// LSHBands and LSHRows, when both positive, build a MinHash banding
+	// index per window with bands·rows hash components, used to
+	// pre-filter Jaccard searches (§VI scalable comparison). Zero
+	// disables pre-filtering and every search is an exact scan.
+	LSHBands, LSHRows int
+	// LSHSeed drives the MinHash hash family.
+	LSHSeed uint64
+}
+
+func (c *Config) validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("store: capacity must be positive, got %d", c.Capacity)
+	}
+	if (c.LSHBands > 0) != (c.LSHRows > 0) {
+		return fmt.Errorf("store: LSH bands and rows must both be set (got %d×%d)", c.LSHBands, c.LSHRows)
+	}
+	return nil
+}
+
+// entry is one retained window with its optional LSH index.
+type entry struct {
+	set *core.SignatureSet
+	idx *lsh.Index
+}
+
+// Store is the bounded, goroutine-safe archive of recent signature
+// windows.
+type Store struct {
+	cfg      Config
+	universe *graph.Universe
+
+	mu      sync.RWMutex
+	ring    []entry // oldest first
+	added   int     // windows ever added (monotone, survives eviction)
+	evicted int
+}
+
+// New builds an empty store.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Universe == nil {
+		cfg.Universe = graph.NewUniverse()
+	}
+	return &Store{cfg: cfg, universe: cfg.Universe}, nil
+}
+
+// Universe returns the shared label universe.
+func (s *Store) Universe() *graph.Universe { return s.universe }
+
+// Add appends a completed window. Window indices must be strictly
+// increasing — the store archives a time line, not a bag — so a
+// duplicate or regressing index is an error. The oldest window is
+// evicted when capacity is exceeded.
+func (s *Store) Add(set *core.SignatureSet) error {
+	if set == nil {
+		return fmt.Errorf("store: nil signature set")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.ring); n > 0 && set.Window <= s.ring[n-1].set.Window {
+		return fmt.Errorf("store: window %d not after latest window %d", set.Window, s.ring[n-1].set.Window)
+	}
+	e := entry{set: set}
+	if s.cfg.LSHBands > 0 {
+		idx, err := s.buildIndex(set)
+		if err != nil {
+			return err
+		}
+		e.idx = idx
+	}
+	s.ring = append(s.ring, e)
+	s.added++
+	if len(s.ring) > s.cfg.Capacity {
+		over := len(s.ring) - s.cfg.Capacity
+		s.ring = append(s.ring[:0:0], s.ring[over:]...)
+		s.evicted += over
+	}
+	return nil
+}
+
+func (s *Store) buildIndex(set *core.SignatureSet) (*lsh.Index, error) {
+	hasher, err := lsh.NewHasher(s.cfg.LSHBands*s.cfg.LSHRows, s.cfg.LSHSeed)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	idx, err := lsh.NewIndex(hasher, s.cfg.LSHBands, s.cfg.LSHRows)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for i, v := range set.Sources {
+		if set.Sigs[i].IsEmpty() {
+			continue // empty signatures match nothing under Jaccard
+		}
+		if err := idx.Add(v, set.Sigs[i]); err != nil {
+			return nil, fmt.Errorf("store: window %d: %w", set.Window, err)
+		}
+	}
+	return idx, nil
+}
+
+// Len reports the number of retained windows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ring)
+}
+
+// TotalAdded reports how many windows were ever added (including
+// evicted ones).
+func (s *Store) TotalAdded() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.added
+}
+
+// WindowRange reports the oldest and newest retained window indices;
+// ok is false when the store is empty.
+func (s *Store) WindowRange() (oldest, newest int, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.ring) == 0 {
+		return 0, 0, false
+	}
+	return s.ring[0].set.Window, s.ring[len(s.ring)-1].set.Window, true
+}
+
+// Windows returns the retained signature sets, oldest first. The slice
+// is a copy; the sets themselves are shared and must be treated as
+// immutable (every producer in this module already does).
+func (s *Store) Windows() []*core.SignatureSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*core.SignatureSet, len(s.ring))
+	for i, e := range s.ring {
+		out[i] = e.set
+	}
+	return out
+}
+
+// Latest returns the newest retained window, or nil when empty.
+func (s *Store) Latest() *core.SignatureSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.ring) == 0 {
+		return nil
+	}
+	return s.ring[len(s.ring)-1].set
+}
+
+// HistoryEntry is one archived signature of a label.
+type HistoryEntry struct {
+	Window int
+	Scheme string
+	Sig    core.Signature
+}
+
+// History returns every retained signature of label, oldest window
+// first. A label absent from the universe — or present but never a
+// source — yields an empty history.
+func (s *Store) History(label string) []HistoryEntry {
+	v, ok := s.universe.Lookup(label)
+	if !ok {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []HistoryEntry
+	for _, e := range s.ring {
+		if sig, ok := e.set.Get(v); ok {
+			out = append(out, HistoryEntry{Window: e.set.Window, Scheme: e.set.Scheme, Sig: sig})
+		}
+	}
+	return out
+}
+
+// LatestSignature returns the most recent non-empty signature of label.
+func (s *Store) LatestSignature(label string) (core.Signature, int, bool) {
+	v, ok := s.universe.Lookup(label)
+	if !ok {
+		return core.Signature{}, 0, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if sig, ok := s.ring[i].set.Get(v); ok && !sig.IsEmpty() {
+			return sig, s.ring[i].set.Window, true
+		}
+	}
+	return core.Signature{}, 0, false
+}
+
+// Hit is one nearest-signature search result.
+type Hit struct {
+	Node   graph.NodeID
+	Label  string
+	Window int
+	Dist   float64
+}
+
+// SearchOptions tunes a nearest-signature search.
+type SearchOptions struct {
+	// TopK bounds the result count (default 10).
+	TopK int
+	// MaxDist drops hits farther than this (default 1 = keep all).
+	MaxDist float64
+	// ExcludeLabel omits matches of this label (typically the query's
+	// own, when asking "who else looks like v?").
+	ExcludeLabel string
+	// LastWindows restricts the scan to the most recent n retained
+	// windows (0 = all).
+	LastWindows int
+	// NoPrefilter forces an exact scan even when an LSH index exists.
+	NoPrefilter bool
+}
+
+// Search ranks archived signatures by distance from sig and returns the
+// closest hits, one per (label, window) pair. When the store was built
+// with LSH banding and d is the Jaccard distance, candidate generation
+// goes through the MinHash buckets — candidates missing every bucket
+// are skipped, trading a small recall loss for sub-linear scans — and
+// every candidate is exact-verified with d before ranking.
+func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) ([]Hit, error) {
+	if d == nil {
+		return nil, fmt.Errorf("store: search needs a distance")
+	}
+	if sig.IsEmpty() {
+		return nil, fmt.Errorf("store: search with empty signature")
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	if opts.MaxDist <= 0 {
+		opts.MaxDist = 1
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	ring := s.ring
+	if opts.LastWindows > 0 && opts.LastWindows < len(ring) {
+		ring = ring[len(ring)-opts.LastWindows:]
+	}
+	var exclude graph.NodeID = -1
+	if opts.ExcludeLabel != "" {
+		if v, ok := s.universe.Lookup(opts.ExcludeLabel); ok {
+			exclude = v
+		}
+	}
+
+	var hits []Hit
+	for _, e := range ring {
+		if e.idx != nil && !opts.NoPrefilter && d.Name() == "jaccard" {
+			// minSim 0 keeps every bucket-sharing candidate; the exact
+			// verification below applies MaxDist.
+			cands, err := e.idx.Query(sig, exclude, 0)
+			if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			for _, c := range cands {
+				other, ok := e.set.Get(c.Node)
+				if !ok {
+					continue
+				}
+				if dist := d.Dist(sig, other); dist <= opts.MaxDist {
+					hits = append(hits, Hit{Node: c.Node, Label: s.universe.Label(c.Node), Window: e.set.Window, Dist: dist})
+				}
+			}
+			continue
+		}
+		for i, v := range e.set.Sources {
+			if v == exclude || e.set.Sigs[i].IsEmpty() {
+				continue
+			}
+			if dist := d.Dist(sig, e.set.Sigs[i]); dist <= opts.MaxDist {
+				hits = append(hits, Hit{Node: v, Label: s.universe.Label(v), Window: e.set.Window, Dist: dist})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Dist != hits[j].Dist {
+			return hits[i].Dist < hits[j].Dist
+		}
+		if hits[i].Window != hits[j].Window {
+			return hits[i].Window > hits[j].Window // newer evidence first
+		}
+		return hits[i].Node < hits[j].Node
+	})
+	if len(hits) > opts.TopK {
+		hits = hits[:opts.TopK]
+	}
+	return hits, nil
+}
+
+// SearchLabel searches with the latest non-empty signature of label,
+// excluding the label's own archived signatures from the results.
+func (s *Store) SearchLabel(d core.Distance, label string, opts SearchOptions) ([]Hit, error) {
+	sig, _, ok := s.LatestSignature(label)
+	if !ok {
+		return nil, fmt.Errorf("store: label %q has no archived signature", label)
+	}
+	if opts.ExcludeLabel == "" {
+		opts.ExcludeLabel = label
+	}
+	return s.Search(d, sig, opts)
+}

@@ -289,3 +289,81 @@ func TestPipelineMatchesBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineFlushZeroIngested pins Flush semantics on a pipeline that
+// never saw a record: it closes the (empty) current window and advances,
+// so callers that flush unconditionally append one empty window per
+// flush. The serving layer relies on this to skip flushing when nothing
+// is pending.
+func TestPipelineFlushZeroIngested(t *testing.T) {
+	p, err := NewPipeline(streamConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Window != 0 || set.Len() != 0 {
+		t.Fatalf("flush of fresh pipeline gave window %d with %d sources", set.Window, set.Len())
+	}
+	if p.CurrentWindow() != 1 || p.Ingested() != 0 {
+		t.Fatalf("after flush: window %d, ingested %d", p.CurrentWindow(), p.Ingested())
+	}
+	// A second flush closes the next empty window; ingest then resumes
+	// in window 2 and a later record still emits every skipped window.
+	if set, err = p.Flush(); err != nil || set.Window != 1 {
+		t.Fatalf("second flush: window %d, err %v", set.Window, err)
+	}
+	if _, err := p.Ingest(flowAt("10.0.0.1", "e1", time.Hour, 1)); err == nil {
+		t.Fatal("record for already-flushed window 1 accepted")
+	}
+	if _, err := p.Ingest(flowAt("10.0.0.1", "e1", 2*time.Hour, 1)); err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := p.Ingest(flowAt("10.0.0.1", "e1", 5*time.Hour, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 3 || emitted[0].Window != 2 || emitted[0].Len() != 1 {
+		t.Fatalf("gap after flush emitted %d windows starting at %d", len(emitted), emitted[0].Window)
+	}
+}
+
+// TestPipelineImplicitOrigin covers the Origin-less configuration: the
+// first accepted record anchors the window grid, and anything earlier
+// is rejected as pre-origin.
+func TestPipelineImplicitOrigin(t *testing.T) {
+	cfg := streamConfig()
+	cfg.Origin = time.Time{}
+	p, err := NewPipeline(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-TCP records are filtered before the origin latches.
+	if _, err := p.Ingest(netflow.Record{
+		Src: "10.0.0.9", Dst: "e9", Start: streamT0.Add(-time.Hour),
+		Sessions: 1, Proto: netflow.UDP,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Ingest(flowAt("10.0.0.1", "e1", 30*time.Minute, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Earlier than the first accepted record: pre-origin.
+	if _, err := p.Ingest(flowAt("10.0.0.1", "e1", 0, 1)); err == nil {
+		t.Fatal("pre-origin record accepted under implicit origin")
+	}
+	// The grid is anchored at +30min, so +1h29m is still window 0 and
+	// +1h31m starts window 1.
+	if emitted, err := p.Ingest(flowAt("10.0.0.2", "e1", time.Hour+29*time.Minute, 1)); err != nil || len(emitted) != 0 {
+		t.Fatalf("same-window record: emitted %d, err %v", len(emitted), err)
+	}
+	emitted, err := p.Ingest(flowAt("10.0.0.1", "e2", time.Hour+31*time.Minute, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 || emitted[0].Window != 0 || emitted[0].Len() != 2 {
+		t.Fatalf("window 0 emission: %d sets", len(emitted))
+	}
+}

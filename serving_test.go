@@ -1,0 +1,96 @@
+package graphsig_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphsig"
+)
+
+// TestFacadeServing exercises the serving layer through the public
+// aliases only: build signature sets, archive them in a store, search,
+// snapshot, and query the HTTP service end to end.
+func TestFacadeServing(t *testing.T) {
+	_, g0, g1 := fixtureWindows(t)
+	tt := graphsig.TopTalkers()
+	s0, err := graphsig.ComputeSignatures(tt, g0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := graphsig.ComputeSignatures(tt, g1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := graphsig.NewSignatureStore(graphsig.SignatureStoreConfig{
+		Capacity: 4, Universe: g0.Universe(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(s1); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := st.SearchLabel(graphsig.DistJaccard(), "h1", graphsig.StoreSearchOptions{TopK: 3, MaxDist: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no store hits through facade")
+	}
+	if got := len(st.History("h1")); got != 2 {
+		t.Fatalf("h1 history has %d windows", got)
+	}
+
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := graphsig.LoadSignatureStore(dir, graphsig.SignatureStoreConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != 2 {
+		t.Fatalf("reloaded store holds %d windows", reloaded.Len())
+	}
+
+	// The HTTP service through the facade constructor and client.
+	srv, err := graphsig.NewServer(graphsig.ServerConfig{
+		Stream: graphsig.PipelineConfig{
+			WindowSize: time.Hour,
+			Origin:     time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC),
+			Classify:   graphsig.PrefixClassifier("10."),
+			TCPOnly:    true,
+			K:          5,
+			Scheme:     "tt",
+			Sketch:     graphsig.StreamConfig{Width: 512, Depth: 4, Candidates: 32, Seed: 1},
+		},
+		StoreCapacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := graphsig.NewServerClient(ts.URL)
+	if _, err := c.Ingest([]graphsig.FlowRecord{{
+		Src: "10.0.0.1", Dst: "ext", Start: time.Date(2026, 3, 2, 0, 10, 0, 0, time.UTC),
+		Sessions: 2, Proto: graphsig.ProtoTCP,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ingested != 1 || h.Windows != 1 {
+		t.Fatalf("health through facade: %+v", h)
+	}
+}
