@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench tidy
+.PHONY: check build vet test race bench tidy crash-test
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -17,6 +17,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection and crash-recovery suite: failpoint-driven kill/
+# corruption tests across the WAL, the snapshot store and the server's
+# recovery path, under the race detector.
+crash-test:
+	$(GO) test -race ./internal/fault/ ./internal/wal/ ./internal/store/ \
+		-run 'Torn|Corrupt|Crash|Failpoint|Fault|Quarantine|Interrupted'
+	$(GO) test -race ./internal/server/ \
+		-run 'Crash|Corrupt|Torn|SnapshotFailure|ShutdownSave|Throttled|Dedup|Retries'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

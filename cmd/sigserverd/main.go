@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,23 +51,26 @@ import (
 )
 
 type options struct {
-	addr        string
-	window      time.Duration
-	origin      string
-	localPrefix string
-	scheme      string
-	k           int
-	tcpOnly     bool
-	distance    string
-	capacity    int
-	watchDist   float64
-	snapshot    string
-	lshBands    int
-	lshRows     int
-	lshSeed     uint64
-	sketchWidth int
-	sketchDepth int
-	sketchCand  int
+	addr         string
+	window       time.Duration
+	origin       string
+	localPrefix  string
+	scheme       string
+	k            int
+	tcpOnly      bool
+	distance     string
+	capacity     int
+	watchDist    float64
+	snapshot     string
+	snapInterval time.Duration
+	noWAL        bool
+	maxInFlight  int
+	lshBands     int
+	lshRows      int
+	lshSeed      uint64
+	sketchWidth  int
+	sketchDepth  int
+	sketchCand   int
 
 	replay        bool
 	replaySeed    int64
@@ -89,6 +93,9 @@ func main() {
 	fs.IntVar(&o.capacity, "capacity", 16, "windows retained in the store")
 	fs.Float64Var(&o.watchDist, "watch-maxdist", 0.5, "watchlist screening threshold")
 	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot directory (empty = no persistence)")
+	fs.DurationVar(&o.snapInterval, "snapshot-interval", time.Minute, "periodic background snapshot interval (0 = only at window close/shutdown)")
+	fs.BoolVar(&o.noWAL, "no-wal", false, "disable the write-ahead log beside the snapshot directory")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 8, "concurrent ingest batches before shedding with 429 (0 = unlimited)")
 	fs.IntVar(&o.lshBands, "lsh-bands", 0, "LSH bands for search prefiltering (0 = exact scans)")
 	fs.IntVar(&o.lshRows, "lsh-rows", 0, "LSH rows per band")
 	fs.Uint64Var(&o.lshSeed, "lsh-seed", 1, "LSH hash seed")
@@ -137,11 +144,13 @@ func serverConfig(o options) (server.Config, error) {
 		Stream:        scfg,
 		StoreCapacity: o.capacity,
 		Distance:      d,
-		WatchMaxDist:  o.watchDist,
+		WatchMaxDist:  &o.watchDist,
 		LSHBands:      o.lshBands,
 		LSHRows:       o.lshRows,
 		LSHSeed:       o.lshSeed,
 		SnapshotDir:   o.snapshot,
+		DisableWAL:    o.noWAL,
+		MaxInFlight:   o.maxInFlight,
 	}, nil
 }
 
@@ -152,6 +161,9 @@ func run(o options, out io.Writer) error {
 	cfg, err := serverConfig(o)
 	if err != nil {
 		return err
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
 	}
 	if o.replay {
 		// Replay feeds records anchored at the generator's origin; pin
@@ -167,12 +179,23 @@ func run(o options, out io.Writer) error {
 	if lo, hi, ok := srv.Store().WindowRange(); ok {
 		fmt.Fprintf(out, "sigserverd: snapshot restored windows [%d,%d]\n", lo, hi)
 	}
+	if rec := srv.Recovery(); rec.WALRecords > 0 {
+		fmt.Fprintf(out, "sigserverd: WAL replayed %d records (%d rejected, %d torn bytes, %d windows closed)\n",
+			rec.WALRecords, rec.WALRejected, rec.WALTornBytes, rec.WALWindowsClosed)
+	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slowloris hardening: a client must finish its headers
+		// promptly and cannot send unbounded ones. Body size is
+		// bounded per handler via http.MaxBytesReader.
+		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
@@ -181,6 +204,29 @@ func run(o options, out io.Writer) error {
 	}()
 	fmt.Fprintf(out, "sigserverd: serving on http://%s (window %v, scheme %s, k %d)\n",
 		ln.Addr(), cfg.Stream.WindowSize, cfg.Stream.Scheme, cfg.Stream.K)
+
+	// Periodic background snapshots: archived windows stay durable even
+	// without a graceful shutdown (the WAL covers the open window).
+	snapDone := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if o.snapshot != "" && o.snapInterval > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			tick := time.NewTicker(o.snapInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-snapDone:
+					return
+				case <-tick.C:
+					if err := srv.Snapshot(); err != nil {
+						fmt.Fprintf(out, "sigserverd: periodic snapshot failed: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	if o.replay {
 		go func() {
@@ -195,6 +241,8 @@ func run(o options, out io.Writer) error {
 	case runErr = <-errc:
 	}
 
+	close(snapDone)
+	snapWG.Wait()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && runErr == nil {

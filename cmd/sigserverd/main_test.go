@@ -19,6 +19,8 @@ func defaultOptions() options {
 	o.distance = "jaccard"
 	o.capacity = 16
 	o.watchDist = 0.5
+	o.snapInterval = 20 * time.Millisecond
+	o.maxInFlight = 4
 	o.lshSeed = 1
 	o.sketchWidth = 1024
 	o.sketchDepth = 4

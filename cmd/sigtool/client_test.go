@@ -28,7 +28,7 @@ func TestClientSubcommandAgainstLiveServer(t *testing.T) {
 			Sketch:     sketch.StreamConfig{Width: 1024, Depth: 4, Candidates: 64, Seed: 1},
 		},
 		StoreCapacity: 8,
-		WatchMaxDist:  0.9,
+		WatchMaxDist:  server.Float64(0.9),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,109 @@
+// Package fault is a minimal failpoint registry for crash and error
+// injection in tests. Production code marks interesting spots with
+// Inject("name"); a test installs a hook under that name to make the
+// spot fail (or block, or panic) on demand. With no hook installed an
+// injection point is a map lookup under a mutex — cheap enough for the
+// batch-granularity call sites in internal/wal and internal/store, and
+// zero extra dependencies.
+//
+// Hooks are process-global, so tests that install them must not run in
+// parallel with each other; use Reset (usually via t.Cleanup) to leave
+// the registry clean.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+var (
+	mu    sync.Mutex
+	hooks map[string]func() error
+)
+
+// Set installs hook at the named injection point, replacing any
+// previous hook. The hook runs every time the point is hit; returning
+// a non-nil error makes the call site fail with it.
+func Set(name string, hook func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if hooks == nil {
+		hooks = make(map[string]func() error)
+	}
+	hooks[name] = hook
+}
+
+// Clear removes the hook at the named injection point.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, name)
+}
+
+// Reset removes every installed hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = nil
+}
+
+// Inject runs the hook installed at the named point, if any. Call
+// sites treat a non-nil return as the failure of the operation they
+// guard.
+func Inject(name string) error {
+	mu.Lock()
+	hook := hooks[name]
+	mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook()
+}
+
+// FailAfter returns a hook that succeeds n times and then fails every
+// subsequent call with err — "the disk filled up mid-save".
+func FailAfter(n int, err error) func() error {
+	var m sync.Mutex
+	calls := 0
+	return func() error {
+		m.Lock()
+		defer m.Unlock()
+		calls++
+		if calls > n {
+			return err
+		}
+		return nil
+	}
+}
+
+// Writer wraps an io.Writer and fails with Err once FailAt total bytes
+// have been written — a torn write at an arbitrary byte offset. Bytes
+// up to the limit are passed through, so the underlying stream is left
+// exactly as a crashed process would leave it.
+type Writer struct {
+	W      io.Writer
+	FailAt int64
+	Err    error
+
+	written int64
+}
+
+// Write passes p through until the FailAt offset is crossed.
+func (w *Writer) Write(p []byte) (int, error) {
+	err := w.Err
+	if err == nil {
+		err = fmt.Errorf("fault: write failed at offset %d", w.FailAt)
+	}
+	if w.written >= w.FailAt {
+		return 0, err
+	}
+	if int64(len(p)) > w.FailAt-w.written {
+		n, _ := w.W.Write(p[:w.FailAt-w.written])
+		w.written += int64(n)
+		return n, err
+	}
+	n, werr := w.W.Write(p)
+	w.written += int64(n)
+	return n, werr
+}

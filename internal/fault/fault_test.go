@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestInjectWithoutHookIsNil(t *testing.T) {
+	if err := Inject("no-such-point"); err != nil {
+		t.Fatalf("uninstrumented point failed: %v", err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", func() error { return boom })
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("hooked point returned %v, want boom", err)
+	}
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("cleared point failed: %v", err)
+	}
+	Set("p", func() error { return boom })
+	Reset()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("reset point failed: %v", err)
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("disk full")
+	Set("p", FailAfter(2, boom))
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); err != nil {
+			t.Fatalf("call %d failed early: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject("p"); !errors.Is(err, boom) {
+			t.Fatalf("call %d after threshold returned %v", i, err)
+		}
+	}
+}
+
+func TestWriterTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	boom := errors.New("torn")
+	w := &Writer{W: &buf, FailAt: 5, Err: boom}
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, boom) {
+		t.Fatalf("first write: n=%d err=%v, want 5, torn", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("underlying stream holds %q, want the torn prefix", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("write after failure: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterPassthroughBelowLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAt: 100}
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("write below limit: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("z"), 98)); err == nil {
+		t.Fatal("write crossing the limit succeeded")
+	}
+}

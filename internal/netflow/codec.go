@@ -116,6 +116,11 @@ func parseTextLine(text string) (Record, error) {
 //	record:  u16 srcLen, src, u16 dstLen, dst,
 //	         i64 startUnixMs, i64 durationMs,
 //	         u8 proto, u32 sessions, i64 bytes, i64 packets
+//
+// The per-record encoding is also exported standalone
+// (WriteRecordBinary/ReadRecordBinary) so other framings — the
+// internal/wal write-ahead log wraps each record in a CRC frame — can
+// reuse it without the stream magic.
 
 var binaryMagic = [4]byte{'N', 'F', 'B', '1'}
 
@@ -126,30 +131,38 @@ func WriteBinary(w io.Writer, records []Record) error {
 		return err
 	}
 	for i := range records {
-		r := &records[i]
-		if err := r.Validate(); err != nil {
+		if err := WriteRecordBinary(bw, &records[i]); err != nil {
 			return fmt.Errorf("netflow: record %d: %w", i, err)
-		}
-		if len(r.Src) > 0xFFFF || len(r.Dst) > 0xFFFF {
-			return fmt.Errorf("netflow: record %d: label too long", i)
-		}
-		if err := writeString(bw, r.Src); err != nil {
-			return err
-		}
-		if err := writeString(bw, r.Dst); err != nil {
-			return err
-		}
-		fixed := []any{
-			r.Start.UnixMilli(), r.Duration.Milliseconds(),
-			uint8(r.Proto), uint32(r.Sessions), r.Bytes, r.Packets,
-		}
-		for _, v := range fixed {
-			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteRecordBinary writes one record's binary encoding (no stream
+// magic) to w, validating it first.
+func WriteRecordBinary(w io.Writer, r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if len(r.Src) > 0xFFFF || len(r.Dst) > 0xFFFF {
+		return fmt.Errorf("label too long")
+	}
+	if err := writeString(w, r.Src); err != nil {
+		return err
+	}
+	if err := writeString(w, r.Dst); err != nil {
+		return err
+	}
+	fixed := []any{
+		r.Start.UnixMilli(), r.Duration.Milliseconds(),
+		uint8(r.Proto), uint32(r.Sessions), r.Bytes, r.Packets,
+	}
+	for _, v := range fixed {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeString(w io.Writer, s string) error {
@@ -172,44 +185,59 @@ func ReadBinary(r io.Reader) ([]Record, error) {
 	}
 	var out []Record
 	for {
-		src, err := readString(br)
+		rec, err := ReadRecordBinary(br)
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("netflow: record %d: src: %w", len(out), err)
-		}
-		dst, err := readString(br)
-		if err != nil {
-			return nil, fmt.Errorf("netflow: record %d: dst: %w", len(out), eofIsUnexpected(err))
-		}
-		var startMS, durMS int64
-		var proto uint8
-		var sessions uint32
-		var bytes, packets int64
-		for _, v := range []any{&startMS, &durMS, &proto, &sessions, &bytes, &packets} {
-			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-				return nil, fmt.Errorf("netflow: record %d: %w", len(out), eofIsUnexpected(err))
-			}
-		}
-		rec := Record{
-			Src:      src,
-			Dst:      dst,
-			Start:    time.UnixMilli(startMS).UTC(),
-			Duration: time.Duration(durMS) * time.Millisecond,
-			Proto:    Proto(proto),
-			Sessions: int(sessions),
-			Bytes:    bytes,
-			Packets:  packets,
-		}
-		if err := rec.Validate(); err != nil {
 			return nil, fmt.Errorf("netflow: record %d: %w", len(out), err)
 		}
 		out = append(out, rec)
 	}
 }
 
-func readString(r *bufio.Reader) (string, error) {
+// ReadRecordBinary reads one record in the binary per-record encoding.
+// A clean io.EOF before the first byte means end of input; an EOF
+// anywhere inside the record surfaces as io.ErrUnexpectedEOF. The
+// record is validated before being returned.
+func ReadRecordBinary(r io.Reader) (Record, error) {
+	src, err := readString(r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("src: %w", err)
+	}
+	dst, err := readString(r)
+	if err != nil {
+		return Record{}, fmt.Errorf("dst: %w", eofIsUnexpected(err))
+	}
+	var startMS, durMS int64
+	var proto uint8
+	var sessions uint32
+	var bytes, packets int64
+	for _, v := range []any{&startMS, &durMS, &proto, &sessions, &bytes, &packets} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return Record{}, eofIsUnexpected(err)
+		}
+	}
+	rec := Record{
+		Src:      src,
+		Dst:      dst,
+		Start:    time.UnixMilli(startMS).UTC(),
+		Duration: time.Duration(durMS) * time.Millisecond,
+		Proto:    Proto(proto),
+		Sessions: int(sessions),
+		Bytes:    bytes,
+		Packets:  packets,
+	}
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+func readString(r io.Reader) (string, error) {
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return "", err

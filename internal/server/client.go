@@ -2,11 +2,15 @@ package server
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"graphsig/internal/netflow"
@@ -15,37 +19,105 @@ import (
 // Client is a thin Go client for the sigserverd HTTP API, used by the
 // sigtool `client` subcommand, by --replay self-benchmarking, and by
 // the end-to-end tests.
+//
+// Transient failures — connection errors, 429 throttling, 5xx — are
+// retried with jittered exponential backoff. Ingest batches carry a
+// generated batch ID (stable across the retries of one call), so a
+// retry after a timed-out-but-actually-applied POST is deduplicated
+// server-side instead of double-counting flows.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
 	// HTTP is the underlying client (default: 30 s timeout).
 	HTTP *http.Client
+	// MaxRetries bounds retry attempts beyond the first try (default
+	// 3; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubled
+	// each attempt with ±50% jitter (default 100 ms). A server-sent
+	// Retry-After overrides the computed delay.
+	RetryBackoff time.Duration
 }
 
 // NewClient returns a client for the server at base.
 func NewClient(base string) *Client {
-	return &Client{Base: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{
+		Base:         base,
+		HTTP:         &http.Client{Timeout: 30 * time.Second},
+		MaxRetries:   3,
+		RetryBackoff: 100 * time.Millisecond,
+	}
+}
+
+// retryable reports whether a response status is worth retrying.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// backoff computes the jittered delay before retry attempt (0-based),
+// honoring a server-provided Retry-After in seconds when given.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << attempt
+	// ±50% jitter decorrelates a fleet of retrying senders.
+	return d/2 + time.Duration(mrand.Int63n(int64(d)))
 }
 
 func (c *Client) do(method, path string, body, out any) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		payload, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: %w", err)
 		}
-		reader = bytes.NewReader(buf)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryAfter, err := c.once(method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if retryAfter == noRetry || attempt >= c.MaxRetries {
+			return lastErr
+		}
+		time.Sleep(c.backoff(attempt, retryAfter))
+	}
+}
+
+// noRetry marks a permanent failure (4xx other than 429, or a decode
+// error) in once's retryAfter channel.
+const noRetry = "\x00permanent"
+
+// once performs a single HTTP exchange. The returned string is the
+// Retry-After header value ("" when absent) for retryable failures, or
+// noRetry for permanent ones.
+func (c *Client) once(method, path string, payload []byte, out any) (string, error) {
+	var reader io.Reader
+	if payload != nil {
+		reader = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequest(method, c.Base+path, reader)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return noRetry, fmt.Errorf("client: %w", err)
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		// Transport-level failure: connection refused, reset, timeout.
+		return "", fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -56,20 +128,34 @@ func (c *Client) do(method, path string, body, out any) error {
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		return fmt.Errorf("client: %s %s: %s", method, path, msg)
+		err := fmt.Errorf("client: %s %s: %s", method, path, msg)
+		if retryable(resp.StatusCode) {
+			return resp.Header.Get("Retry-After"), err
+		}
+		return noRetry, err
 	}
 	if out == nil {
-		return nil
+		return "", nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: %s %s: decoding response: %w", method, path, err)
+		return noRetry, fmt.Errorf("client: %s %s: decoding response: %w", method, path, err)
 	}
-	return nil
+	return "", nil
 }
 
-// Ingest POSTs a batch of flow records.
+// newBatchID generates a random ingest batch ID.
+func newBatchID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "" // no entropy: fall back to non-idempotent ingest
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Ingest POSTs a batch of flow records. The batch carries a generated
+// ID so server-side deduplication makes retries idempotent.
 func (c *Client) Ingest(records []netflow.Record) (IngestResult, error) {
-	req := IngestRequest{Records: make([]RecordJSON, len(records))}
+	req := IngestRequest{Records: make([]RecordJSON, len(records)), BatchID: newBatchID()}
 	for i, r := range records {
 		req.Records[i] = RecordToJSON(r)
 	}

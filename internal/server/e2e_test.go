@@ -43,7 +43,7 @@ func TestEndToEndEnterpriseServing(t *testing.T) {
 			Sketch:     sketch.StreamConfig{Width: 4096, Depth: 5, Candidates: 256, Seed: 3},
 		},
 		StoreCapacity: 8,
-		WatchMaxDist:  0.9,
+		WatchMaxDist:  Float64(0.9),
 		SnapshotDir:   snapDir,
 	}
 	srv, err := New(cfg)

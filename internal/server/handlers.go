@@ -9,6 +9,7 @@ import (
 
 	"graphsig/internal/apps"
 	"graphsig/internal/core"
+	"graphsig/internal/fault"
 	"graphsig/internal/graph"
 	"graphsig/internal/netflow"
 	"graphsig/internal/store"
@@ -74,9 +75,13 @@ func RecordToJSON(r netflow.Record) RecordJSON {
 	}
 }
 
-// IngestRequest is the POST /v1/flows body.
+// IngestRequest is the POST /v1/flows body. BatchID, when set, makes
+// the POST idempotent: re-sending the same ID (a retry after a
+// timeout or 5xx) returns the recorded result instead of ingesting the
+// records again.
 type IngestRequest struct {
 	Records []RecordJSON `json:"records"`
+	BatchID string       `json:"batch_id,omitempty"`
 }
 
 // SignatureJSON is a signature with members resolved to labels.
@@ -245,6 +250,20 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	// Bound concurrent ingest work before reading the body: a server
+	// at its in-flight limit sheds load with 429 + Retry-After instead
+	// of queueing unboundedly on the ingest lock.
+	if s.ingestSem != nil {
+		select {
+		case s.ingestSem <- struct{}{}:
+			defer func() { <-s.ingestSem }()
+		default:
+			s.metrics.IngestThrottled.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "ingest at capacity (%d batches in flight); retry", cap(s.ingestSem))
+			return
+		}
+	}
 	var req IngestRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -258,7 +277,8 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		}
 		records = append(records, rec)
 	}
-	writeJSON(w, http.StatusOK, s.IngestRecords(records))
+	_ = fault.Inject("server.ingest.hold") // test hook: park here while holding an in-flight slot
+	writeJSON(w, http.StatusOK, s.IngestBatch(req.BatchID, records))
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,18 @@ type metrics struct {
 	HTTPRequests   atomic.Int64 // all requests routed
 	HTTPErrors     atomic.Int64 // responses with status >= 400
 	RequestMicros  atomic.Int64 // summed handler latency (µs)
+
+	// Durability and ingest-hardening counters.
+	SnapshotSaves       atomic.Int64 // successful store.Save calls
+	SnapshotErrors      atomic.Int64 // failed store.Save calls
+	SnapshotQuarantines atomic.Int64 // corrupt snapshots renamed aside at boot
+	WALAppendedRecords  atomic.Int64 // records framed into the WAL
+	WALReplayedRecords  atomic.Int64 // records replayed from the WAL at boot
+	WALResets           atomic.Int64 // log truncations after checkpoints
+	WALErrors           atomic.Int64 // failed WAL appends/resets (degraded durability)
+	WALQuarantines      atomic.Int64 // corrupt WALs renamed aside at boot
+	IngestThrottled     atomic.Int64 // POST /v1/flows rejected with 429
+	BatchesDeduped      atomic.Int64 // batch IDs answered from the dedup set
 }
 
 // snapshot renders the counters for /metrics.
@@ -42,5 +54,16 @@ func (m *metrics) snapshot(uptime time.Duration) map[string]int64 {
 		"http_errors_total":   m.HTTPErrors.Load(),
 		"request_micros_sum":  m.RequestMicros.Load(),
 		"uptime_seconds":      int64(uptime.Seconds()),
+
+		"snapshot_saves":       m.SnapshotSaves.Load(),
+		"snapshot_errors":      m.SnapshotErrors.Load(),
+		"snapshot_quarantines": m.SnapshotQuarantines.Load(),
+		"wal_appended_records": m.WALAppendedRecords.Load(),
+		"wal_replayed_records": m.WALReplayedRecords.Load(),
+		"wal_resets":           m.WALResets.Load(),
+		"wal_errors":           m.WALErrors.Load(),
+		"wal_quarantines":      m.WALQuarantines.Load(),
+		"ingest_throttled":     m.IngestThrottled.Load(),
+		"batches_deduped":      m.BatchesDeduped.Load(),
 	}
 }

@@ -7,6 +7,17 @@
 // watchlist hits and anomaly detection, plus health and expvar-style
 // metrics endpoints.
 //
+// Durability model (when SnapshotDir is set): accepted records of the
+// still-open window are appended to a CRC-framed write-ahead log (a
+// sibling file of the snapshot directory, internal/wal), fsynced once
+// per batch. Whenever a window closes, the archive is snapshotted
+// atomically and the WAL truncated — at that moment every WAL entry
+// belongs to an archived window, so nothing is lost. On startup a
+// corrupt snapshot or WAL is quarantined (renamed aside, logged,
+// counted) rather than fatal, and the WAL is replayed through a fresh
+// pipeline; a kill -9 therefore loses at most the final unsynced
+// batch.
+//
 // Locking model: the streaming pipeline interns labels into the shared
 // graph.Universe on ingest, and the Universe is not safe for
 // concurrent mutation. One RWMutex therefore guards every handler:
@@ -16,6 +27,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -26,13 +38,23 @@ import (
 	"graphsig/internal/netflow"
 	"graphsig/internal/store"
 	"graphsig/internal/stream"
+	"graphsig/internal/wal"
+)
+
+// Defaults applied by New for unset (zero / nil) Config fields.
+const (
+	DefaultStoreCapacity = 16
+	DefaultWatchMaxDist  = 0.5
+	DefaultHitLogSize    = 1024
+	DefaultDedupCap      = 4096
 )
 
 // Config parameterizes a Server.
 type Config struct {
 	// Stream configures the ingestion pipeline (window size, scheme, k,
 	// sketch sizing). Origin should be set for restartable deployments
-	// so window indices stay aligned across runs.
+	// so window indices stay aligned across runs; with a WAL the origin
+	// is also recorded there and restored automatically.
 	Stream stream.Config
 	// StoreCapacity bounds the signature store ring (default 16).
 	StoreCapacity int
@@ -40,17 +62,39 @@ type Config struct {
 	// (default Jaccard; per-request override via the API).
 	Distance core.Distance
 	// WatchMaxDist is the watchlist screening threshold applied when
-	// windows close (default 0.5).
-	WatchMaxDist float64
+	// windows close. nil means DefaultWatchMaxDist; an explicit &0.0
+	// screens exact matches only (previously unconfigurable because 0
+	// was silently treated as "use the default").
+	WatchMaxDist *float64
 	// LSHBands/LSHRows/LSHSeed enable the store's MinHash prefilter.
 	LSHBands, LSHRows int
 	LSHSeed           uint64
 	// SnapshotDir, when non-empty, is loaded at startup (if a snapshot
-	// exists) and written by Shutdown.
+	// exists), written whenever a window closes, and written by
+	// Shutdown. A corrupt snapshot is quarantined and the server boots
+	// fresh. Snapshots are atomic: see store.Save.
 	SnapshotDir string
-	// HitLogSize bounds the retained watchlist hit log (default 1024).
+	// DisableWAL turns off the write-ahead log that otherwise
+	// accompanies SnapshotDir (at <SnapshotDir>.wal — a sibling, since
+	// the snapshot directory itself is atomically replaced on save).
+	DisableWAL bool
+	// HitLogSize bounds the retained watchlist hit log. 0 means
+	// DefaultHitLogSize; negative retains no hits.
 	HitLogSize int
+	// MaxInFlight, when positive, bounds concurrently served ingest
+	// batches; excess POST /v1/flows requests get 429 + Retry-After.
+	MaxInFlight int
+	// DedupCap bounds the batch-ID dedup set that makes retried POSTs
+	// idempotent. 0 means DefaultDedupCap; negative disables dedup.
+	DedupCap int
+	// Logf, when non-nil, receives operational log lines (quarantines,
+	// failed snapshot saves, WAL trouble).
+	Logf func(format string, args ...any)
 }
+
+// Float64 returns a pointer to v, for literal Config fields such as
+// WatchMaxDist.
+func Float64(v float64) *float64 { return &v }
 
 // WatchHit is one recorded watchlist match: label's signature in the
 // window that just closed was within WatchMaxDist of an archived
@@ -63,10 +107,32 @@ type WatchHit struct {
 	Dist           float64
 }
 
+// Recovery reports what New reconstructed from disk.
+type Recovery struct {
+	// SnapshotRestored is true when an archive was loaded from disk.
+	SnapshotRestored bool
+	// SnapshotQuarantined is the path a corrupt snapshot was moved to
+	// ("" when the snapshot was healthy or absent).
+	SnapshotQuarantined string
+	// WALQuarantined is the path a corrupt WAL was moved to.
+	WALQuarantined string
+	// WALRecords / WALRejected count the replayed log entries and how
+	// many the pipeline refused (0 in any consistent log).
+	WALRecords  int
+	WALRejected int
+	// WALTornBytes counts bytes dropped from the log's torn tail.
+	WALTornBytes int64
+	// WALWindowsClosed counts windows the replay completed (normally 0:
+	// the log covers only the open window).
+	WALWindowsClosed int
+}
+
 // Server is the online signature service.
 type Server struct {
-	cfg   Config
-	start time.Time
+	cfg          Config
+	start        time.Time
+	watchMaxDist float64
+	hitLogCap    int
 
 	// mu serializes Universe mutation (ingest, label interning) against
 	// all readers; see the package comment.
@@ -78,55 +144,211 @@ type Server struct {
 	pending  int // records accepted into the still-open window
 	dropped  int // windows lost to index conflicts (snapshot overlap)
 
-	metrics metrics
-	mux     *http.ServeMux
+	wal             *wal.WAL
+	walOriginLogged bool
+	dedup           *dedupCache
+	recovery        Recovery
+
+	ingestSem chan struct{}
+	metrics   metrics
+	mux       *http.ServeMux
 }
 
-// New builds a server, loading a prior snapshot when cfg.SnapshotDir
-// holds one.
+// New builds a server, loading a prior snapshot and replaying the
+// write-ahead log when cfg.SnapshotDir holds them. Corrupt state is
+// quarantined, never fatal: the one startup error class left is real
+// I/O failure.
 func New(cfg Config) (*Server, error) {
 	if cfg.StoreCapacity == 0 {
-		cfg.StoreCapacity = 16
+		cfg.StoreCapacity = DefaultStoreCapacity
 	}
 	if cfg.Distance == nil {
 		cfg.Distance = core.Jaccard{}
 	}
-	if cfg.WatchMaxDist == 0 {
-		cfg.WatchMaxDist = 0.5
+	s := &Server{
+		cfg:          cfg,
+		start:        time.Now(),
+		watchMaxDist: DefaultWatchMaxDist,
+		hitLogCap:    DefaultHitLogSize,
+		watch:        apps.NewWatchlist(),
+		mux:          http.NewServeMux(),
 	}
-	if cfg.HitLogSize == 0 {
-		cfg.HitLogSize = 1024
+	if cfg.WatchMaxDist != nil {
+		s.watchMaxDist = *cfg.WatchMaxDist
 	}
+	if cfg.HitLogSize != 0 {
+		s.hitLogCap = max(cfg.HitLogSize, 0)
+	}
+	switch {
+	case cfg.DedupCap > 0:
+		s.dedup = newDedupCache(cfg.DedupCap)
+	case cfg.DedupCap == 0:
+		s.dedup = newDedupCache(DefaultDedupCap)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.ingestSem = make(chan struct{}, cfg.MaxInFlight)
+	}
+
 	scfg := store.Config{
 		Capacity: cfg.StoreCapacity,
 		LSHBands: cfg.LSHBands,
 		LSHRows:  cfg.LSHRows,
 		LSHSeed:  cfg.LSHSeed,
 	}
-	var st *store.Store
-	var err error
-	if cfg.SnapshotDir != "" && store.SnapshotExists(cfg.SnapshotDir) {
-		st, err = store.Load(cfg.SnapshotDir, scfg)
-	} else {
-		st, err = store.New(scfg)
+	if err := s.openStore(scfg); err != nil {
+		return nil, err
 	}
+
+	var replay wal.Replay
+	if cfg.SnapshotDir != "" && !cfg.DisableWAL {
+		var err error
+		replay, err = s.openWAL()
+		if err != nil {
+			return nil, err
+		}
+		// Restore window alignment from the log before the pipeline is
+		// built; an explicitly configured origin wins.
+		if s.cfg.Stream.Origin.IsZero() && !replay.Origin.IsZero() {
+			s.cfg.Stream.Origin = replay.Origin
+			if replay.Window > 0 && replay.Window != s.cfg.Stream.WindowSize {
+				s.logf("sigserver: WAL window size %v differs from configured %v; window indices may shift",
+					replay.Window, s.cfg.Stream.WindowSize)
+			}
+		}
+	}
+
+	p, err := stream.NewPipeline(s.cfg.Stream, s.store.Universe())
 	if err != nil {
 		return nil, err
 	}
-	p, err := stream.NewPipeline(cfg.Stream, st.Universe())
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{
-		cfg:      cfg,
-		start:    time.Now(),
-		pipeline: p,
-		store:    st,
-		watch:    apps.NewWatchlist(),
-		mux:      http.NewServeMux(),
-	}
+	s.pipeline = p
+	s.replayWAL(replay)
 	s.routes()
 	return s, nil
+}
+
+// openStore loads the snapshot (quarantining corruption) or builds a
+// fresh store.
+func (s *Server) openStore(scfg store.Config) error {
+	dir := s.cfg.SnapshotDir
+	if dir != "" && store.SnapshotExists(dir) {
+		st, err := store.Load(dir, scfg)
+		if err == nil {
+			s.store = st
+			s.recovery.SnapshotRestored = true
+			return nil
+		}
+		if !errors.Is(err, store.ErrCorrupt) {
+			return err
+		}
+		moved, qerr := store.Quarantine(dir)
+		if qerr != nil {
+			return fmt.Errorf("server: snapshot corrupt (%v) and unquarantinable: %w", err, qerr)
+		}
+		s.recovery.SnapshotQuarantined = moved
+		s.metrics.SnapshotQuarantines.Add(1)
+		s.logf("sigserver: corrupt snapshot quarantined to %s (%v); booting fresh", moved, err)
+	}
+	st, err := store.New(scfg)
+	if err != nil {
+		return err
+	}
+	s.store = st
+	return nil
+}
+
+// WALPath reports where the write-ahead log lives for a snapshot
+// directory: beside it, because the directory itself is renamed away
+// on every atomic save.
+func WALPath(snapshotDir string) string { return snapshotDir + ".wal" }
+
+// openWAL opens (quarantining a corrupt header) the write-ahead log.
+func (s *Server) openWAL() (wal.Replay, error) {
+	path := WALPath(s.cfg.SnapshotDir)
+	w, replay, err := wal.Open(path)
+	if errors.Is(err, wal.ErrCorrupt) {
+		moved, qerr := wal.Quarantine(path)
+		if qerr != nil {
+			return wal.Replay{}, fmt.Errorf("server: WAL corrupt and unquarantinable: %w", qerr)
+		}
+		s.recovery.WALQuarantined = moved
+		s.metrics.WALQuarantines.Add(1)
+		s.logf("sigserver: corrupt WAL quarantined to %s; starting a fresh log", moved)
+		w, replay, err = wal.Open(path)
+	}
+	if err != nil {
+		return wal.Replay{}, err
+	}
+	s.wal = w
+	s.recovery.WALTornBytes = replay.TornBytes
+	if replay.TornBytes > 0 {
+		s.logf("sigserver: WAL recovery dropped a torn tail of %d bytes", replay.TornBytes)
+	}
+	return replay, nil
+}
+
+// replayWAL pushes recovered records through the pipeline, rebuilding
+// the open window's sketch state. Runs before the server is shared, so
+// no locking. If the replay completes windows (a snapshot save failed
+// in a previous life), they are checkpointed now.
+func (s *Server) replayWAL(replay wal.Replay) {
+	if len(replay.Records) == 0 {
+		return
+	}
+	s.recovery.WALRecords = len(replay.Records)
+	// tail collects the records of the window still open after replay,
+	// so a post-replay checkpoint can rewrite them into the reset log.
+	var tail []netflow.Record
+	for i := range replay.Records {
+		before := s.pipeline.Ingested()
+		emitted, err := s.pipeline.Ingest(replay.Records[i])
+		if err != nil {
+			s.recovery.WALRejected++
+			continue
+		}
+		if len(emitted) > 0 {
+			tail = tail[:0]
+			s.pending = 0
+			// Count only windows the store actually kept: replay over a
+			// restored snapshot re-derives already-archived (or empty
+			// skipped) windows, which Add drops as index conflicts —
+			// those must not trigger a re-checkpoint on every boot.
+			before := s.store.TotalAdded()
+			for _, set := range emitted {
+				s.commitWindowLocked(set)
+			}
+			s.recovery.WALWindowsClosed += s.store.TotalAdded() - before
+		}
+		if accepted := s.pipeline.Ingested() - before; accepted > 0 {
+			s.pending += accepted
+			tail = append(tail, replay.Records[i])
+		}
+	}
+	s.metrics.WALReplayedRecords.Add(int64(s.recovery.WALRecords))
+	if s.recovery.WALRejected > 0 {
+		s.logf("sigserver: WAL replay rejected %d of %d records", s.recovery.WALRejected, s.recovery.WALRecords)
+	}
+	if s.recovery.WALWindowsClosed > 0 {
+		// The log held whole closed windows; archive them durably and
+		// shrink the log back to just the open window's tail.
+		if err := s.store.Save(s.cfg.SnapshotDir); err != nil {
+			s.metrics.SnapshotErrors.Add(1)
+			s.logf("sigserver: post-replay snapshot failed, keeping full WAL: %v", err)
+			return
+		}
+		s.metrics.SnapshotSaves.Add(1)
+		if err := s.wal.Reset(); err != nil {
+			s.metrics.WALErrors.Add(1)
+			s.logf("sigserver: post-replay WAL reset failed: %v", err)
+			return
+		}
+		s.walOriginLogged = false
+		s.logWALOrigin()
+		if err := s.wal.Append(tail); err != nil {
+			s.metrics.WALErrors.Add(1)
+			s.logf("sigserver: rewriting open-window tail failed: %v", err)
+		}
+	}
 }
 
 // Handler returns the HTTP handler serving the v1 API.
@@ -138,15 +360,28 @@ func (s *Server) Handler() http.Handler {
 // package locking model before mutating concurrently with serving).
 func (s *Server) Store() *store.Store { return s.store }
 
+// Recovery reports what New reconstructed from disk.
+func (s *Server) Recovery() Recovery { return s.recovery }
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
 // IngestResult summarizes one batch ingestion.
 type IngestResult struct {
-	Received      int      `json:"received"`
-	Accepted      int      `json:"accepted"`
-	Dropped       int      `json:"dropped"`
-	Rejected      int      `json:"rejected"`
-	WindowsClosed int      `json:"windows_closed"`
-	CurrentWindow int      `json:"current_window"`
-	Errors        []string `json:"errors,omitempty"`
+	Received      int `json:"received"`
+	Accepted      int `json:"accepted"`
+	Dropped       int `json:"dropped"`
+	Rejected      int `json:"rejected"`
+	WindowsClosed int `json:"windows_closed"`
+	CurrentWindow int `json:"current_window"`
+	// Deduplicated marks a replayed result: this batch ID was already
+	// ingested and the original outcome is returned unchanged.
+	Deduplicated bool     `json:"deduplicated,omitempty"`
+	Errors       []string `json:"errors,omitempty"`
 }
 
 // maxReportedErrors bounds the per-batch error detail.
@@ -156,10 +391,37 @@ const maxReportedErrors = 5
 // completed window to the store. Invalid or out-of-order records are
 // rejected individually; the rest of the batch proceeds.
 func (s *Server) IngestRecords(records []netflow.Record) IngestResult {
+	return s.IngestBatch("", records)
+}
+
+// IngestBatch is IngestRecords with an optional client-supplied batch
+// ID: re-ingesting an ID still in the dedup set returns the recorded
+// result without touching the pipeline, making retried POSTs
+// idempotent.
+func (s *Server) IngestBatch(batchID string, records []netflow.Record) IngestResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if batchID != "" && s.dedup != nil {
+		if res, ok := s.dedup.get(batchID); ok {
+			s.metrics.BatchesDeduped.Add(1)
+			res.Deduplicated = true
+			return res
+		}
+	}
+	res := s.ingestLocked(records)
+	if batchID != "" && s.dedup != nil {
+		s.dedup.put(batchID, res)
+	}
+	return res
+}
+
+func (s *Server) ingestLocked(records []netflow.Record) IngestResult {
 	res := IngestResult{Received: len(records)}
 	s.metrics.FlowsReceived.Add(int64(len(records)))
+	// walPending buffers this batch's accepted records; it is flushed
+	// to the log once at batch end (one fsync per batch) and eagerly
+	// before any checkpoint so closing windows are never unlogged.
+	var walPending []netflow.Record
 	for i := range records {
 		before := s.pipeline.Ingested()
 		emitted, err := s.pipeline.Ingest(records[i])
@@ -172,23 +434,117 @@ func (s *Server) IngestRecords(records []netflow.Record) IngestResult {
 			continue
 		}
 		if len(emitted) > 0 {
+			// The records logged so far belong to the closing windows;
+			// persist them before checkpointing so even a failed
+			// snapshot leaves the log complete for replay.
+			s.walAppendLocked(walPending)
+			walPending = walPending[:0]
 			s.pending = 0
-		}
-		for _, set := range emitted {
-			s.commitWindowLocked(set)
-			res.WindowsClosed++
+			for _, set := range emitted {
+				s.commitWindowLocked(set)
+				res.WindowsClosed++
+			}
+			// Every WAL entry now belongs to an archived window (the
+			// record that triggered the close is observed into the new
+			// window but not yet logged), so the checkpoint may
+			// truncate the log.
+			s.checkpointLocked()
 		}
 		if accepted := s.pipeline.Ingested() - before; accepted > 0 {
 			res.Accepted += accepted
 			s.pending += accepted
 			s.metrics.FlowsAccepted.Add(int64(accepted))
+			walPending = append(walPending, records[i])
 		} else {
 			res.Dropped++ // filtered (e.g. non-TCP under TCPOnly)
 			s.metrics.FlowsDropped.Add(1)
 		}
 	}
+	s.walAppendLocked(walPending)
 	res.CurrentWindow = s.pipeline.CurrentWindow()
 	return res
+}
+
+// walAppendLocked logs accepted records, recording the pipeline origin
+// first if it just became known. WAL failure degrades durability, not
+// availability: it is logged and counted, and serving continues.
+func (s *Server) walAppendLocked(records []netflow.Record) {
+	if s.wal == nil || len(records) == 0 {
+		return
+	}
+	s.logWALOrigin()
+	if err := s.wal.Append(records); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("sigserver: WAL append failed (durability degraded): %v", err)
+		return
+	}
+	s.metrics.WALAppendedRecords.Add(int64(len(records)))
+}
+
+// logWALOrigin records the pipeline's window alignment in the log once
+// per log generation.
+func (s *Server) logWALOrigin() {
+	if s.wal == nil || s.walOriginLogged {
+		return
+	}
+	origin, ok := s.pipeline.Origin()
+	if !ok {
+		return
+	}
+	if err := s.wal.AppendOrigin(origin, s.cfg.Stream.WindowSize); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("sigserver: WAL origin append failed: %v", err)
+		return
+	}
+	s.walOriginLogged = true
+}
+
+// checkpointLocked makes the archive durable and truncates the log.
+// Callers must guarantee every WAL entry belongs to an already
+// archived window. On snapshot failure the log is left intact — the
+// closed windows then live only there, and the next successful
+// checkpoint (or startup replay) recovers them.
+func (s *Server) checkpointLocked() {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	if err := s.store.Save(s.cfg.SnapshotDir); err != nil {
+		s.metrics.SnapshotErrors.Add(1)
+		s.logf("sigserver: snapshot save failed (WAL kept): %v", err)
+		return
+	}
+	s.metrics.SnapshotSaves.Add(1)
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Reset(); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("sigserver: WAL reset failed: %v", err)
+		return
+	}
+	s.metrics.WALResets.Add(1)
+	s.walOriginLogged = false
+	s.logWALOrigin()
+}
+
+// Snapshot saves the archive now — the periodic background loop in
+// cmd/sigserverd calls this so durability of archived windows does not
+// depend on a graceful shutdown. The WAL is not truncated: it still
+// covers the open window.
+func (s *Server) Snapshot() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	// Read lock: Save only reads server state (store and universe have
+	// their own synchronization, and store.Save serializes itself).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.store.Save(s.cfg.SnapshotDir); err != nil {
+		s.metrics.SnapshotErrors.Add(1)
+		return err
+	}
+	s.metrics.SnapshotSaves.Add(1)
+	return nil
 }
 
 // commitWindowLocked archives one completed window and screens it
@@ -205,7 +561,7 @@ func (s *Server) commitWindowLocked(set *core.SignatureSet) {
 		return
 	}
 	u := s.store.Universe()
-	screened, err := s.watch.Screen(s.cfg.Distance, set, s.cfg.WatchMaxDist)
+	screened, err := s.watch.Screen(s.cfg.Distance, set, s.watchMaxDist)
 	if err != nil {
 		return
 	}
@@ -221,7 +577,7 @@ func (s *Server) commitWindowLocked(set *core.SignatureSet) {
 			s.metrics.WatchlistHits.Add(1)
 		}
 	}
-	if over := len(s.hits) - s.cfg.HitLogSize; over > 0 {
+	if over := len(s.hits) - s.hitLogCap; over > 0 {
 		s.hits = append(s.hits[:0:0], s.hits[over:]...)
 	}
 }
@@ -246,20 +602,46 @@ func (s *Server) Flush() (int, error) {
 
 // Shutdown finalizes the server: the partial window (if non-empty) is
 // flushed into the store, and — when a snapshot directory is
-// configured — the store is saved so a restart resumes with its
-// archive. The HTTP listener itself is owned and drained by the
-// caller (cmd/sigserverd) before calling Shutdown.
+// configured — the store is saved and the WAL truncated. A failed
+// flush no longer skips the snapshot: whatever is already archived is
+// saved before the flush error is returned. The HTTP listener itself
+// is owned and drained by the caller (cmd/sigserverd) before calling
+// Shutdown.
 func (s *Server) Shutdown() error {
-	if _, err := s.Flush(); err != nil {
-		return err
+	_, flushErr := s.Flush()
+	var saveErr error
+	if s.cfg.SnapshotDir != "" {
+		s.mu.Lock()
+		if saveErr = s.store.Save(s.cfg.SnapshotDir); saveErr != nil {
+			s.metrics.SnapshotErrors.Add(1)
+		} else {
+			s.metrics.SnapshotSaves.Add(1)
+			if flushErr == nil && s.wal != nil {
+				// Everything is archived and saved; empty the log,
+				// keeping the origin for the next run's alignment. On a
+				// failed flush the open window's records must stay in
+				// the WAL — they are its only surviving copy.
+				if err := s.wal.Reset(); err != nil {
+					s.metrics.WALErrors.Add(1)
+					s.logf("sigserver: shutdown WAL reset failed: %v", err)
+				} else {
+					s.metrics.WALResets.Add(1)
+					s.walOriginLogged = false
+					s.logWALOrigin()
+				}
+			}
+		}
+		s.mu.Unlock()
 	}
-	if s.cfg.SnapshotDir == "" {
-		return nil
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && flushErr == nil && saveErr == nil {
+			flushErr = err
+		}
 	}
-	// Hold the read lock: Save resolves labels through the universe.
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Save(s.cfg.SnapshotDir)
+	if flushErr != nil {
+		return flushErr
+	}
+	return saveErr
 }
 
 // Hits returns a copy of the recorded watchlist hit log, oldest first.
@@ -279,4 +661,34 @@ func (s *Server) distanceFor(name string) (core.Distance, error) {
 		return nil, fmt.Errorf("server: unknown distance %q", name)
 	}
 	return d, nil
+}
+
+// dedupCache is the bounded batch-ID → result map behind idempotent
+// ingest, evicting oldest-first. Guarded by Server.mu.
+type dedupCache struct {
+	cap     int
+	order   []string
+	results map[string]IngestResult
+}
+
+func newDedupCache(cap int) *dedupCache {
+	return &dedupCache{cap: cap, results: make(map[string]IngestResult, cap)}
+}
+
+func (d *dedupCache) get(id string) (IngestResult, bool) {
+	res, ok := d.results[id]
+	return res, ok
+}
+
+func (d *dedupCache) put(id string, res IngestResult) {
+	if _, ok := d.results[id]; ok {
+		return
+	}
+	if len(d.order) >= d.cap {
+		evict := d.order[0]
+		d.order = d.order[1:]
+		delete(d.results, evict)
+	}
+	d.order = append(d.order, id)
+	d.results[id] = res
 }

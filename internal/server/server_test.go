@@ -26,7 +26,7 @@ func testConfig() Config {
 			Sketch:     sketch.StreamConfig{Width: 1024, Depth: 4, Candidates: 64, Seed: 1},
 		},
 		StoreCapacity: 8,
-		WatchMaxDist:  0.9,
+		WatchMaxDist:  Float64(0.9),
 	}
 }
 

@@ -2,13 +2,17 @@ package store
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"graphsig/internal/core"
+	"graphsig/internal/fault"
 	"graphsig/internal/graph"
 )
 
@@ -24,89 +28,255 @@ import (
 // must re-intern labels in the original ID order — interning them
 // lazily per set file would permute IDs of nodes shared across windows
 // and invalidate tie ordering.
+//
+// Durability (v2): Save stages the whole snapshot in a sibling temp
+// directory, fsyncs every file, and swaps it into place with two
+// renames (dir → dir.prev, tmp → dir). The v2 manifest records each
+// set file's byte size and CRC32 and ends with a checksum of itself,
+// so Load detects any flipped or truncated byte. Load first repairs an
+// interrupted swap (a crash between the two renames leaves dir absent
+// but a complete dir.tmp or dir.prev) and reports all corruption as
+// ErrCorrupt so callers can Quarantine the directory and boot fresh
+// instead of dying. v1 snapshots (no checksums) still load.
 
 // manifestName is the snapshot directory's index file.
 const manifestName = "MANIFEST"
 
-const manifestHeader = "graphsig-store v1"
+const (
+	manifestHeaderV1 = "graphsig-store v1"
+	manifestHeaderV2 = "graphsig-store v2"
+)
+
+// Suffixes of the sibling directories Save and Quarantine manage.
+const (
+	tmpSuffix        = ".tmp"
+	prevSuffix       = ".prev"
+	quarantineSuffix = ".corrupt"
+)
+
+// ErrCorrupt marks a snapshot that is structurally broken — bad
+// checksum, truncated or missing files, malformed manifest — as
+// opposed to an I/O failure reaching it. Corrupt snapshots are safe to
+// Quarantine; I/O errors are not.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
 
 // setFileName names the snapshot file holding window w.
 func setFileName(w int) string { return fmt.Sprintf("window-%09d.sig", w) }
 
-// Save writes a point-in-time snapshot of the store into dir, creating
-// it if needed. The write is atomic at the manifest level: set files
-// are written first and the manifest last, so a crash mid-save leaves
-// the previous manifest (if any) pointing at complete files.
+// Save writes a point-in-time snapshot of the store into dir. The
+// snapshot is staged in dir.tmp and atomically swapped into place, so
+// a crash at any point leaves either the old snapshot, the new one, or
+// a repairable in-between state (see recoverDir) — never a mix of old
+// and new files under one manifest. Concurrent Saves of one store are
+// serialized.
 func (s *Store) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+
+	tmp := dir + tmpSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	// Capture the ring under the read lock, then serialize outside it:
 	// sets are immutable and the universe only grows.
 	sets := s.Windows()
-	var manifest strings.Builder
-	fmt.Fprintln(&manifest, manifestHeader)
+	var manifest bytes.Buffer
+	fmt.Fprintln(&manifest, manifestHeaderV2)
 	fmt.Fprintf(&manifest, "windows %d\n", len(sets))
 	for id := 0; id < s.universe.Size(); id++ {
 		nid := graph.NodeID(id)
 		fmt.Fprintf(&manifest, "node %q %s\n", s.universe.Label(nid), s.universe.PartOf(nid))
 	}
+	var body bytes.Buffer
 	for _, set := range sets {
-		name := setFileName(set.Window)
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("store: snapshot: %w", err)
-		}
-		err = core.WriteSignatureSet(f, set, s.universe)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		body.Reset()
+		if err := core.WriteSignatureSet(&body, set, s.universe); err != nil {
 			return fmt.Errorf("store: snapshot window %d: %w", set.Window, err)
 		}
-		fmt.Fprintf(&manifest, "set %s\n", name)
+		name := setFileName(set.Window)
+		if err := writeFileSynced(filepath.Join(tmp, name), body.Bytes(), "store.save.set"); err != nil {
+			return fmt.Errorf("store: snapshot window %d: %w", set.Window, err)
+		}
+		fmt.Fprintf(&manifest, "set %s %d %08x\n", name, body.Len(), crc32.ChecksumIEEE(body.Bytes()))
 	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, []byte(manifest.String()), 0o644); err != nil {
+	fmt.Fprintf(&manifest, "crc %08x\n", crc32.ChecksumIEEE(manifest.Bytes()))
+	if err := writeFileSynced(filepath.Join(tmp, manifestName), manifest.Bytes(), "store.save.manifest"); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := syncDir(tmp); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := swapDirs(tmp, dir); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	return nil
 }
 
-// SnapshotExists reports whether dir holds a loadable snapshot.
-func SnapshotExists(dir string) bool {
+// writeFileSynced writes data to path and fsyncs it. The failpoint
+// fires before the write so tests can inject full-disk failures.
+func writeFileSynced(path string, data []byte, failpoint string) error {
+	if err := fault.Inject(failpoint); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so its entries are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// swapDirs promotes the staged snapshot: the old dir (if any) is
+// renamed aside, tmp renamed into place, and the old one removed. A
+// crash between the renames is repaired by recoverDir.
+func swapDirs(tmp, dir string) error {
+	if err := fault.Inject("store.save.swap"); err != nil {
+		return err
+	}
+	prev := dir + prevSuffix
+	if err := os.RemoveAll(prev); err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, prev); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+	if parent := filepath.Dir(dir); parent != "" {
+		if err := syncDir(parent); err != nil {
+			return err
+		}
+	}
+	return os.RemoveAll(prev)
+}
+
+// hasManifest reports whether dir contains a manifest file.
+func hasManifest(dir string) bool {
 	_, err := os.Stat(filepath.Join(dir, manifestName))
 	return err == nil
+}
+
+// recoverDir repairs an interrupted Save swap: when dir itself has no
+// manifest, a complete dir.tmp (manifest written last, so its presence
+// means the stage finished) or, failing that, the renamed-aside
+// dir.prev is promoted back. Returns the repair performed, if any.
+func recoverDir(dir string) (string, error) {
+	if hasManifest(dir) {
+		return "", nil
+	}
+	for _, cand := range []string{dir + tmpSuffix, dir + prevSuffix} {
+		if !hasManifest(cand) {
+			continue
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return "", fmt.Errorf("store: snapshot recovery: %w", err)
+		}
+		if err := os.Rename(cand, dir); err != nil {
+			return "", fmt.Errorf("store: snapshot recovery: %w", err)
+		}
+		return cand, nil
+	}
+	return "", nil
+}
+
+// SnapshotExists reports whether dir holds a loadable snapshot,
+// including one recoverable from an interrupted Save swap.
+func SnapshotExists(dir string) bool {
+	return hasManifest(dir) || hasManifest(dir+tmpSuffix) || hasManifest(dir+prevSuffix)
+}
+
+// Quarantine renames a snapshot directory that failed to Load aside
+// (dir.corrupt, dir.corrupt.1, ...) and returns the new path, so the
+// caller can boot with a fresh store while keeping the evidence. The
+// stale .tmp/.prev siblings, if any, are removed.
+func Quarantine(dir string) (string, error) {
+	dst := dir + quarantineSuffix
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s%s.%d", dir, quarantineSuffix, i)
+	}
+	if err := os.Rename(dir, dst); err != nil {
+		return "", fmt.Errorf("store: quarantine: %w", err)
+	}
+	os.RemoveAll(dir + tmpSuffix)
+	os.RemoveAll(dir + prevSuffix)
+	return dst, nil
+}
+
+// corruptf wraps a structural-corruption error so errors.Is(err,
+// ErrCorrupt) holds.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
 // Load rebuilds a store from a snapshot directory, interning every
 // label into cfg.Universe (a fresh one when nil). Window order and
 // indices are restored from the manifest; capacity applies as usual, so
 // loading a larger snapshot into a smaller store keeps the newest
-// windows.
+// windows. An interrupted Save swap is repaired first; structural
+// damage — checksum mismatches, truncated or missing files, malformed
+// manifests — is reported as ErrCorrupt (quarantine and boot fresh),
+// while plain I/O errors are not.
 func Load(dir string, cfg Config) (*Store, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if _, err := recoverDir(dir); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("store: snapshot: %w", err)
 	}
-	defer mf.Close()
-	sc := bufio.NewScanner(mf)
-	if !sc.Scan() || sc.Text() != manifestHeader {
-		return nil, fmt.Errorf("store: snapshot: bad manifest header %q", sc.Text())
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	if !sc.Scan() {
+		return nil, corruptf("empty manifest")
+	}
+	var checksummed bool
+	switch sc.Text() {
+	case manifestHeaderV1:
+	case manifestHeaderV2:
+		checksummed = true
+		if err := verifyManifestCRC(raw); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, corruptf("bad manifest header %q", sc.Text())
 	}
 	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "windows ") {
-		return nil, fmt.Errorf("store: snapshot: missing windows line")
+		return nil, corruptf("missing windows line")
 	}
 	want, err := strconv.Atoi(strings.TrimPrefix(sc.Text(), "windows "))
 	if err != nil || want < 0 {
-		return nil, fmt.Errorf("store: snapshot: bad window count %q", sc.Text())
+		return nil, corruptf("bad window count %q", sc.Text())
 	}
 	loaded := 0
 	for sc.Scan() {
@@ -116,30 +286,25 @@ func Load(dir string, cfg Config) (*Store, error) {
 		}
 		if rest, ok := strings.CutPrefix(line, "node "); ok {
 			if err := internNodeLine(s.universe, rest); err != nil {
-				return nil, fmt.Errorf("store: snapshot: %w", err)
+				return nil, corruptf("%v", err)
 			}
 			continue
 		}
-		name, ok := strings.CutPrefix(line, "set ")
+		if strings.HasPrefix(line, "crc ") && checksummed {
+			continue // self-checksum, verified up front
+		}
+		rest, ok := strings.CutPrefix(line, "set ")
 		if !ok {
-			return nil, fmt.Errorf("store: snapshot: unknown manifest line %q", line)
+			return nil, corruptf("unknown manifest line %q", line)
 		}
-		if name != filepath.Base(name) {
-			return nil, fmt.Errorf("store: snapshot: manifest escapes directory: %q", name)
-		}
-		f, err := os.Open(filepath.Join(dir, name))
+		set, err := loadSetFile(dir, rest, checksummed, s.universe)
 		if err != nil {
-			return nil, fmt.Errorf("store: snapshot: %w", err)
-		}
-		set, err := core.ReadSignatureSet(f, s.universe)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return nil, fmt.Errorf("store: snapshot %s: %w", name, err)
+			return nil, err
 		}
 		if err := s.Add(set); err != nil {
-			return nil, fmt.Errorf("store: snapshot %s: %w", name, err)
+			// Duplicate or regressing window indices: the manifest
+			// itself is inconsistent.
+			return nil, corruptf("%v", err)
 		}
 		loaded++
 	}
@@ -147,9 +312,75 @@ func Load(dir string, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("store: snapshot: %w", err)
 	}
 	if loaded != want {
-		return nil, fmt.Errorf("store: snapshot: manifest promises %d windows, found %d", want, loaded)
+		return nil, corruptf("manifest promises %d windows, found %d", want, loaded)
 	}
 	return s, nil
+}
+
+// verifyManifestCRC checks the v2 manifest's trailing self-checksum.
+func verifyManifestCRC(raw []byte) error {
+	trimmed := bytes.TrimRight(raw, "\n")
+	i := bytes.LastIndexByte(trimmed, '\n')
+	last := trimmed[i+1:]
+	hexcrc, ok := bytes.CutPrefix(last, []byte("crc "))
+	if i < 0 || !ok {
+		return corruptf("manifest missing trailing checksum")
+	}
+	want, err := strconv.ParseUint(string(hexcrc), 16, 32)
+	if err != nil {
+		return corruptf("bad manifest checksum %q", last)
+	}
+	// The checksum covers every byte up to and including the newline
+	// before the crc line — exactly what Save hashed.
+	if got := crc32.ChecksumIEEE(raw[:i+1]); got != uint32(want) {
+		return corruptf("manifest checksum mismatch: %08x != %08x", got, want)
+	}
+	return nil
+}
+
+// loadSetFile reads and verifies one window file named by a manifest
+// set line: `name` (v1) or `name size crc32` (v2).
+func loadSetFile(dir, rest string, checksummed bool, u *graph.Universe) (*core.SignatureSet, error) {
+	fields := strings.Fields(rest)
+	wantFields := 1
+	if checksummed {
+		wantFields = 3
+	}
+	if len(fields) != wantFields {
+		return nil, corruptf("bad set line %q", rest)
+	}
+	name := fields[0]
+	if name != filepath.Base(name) {
+		return nil, corruptf("manifest escapes directory: %q", name)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, corruptf("manifest references missing file %s", name)
+		}
+		return nil, fmt.Errorf("store: snapshot: %w", err)
+	}
+	if checksummed {
+		size, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, corruptf("bad set size in %q", rest)
+		}
+		want, err := strconv.ParseUint(fields[2], 16, 32)
+		if err != nil {
+			return nil, corruptf("bad set checksum in %q", rest)
+		}
+		if len(raw) != size {
+			return nil, corruptf("%s is %d bytes, manifest says %d", name, len(raw), size)
+		}
+		if got := crc32.ChecksumIEEE(raw); got != uint32(want) {
+			return nil, corruptf("%s checksum mismatch: %08x != %08x", name, got, want)
+		}
+	}
+	set, err := core.ReadSignatureSet(bytes.NewReader(raw), u)
+	if err != nil {
+		return nil, corruptf("%s: %v", name, err)
+	}
+	return set, nil
 }
 
 // internNodeLine parses `"label" PART` and interns it, restoring the

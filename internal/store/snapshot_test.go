@@ -1,0 +1,302 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphsig/internal/fault"
+	"graphsig/internal/graph"
+)
+
+// savedSnapshot writes a three-window snapshot into dir and returns
+// the store that produced it.
+func savedSnapshot(t *testing.T, dir string) *Store {
+	t.Helper()
+	u := graph.NewUniverse()
+	s, err := New(Config{Capacity: 8, Universe: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		set := buildSet(t, u, w, map[string]map[string]float64{
+			"host-a": {"peer-1": 3, "peer-2": 1},
+			"host-b": {"peer-2": 2, fmt.Sprintf("peer-%d", w+3): 1},
+		})
+		if err := s.Add(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// assertEquivalent loads dir and checks it matches the original store.
+func assertEquivalent(t *testing.T, dir string, orig *Store) {
+	t.Helper()
+	got, err := Load(dir, Config{Capacity: 8})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("loaded %d windows, want %d", got.Len(), orig.Len())
+	}
+	want := orig.Windows()
+	for i, set := range got.Windows() {
+		if set.Window != want[i].Window || set.Len() != want[i].Len() {
+			t.Fatalf("window %d differs after reload", i)
+		}
+	}
+}
+
+func TestSnapshotCorruptAnyByteIsDetected(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "snap")
+	savedSnapshot(t, dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // MANIFEST + 3 windows
+		t.Fatalf("snapshot holds %d files, want 4", len(entries))
+	}
+	for _, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one byte at several offsets across the file; every flip
+		// must surface as ErrCorrupt, never a panic or a silent load.
+		for _, off := range []int{0, 1, len(blob) / 3, len(blob) / 2, len(blob) - 2, len(blob) - 1} {
+			mut := append([]byte(nil), blob...)
+			mut[off] ^= 0x20
+			if string(mut) == string(blob) {
+				continue
+			}
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := Load(dir, Config{Capacity: 8})
+			if err == nil {
+				t.Fatalf("%s: flipped byte %d loaded cleanly", e.Name(), off)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s byte %d: error %v is not ErrCorrupt", e.Name(), off, err)
+			}
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotTruncatedSetFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	savedSnapshot(t, dir)
+	path := filepath.Join(dir, setFileName(1))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, Config{Capacity: 8}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated set file: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotMissingManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	savedSnapshot(t, dir)
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if SnapshotExists(dir) {
+		t.Fatal("manifest-less dir reported as a snapshot")
+	}
+	if _, err := Load(dir, Config{Capacity: 8}); err == nil {
+		t.Fatal("manifest-less dir loaded")
+	}
+}
+
+func TestSnapshotMissingSetFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	savedSnapshot(t, dir)
+	if err := os.Remove(filepath.Join(dir, setFileName(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir, Config{Capacity: 8})
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "missing file") {
+		t.Fatalf("manifest referencing absent file: %v", err)
+	}
+}
+
+func TestSnapshotDuplicateWindowIndices(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	savedSnapshot(t, dir)
+	// Rewrite the manifest (v1, so no checksums to also forge) with the
+	// same set file listed twice: Load must reject the duplicate index.
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case line == manifestHeaderV2:
+			lines = append(lines, manifestHeaderV1)
+		case strings.HasPrefix(line, "windows "):
+			lines = append(lines, "windows 2")
+		case strings.HasPrefix(line, "set "+setFileName(0)):
+			name := strings.Fields(line)[1]
+			lines = append(lines, "set "+name, "set "+name)
+		case strings.HasPrefix(line, "set ") || strings.HasPrefix(line, "crc "):
+			// drop the other sets and the stale checksum
+		default:
+			lines = append(lines, line)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, Config{Capacity: 8}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate window index: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotV1Compat(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	orig := savedSnapshot(t, dir)
+	// Demote the manifest to v1: strip sizes/CRCs and the self-check.
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		switch {
+		case line == manifestHeaderV2:
+			lines = append(lines, manifestHeaderV1)
+		case strings.HasPrefix(line, "set "):
+			lines = append(lines, "set "+strings.Fields(line)[1])
+		case strings.HasPrefix(line, "crc "):
+		default:
+			lines = append(lines, line)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, dir, orig)
+}
+
+func TestSnapshotOverwriteKeepsAtomicity(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	orig := savedSnapshot(t, dir)
+	// Save again over the existing snapshot; no stale siblings remain.
+	if err := orig.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, sib := range []string{dir + tmpSuffix, dir + prevSuffix} {
+		if _, err := os.Stat(sib); !os.IsNotExist(err) {
+			t.Fatalf("stale sibling %s left behind", sib)
+		}
+	}
+	assertEquivalent(t, dir, orig)
+}
+
+func TestSnapshotInterruptedSwapRecovery(t *testing.T) {
+	// Crash between rename(dir → dir.prev) and rename(dir.tmp → dir):
+	// dir is gone but both siblings are complete. Load must promote the
+	// newer .tmp.
+	dir := filepath.Join(t.TempDir(), "snap")
+	orig := savedSnapshot(t, dir)
+	if err := os.Rename(dir, dir+prevSuffix); err != nil {
+		t.Fatal(err)
+	}
+	if !SnapshotExists(dir) {
+		t.Fatal("recoverable snapshot not reported by SnapshotExists")
+	}
+	assertEquivalent(t, dir, orig)
+
+	// Crash before the first rename: dir intact, complete .tmp beside
+	// it. The intact dir wins.
+	orig2 := savedSnapshot(t, dir+"-b")
+	copyDir(t, dir+"-b", dir+"-b"+tmpSuffix)
+	assertEquivalent(t, dir+"-b", orig2)
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		blob, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotQuarantine(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "snap")
+	savedSnapshot(t, dir)
+	blobPath := filepath.Join(dir, setFileName(0))
+	blob, _ := os.ReadFile(blobPath)
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(blobPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Quarantine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(moved, dir+quarantineSuffix) {
+		t.Fatalf("quarantined to %s", moved)
+	}
+	if SnapshotExists(dir) {
+		t.Fatal("dir still reports a snapshot after quarantine")
+	}
+	// Second quarantine of a fresh corrupt dir picks a distinct name.
+	savedSnapshot(t, dir)
+	moved2, err := Quarantine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved2 == moved {
+		t.Fatalf("quarantine reused %s", moved)
+	}
+}
+
+func TestSaveFailpointLeavesOldSnapshot(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := filepath.Join(t.TempDir(), "snap")
+	orig := savedSnapshot(t, dir)
+
+	boom := errors.New("disk full")
+	for _, point := range []string{"store.save.set", "store.save.manifest", "store.save.swap"} {
+		fault.Set(point, func() error { return boom })
+		if err := orig.Save(dir); !errors.Is(err, boom) {
+			t.Fatalf("%s: Save returned %v", point, err)
+		}
+		fault.Clear(point)
+		// The failed save must not have damaged the existing snapshot.
+		assertEquivalent(t, dir, orig)
+	}
+}

@@ -67,6 +67,10 @@ type Store struct {
 	ring    []entry // oldest first
 	added   int     // windows ever added (monotone, survives eviction)
 	evicted int
+
+	// saveMu serializes Save calls (periodic snapshot loop vs window
+	// close vs shutdown) so two writers never race on the staging dir.
+	saveMu sync.Mutex
 }
 
 // New builds an empty store.

@@ -106,6 +106,11 @@ func (p *Pipeline) Universe() *graph.Universe { return p.universe }
 // CurrentWindow reports the index of the window now accumulating.
 func (p *Pipeline) CurrentWindow() int { return p.window }
 
+// Origin reports the window origin once it is known — either from the
+// config or from the first accepted record. Serving layers persist it
+// (internal/wal) so a restarted pipeline keeps its window alignment.
+func (p *Pipeline) Origin() (time.Time, bool) { return p.origin, p.originSet }
+
 // Ingested reports the number of records accepted so far.
 func (p *Pipeline) Ingested() int { return p.ingested }
 

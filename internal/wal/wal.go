@@ -1,0 +1,306 @@
+// Package wal implements the write-ahead log behind sigserverd's
+// ingest path. The §VI streaming pipeline holds the still-open
+// window's sketch state only in memory; the WAL makes that window
+// crash-safe by appending every accepted flow record (in the netflow
+// per-record binary encoding, wrapped in a CRC32 frame) and fsyncing
+// once per ingest batch. After a kill -9 the server replays the log
+// through a fresh pipeline and loses at most the last unsynced batch.
+//
+// The log is a redo log of accepted records, not a classical
+// undo/redo WAL: entries are written after the pipeline accepts them,
+// so a replay re-accepts every entry and never re-rejects. It is
+// truncated (Reset) whenever the archived windows it covers have been
+// committed to a durable snapshot — see internal/server's checkpoint
+// logic — and the pipeline's window origin is re-recorded after every
+// truncation so window indices stay aligned across restarts even when
+// the log is empty.
+//
+// On-disk format, all integers little-endian:
+//
+//	header:  8 bytes "GSWALv1\n"
+//	frame:   u8 kind, u32 payloadLen, u32 crc32(payload), payload
+//	kinds:   1 = flow record (netflow per-record binary encoding)
+//	         2 = origin     (i64 originUnixMs, i64 windowMs)
+//
+// Recovery scans frames until the first torn or corrupt one and
+// truncates the file there: a partially flushed tail is expected after
+// a crash and silently (but countedly) dropped, because once framing
+// is lost nothing after it can be trusted.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"graphsig/internal/fault"
+	"graphsig/internal/netflow"
+)
+
+var header = []byte("GSWALv1\n")
+
+const (
+	kindRecord = 1
+	kindOrigin = 2
+
+	frameOverhead = 1 + 4 + 4 // kind + len + crc
+	// maxPayload rejects absurd frame lengths during recovery so a
+	// corrupt length field cannot trigger a huge allocation.
+	maxPayload = 1 << 20
+)
+
+// ErrCorrupt marks a log whose header is unreadable — the file is not
+// a WAL at all (or its first bytes were destroyed). Callers should
+// quarantine the file and start fresh; a torn tail is NOT this error,
+// it is repaired in place by Open.
+var ErrCorrupt = errors.New("wal: corrupt log header")
+
+// Replay is what Open recovered from an existing log.
+type Replay struct {
+	// Records are the framed flow records, in append order.
+	Records []netflow.Record
+	// Origin and Window are the pipeline alignment from the last origin
+	// frame; Origin.IsZero() means none was recorded.
+	Origin time.Time
+	Window time.Duration
+	// TornBytes counts bytes dropped from a torn or corrupt tail.
+	TornBytes int64
+}
+
+// WAL is an append-only, CRC-framed flow record log. Methods are
+// goroutine-safe.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	buf  bytes.Buffer // frame scratch, reused across appends
+}
+
+// Open opens (creating if absent) the log at path, replays its frames,
+// repairs a torn tail by truncating it, and leaves the file positioned
+// for appends. A destroyed header surfaces as ErrCorrupt — quarantine
+// with Quarantine and Open again.
+func Open(path string) (*WAL, Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	rep, err := w.recover()
+	if err != nil {
+		f.Close()
+		return nil, Replay{}, err
+	}
+	return w, rep, nil
+}
+
+// recover validates the header (writing one into an empty file), scans
+// frames, and truncates at the first bad one.
+func (w *WAL) recover() (Replay, error) {
+	info, err := w.f.Stat()
+	if err != nil {
+		return Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := w.f.Write(header); err != nil {
+			return Replay{}, fmt.Errorf("wal: writing header: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return Replay{}, fmt.Errorf("wal: %w", err)
+		}
+		return Replay{}, nil
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	br := bufio.NewReader(w.f)
+	got := make([]byte, len(header))
+	if _, err := io.ReadFull(br, got); err != nil || !bytes.Equal(got, header) {
+		return Replay{}, fmt.Errorf("%w: %s", ErrCorrupt, w.path)
+	}
+
+	var rep Replay
+	good := int64(len(header)) // offset past the last valid frame
+	var hdr [frameOverhead]byte
+scan:
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // clean EOF or torn frame header
+		}
+		kind := hdr[0]
+		plen := binary.LittleEndian.Uint32(hdr[1:5])
+		want := binary.LittleEndian.Uint32(hdr[5:9])
+		if plen > maxPayload {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break
+		}
+		switch kind {
+		case kindRecord:
+			rec, err := netflow.ReadRecordBinary(bytes.NewReader(payload))
+			if err != nil {
+				// CRC passed but the payload does not decode: a writer
+				// bug, not a torn write. Still safest to stop here.
+				break scan
+			}
+			rep.Records = append(rep.Records, rec)
+		case kindOrigin:
+			if len(payload) != 16 {
+				break scan
+			}
+			rep.Origin = time.UnixMilli(int64(binary.LittleEndian.Uint64(payload[:8]))).UTC()
+			rep.Window = time.Duration(int64(binary.LittleEndian.Uint64(payload[8:16]))) * time.Millisecond
+		default:
+			// Unknown frame kind: written by a future version. Stop, as
+			// replay semantics past it are undefined.
+			break scan
+		}
+		good += int64(frameOverhead) + int64(plen)
+	}
+	rep.TornBytes = info.Size() - good
+	if rep.TornBytes > 0 {
+		if err := w.f.Truncate(good); err != nil {
+			return Replay{}, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return Replay{}, fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
+		return Replay{}, fmt.Errorf("wal: %w", err)
+	}
+	return rep, nil
+}
+
+// Path reports the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append frames and appends the records, then fsyncs — one sync per
+// batch, so a crash loses at most the records of the batch in flight.
+// Appending no records is a no-op.
+func (w *WAL) Append(records []netflow.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Reset()
+	var payload bytes.Buffer
+	for i := range records {
+		payload.Reset()
+		if err := netflow.WriteRecordBinary(&payload, &records[i]); err != nil {
+			return fmt.Errorf("wal: record %d: %w", i, err)
+		}
+		w.frame(kindRecord, payload.Bytes())
+	}
+	return w.flush()
+}
+
+// AppendOrigin records the pipeline's window alignment so replay after
+// a restart computes the same window indices, and fsyncs.
+func (w *WAL) AppendOrigin(origin time.Time, window time.Duration) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var payload [16]byte
+	binary.LittleEndian.PutUint64(payload[:8], uint64(origin.UnixMilli()))
+	binary.LittleEndian.PutUint64(payload[8:16], uint64(window.Milliseconds()))
+	w.buf.Reset()
+	w.frame(kindOrigin, payload[:])
+	return w.flush()
+}
+
+// frame appends one frame for payload to the scratch buffer.
+func (w *WAL) frame(kind byte, payload []byte) {
+	var hdr [frameOverhead]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	w.buf.Write(hdr[:])
+	w.buf.Write(payload)
+}
+
+// flush writes the scratch buffer and syncs. Callers hold w.mu.
+func (w *WAL) flush() error {
+	if err := fault.Inject("wal.write"); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := w.f.Write(w.buf.Bytes()); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := fault.Inject("wal.sync"); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Reset truncates the log back to its header — called after the
+// windows it covered were committed to a durable snapshot. The caller
+// should AppendOrigin again right after, so alignment survives even an
+// empty log.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := fault.Inject("wal.reset"); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := w.f.Truncate(int64(len(header))); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := w.f.Seek(int64(len(header)), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Size reports the current log size in bytes.
+func (w *WAL) Size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	info, err := w.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	return info.Size(), nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Quarantine renames a log that failed to open aside (path.corrupt,
+// path.corrupt.1, ...) and returns the new name, so the server can
+// start a fresh log without destroying the evidence.
+func Quarantine(path string) (string, error) {
+	dst := path + ".corrupt"
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s.corrupt.%d", path, i)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("wal: quarantine: %w", err)
+	}
+	return dst, nil
+}

@@ -1,9 +1,17 @@
 #!/bin/sh
 # Tier-1 gate, shell form of `make check`: build (compile-checks the
-# examples too), vet, and the full test suite under the race detector.
+# examples too), vet, optional staticcheck, and the full test suite
+# under the race detector.
 set -eu
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# staticcheck is optional tooling: run it when installed, skip quietly
+# when not — CI images without it still get the full vet+race gate.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "check.sh: staticcheck not installed; skipping"
+fi
 go test -race ./...

@@ -33,7 +33,14 @@ type (
 	// ServerClient is the typed HTTP client for a running server
 	// (also the transport behind `sigtool client`).
 	ServerClient = server.Client
+	// ServerRecovery reports what NewServer reconstructed from disk
+	// (snapshot restored/quarantined, WAL replay statistics).
+	ServerRecovery = server.Recovery
 )
+
+// Float64 returns a pointer to v, for optional ServerConfig fields
+// such as WatchMaxDist.
+func Float64(v float64) *float64 { return server.Float64(v) }
 
 // NewSignatureStore builds an empty store.
 func NewSignatureStore(cfg SignatureStoreConfig) (*SignatureStore, error) {
