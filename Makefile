@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench tidy crash-test
+.PHONY: check build vet test race bench bench-smoke tidy crash-test
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -29,6 +29,13 @@ crash-test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One iteration of the pairwise-engine benchmarks under the race
+# detector: a cheap smoke test that the engine's parallel paths are
+# race-clean and still bit-identical to the naive loops they replace.
+bench-smoke:
+	$(GO) test -race -run=^$$ -benchtime=1x \
+		-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
 
 tidy:
 	gofmt -l -w .

@@ -11,12 +11,15 @@ import (
 	"testing"
 
 	"graphsig"
+	"graphsig/internal/apps"
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/eval"
 	"graphsig/internal/experiments"
 	"graphsig/internal/lsh"
 	"graphsig/internal/perturb"
 	"graphsig/internal/sketch"
+	"graphsig/internal/stats"
 )
 
 // benchScale keeps one experiment iteration in the ~100ms range; the
@@ -300,6 +303,93 @@ func BenchmarkLSHQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPairwiseUniqueness compares the all-pairs uniqueness
+// summary computed with the naive per-pair Dist double loop against the
+// distmat engine (merge-join kernels + inverted-index candidates +
+// sharded rows). The two paths produce bit-identical summaries; the
+// benchmark measures the speedup.
+func BenchmarkPairwiseUniqueness(b *testing.B) {
+	set := benchSigs(b)
+	d := core.ScaledHellinger{}
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var acc stats.Accumulator
+			for i := range set.Sigs {
+				for j := range set.Sigs {
+					if j == i {
+						continue
+					}
+					acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+				}
+			}
+			_ = acc.Summarize()
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		idx := make([]int, set.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, ok := distmat.NewEngine(set, set, d, 0)
+			if !ok {
+				b.Fatal("no engine")
+			}
+			var acc stats.Accumulator
+			eng.Rows(idx, func(t int, row []float64) {
+				for j, dist := range row {
+					if j == t {
+						continue
+					}
+					acc.Add(dist)
+				}
+			})
+			_ = acc.Summarize()
+		}
+	})
+}
+
+// BenchmarkMultiusageAllPairs compares the multiusage all-pairs scan at
+// a tight threshold: the naive quadratic loop against the engine's
+// sparse posting-list enumeration (only pairs sharing ≥1 node are ever
+// compared).
+func BenchmarkMultiusageAllPairs(b *testing.B) {
+	set := benchSigs(b)
+	d := core.Jaccard{}
+	const threshold = 0.3
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var out []apps.SimilarPair
+			for i := 0; i < set.Len(); i++ {
+				if set.Sigs[i].IsEmpty() {
+					continue
+				}
+				for j := i + 1; j < set.Len(); j++ {
+					if set.Sigs[j].IsEmpty() {
+						continue
+					}
+					if dist := d.Dist(set.Sigs[i], set.Sigs[j]); dist <= threshold {
+						out = append(out, apps.SimilarPair{A: set.Sources[i], B: set.Sources[j], Dist: dist})
+					}
+				}
+			}
+			_ = out
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := apps.DetectMultiusage(d, set, threshold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkGenerateEnterprise(b *testing.B) {

@@ -4,16 +4,22 @@
 //
 // Usage:
 //
-//	sigbench [-seed N] [-scale F] [-experiment NAME]
+//	sigbench [-seed N] [-scale F] [-experiment NAME] [-json PATH]
+//	         [-cpuprofile PATH] [-memprofile PATH]
 //
 // With no -experiment it runs the full suite (-all behaviour). NAME may
-// be one of: fig1 fig2 fig3a fig3b fig4 fig5 fig6 tables ablations.
+// be one of: fig1 fig2 fig3a fig3b fig4 fig5 fig6 tables ablations
+// pairwise. -json writes the experiment's machine-readable report (only
+// the pairwise experiment emits one); -cpuprofile/-memprofile write
+// pprof profiles covering the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"graphsig/internal/experiments"
 	"graphsig/internal/sketch"
@@ -22,16 +28,50 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "root random seed")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor in (0,1]")
-	name := flag.String("experiment", "", "run a single experiment (fig1..fig6, tables, ablations); empty = all")
+	name := flag.String("experiment", "", "run a single experiment (fig1..fig6, tables, ablations, pairwise); empty = all")
+	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this path (pairwise only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *name); err != nil {
+	if err := profiledRun(*seed, *scale, *name, *jsonPath, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "sigbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale float64, name string) error {
+// profiledRun wraps run with optional pprof capture so the profiles are
+// flushed even when the experiment fails.
+func profiledRun(seed int64, scale float64, name, jsonPath, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(seed, scale, name, jsonPath); err != nil {
+		return err
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(seed int64, scale float64, name, jsonPath string) error {
 	ds, err := experiments.LoadScaled(seed, scale)
 	if err != nil {
 		return err
@@ -159,6 +199,8 @@ func run(seed int64, scale float64, name string) error {
 		}
 		fmt.Fprintln(out, experiments.FormatAnomaly(rows))
 		return nil
+	case "pairwise":
+		return runPairwise(e, seed, scale, out, jsonPath)
 	case "ablations":
 		streaming, err := experiments.StreamingAblation(e, sketch.StreamConfig{Seed: uint64(seed)})
 		if err != nil {

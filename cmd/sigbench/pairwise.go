@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/distmat"
+	"graphsig/internal/experiments"
+	"graphsig/internal/stats"
+)
+
+// pairwiseSide is one measured implementation (naive or engine) of the
+// all-pairs uniqueness computation.
+type pairwiseSide struct {
+	TotalNs     int64   `json:"total_ns"`
+	NsPerPair   float64 `json:"ns_per_pair"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+	Allocs      uint64  `json:"allocs"`
+}
+
+// pairwiseResult compares the two implementations for one distance.
+type pairwiseResult struct {
+	Distance   string       `json:"distance"`
+	Signatures int          `json:"signatures"`
+	Pairs      int          `json:"pairs"`
+	Naive      pairwiseSide `json:"naive"`
+	Engine     pairwiseSide `json:"engine"`
+	Speedup    float64      `json:"speedup"`
+	Identical  bool         `json:"identical"`
+}
+
+// pairwiseReport is the machine-readable output of -experiment pairwise
+// (written to the -json path when set).
+type pairwiseReport struct {
+	Seed       int64            `json:"seed"`
+	Scale      float64          `json:"scale"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []pairwiseResult `json:"results"`
+}
+
+// measurePairwise runs fn once and reports wall time plus the heap
+// allocation count delta (runtime Mallocs), the same quantity
+// testing.B.ReportAllocs tracks.
+func measurePairwise(fn func()) (int64, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs
+}
+
+// runPairwise benchmarks the all-pairs uniqueness computation — the
+// naive per-pair Dist double loop against the distmat engine — over the
+// flow dataset's TopTalkers signatures, asserting the two produce
+// bit-identical summaries.
+func runPairwise(e *experiments.Env, seed int64, scale float64, out io.Writer, jsonPath string) error {
+	set, err := e.Sigs(experiments.FlowData, core.TopTalkers{}, 0)
+	if err != nil {
+		return err
+	}
+	n := set.Len()
+	if n < 2 {
+		return fmt.Errorf("pairwise: need at least 2 signatures, have %d", n)
+	}
+	pairs := n * (n - 1)
+	report := pairwiseReport{
+		Seed:       seed,
+		Scale:      scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, d := range core.ExtendedDistances() {
+		naive := func() stats.Summary {
+			var acc stats.Accumulator
+			for i := range set.Sigs {
+				for j := range set.Sigs {
+					if j == i {
+						continue
+					}
+					acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+				}
+			}
+			return acc.Summarize()
+		}
+		engine := func() (stats.Summary, error) {
+			eng, ok := distmat.NewEngine(set, set, d, 0)
+			if !ok {
+				return stats.Summary{}, fmt.Errorf("pairwise: no engine for %s", d.Name())
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			var acc stats.Accumulator
+			eng.Rows(idx, func(t int, row []float64) {
+				for j, dist := range row {
+					if j == t {
+						continue
+					}
+					acc.Add(dist)
+				}
+			})
+			return acc.Summarize(), nil
+		}
+
+		var naiveSum, engineSum stats.Summary
+		var engineErr error
+		naiveNs, naiveAllocs := measurePairwise(func() { naiveSum = naive() })
+		engineNs, engineAllocs := measurePairwise(func() { engineSum, engineErr = engine() })
+		if engineErr != nil {
+			return engineErr
+		}
+		res := pairwiseResult{
+			Distance:   d.Name(),
+			Signatures: n,
+			Pairs:      pairs,
+			Naive: pairwiseSide{
+				TotalNs:     naiveNs,
+				NsPerPair:   float64(naiveNs) / float64(pairs),
+				PairsPerSec: float64(pairs) / (float64(naiveNs) * 1e-9),
+				Allocs:      naiveAllocs,
+			},
+			Engine: pairwiseSide{
+				TotalNs:     engineNs,
+				NsPerPair:   float64(engineNs) / float64(pairs),
+				PairsPerSec: float64(pairs) / (float64(engineNs) * 1e-9),
+				Allocs:      engineAllocs,
+			},
+			Speedup:   float64(naiveNs) / float64(engineNs),
+			Identical: naiveSum == engineSum,
+		}
+		if !res.Identical {
+			return fmt.Errorf("pairwise: %s engine summary diverges from naive: %v vs %v",
+				d.Name(), engineSum, naiveSum)
+		}
+		report.Results = append(report.Results, res)
+	}
+
+	fmt.Fprintf(out, "Pairwise uniqueness: %d signatures, %d ordered pairs, GOMAXPROCS=%d\n",
+		n, pairs, report.GoMaxProcs)
+	fmt.Fprintf(out, "%-10s %14s %14s %9s %12s %12s\n",
+		"distance", "naive ns/pair", "engine ns/pair", "speedup", "naive allocs", "eng allocs")
+	for _, r := range report.Results {
+		fmt.Fprintf(out, "%-10s %14.1f %14.1f %8.2fx %12d %12d\n",
+			r.Distance, r.Naive.NsPerPair, r.Engine.NsPerPair, r.Speedup,
+			r.Naive.Allocs, r.Engine.Allocs)
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(jsonPath, blob, 0o644); err != nil {
+			return fmt.Errorf("pairwise: writing %s: %w", jsonPath, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 )
 
@@ -22,7 +23,8 @@ type Match struct {
 // from citation signatures [11] is the canonical instance): given
 // reference signatures of known individuals from an earlier window and
 // signatures computed on the anonymized window, each anonymized node is
-// matched to its nearest reference signature.
+// matched to its nearest reference signature. The anonymized×reference
+// distance rows ride the pairwise engine.
 //
 // When greedy is true, assignments are made in order of increasing
 // distance with each reference used at most once (appropriate when the
@@ -33,18 +35,30 @@ func DeAnonymize(d core.Distance, reference, anonymized *core.SignatureSet, gree
 	if reference.Len() == 0 || anonymized.Len() == 0 {
 		return nil, fmt.Errorf("apps: deanonymize needs non-empty signature sets")
 	}
+	eng, fast := distmat.NewEngine(anonymized, reference, d, 0)
+	rowDist := func(i, j int) float64 { return d.Dist(anonymized.Sigs[i], reference.Sigs[j]) }
 	if !greedy {
 		out := make([]Match, 0, anonymized.Len())
-		for i, a := range anonymized.Sources {
-			best := Match{Anonymized: a, Dist: 2}
+		pick := func(i int, dist func(j int) float64) {
+			best := Match{Anonymized: anonymized.Sources[i], Dist: 2}
 			for j, r := range reference.Sources {
-				dist := d.Dist(anonymized.Sigs[i], reference.Sigs[j])
-				if dist < best.Dist || (dist == best.Dist && r < best.Reference) {
+				dj := dist(j)
+				if dj < best.Dist || (dj == best.Dist && r < best.Reference) {
 					best.Reference = r
-					best.Dist = dist
+					best.Dist = dj
 				}
 			}
 			out = append(out, best)
+		}
+		if fast {
+			all := rowIndices(anonymized.Len())
+			eng.Rows(all, func(i int, row []float64) {
+				pick(i, func(j int) float64 { return row[j] })
+			})
+		} else {
+			for i := range anonymized.Sources {
+				pick(i, func(j int) float64 { return rowDist(i, j) })
+			}
 		}
 		sortMatches(out)
 		return out, nil
@@ -55,9 +69,18 @@ func DeAnonymize(d core.Distance, reference, anonymized *core.SignatureSet, gree
 		dist   float64
 	}
 	cands := make([]cand, 0, anonymized.Len()*reference.Len())
-	for i := range anonymized.Sources {
-		for j := range reference.Sources {
-			cands = append(cands, cand{i, j, d.Dist(anonymized.Sigs[i], reference.Sigs[j])})
+	if fast {
+		all := rowIndices(anonymized.Len())
+		eng.Rows(all, func(i int, row []float64) {
+			for j, dist := range row {
+				cands = append(cands, cand{i, j, dist})
+			}
+		})
+	} else {
+		for i := range anonymized.Sources {
+			for j := range reference.Sources {
+				cands = append(cands, cand{i, j, rowDist(i, j)})
+			}
 		}
 	}
 	sort.Slice(cands, func(x, y int) bool {
@@ -89,6 +112,15 @@ func DeAnonymize(d core.Distance, reference, anonymized *core.SignatureSet, gree
 	}
 	sortMatches(out)
 	return out, nil
+}
+
+// rowIndices returns [0, 1, ..., n-1].
+func rowIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 func sortMatches(ms []Match) {

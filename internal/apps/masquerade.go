@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 )
 
@@ -31,6 +32,16 @@ func DeltaFromSelfPersistence(d core.Distance, at, next *core.SignatureSet, c in
 		return 0, fmt.Errorf("apps: no sources to compute delta over")
 	}
 	sum := 0.0
+	if eng, ok := distmat.NewEngine(at, next, d, 0); ok {
+		for i, v := range at.Sources {
+			j, present := next.IndexOf(v)
+			if !present {
+				continue // persistence 0
+			}
+			sum += 1 - eng.Dist(i, j)
+		}
+		return sum / (float64(c) * float64(at.Len())), nil
+	}
 	for i, v := range at.Sources {
 		sig2, ok := next.Get(v)
 		if !ok {
@@ -47,6 +58,8 @@ func DeltaFromSelfPersistence(d core.Distance, at, next *core.SignatureSet, c in
 // paired with the most persistent u among v's top-ℓ whose own
 // self-persistence A[u,u] ≤ δ (both labels look different from
 // themselves but similar to each other); with no such u, v joins M.
+// Self-persistences and the suspects' cross-persistence rows ride the
+// pairwise engine.
 func DetectLabelMasquerading(d core.Distance, at, next *core.SignatureSet, delta float64, ell int) (*MasqueradeResult, error) {
 	if ell <= 0 {
 		return nil, fmt.Errorf("apps: top-ℓ must be positive, got %d", ell)
@@ -55,12 +68,19 @@ func DetectLabelMasquerading(d core.Distance, at, next *core.SignatureSet, delta
 		NonSuspects: map[graph.NodeID]bool{},
 		Pairs:       map[graph.NodeID]graph.NodeID{},
 	}
+	eng, fast := distmat.NewEngine(at, next, d, 0)
+	crossDist := func(i, j int) float64 {
+		if fast {
+			return eng.Dist(i, j)
+		}
+		return d.Dist(at.Sigs[i], next.Sigs[j])
+	}
 	// Self-persistence of every candidate u (sources of the later
 	// window), used for the A[u,u] ≤ δ condition.
 	selfP := make([]float64, next.Len())
 	for j, u := range next.Sources {
-		if sig1, ok := at.Get(u); ok {
-			selfP[j] = 1 - d.Dist(sig1, next.Sigs[j])
+		if i, ok := at.IndexOf(u); ok {
+			selfP[j] = 1 - crossDist(i, j)
 		}
 	}
 
@@ -68,21 +88,28 @@ func DetectLabelMasquerading(d core.Distance, at, next *core.SignatureSet, delta
 		idx int
 		p   float64
 	}
+	// Partition sources into persistent labels (→ M immediately) and
+	// suspects, whose full cross-persistence rows are needed.
+	var suspects []int
 	for i, v := range at.Sources {
 		self := 0.0
-		if sig2, ok := next.Get(v); ok {
-			self = 1 - d.Dist(at.Sigs[i], sig2)
+		if j, ok := next.IndexOf(v); ok {
+			self = 1 - crossDist(i, j)
 		}
 		if self > delta {
 			res.NonSuspects[v] = true
 			continue
 		}
+		suspects = append(suspects, i)
+	}
+	pair := func(i int, dist func(j int) float64) {
+		v := at.Sources[i]
 		cands := make([]cand, 0, next.Len())
 		for j, u := range next.Sources {
 			if u == v {
 				continue
 			}
-			cands = append(cands, cand{idx: j, p: 1 - d.Dist(at.Sigs[i], next.Sigs[j])})
+			cands = append(cands, cand{idx: j, p: 1 - dist(j)})
 		}
 		sort.Slice(cands, func(a, b int) bool {
 			if cands[a].p != cands[b].p {
@@ -93,16 +120,21 @@ func DetectLabelMasquerading(d core.Distance, at, next *core.SignatureSet, delta
 		if len(cands) > ell {
 			cands = cands[:ell]
 		}
-		paired := false
 		for _, c := range cands {
 			if selfP[c.idx] <= delta {
 				res.Pairs[v] = next.Sources[c.idx]
-				paired = true
-				break
+				return
 			}
 		}
-		if !paired {
-			res.NonSuspects[v] = true
+		res.NonSuspects[v] = true
+	}
+	if fast {
+		eng.Rows(suspects, func(t int, row []float64) {
+			pair(suspects[t], func(j int) float64 { return row[j] })
+		})
+	} else {
+		for _, i := range suspects {
+			pair(i, func(j int) float64 { return crossDist(i, j) })
 		}
 	}
 	return res, nil

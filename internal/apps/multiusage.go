@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 )
 
@@ -22,25 +23,36 @@ type SimilarPair struct {
 // returns those with Dist ≤ threshold, sorted by ascending distance.
 // High similarity within a window is the multiusage signal: one
 // individual communicating from several connection points (§II-D).
+//
+// The scan rides the sparse pairwise engine: with threshold < 1 only
+// pairs sharing at least one signature node are ever compared (disjoint
+// pairs sit at distance exactly 1), in parallel across cores, with
+// results bit-identical to the naive quadratic loop.
 func DetectMultiusage(d core.Distance, set *core.SignatureSet, threshold float64) ([]SimilarPair, error) {
 	if threshold < 0 || threshold > 1 {
 		return nil, fmt.Errorf("apps: multiusage threshold %g outside [0,1]", threshold)
 	}
 	var out []SimilarPair
-	for i := 0; i < set.Len(); i++ {
-		if set.Sigs[i].IsEmpty() {
-			// A silent label matches every other silent label at
-			// distance 0; such degenerate pairs are not multiusage
-			// evidence.
-			continue
+	if eng, ok := distmat.NewEngine(set, set, d, 0); ok {
+		// PairsWithin already excludes empty signatures: a silent label
+		// matches every other silent label at distance 0; such
+		// degenerate pairs are not multiusage evidence.
+		for _, p := range eng.PairsWithin(threshold) {
+			out = append(out, SimilarPair{A: set.Sources[p.I], B: set.Sources[p.J], Dist: p.Dist})
 		}
-		for j := i + 1; j < set.Len(); j++ {
-			if set.Sigs[j].IsEmpty() {
+	} else {
+		for i := 0; i < set.Len(); i++ {
+			if set.Sigs[i].IsEmpty() {
 				continue
 			}
-			dist := d.Dist(set.Sigs[i], set.Sigs[j])
-			if dist <= threshold {
-				out = append(out, SimilarPair{A: set.Sources[i], B: set.Sources[j], Dist: dist})
+			for j := i + 1; j < set.Len(); j++ {
+				if set.Sigs[j].IsEmpty() {
+					continue
+				}
+				dist := d.Dist(set.Sigs[i], set.Sigs[j])
+				if dist <= threshold {
+					out = append(out, SimilarPair{A: set.Sources[i], B: set.Sources[j], Dist: dist})
+				}
 			}
 		}
 	}
@@ -65,11 +77,22 @@ func NearestNeighbors(d core.Distance, set *core.SignatureSet, v graph.NodeID, t
 		return nil, fmt.Errorf("apps: node %d has no signature in window %d", v, set.Window)
 	}
 	pairs := make([]SimilarPair, 0, set.Len()-1)
-	for j, u := range set.Sources {
-		if u == v {
-			continue
+	if q, fast := distmat.NewQuerier(d); fast {
+		view := distmat.NewSetView(set)
+		q.Neighbors(view, sig, 1, func(j int, dist float64) {
+			u := set.Sources[j]
+			if u == v {
+				return
+			}
+			pairs = append(pairs, SimilarPair{A: v, B: u, Dist: dist})
+		})
+	} else {
+		for j, u := range set.Sources {
+			if u == v {
+				continue
+			}
+			pairs = append(pairs, SimilarPair{A: v, B: u, Dist: d.Dist(sig, set.Sigs[j])})
 		}
-		pairs = append(pairs, SimilarPair{A: v, B: u, Dist: d.Dist(sig, set.Sigs[j])})
 	}
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].Dist != pairs[j].Dist {

@@ -99,6 +99,12 @@ func (ss *SignatureSet) Get(v graph.NodeID) (Signature, bool) {
 	return ss.Sigs[i], true
 }
 
+// IndexOf returns the position of source v in Sources.
+func (ss *SignatureSet) IndexOf(v graph.NodeID) (int, bool) {
+	i, ok := ss.index[v]
+	return i, ok
+}
+
 // Len reports the number of sources.
 func (ss *SignatureSet) Len() int { return len(ss.Sources) }
 

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"graphsig/internal/graph"
+)
+
+// This file implements the merge-join distance kernels: a node-sorted
+// view of a Signature (SortedSig, built once per signature) and a
+// DistKernel that computes every distance in ExtendedDistances in O(k)
+// via a sorted merge instead of the O(k²) Contains/Weight probing the
+// naive Dist methods do.
+//
+// Bit-identity contract: for Validate-clean signatures,
+// DistKernel.Dist(NewSortedSig(a), NewSortedSig(b)) returns the exact
+// same float64 as Distance.Dist(a, b). The kernels achieve this not by
+// re-deriving the formulas but by replaying the naive accumulation
+// order: the shared nodes are located first (recording, for each shared
+// node, its canonical index on both sides); the numerator/denominator
+// folds then run over the canonical (weight-descending) entry order
+// exactly as the naive loops do, with the O(k) per-probe
+// b.Weight(u)/b.Contains(u) lookups replaced by O(1) reads.
+//
+// Two IEEE-754 facts let the folds skip work the naive loops do without
+// changing a single output bit:
+//
+//   - x + (+0.0) == x for every x ≠ -0.0, and the numerator accumulators
+//     only ever hold sums of non-negative terms starting from +0.0, so
+//     the naive loops' zero terms for unshared nodes (min(w,0), √(w·0),
+//     w·0) can be skipped outright. Jaccard, Dice and Cosine numerators
+//     touch only shared nodes, making those kernels O(shared) per pair.
+//   - max(w, 0) == w and positive weights are never NaN nor -0.0, so
+//     math.Max/math.Min calls collapse to plain comparisons.
+//
+// Disjoint closed form: when two Validate-clean signatures share no
+// node, every distance in ExtendedDistances is exactly 1.0 (the
+// numerator folds over min(w,0)/√(w·0)/0-dot terms are exactly +0.0 and
+// the denominator is positive, so 1 − 0/den == 1.0 bit-for-bit), except
+// that two empty signatures are at distance exactly 0.0. Batch layers
+// (internal/distmat) rely on this to resolve disjoint pairs in O(1)
+// without touching a kernel.
+
+// SortedSig is a node-sorted view of a canonical Signature, the input
+// the merge-join kernels operate on. Build it once per signature (it is
+// immutable afterwards) and reuse it across every pairwise comparison.
+// The signature must be Validate-clean: nodes unique, canonical order.
+type SortedSig struct {
+	sig   Signature
+	nodes []graph.NodeID // signature nodes, ascending
+	pos   []int32        // pos[j] = canonical index of nodes[j] in sig
+	sum   float64        // fold of sig.Weights in canonical order (== WeightSum)
+	sumSq float64        // fold of w² in canonical order (cosine's norm)
+	normW []float64      // Normalized().Weights in canonical order
+}
+
+// NewSortedSig builds the node-sorted view of s.
+func NewSortedSig(s Signature) SortedSig {
+	n := len(s.Nodes)
+	if n == 0 {
+		return SortedSig{sig: s}
+	}
+	return makeSortedSig(s, make([]graph.NodeID, n), make([]int32, n), make([]float64, n))
+}
+
+// NewSortedSigs builds the views of all sigs at once, equivalent to
+// NewSortedSig per element but with the per-view slices carved from
+// three bulk allocations — the constructor batch layers use to view
+// whole signature sets.
+func NewSortedSigs(sigs []Signature) []SortedSig {
+	total := 0
+	for _, s := range sigs {
+		total += len(s.Nodes)
+	}
+	views := make([]SortedSig, len(sigs))
+	nodesAll := make([]graph.NodeID, total)
+	posAll := make([]int32, total)
+	normAll := make([]float64, total)
+	off := 0
+	for i, s := range sigs {
+		n := len(s.Nodes)
+		if n == 0 {
+			views[i] = SortedSig{sig: s}
+			continue
+		}
+		views[i] = makeSortedSig(s,
+			nodesAll[off:off+n:off+n], posAll[off:off+n:off+n], normAll[off:off+n:off+n])
+		off += n
+	}
+	return views
+}
+
+// insertionSortCutoff bounds the signature size the node sort handles
+// with a branch-light insertion sort; larger signatures (rare — k is
+// typically ≤ 40) fall back to sort.Slice. Both produce the one
+// ascending order of the unique nodes.
+const insertionSortCutoff = 48
+
+// makeSortedSig fills the view of s into the provided backing slices,
+// each of length len(s.Nodes).
+func makeSortedSig(s Signature, nodes []graph.NodeID, pos []int32, norm []float64) SortedSig {
+	v := SortedSig{sig: s, nodes: nodes, pos: pos}
+	n := len(s.Nodes)
+	for i := range pos {
+		pos[i] = int32(i)
+	}
+	if n <= insertionSortCutoff {
+		for i := 1; i < n; i++ {
+			p := pos[i]
+			key := s.Nodes[p]
+			j := i - 1
+			for j >= 0 && s.Nodes[pos[j]] > key {
+				pos[j+1] = pos[j]
+				j--
+			}
+			pos[j+1] = p
+		}
+	} else {
+		sort.Slice(pos, func(a, b int) bool {
+			return s.Nodes[pos[a]] < s.Nodes[pos[b]]
+		})
+	}
+	for j, p := range pos {
+		nodes[j] = s.Nodes[p]
+	}
+	for _, w := range s.Weights {
+		v.sum += w
+		v.sumSq += w * w
+	}
+	// Mirror Signature.Normalized exactly: massless signatures keep
+	// their raw weights.
+	if v.sum > 0 {
+		for i, w := range s.Weights {
+			norm[i] = w / v.sum
+		}
+		v.normW = norm
+	} else {
+		v.normW = s.Weights
+	}
+	return v
+}
+
+// Sig returns the underlying canonical signature.
+func (v SortedSig) Sig() Signature { return v.sig }
+
+// Len reports the number of entries.
+func (v SortedSig) Len() int { return len(v.nodes) }
+
+// IsEmpty reports whether the signature has no entries.
+func (v SortedSig) IsEmpty() bool { return len(v.nodes) == 0 }
+
+// SortedNodes returns the signature's nodes in ascending order. The
+// slice is owned by the view; callers must not mutate it.
+func (v SortedSig) SortedNodes() []graph.NodeID { return v.nodes }
+
+// WeightSum returns the precomputed total weight.
+func (v SortedSig) WeightSum() float64 { return v.sum }
+
+// fmin and fmax are math.Min/math.Max restricted to the non-negative
+// finite weights Validate-clean signatures carry (no NaN, no -0.0),
+// where the special-case handling collapses to one comparison.
+func fmin(x, y float64) float64 {
+	if x < y {
+		return x
+	}
+	return y
+}
+
+func fmax(x, y float64) float64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// kernelKind selects the per-distance merge kernel.
+type kernelKind int
+
+const (
+	kernJaccard kernelKind = iota
+	kernDice
+	kernSDice
+	kernSHel
+	kernCosine
+	kernWJaccard
+)
+
+// Match records one shared node: its canonical index in the two
+// signatures being compared (A-side and B-side).
+type Match struct {
+	A, B int32
+}
+
+// DistKernel computes distances between SortedSig views in O(k) per
+// pair — O(shared) for Jaccard/Dice/Cosine — bit-identical to the
+// corresponding Distance.Dist. It holds scratch state, so it is NOT
+// safe for concurrent use: create one kernel per goroutine
+// (construction is cheap).
+type DistKernel struct {
+	d    Distance
+	kind kernelKind
+	// Scratch: matches lists the shared canonical index pairs found by
+	// the merge; bsorted is the B side re-sorted ascending for the
+	// b-side fold.
+	matches []Match
+	bsorted []int32
+}
+
+// NewDistKernel returns a merge-join kernel for d, or false when d is
+// not one of the known kernelizable distances (a custom Distance
+// implementation): callers then fall back to the naive d.Dist.
+func NewDistKernel(d Distance) (*DistKernel, bool) {
+	k := &DistKernel{d: d}
+	switch d.(type) {
+	case Jaccard:
+		k.kind = kernJaccard
+	case Dice:
+		k.kind = kernDice
+	case ScaledDice:
+		k.kind = kernSDice
+	case ScaledHellinger:
+		k.kind = kernSHel
+	case Cosine:
+		k.kind = kernCosine
+	case WeightedJaccard:
+		k.kind = kernWJaccard
+	default:
+		return nil, false
+	}
+	return k, true
+}
+
+// Distance returns the wrapped distance.
+func (k *DistKernel) Distance() Distance { return k.d }
+
+// Dist computes the distance between a and b, bit-identical to
+// k.Distance().Dist(a.Sig(), b.Sig()).
+func (k *DistKernel) Dist(a, b *SortedSig) float64 {
+	if a.IsEmpty() && b.IsEmpty() {
+		return 0
+	}
+	k.merge(a, b)
+	k.sortMatchesByA()
+	return k.distMatched(a, b, k.matches)
+}
+
+// DistMatched computes the distance given the precomputed shared-node
+// match list: one Match per node the two signatures share, holding its
+// canonical index in a (A) and in b (B), with the A side ASCENDING
+// (i.e. matches listed in a's canonical order — what an inverted-index
+// walk of a's entries produces naturally). Batch layers that already
+// know the shared nodes use this entry point to skip the merge.
+// Bit-identical to Dist.
+func (k *DistKernel) DistMatched(a, b *SortedSig, matches []Match) float64 {
+	if a.IsEmpty() && b.IsEmpty() {
+		return 0
+	}
+	return k.distMatched(a, b, matches)
+}
+
+func (k *DistKernel) distMatched(a, b *SortedSig, matches []Match) float64 {
+	switch k.kind {
+	case kernJaccard:
+		return jaccardMatched(a, b, len(matches))
+	case kernDice:
+		return diceMatched(a, b, matches)
+	case kernSDice:
+		return k.scaledMatched(a, b, matches, false)
+	case kernSHel:
+		return k.scaledMatched(a, b, matches, true)
+	case kernCosine:
+		return cosineMatched(a, b, matches)
+	default:
+		return k.wjaccardMatched(a, b, matches)
+	}
+}
+
+// merge walks the two sorted node lists recording, for every shared
+// node, its canonical index on both sides.
+func (k *DistKernel) merge(a, b *SortedSig) {
+	k.matches = k.matches[:0]
+	i, j := 0, 0
+	for i < len(a.nodes) && j < len(b.nodes) {
+		switch {
+		case a.nodes[i] < b.nodes[j]:
+			i++
+		case a.nodes[i] > b.nodes[j]:
+			j++
+		default:
+			k.matches = append(k.matches, Match{A: a.pos[i], B: b.pos[j]})
+			i++
+			j++
+		}
+	}
+}
+
+// sortMatchesByA reorders the matches into ascending A — the merge
+// emits them in node order, the folds consume them in a's canonical
+// order. Shared counts are tiny; insertion sort.
+func (k *DistKernel) sortMatchesByA() {
+	ms := k.matches
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && ms[j].A > m.A {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
+	}
+}
+
+// sortBAscending copies the matches' B side into the bsorted scratch in
+// ascending order, for the b-side unshared fold. Shared counts are
+// tiny; insertion sort.
+func (k *DistKernel) sortBAscending(matches []Match) []int32 {
+	if cap(k.bsorted) < len(matches) {
+		k.bsorted = make([]int32, len(matches))
+	}
+	bs := k.bsorted[:len(matches)]
+	for i, m := range matches {
+		bj := m.B
+		j := i - 1
+		for j >= 0 && bs[j] > bj {
+			bs[j+1] = bs[j]
+			j--
+		}
+		bs[j+1] = bj
+	}
+	return bs
+}
+
+// jaccardMatched: the numerator is the shared-node count and the naive
+// division is replayed verbatim, so the whole distance is O(1) given
+// the match count.
+func jaccardMatched(a, b *SortedSig, inter int) float64 {
+	union := a.Len() + b.Len() - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// diceMatched: the naive numerator adds wa+wb for exactly the shared
+// entries in a's canonical order — the matched list verbatim — and the
+// denominator is the two precomputed canonical-order weight sums.
+func diceMatched(a, b *SortedSig, matches []Match) float64 {
+	aw, bwgt := a.sig.Weights, b.sig.Weights
+	num := 0.0
+	for _, m := range matches {
+		num += aw[m.A] + bwgt[m.B]
+	}
+	den := a.sum + b.sum
+	if den == 0 {
+		return 0
+	}
+	return clamp01(1 - num/den)
+}
+
+// scaledMinMax is the shared fold of ScaledDice/ScaledHellinger/
+// WeightedJaccard: numerator over the shared entries in a's canonical
+// order (the naive loops' unshared terms are exact +0.0s, see the file
+// comment), denominator interleaving max(wa,wb) and unshared-wa terms
+// in a's canonical order followed by b's unshared remainder in b's
+// canonical order. The match list's A side must be ascending; the b
+// remainder walks the B side re-sorted ascending, so no scatter arrays
+// are touched at all.
+func (k *DistKernel) scaledMinMax(aw, bwgt []float64, matches []Match, hellinger bool) (num, den float64) {
+	t := 0
+	for i, wa := range aw {
+		if t < len(matches) && matches[t].A == int32(i) {
+			wb := bwgt[matches[t].B]
+			if hellinger {
+				num += math.Sqrt(wa * wb)
+			} else {
+				num += fmin(wa, wb)
+			}
+			den += fmax(wa, wb)
+			t++
+		} else {
+			den += wa // == math.Max(wa, 0) for the positive weights
+		}
+	}
+	bs := k.sortBAscending(matches)
+	t = 0
+	for j, wb := range bwgt {
+		if t < len(bs) && bs[t] == int32(j) {
+			t++
+			continue
+		}
+		den += wb
+	}
+	return num, den
+}
+
+// scaledMatched computes SDice (hellinger=false) and SHel
+// (hellinger=true), which share the max-denominator structure.
+func (k *DistKernel) scaledMatched(a, b *SortedSig, matches []Match, hellinger bool) float64 {
+	num, den := k.scaledMinMax(a.sig.Weights, b.sig.Weights, matches, hellinger)
+	if den == 0 {
+		return 0
+	}
+	return clamp01(1 - num/den)
+}
+
+// cosineMatched: the naive dot accumulates shared entries in a's
+// canonical order (unshared terms are skipped by its wb > 0 branch) and
+// both norms are the precomputed canonical-order folds.
+func cosineMatched(a, b *SortedSig, matches []Match) float64 {
+	aw, bwgt := a.sig.Weights, b.sig.Weights
+	dot := 0.0
+	for _, m := range matches {
+		dot += aw[m.A] * bwgt[m.B]
+	}
+	if a.sumSq == 0 || b.sumSq == 0 {
+		return 1
+	}
+	return clamp01(1 - dot/(math.Sqrt(a.sumSq)*math.Sqrt(b.sumSq)))
+}
+
+// wjaccardMatched is scaledMatched's min/max structure over the
+// normalized weights.
+func (k *DistKernel) wjaccardMatched(a, b *SortedSig, matches []Match) float64 {
+	num, den := k.scaledMinMax(a.normW, b.normW, matches, false)
+	if den == 0 {
+		return 0
+	}
+	return clamp01(1 - num/den)
+}

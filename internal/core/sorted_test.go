@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// randSig builds a Validate-clean random signature of up to maxLen
+// entries drawn from [base, base+span) with positive weights; tied
+// weights are common (weights quantized) to exercise canonical-order
+// tie-breaking.
+func randSig(rng *rand.Rand, maxLen int, base, span int) Signature {
+	n := rng.Intn(maxLen + 1)
+	weights := map[graph.NodeID]float64{}
+	for len(weights) < n {
+		u := graph.NodeID(base + rng.Intn(span))
+		// Quantized weights force frequent exact ties.
+		weights[u] = float64(1+rng.Intn(8)) / 4
+	}
+	return FromWeights(weights, n)
+}
+
+// kernelPairCases yields the edge cases the merge-join kernels must
+// reproduce bit-for-bit: empties, identical, disjoint, subset/overlap.
+func kernelPairCases(rng *rand.Rand) [][2]Signature {
+	shared := randSig(rng, 8, 0, 20)
+	left := randSig(rng, 8, 0, 30)
+	right := randSig(rng, 8, 10, 30)
+	disjointA := randSig(rng, 8, 0, 50)
+	disjointB := randSig(rng, 8, 100, 50)
+	single := FromWeights(map[graph.NodeID]float64{7: 1.5}, 1)
+	return [][2]Signature{
+		{{}, {}},
+		{{}, shared},
+		{shared, {}},
+		{shared, shared},
+		{left, right},
+		{right, left},
+		{disjointA, disjointB},
+		{single, shared},
+		{left, left},
+	}
+}
+
+func TestDistKernelBitIdenticalToNaive(t *testing.T) {
+	for _, d := range ExtendedDistances() {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			kern, ok := NewDistKernel(d)
+			if !ok {
+				t.Fatalf("no kernel for %s", d.Name())
+			}
+			rng := rand.New(rand.NewSource(1234))
+			check := func(a, b Signature) {
+				t.Helper()
+				want := d.Dist(a, b)
+				va, vb := NewSortedSig(a), NewSortedSig(b)
+				got := kern.Dist(&va, &vb)
+				if math.IsNaN(want) || math.IsNaN(got) {
+					t.Fatalf("NaN distance: naive=%v kernel=%v for %s vs %s", want, got, a, b)
+				}
+				if got != want {
+					t.Fatalf("kernel %s: got %v (%b) want %v (%b) for %s vs %s",
+						d.Name(), got, math.Float64bits(got), want, math.Float64bits(want), a, b)
+				}
+			}
+			for round := 0; round < 50; round++ {
+				for _, pair := range kernelPairCases(rng) {
+					check(pair[0], pair[1])
+				}
+				// Fully random pairs over a narrow universe: heavy overlap.
+				check(randSig(rng, 10, 0, 15), randSig(rng, 10, 0, 15))
+				// Wide universe: mostly disjoint.
+				check(randSig(rng, 10, 0, 1000), randSig(rng, 10, 0, 1000))
+			}
+		})
+	}
+}
+
+// TestDistKernelScratchReuse re-runs one kernel across many pairs of
+// varying size interleaved, catching stale scratch state.
+func TestDistKernelScratchReuse(t *testing.T) {
+	for _, d := range ExtendedDistances() {
+		kern, ok := NewDistKernel(d)
+		if !ok {
+			t.Fatalf("no kernel for %s", d.Name())
+		}
+		rng := rand.New(rand.NewSource(99))
+		sigs := make([]Signature, 30)
+		views := make([]SortedSig, len(sigs))
+		for i := range sigs {
+			sigs[i] = randSig(rng, 1+rng.Intn(12), 0, 40)
+			views[i] = NewSortedSig(sigs[i])
+		}
+		for i := range sigs {
+			for j := range sigs {
+				want := d.Dist(sigs[i], sigs[j])
+				if got := kern.Dist(&views[i], &views[j]); got != want {
+					t.Fatalf("%s: scratch reuse mismatch at (%d,%d): got %v want %v", d.Name(), i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistKernelUnknownDistance(t *testing.T) {
+	if _, ok := NewDistKernel(fakeDistance{}); ok {
+		t.Fatal("kernel granted for unknown distance")
+	}
+}
+
+type fakeDistance struct{}
+
+func (fakeDistance) Name() string                { return "fake" }
+func (fakeDistance) Dist(a, b Signature) float64 { return 0.5 }
+
+func TestSortedSigInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 100; round++ {
+		s := randSig(rng, 12, 0, 60)
+		v := NewSortedSig(s)
+		if v.Len() != s.Len() {
+			t.Fatalf("length mismatch: %d vs %d", v.Len(), s.Len())
+		}
+		nodes := v.SortedNodes()
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1] >= nodes[i] {
+				t.Fatalf("nodes not strictly ascending: %v", nodes)
+			}
+		}
+		if got, want := v.WeightSum(), s.WeightSum(); got != want {
+			t.Fatalf("weight sum mismatch: %v vs %v", got, want)
+		}
+		if !v.Sig().Equal(s) {
+			t.Fatalf("Sig() does not round-trip")
+		}
+	}
+}

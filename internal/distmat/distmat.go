@@ -1,0 +1,548 @@
+// Package distmat is the parallel sparse pairwise-distance engine: the
+// layer every all-pairs signature job in this module rides (§IV property
+// metrics, §V applications, the sigserverd search path).
+//
+// It combines three ideas:
+//
+//  1. Merge-join kernels (core.DistKernel): each signature gets a
+//     node-sorted view built once (core.SortedSig), so a single distance
+//     costs O(k) instead of the naive O(k²) membership probing.
+//  2. An inverted index (node → posting list of signature indices) over
+//     a SignatureSet: all-pairs jobs enumerate only pairs that share at
+//     least one node and resolve the (dominant) disjoint remainder in
+//     closed form — for every Validate-clean signature pair sharing no
+//     node the distance is exactly 1.0 (0.0 when both are empty), see
+//     internal/core/sorted.go. Dense O(n²·k²) work becomes
+//     overlap-proportional work. Posting entries carry the node's
+//     canonical index inside the column signature, so the enumeration
+//     itself assembles each candidate's shared-node match list and the
+//     kernels skip their merge step entirely (core.DistKernel.DistMatched).
+//  3. Sharded parallel execution: rows are chunked deterministically
+//     across workers (mirroring core.Parallel's contract) and delivered
+//     to the consumer sequentially in row order, so parallel output —
+//     including order-sensitive Welford reductions downstream — is
+//     bit-identical to a single-threaded run.
+//
+// Determinism contract: every cell (i,j) is computed by exactly one
+// worker from immutable inputs, and consumers observe rows in ascending
+// order; results never depend on GOMAXPROCS or scheduling.
+package distmat
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphsig/internal/core"
+	"graphsig/internal/graph"
+)
+
+// Kernelizable reports whether d has a merge-join kernel, i.e. whether
+// the engine can serve it. Callers fall back to naive loops otherwise.
+func Kernelizable(d core.Distance) bool {
+	_, ok := core.NewDistKernel(d)
+	return ok
+}
+
+// posting is one inverted-index entry: signature j contains the node,
+// at canonical index idx within that signature.
+type posting struct {
+	j   int32
+	idx int32
+}
+
+// SetView is the engine-side view of a SignatureSet: node-sorted views
+// of every signature, the inverted index, and the precomputed disjoint
+// baseline rows. Build it once per set (O(n·k·log k)) and reuse it; it
+// is immutable afterwards and safe for concurrent use.
+//
+// The inverted index has two representations. When the node-ID space is
+// dense (max ID comparable to the number of posting entries — the
+// common case for the trace datasets, whose hosts are numbered
+// contiguously) it is a CSR layout: postings for node u live at
+// bulk[offs[u]:offs[u+1]]. That build hashes nothing and the arrays are
+// pointer-free, so lookups are one bounds check plus two loads and the
+// garbage collector never scans the index. Sparse or negative ID spaces
+// fall back to a map keyed by node.
+type SetView struct {
+	set   *core.SignatureSet
+	views []core.SortedSig
+	offs  []int32                    // CSR offsets (dense index); nil when the map is in use
+	bulk  []posting                  // all postings, grouped by node (CSR) in ascending j
+	post  map[graph.NodeID][]posting // node → postings in ascending j (fallback)
+	// Disjoint baseline rows, by row-side emptiness: a non-empty row is
+	// at distance 1 from every column it shares no node with (even empty
+	// ones), while an empty row is at 0 from empty columns and 1 from
+	// the rest.
+	ones     []float64 // all 1 — baseline for non-empty rows
+	emptyRow []float64 // 0 at empty columns, 1 elsewhere — row for empty rows
+	emptyIdx []int32   // indices of empty signatures
+}
+
+// denseSlack bounds how much larger than the posting count the node-ID
+// range may be before the CSR offsets array is considered wasteful and
+// the map representation is used instead.
+const denseSlack = 8
+
+// NewSetView builds the engine view of set.
+func NewSetView(set *core.SignatureSet) *SetView {
+	n := set.Len()
+	v := &SetView{
+		set:      set,
+		views:    core.NewSortedSigs(set.Sigs),
+		ones:     make([]float64, n),
+		emptyRow: make([]float64, n),
+	}
+	total := 0
+	maxNode := graph.NodeID(-1)
+	dense := true
+	for i := 0; i < n; i++ {
+		v.ones[i] = 1
+		if v.views[i].IsEmpty() {
+			v.emptyIdx = append(v.emptyIdx, int32(i))
+			continue // emptyRow stays 0: empty-vs-empty pairs are at distance 0
+		}
+		v.emptyRow[i] = 1
+		for _, u := range set.Sigs[i].Nodes {
+			if u < 0 {
+				dense = false
+			} else if u > maxNode {
+				maxNode = u
+			}
+			total++
+		}
+	}
+	if dense && int64(maxNode)+1 <= denseSlack*int64(total)+64 {
+		v.buildDense(int(maxNode)+1, total)
+	} else {
+		v.buildMap(total)
+	}
+	return v
+}
+
+// buildDense fills the CSR index: count per node, prefix-sum into
+// offsets, then scatter the postings — no hashing, no per-node slices.
+func (v *SetView) buildDense(nodes, total int) {
+	offs := make([]int32, nodes+1)
+	sigs := v.set.Sigs
+	for i := range v.views {
+		if v.views[i].IsEmpty() {
+			continue
+		}
+		for _, u := range sigs[i].Nodes {
+			offs[u+1]++
+		}
+	}
+	for u := 0; u < nodes; u++ {
+		offs[u+1] += offs[u]
+	}
+	bulk := make([]posting, total)
+	next := make([]int32, nodes)
+	for i := range v.views {
+		if v.views[i].IsEmpty() {
+			continue
+		}
+		for bi, u := range sigs[i].Nodes {
+			slot := offs[u] + next[u]
+			next[u]++
+			bulk[slot] = posting{j: int32(i), idx: int32(bi)}
+		}
+	}
+	v.offs, v.bulk = offs, bulk
+}
+
+// buildMap fills the map index in two passes: count, then fill
+// exact-capacity lists carved from one bulk allocation.
+func (v *SetView) buildMap(total int) {
+	counts := make(map[graph.NodeID]int32)
+	sigs := v.set.Sigs
+	for i := range v.views {
+		if v.views[i].IsEmpty() {
+			continue
+		}
+		for _, u := range sigs[i].Nodes {
+			counts[u]++
+		}
+	}
+	v.post = make(map[graph.NodeID][]posting, len(counts))
+	bulk := make([]posting, total)
+	off := 0
+	for i := range v.views {
+		if v.views[i].IsEmpty() {
+			continue
+		}
+		for bi, u := range sigs[i].Nodes {
+			list, ok := v.post[u]
+			if !ok {
+				c := int(counts[u])
+				list = bulk[off : off : off+c]
+				off += c
+			}
+			v.post[u] = append(list, posting{j: int32(i), idx: int32(bi)})
+		}
+	}
+}
+
+// postings returns the inverted-index entries for node u, in ascending
+// signature index.
+func (v *SetView) postings(u graph.NodeID) []posting {
+	if v.offs != nil {
+		if u >= 0 && int(u) < len(v.offs)-1 {
+			return v.bulk[v.offs[u]:v.offs[u+1]]
+		}
+		return nil
+	}
+	return v.post[u]
+}
+
+// Set returns the underlying signature set.
+func (v *SetView) Set() *core.SignatureSet { return v.set }
+
+// Len reports the number of signatures.
+func (v *SetView) Len() int { return len(v.views) }
+
+// View returns the node-sorted view of signature i.
+func (v *SetView) View(i int) core.SortedSig { return v.views[i] }
+
+// Engine computes distance rows/pairs between a row set and a column
+// set (pass the same set twice for within-window jobs). The engine
+// itself is cheap; the SetViews carry the precomputed state.
+type Engine struct {
+	rows, cols *SetView
+	d          core.Distance
+	workers    int
+	seq        *rower // lazily built, serves the sequential Dist method
+}
+
+// NewEngine builds an engine over the two signature sets with the given
+// worker count (0 = GOMAXPROCS). It returns false when d has no
+// merge-join kernel; callers then keep their naive loops.
+func NewEngine(rowSet, colSet *core.SignatureSet, d core.Distance, workers int) (*Engine, bool) {
+	if !Kernelizable(d) {
+		return nil, false
+	}
+	rv := NewSetView(rowSet)
+	cv := rv
+	if colSet != rowSet {
+		cv = NewSetView(colSet)
+	}
+	return &Engine{rows: rv, cols: cv, d: d, workers: workers}, true
+}
+
+// NewEngineOn is NewEngine over prebuilt views (for callers that cache
+// SetViews, like the store).
+func NewEngineOn(rows, cols *SetView, d core.Distance, workers int) (*Engine, bool) {
+	if !Kernelizable(d) {
+		return nil, false
+	}
+	return &Engine{rows: rows, cols: cols, d: d, workers: workers}, true
+}
+
+// matcher is the shared inverted-index enumeration state: an
+// epoch-stamped candidate dedup array (a signature pair sharing several
+// nodes appears on several posting lists but must be computed once)
+// plus per-candidate shared-node match lists, assembled in the row's
+// canonical entry order — exactly the input DistMatched wants.
+type matcher struct {
+	mark    []uint32
+	epoch   uint32
+	cands   []int32
+	matches [][]core.Match
+}
+
+// grow makes the matcher serve a column set of n signatures.
+func (m *matcher) grow(n int) {
+	if len(m.mark) < n {
+		m.mark = make([]uint32, n)
+		m.epoch = 0
+		m.matches = make([][]core.Match, n)
+	}
+}
+
+// gather enumerates the posting lists for ra's entries (in canonical
+// order) against cols' inverted index, collecting each candidate
+// j ≥ minJ once in m.cands with its match list in m.matches[j].
+func (m *matcher) gather(ra *core.SortedSig, cols *SetView, minJ int32) {
+	m.cands = m.cands[:0]
+	m.epoch++
+	sig := ra.Sig()
+	for ai, u := range sig.Nodes {
+		for _, p := range cols.postings(u) {
+			if p.j < minJ {
+				continue
+			}
+			if m.mark[p.j] != m.epoch {
+				m.mark[p.j] = m.epoch
+				m.matches[p.j] = m.matches[p.j][:0]
+				m.cands = append(m.cands, p.j)
+			}
+			m.matches[p.j] = append(m.matches[p.j], core.Match{A: int32(ai), B: p.idx})
+		}
+	}
+}
+
+// rower is per-worker state: a kernel plus a matcher.
+type rower struct {
+	e    *Engine
+	kern *core.DistKernel
+	m    matcher
+}
+
+func (e *Engine) newRower() *rower {
+	kern, _ := core.NewDistKernel(e.d)
+	r := &rower{e: e, kern: kern}
+	r.m.grow(e.cols.Len())
+	return r
+}
+
+// rowInto fills dst[j] = Dist(row i, col j) for every column: the
+// disjoint baseline first, then the exact kernel distance for every
+// posting-list candidate sharing at least one node with row i.
+func (r *rower) rowInto(i int, dst []float64) {
+	e := r.e
+	ra := &e.rows.views[i]
+	if ra.IsEmpty() {
+		copy(dst, e.cols.emptyRow)
+		return
+	}
+	copy(dst, e.cols.ones)
+	r.m.gather(ra, e.cols, 0)
+	for _, j := range r.m.cands {
+		dst[j] = r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
+	}
+}
+
+// Dist computes the single distance between row i and column j,
+// bit-identical to d.Dist on the underlying signatures. Not safe for
+// concurrent use (it shares one kernel's scratch).
+func (e *Engine) Dist(i, j int) float64 {
+	if e.seq == nil {
+		e.seq = e.newRower()
+	}
+	return e.seq.kern.Dist(&e.rows.views[i], &e.cols.views[j])
+}
+
+// blockRows bounds how many rows one worker computes per wave; it also
+// bounds buffered memory to workers·blockRows·n floats.
+const blockRows = 16
+
+// Rows computes the distance rows for the given row indices and streams
+// them to consume(t, row) where t is the position within idx — strictly
+// in ascending t, from a single goroutine. Row buffers are reused:
+// consumers that retain a row must copy it. Computation is sharded
+// across the engine's workers in deterministic contiguous blocks, so the
+// values and delivery order are identical to a sequential run.
+func (e *Engine) Rows(idx []int, consume func(t int, row []float64)) {
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(idx) + blockRows - 1) / blockRows; workers > max {
+		workers = max
+	}
+	n := e.cols.Len()
+	if workers <= 1 {
+		r := e.newRower()
+		row := make([]float64, n)
+		for t, i := range idx {
+			r.rowInto(i, row)
+			consume(t, row)
+		}
+		return
+	}
+	rowers := make([]*rower, workers)
+	stride := workers * blockRows
+	bufs := make([][]float64, stride)
+	for i := range bufs {
+		bufs[i] = make([]float64, n)
+	}
+	for base := 0; base < len(idx); base += stride {
+		end := base + stride
+		if end > len(idx) {
+			end = len(idx)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := base + w*blockRows
+			if lo >= end {
+				break
+			}
+			hi := lo + blockRows
+			if hi > end {
+				hi = end
+			}
+			if rowers[w] == nil {
+				rowers[w] = e.newRower()
+			}
+			wg.Add(1)
+			go func(r *rower, lo, hi int) {
+				defer wg.Done()
+				for t := lo; t < hi; t++ {
+					r.rowInto(idx[t], bufs[t-base])
+				}
+			}(rowers[w], lo, hi)
+		}
+		wg.Wait()
+		for t := base; t < end; t++ {
+			consume(t, bufs[t-base])
+		}
+	}
+}
+
+// Pair is one unordered signature pair with its distance.
+type Pair struct {
+	I, J int // row indices, I < J
+	Dist float64
+}
+
+// PairsWithin enumerates every unordered pair (I < J) of non-empty
+// signatures with Dist ≤ maxDist, for a same-set engine. With
+// maxDist < 1 only pairs sharing at least one node can qualify (disjoint
+// pairs sit at exactly 1), so the inverted index enumerates candidates
+// directly; with maxDist ≥ 1 every non-empty pair qualifies and the
+// dense row path is used. The result is sorted by (I, J), independent of
+// the worker count.
+func (e *Engine) PairsWithin(maxDist float64) []Pair {
+	n := e.rows.Len()
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	outs := make([][]Pair, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r := e.newRower()
+			var out []Pair
+			if maxDist < 1 {
+				for i := lo; i < hi; i++ {
+					ra := &e.rows.views[i]
+					if ra.IsEmpty() {
+						continue
+					}
+					r.m.gather(ra, e.cols, int32(i)+1)
+					for _, j := range r.m.cands {
+						dist := r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
+						if dist <= maxDist {
+							out = append(out, Pair{I: i, J: int(j), Dist: dist})
+						}
+					}
+				}
+			} else {
+				row := make([]float64, n)
+				for i := lo; i < hi; i++ {
+					if e.rows.views[i].IsEmpty() {
+						continue
+					}
+					r.rowInto(i, row)
+					for j := i + 1; j < n; j++ {
+						if e.cols.views[j].IsEmpty() {
+							continue
+						}
+						if row[j] <= maxDist {
+							out = append(out, Pair{I: i, J: j, Dist: row[j]})
+						}
+					}
+				}
+			}
+			outs[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var all []Pair
+	for _, out := range outs {
+		all = append(all, out...)
+	}
+	sort.Slice(all, func(x, y int) bool {
+		if all[x].I != all[y].I {
+			return all[x].I < all[y].I
+		}
+		return all[x].J < all[y].J
+	})
+	return all
+}
+
+// Querier answers single-signature nearest-neighbour queries against
+// SetViews — the store's search primitive. It holds kernel and matcher
+// scratch, so it is not safe for concurrent use; construction is cheap.
+type Querier struct {
+	kern *core.DistKernel
+	m    matcher
+	row  []float64
+}
+
+// NewQuerier returns a querier for d, or false when d has no kernel.
+func NewQuerier(d core.Distance) (*Querier, bool) {
+	kern, ok := core.NewDistKernel(d)
+	if !ok {
+		return nil, false
+	}
+	return &Querier{kern: kern}, true
+}
+
+// Neighbors visits every signature of view at distance ≤ maxDist from
+// sig, with distances bit-identical to the naive d.Dist scan. With
+// maxDist < 1 only inverted-index candidates are probed (plus the empty
+// columns when sig itself is empty — those pairs are at distance 0) and
+// the visit order is unspecified; with maxDist ≥ 1 every column is
+// visited in ascending order. The callback must not re-enter the
+// querier.
+func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) {
+	n := view.Len()
+	q.m.grow(n)
+	qview := core.NewSortedSig(sig)
+	qv := &qview
+	if maxDist < 1 {
+		if qv.IsEmpty() {
+			if 0 <= maxDist {
+				for _, j := range view.emptyIdx {
+					visit(int(j), 0)
+				}
+			}
+			return
+		}
+		q.m.gather(qv, view, 0)
+		for _, j := range q.m.cands {
+			dist := q.kern.DistMatched(qv, &view.views[j], q.m.matches[j])
+			if dist <= maxDist {
+				visit(int(j), dist)
+			}
+		}
+		return
+	}
+	if cap(q.row) < n {
+		q.row = make([]float64, n)
+	}
+	row := q.row[:n]
+	if qv.IsEmpty() {
+		copy(row, view.emptyRow)
+	} else {
+		copy(row, view.ones)
+		q.m.gather(qv, view, 0)
+		for _, j := range q.m.cands {
+			row[j] = q.kern.DistMatched(qv, &view.views[j], q.m.matches[j])
+		}
+	}
+	for j, dist := range row {
+		if dist <= maxDist {
+			visit(j, dist)
+		}
+	}
+}

@@ -4,15 +4,33 @@ import (
 	"fmt"
 
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 	"graphsig/internal/stats"
 )
+
+// The pairwise metrics below ride the sparse engine (internal/distmat)
+// whenever the distance has a merge-join kernel — every distance in
+// core.ExtendedDistances does — and keep the naive loops as the fallback
+// for custom Distance implementations. Engine results are bit-identical
+// to the naive loops (property tests in distmat enforce it), so the
+// rewiring changes no reported number.
 
 // Persistence computes 1 − Dist(σ_t(v), σ_{t+1}(v)) for every source
 // present in both sets (§II-C). Sources missing from either set are
 // skipped: a label absent from a window has no signature to compare.
 func Persistence(d core.Distance, at, next *core.SignatureSet) map[graph.NodeID]float64 {
 	out := make(map[graph.NodeID]float64)
+	if eng, ok := distmat.NewEngine(at, next, d, 0); ok {
+		for i, v := range at.Sources {
+			j, present := next.IndexOf(v)
+			if !present {
+				continue
+			}
+			out[v] = 1 - eng.Dist(i, j)
+		}
+		return out
+	}
 	for i, v := range at.Sources {
 		sig2, ok := next.Get(v)
 		if !ok {
@@ -37,14 +55,34 @@ func PersistenceSummary(d core.Distance, at, next *core.SignatureSet) stats.Summ
 // v ≠ u of sources within one window as the paper's (μ_u, s_u) ellipse
 // axis. For large source sets the pair count is quadratic; maxPairs > 0
 // caps the work by deterministic uniform pair sampling (0 = exact).
+//
+// The exact path streams engine rows in ascending (i, j) order into the
+// Welford accumulator — the same order as the naive double loop — so the
+// summary is bit-identical to it while the distance work is
+// overlap-proportional and sharded across cores.
 func UniquenessSummary(d core.Distance, set *core.SignatureSet, maxPairs int, seed int64) stats.Summary {
 	n := set.Len()
 	var acc stats.Accumulator
 	if n < 2 {
 		return acc.Summarize()
 	}
+	eng, fast := distmat.NewEngine(set, set, d, 0)
 	total := n * (n - 1)
 	if maxPairs <= 0 || total <= maxPairs {
+		if fast {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			eng.Rows(idx, func(i int, row []float64) {
+				for j, x := range row {
+					if j != i {
+						acc.Add(x)
+					}
+				}
+			})
+			return acc.Summarize()
+		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				if i == j {
@@ -62,7 +100,11 @@ func UniquenessSummary(d core.Distance, set *core.SignatureSet, maxPairs int, se
 		if j >= i {
 			j++
 		}
-		acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+		if fast {
+			acc.Add(eng.Dist(i, j))
+		} else {
+			acc.Add(d.Dist(set.Sigs[i], set.Sigs[j]))
+		}
 	}
 	return acc.Summarize()
 }
@@ -71,6 +113,16 @@ func UniquenessSummary(d core.Distance, set *core.SignatureSet, maxPairs int, se
 // signature set computed from a perturbed graph (§II-C, §IV-C).
 func Robustness(d core.Distance, clean, perturbed *core.SignatureSet) map[graph.NodeID]float64 {
 	out := make(map[graph.NodeID]float64)
+	if eng, ok := distmat.NewEngine(clean, perturbed, d, 0); ok {
+		for i, v := range clean.Sources {
+			j, present := perturbed.IndexOf(v)
+			if !present {
+				continue
+			}
+			out[v] = 1 - eng.Dist(i, j)
+		}
+		return out
+	}
 	for i, v := range clean.Sources {
 		sig2, ok := perturbed.Get(v)
 		if !ok {
@@ -122,13 +174,35 @@ func EllipseFor(d core.Distance, at, next *core.SignatureSet, maxPairs int, seed
 // SelfRetrievalQueries builds the §IV-C ROC queries: for each source v
 // present in both sets, candidates are the sources of next scored by
 // Dist(σ_t(v), σ_{t+1}(u)); v itself is the positive. Sources absent
-// from either window are skipped.
+// from either window are skipped. Score rows ride the pairwise engine.
 func SelfRetrievalQueries(d core.Distance, at, next *core.SignatureSet) []Query {
-	var queries []Query
+	var rows []int
 	for i, v := range at.Sources {
-		if _, ok := next.Get(v); !ok {
-			continue
+		if _, ok := next.Get(v); ok {
+			rows = append(rows, i)
 		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if eng, ok := distmat.NewEngine(at, next, d, 0); ok {
+		queries := make([]Query, len(rows))
+		eng.Rows(rows, func(t int, row []float64) {
+			v := at.Sources[rows[t]]
+			q := Query{
+				Scores:   append([]float64(nil), row...),
+				Positive: make([]bool, next.Len()),
+			}
+			for j, u := range next.Sources {
+				q.Positive[j] = u == v
+			}
+			queries[t] = q
+		})
+		return queries
+	}
+	queries := make([]Query, 0, len(rows))
+	for _, i := range rows {
+		v := at.Sources[i]
 		q := Query{
 			Scores:   make([]float64, next.Len()),
 			Positive: make([]bool, next.Len()),
@@ -165,13 +239,47 @@ func SetRetrievalQueries(d core.Distance, set *core.SignatureSet, groups [][]gra
 			member[v] = gi
 		}
 	}
-	var queries []Query
+	var rows []int
 	for i, v := range set.Sources {
-		gi, ok := member[v]
-		if !ok {
-			continue
+		if _, ok := member[v]; ok {
+			rows = append(rows, i)
 		}
-		// The group needs at least one other member with a signature.
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var queries []Query
+	if eng, ok := distmat.NewEngine(set, set, d, 0); ok {
+		eng.Rows(rows, func(t int, row []float64) {
+			i := rows[t]
+			v := set.Sources[i]
+			gi := member[v]
+			positives := 0
+			q := Query{
+				Scores:   make([]float64, 0, set.Len()-1),
+				Positive: make([]bool, 0, set.Len()-1),
+			}
+			for j, u := range set.Sources {
+				if u == v {
+					continue
+				}
+				q.Scores = append(q.Scores, row[j])
+				pos := false
+				if gj, ok := member[u]; ok && gj == gi {
+					pos = true
+					positives++
+				}
+				q.Positive = append(q.Positive, pos)
+			}
+			if positives > 0 {
+				queries = append(queries, q)
+			}
+		})
+		return queries
+	}
+	for _, i := range rows {
+		v := set.Sources[i]
+		gi := member[v]
 		positives := 0
 		q := Query{
 			Scores:   make([]float64, 0, set.Len()-1),

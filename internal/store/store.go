@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"graphsig/internal/core"
+	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 	"graphsig/internal/lsh"
 )
@@ -51,10 +52,13 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// entry is one retained window with its optional LSH index.
+// entry is one retained window with its optional LSH index and its
+// pairwise-engine view (sorted signatures + inverted node index), built
+// once at Add time so every Search rides the merge-join kernels.
 type entry struct {
-	set *core.SignatureSet
-	idx *lsh.Index
+	set  *core.SignatureSet
+	idx  *lsh.Index
+	view *distmat.SetView
 }
 
 // Store is the bounded, goroutine-safe archive of recent signature
@@ -100,7 +104,7 @@ func (s *Store) Add(set *core.SignatureSet) error {
 	if n := len(s.ring); n > 0 && set.Window <= s.ring[n-1].set.Window {
 		return fmt.Errorf("store: window %d not after latest window %d", set.Window, s.ring[n-1].set.Window)
 	}
-	e := entry{set: set}
+	e := entry{set: set, view: distmat.NewSetView(set)}
 	if s.cfg.LSHBands > 0 {
 		idx, err := s.buildIndex(set)
 		if err != nil {
@@ -258,7 +262,14 @@ type SearchOptions struct {
 // with LSH banding and d is the Jaccard distance, candidate generation
 // goes through the MinHash buckets — candidates missing every bucket
 // are skipped, trading a small recall loss for sub-linear scans — and
-// every candidate is exact-verified with d before ranking.
+// every candidate is exact-verified with d before ranking. Exact scans
+// ride the pairwise engine: merge-join kernels per candidate, and with
+// MaxDist < 1 only signatures sharing at least one node with the query
+// are probed at all (disjoint pairs sit at distance exactly 1).
+//
+// The store lock is held only long enough to snapshot the window ring;
+// all distance work runs outside the critical section, so long scans
+// never block ingest.
 func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) ([]Hit, error) {
 	if d == nil {
 		return nil, fmt.Errorf("store: search needs a distance")
@@ -272,10 +283,14 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 	if opts.MaxDist <= 0 {
 		opts.MaxDist = 1
 	}
+	// Snapshot the ring under the read lock. Entries hold pointers to
+	// immutable sets/indexes/views, so the copied slice stays valid
+	// after release; eviction only drops references.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	ring := make([]entry, len(s.ring))
+	copy(ring, s.ring)
+	s.mu.RUnlock()
 
-	ring := s.ring
 	if opts.LastWindows > 0 && opts.LastWindows < len(ring) {
 		ring = ring[len(ring)-opts.LastWindows:]
 	}
@@ -285,6 +300,7 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 			exclude = v
 		}
 	}
+	querier, fast := distmat.NewQuerier(d)
 
 	var hits []Hit
 	for _, e := range ring {
@@ -304,6 +320,17 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 					hits = append(hits, Hit{Node: c.Node, Label: s.universe.Label(c.Node), Window: e.set.Window, Dist: dist})
 				}
 			}
+			continue
+		}
+		if fast && e.view != nil {
+			set := e.set
+			querier.Neighbors(e.view, sig, opts.MaxDist, func(i int, dist float64) {
+				v := set.Sources[i]
+				if v == exclude || set.Sigs[i].IsEmpty() {
+					return
+				}
+				hits = append(hits, Hit{Node: v, Label: s.universe.Label(v), Window: set.Window, Dist: dist})
+			})
 			continue
 		}
 		for i, v := range e.set.Sources {

@@ -15,3 +15,9 @@ else
 	echo "check.sh: staticcheck not installed; skipping"
 fi
 go test -race ./...
+# Pairwise-engine smoke: one iteration of the engine-vs-naive benchmarks
+# under the race detector (each sub-benchmark asserts nothing by itself,
+# but the engine paths they drive are covered by bit-identity property
+# tests; this catches races in the sharded row execution).
+go test -race -run '^$' -benchtime=1x \
+	-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
