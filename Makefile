@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke tidy crash-test
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -36,6 +36,13 @@ bench:
 bench-smoke:
 	$(GO) test -race -run=^$$ -benchtime=1x \
 		-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
+
+# Observability smoke: boot sigserverd in replay mode end to end. The
+# replay scrapes /metrics?format=prom, validates the exposition with
+# the obs line-format checker (requiring the serving histograms), and
+# fetches a trace from /v1/traces — all through the real HTTP stack.
+obs-smoke:
+	$(GO) test -race -run 'TestReplayRunExits' ./cmd/sigserverd/
 
 tidy:
 	gofmt -l -w .

@@ -34,10 +34,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -45,6 +48,7 @@ import (
 	"graphsig/internal/core"
 	"graphsig/internal/datagen"
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 	"graphsig/internal/sketch"
 	"graphsig/internal/stream"
@@ -71,6 +75,8 @@ type options struct {
 	sketchWidth  int
 	sketchDepth  int
 	sketchCand   int
+	debugAddr    string
+	slowOp       time.Duration
 
 	replay        bool
 	replaySeed    int64
@@ -102,6 +108,8 @@ func main() {
 	fs.IntVar(&o.sketchWidth, "sketch-width", 4096, "Count-Min width per source")
 	fs.IntVar(&o.sketchDepth, "sketch-depth", 5, "Count-Min depth per source")
 	fs.IntVar(&o.sketchCand, "sketch-candidates", 256, "tracked heavy neighbours per source")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+	fs.DurationVar(&o.slowOp, "slow-op", 500*time.Millisecond, "traced spans over this duration log a slow-operation warning (0 = disabled)")
 	fs.BoolVar(&o.replay, "replay", false, "self-benchmark: replay a synthetic workload over HTTP, then exit")
 	fs.Int64Var(&o.replaySeed, "replay-seed", 1, "replay workload seed")
 	fs.IntVar(&o.replayHosts, "replay-hosts", 300, "replay local hosts")
@@ -151,6 +159,7 @@ func serverConfig(o options) (server.Config, error) {
 		SnapshotDir:   o.snapshot,
 		DisableWAL:    o.noWAL,
 		MaxInFlight:   o.maxInFlight,
+		SlowOp:        o.slowOp,
 	}, nil
 }
 
@@ -158,13 +167,16 @@ func run(o options, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// All operational output is structured: one slog line per event,
+	// with the server's slow-operation warnings (trace IDs included)
+	// interleaved on the same handler.
+	logger := slog.New(slog.NewTextHandler(out, nil))
+
 	cfg, err := serverConfig(o)
 	if err != nil {
 		return err
 	}
-	cfg.Logf = func(format string, args ...any) {
-		fmt.Fprintf(out, format+"\n", args...)
-	}
+	cfg.Logger = logger
 	if o.replay {
 		// Replay feeds records anchored at the generator's origin; pin
 		// the pipeline to it so window indices are predictable.
@@ -177,16 +189,33 @@ func run(o options, out io.Writer) error {
 		return err
 	}
 	if lo, hi, ok := srv.Store().WindowRange(); ok {
-		fmt.Fprintf(out, "sigserverd: snapshot restored windows [%d,%d]\n", lo, hi)
+		logger.Info("sigserverd: snapshot restored", "oldest_window", lo, "newest_window", hi)
 	}
 	if rec := srv.Recovery(); rec.WALRecords > 0 {
-		fmt.Fprintf(out, "sigserverd: WAL replayed %d records (%d rejected, %d torn bytes, %d windows closed)\n",
-			rec.WALRecords, rec.WALRejected, rec.WALTornBytes, rec.WALWindowsClosed)
+		logger.Info("sigserverd: WAL replayed",
+			"records", rec.WALRecords, "rejected", rec.WALRejected,
+			"torn_bytes", rec.WALTornBytes, "windows_closed", rec.WALWindowsClosed)
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
+	}
+
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(dln, dmux) }()
+		logger.Info("sigserverd: pprof debug server on http://" + dln.Addr().String() + "/debug/pprof/")
 	}
 	hs := &http.Server{
 		Handler: srv.Handler(),
@@ -202,8 +231,17 @@ func run(o options, out io.Writer) error {
 			errc <- err
 		}
 	}()
-	fmt.Fprintf(out, "sigserverd: serving on http://%s (window %v, scheme %s, k %d)\n",
-		ln.Addr(), cfg.Stream.WindowSize, cfg.Stream.Scheme, cfg.Stream.K)
+	logger.Info(fmt.Sprintf("sigserverd: serving on http://%s", ln.Addr()),
+		"window", cfg.Stream.WindowSize, "scheme", cfg.Stream.Scheme, "k", cfg.Stream.K)
+
+	// Startup readiness probe through the real listener: the same check
+	// a load balancer would run, logged so a misconfigured boot (e.g.
+	// durability requested but WAL unopenable) is visible immediately.
+	if ready, err := server.NewClient("http://" + ln.Addr().String()).Ready(); err != nil {
+		logger.Warn("sigserverd: readiness probe failed", "err", err)
+	} else {
+		logger.Info("sigserverd: ready", "ready", ready.Ready)
+	}
 
 	// Periodic background snapshots: archived windows stay durable even
 	// without a graceful shutdown (the WAL covers the open window).
@@ -221,7 +259,7 @@ func run(o options, out io.Writer) error {
 					return
 				case <-tick.C:
 					if err := srv.Snapshot(); err != nil {
-						fmt.Fprintf(out, "sigserverd: periodic snapshot failed: %v\n", err)
+						logger.Warn("sigserverd: periodic snapshot failed", "err", err)
 					}
 				}
 			}
@@ -230,14 +268,14 @@ func run(o options, out io.Writer) error {
 
 	if o.replay {
 		go func() {
-			errc <- replay(o, "http://"+ln.Addr().String(), out)
+			errc <- replay(o, "http://"+ln.Addr().String(), logger)
 		}()
 	}
 
 	var runErr error
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(out, "sigserverd: signal received, shutting down")
+		logger.Info("sigserverd: signal received, shutting down")
 	case runErr = <-errc:
 	}
 
@@ -252,7 +290,7 @@ func run(o options, out io.Writer) error {
 		runErr = err
 	}
 	if o.snapshot != "" {
-		fmt.Fprintf(out, "sigserverd: snapshot saved to %s (%d windows)\n", o.snapshot, srv.Store().Len())
+		logger.Info("sigserverd: snapshot saved to "+o.snapshot, "windows", srv.Store().Len())
 	}
 	return runErr
 }
@@ -268,16 +306,19 @@ func replayConfig(o options) datagen.EnterpriseConfig {
 
 // replay generates a synthetic enterprise capture and pushes it through
 // the daemon's own HTTP ingest path, reporting end-to-end throughput —
-// the serving analogue of the EXPERIMENTS self-benchmarks.
-func replay(o options, base string, out io.Writer) error {
+// the serving analogue of the EXPERIMENTS self-benchmarks. It doubles
+// as the observability smoke test: the Prometheus rendering of
+// /metrics must parse with the expected histogram families present,
+// and /v1/traces must have archived the ingest traces.
+func replay(o options, base string, logger *slog.Logger) error {
 	gcfg := replayConfig(o)
 	data, err := datagen.GenerateEnterprise(gcfg)
 	if err != nil {
 		return err
 	}
 	c := server.NewClient(base)
-	fmt.Fprintf(out, "replay: %d records, %d local hosts, %d windows\n",
-		len(data.Records), gcfg.LocalHosts, gcfg.Windows)
+	logger.Info(fmt.Sprintf("replay: %d records, %d local hosts, %d windows",
+		len(data.Records), gcfg.LocalHosts, gcfg.Windows))
 
 	begin := time.Now()
 	accepted, rejected, windows := 0, 0, 0
@@ -293,15 +334,16 @@ func replay(o options, base string, out io.Writer) error {
 	}
 	elapsed := time.Since(begin)
 	rate := float64(accepted) / elapsed.Seconds()
-	fmt.Fprintf(out, "replay: ingested %d records (%d rejected) in %v — %.0f records/s, %d windows closed\n",
-		accepted, rejected, elapsed.Round(time.Millisecond), rate, windows)
+	logger.Info(fmt.Sprintf("replay: ingested %d records (%d rejected) in %v — %.0f records/s, %d windows closed",
+		accepted, rejected, elapsed.Round(time.Millisecond), rate, windows))
 
 	m, err := c.Metrics()
 	if err != nil {
 		return err
 	}
-	for _, k := range []string{"flows_received", "flows_accepted", "windows_closed", "http_requests_total", "request_micros_sum"} {
-		fmt.Fprintf(out, "replay: metric %s = %d\n", k, m[k])
+	for _, k := range []string{"flows_received", "flows_accepted", "windows_closed",
+		"http_requests_total", "request_micros_sum", "http_request_p99_micros"} {
+		logger.Info(fmt.Sprintf("replay: metric %s = %d", k, m[k]))
 	}
 	if m["flows_received"] != int64(len(data.Records)) {
 		return fmt.Errorf("replay: server received %d of %d records", m["flows_received"], len(data.Records))
@@ -309,5 +351,45 @@ func replay(o options, base string, out io.Writer) error {
 	if m["flows_accepted"]+m["flows_dropped"]+m["flows_rejected"] != m["flows_received"] {
 		return fmt.Errorf("replay: inconsistent flow counters: %v", m)
 	}
+	return obsSmoke(c, logger)
+}
+
+// obsSmoke validates the observability surface after a replay: the
+// Prometheus exposition parses and carries the serving stack's latency
+// histograms, and the trace ring holds the replay's ingest traces.
+func obsSmoke(c *server.Client, logger *slog.Logger) error {
+	text, err := c.MetricsProm()
+	if err != nil {
+		return err
+	}
+	families, err := obs.ValidateExposition(strings.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("replay: invalid Prometheus exposition: %w", err)
+	}
+	histograms := 0
+	for _, typ := range families {
+		if typ == "histogram" {
+			histograms++
+		}
+	}
+	for _, name := range []string{"http_route_seconds", "wal_fsync_seconds",
+		"store_snapshot_save_seconds", "pipeline_window_close_seconds"} {
+		if families[name] != "histogram" {
+			return fmt.Errorf("replay: prom family %s is %q, want histogram", name, families[name])
+		}
+	}
+	logger.Info("replay: prom exposition valid",
+		"families", len(families), "histograms", histograms)
+
+	traces, err := c.Traces(1)
+	if err != nil {
+		return err
+	}
+	if traces.Total == 0 || len(traces.Traces) == 0 {
+		return fmt.Errorf("replay: no traces archived (total %d)", traces.Total)
+	}
+	t := traces.Traces[0]
+	logger.Info("replay: trace fetched",
+		"trace", t.ID, "op", t.Name, "spans", len(t.Spans), "duration_micros", t.DurationMicros)
 	return nil
 }

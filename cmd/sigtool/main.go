@@ -13,13 +13,16 @@
 //	sigtool masquerade -flows FILE [-scheme S] [-k N] [-t IDX] [-ell N] [-c N]
 //	sigtool anomalies  -flows FILE [-scheme S] [-k N] [-t IDX] [-z Z]
 //	sigtool client     -addr URL -op OP [options]
+//	sigtool observe    -addr URL [-interval DUR] [-samples N]
 //
 // -scheme accepts tt, ut, ut-tfidf, rwr@C, rwrH@C (default rwr3@0.1 for
 // masquerade/anomalies, tt otherwise, per the paper's recommendations).
 //
 // The client subcommand talks to a running sigserverd instead of a flow
 // file; -op selects search, history, watch, hits, anomalies, metrics,
-// or health.
+// or health. The observe subcommand polls a running sigserverd's
+// /metrics endpoint and renders ingest/request rates and latency
+// quantiles, one line per sample.
 package main
 
 import (
@@ -55,9 +58,11 @@ func main() {
 	out := fs.String("out", "", "output path (export)")
 	sigsPath := fs.String("sigs", "", "serialized signature file (compare/screen)")
 	maxDist := fs.Float64("maxdist", 0.5, "watchlist hit threshold (screen/client search)")
-	addr := fs.String("addr", "http://127.0.0.1:8787", "sigserverd base URL (client)")
+	addr := fs.String("addr", "http://127.0.0.1:8787", "sigserverd base URL (client/observe)")
 	op := fs.String("op", "", "client operation (search|history|watch|hits|anomalies|metrics|health)")
 	individual := fs.String("individual", "", "watchlist individual key (client -op watch)")
+	interval := fs.Duration("interval", time.Second, "polling interval (observe)")
+	samples := fs.Int("samples", 5, "samples to take before exiting (observe)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -67,6 +72,7 @@ func main() {
 		k: *k, t: *t, node: *node, top: *top, threshold: *threshold,
 		ell: *ell, c: *c, z: *z, out: *out, sigs: *sigsPath, maxDist: *maxDist,
 		addr: *addr, op: *op, individual: *individual,
+		interval: *interval, samples: *samples,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sigtool:", err)
 		os.Exit(1)
@@ -92,17 +98,24 @@ type config struct {
 	addr       string
 	op         string
 	individual string
+	interval   time.Duration
+	samples    int
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sigtool <stats|sig|neighbors|multiusage|masquerade|anomalies|export|compare|screen> -flows FILE [options]
-       sigtool client -addr URL -op <search|history|watch|hits|anomalies|metrics|health> [options]`)
+       sigtool client -addr URL -op <search|history|watch|hits|anomalies|metrics|health> [options]
+       sigtool observe -addr URL [-interval DUR] [-samples N]`)
 }
 
 func run(cmd string, cfg config) error {
 	if cmd == "client" {
 		// The client talks to a running sigserverd; no flow file needed.
 		return runClient(cfg, os.Stdout)
+	}
+	if cmd == "observe" {
+		// Live metrics dashboard over a running sigserverd.
+		return runObserve(cfg, os.Stdout)
 	}
 	if cfg.flows == "" {
 		usage()

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"graphsig/internal/server"
+)
+
+// runObserve polls a running sigserverd's /metrics endpoint and renders
+// ingest/request rates and latency quantiles, one line per sample — a
+// minimal terminal dashboard over the server's metrics registry. The
+// first sample shows absolute counters (there is nothing to rate
+// against yet); each later line shows per-second rates over the
+// elapsed polling interval.
+func runObserve(cfg config, out io.Writer) error {
+	if cfg.samples <= 0 {
+		return fmt.Errorf("observe: -samples must be positive")
+	}
+	c := server.NewClient(cfg.addr)
+	var prev map[string]int64
+	var prevAt time.Time
+	for i := 0; i < cfg.samples; i++ {
+		if i > 0 {
+			time.Sleep(cfg.interval)
+		}
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		fmt.Fprint(out, renderObserveLine(m, prev, now.Sub(prevAt)))
+		prev, prevAt = m, now
+	}
+	return nil
+}
+
+// renderObserveLine formats one dashboard line from a metrics snapshot
+// and (optionally) the previous one.
+func renderObserveLine(m, prev map[string]int64, elapsed time.Duration) string {
+	var b strings.Builder
+	if prev == nil {
+		fmt.Fprintf(&b, "observe: flows=%d requests=%d windows=%d errors=%d",
+			m["flows_accepted"], m["http_requests_total"], m["windows_closed"], m["http_errors_total"])
+	} else {
+		secs := elapsed.Seconds()
+		if secs <= 0 {
+			secs = 1
+		}
+		rate := func(key string) float64 { return float64(m[key]-prev[key]) / secs }
+		fmt.Fprintf(&b, "observe: flows/s=%.0f req/s=%.1f windows=%d errors=%d",
+			rate("flows_accepted"), rate("http_requests_total"),
+			m["windows_closed"], m["http_errors_total"])
+	}
+	fmt.Fprintf(&b, " p50=%dus p90=%dus p99=%dus\n",
+		m["http_request_p50_micros"], m["http_request_p90_micros"], m["http_request_p99_micros"])
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsig/internal/server"
+	"graphsig/internal/sketch"
+	"graphsig/internal/stream"
+)
+
+func TestObservePollsMetrics(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Stream: stream.Config{
+			WindowSize: time.Hour,
+			K:          4,
+			Scheme:     "tt",
+			Sketch:     sketch.StreamConfig{Width: 256, Depth: 3, Candidates: 16, Seed: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var buf strings.Builder
+	cfg := config{addr: ts.URL, interval: time.Millisecond, samples: 3}
+	if err := runObserve(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	if lines != 3 {
+		t.Fatalf("observe printed %d lines, want 3:\n%s", lines, out)
+	}
+	// First sample is absolute, later ones are rates; every line carries
+	// the latency quantiles.
+	if !strings.Contains(out, "observe: flows=") || !strings.Contains(out, "flows/s=") {
+		t.Fatalf("missing absolute and rate renderings:\n%s", out)
+	}
+	if strings.Count(out, "p99=") != 3 {
+		t.Fatalf("missing quantile column:\n%s", out)
+	}
+
+	cfg.samples = 0
+	if err := runObserve(cfg, &buf); err == nil {
+		t.Fatal("samples=0 accepted")
+	}
+}
+
+func TestRenderObserveLineRates(t *testing.T) {
+	prev := map[string]int64{"flows_accepted": 100, "http_requests_total": 10}
+	cur := map[string]int64{
+		"flows_accepted": 300, "http_requests_total": 20,
+		"windows_closed": 2, "http_errors_total": 1,
+		"http_request_p50_micros": 40, "http_request_p90_micros": 90,
+		"http_request_p99_micros": 400,
+	}
+	line := renderObserveLine(cur, prev, 2*time.Second)
+	for _, want := range []string{"flows/s=100", "req/s=5.0", "windows=2", "errors=1", "p50=40us", "p99=400us"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}

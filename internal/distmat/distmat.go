@@ -32,10 +32,24 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/obs"
 )
+
+// Metrics is optional engine instrumentation (see internal/obs). Nil
+// fields — and the zero Metrics — are no-ops, so attaching it costs a
+// predictable branch per row when disabled.
+type Metrics struct {
+	// RowSeconds observes the wall time of each computed row (one
+	// query signature against every column), in seconds.
+	RowSeconds *obs.Histogram
+	// Candidates observes the inverted-index candidate count per row:
+	// how many columns shared at least one node with the query.
+	Candidates *obs.Histogram
+}
 
 // Kernelizable reports whether d has a merge-join kernel, i.e. whether
 // the engine can serve it. Callers fall back to naive loops otherwise.
@@ -211,8 +225,13 @@ type Engine struct {
 	rows, cols *SetView
 	d          core.Distance
 	workers    int
+	metrics    Metrics
 	seq        *rower // lazily built, serves the sequential Dist method
 }
+
+// SetMetrics attaches instrumentation to the engine. Call before the
+// first Rows/PairsWithin; rowers built afterwards carry the handles.
+func (e *Engine) SetMetrics(m Metrics) { e.metrics = m }
 
 // NewEngine builds an engine over the two signature sets with the given
 // worker count (0 = GOMAXPROCS). It returns false when d has no
@@ -283,17 +302,22 @@ func (m *matcher) gather(ra *core.SortedSig, cols *SetView, minJ int32) {
 
 // rower is per-worker state: a kernel plus a matcher.
 type rower struct {
-	e    *Engine
-	kern *core.DistKernel
-	m    matcher
+	e       *Engine
+	kern    *core.DistKernel
+	m       matcher
+	metrics Metrics
 }
 
 func (e *Engine) newRower() *rower {
 	kern, _ := core.NewDistKernel(e.d)
-	r := &rower{e: e, kern: kern}
+	r := &rower{e: e, kern: kern, metrics: e.metrics}
 	r.m.grow(e.cols.Len())
 	return r
 }
+
+// instrumented reports whether any handle is attached, so the hot loop
+// skips clock reads entirely when observability is off.
+func (m Metrics) instrumented() bool { return m.RowSeconds != nil || m.Candidates != nil }
 
 // rowInto fills dst[j] = Dist(row i, col j) for every column: the
 // disjoint baseline first, then the exact kernel distance for every
@@ -305,10 +329,18 @@ func (r *rower) rowInto(i int, dst []float64) {
 		copy(dst, e.cols.emptyRow)
 		return
 	}
+	var begin time.Time
+	if r.metrics.instrumented() {
+		begin = time.Now()
+	}
 	copy(dst, e.cols.ones)
 	r.m.gather(ra, e.cols, 0)
 	for _, j := range r.m.cands {
 		dst[j] = r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
+	}
+	if r.metrics.instrumented() {
+		r.metrics.RowSeconds.ObserveSince(begin)
+		r.metrics.Candidates.Observe(float64(len(r.m.cands)))
 	}
 }
 
@@ -437,12 +469,20 @@ func (e *Engine) PairsWithin(maxDist float64) []Pair {
 					if ra.IsEmpty() {
 						continue
 					}
+					var begin time.Time
+					if r.metrics.instrumented() {
+						begin = time.Now()
+					}
 					r.m.gather(ra, e.cols, int32(i)+1)
 					for _, j := range r.m.cands {
 						dist := r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
 						if dist <= maxDist {
 							out = append(out, Pair{I: i, J: int(j), Dist: dist})
 						}
+					}
+					if r.metrics.instrumented() {
+						r.metrics.RowSeconds.ObserveSince(begin)
+						r.metrics.Candidates.Observe(float64(len(r.m.cands)))
 					}
 				}
 			} else {
@@ -483,10 +523,15 @@ func (e *Engine) PairsWithin(maxDist float64) []Pair {
 // SetViews — the store's search primitive. It holds kernel and matcher
 // scratch, so it is not safe for concurrent use; construction is cheap.
 type Querier struct {
-	kern *core.DistKernel
-	m    matcher
-	row  []float64
+	kern    *core.DistKernel
+	m       matcher
+	row     []float64
+	metrics Metrics
 }
+
+// SetMetrics attaches instrumentation: every Neighbors call observes
+// one row timing and one candidate count.
+func (q *Querier) SetMetrics(m Metrics) { q.metrics = m }
 
 // NewQuerier returns a querier for d, or false when d has no kernel.
 func NewQuerier(d core.Distance) (*Querier, bool) {
@@ -503,8 +548,22 @@ func NewQuerier(d core.Distance) (*Querier, bool) {
 // columns when sig itself is empty — those pairs are at distance 0) and
 // the visit order is unspecified; with maxDist ≥ 1 every column is
 // visited in ascending order. The callback must not re-enter the
-// querier.
-func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) {
+// querier. Returns the number of inverted-index candidates whose
+// distance was evaluated with a kernel probe.
+func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) int {
+	if !q.metrics.instrumented() {
+		return q.neighbors(view, sig, maxDist, visit)
+	}
+	begin := time.Now()
+	cands := q.neighbors(view, sig, maxDist, visit)
+	q.metrics.RowSeconds.ObserveSince(begin)
+	q.metrics.Candidates.Observe(float64(cands))
+	return cands
+}
+
+// neighbors is Neighbors' uninstrumented body; it reports the number
+// of inverted-index candidates probed.
+func (q *Querier) neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) int {
 	n := view.Len()
 	q.m.grow(n)
 	qview := core.NewSortedSig(sig)
@@ -516,7 +575,7 @@ func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, 
 					visit(int(j), 0)
 				}
 			}
-			return
+			return 0
 		}
 		q.m.gather(qv, view, 0)
 		for _, j := range q.m.cands {
@@ -525,12 +584,13 @@ func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, 
 				visit(int(j), dist)
 			}
 		}
-		return
+		return len(q.m.cands)
 	}
 	if cap(q.row) < n {
 		q.row = make([]float64, n)
 	}
 	row := q.row[:n]
+	probed := 0
 	if qv.IsEmpty() {
 		copy(row, view.emptyRow)
 	} else {
@@ -539,10 +599,12 @@ func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, 
 		for _, j := range q.m.cands {
 			row[j] = q.kern.DistMatched(qv, &view.views[j], q.m.matches[j])
 		}
+		probed = len(q.m.cands)
 	}
 	for j, dist := range row {
 		if dist <= maxDist {
 			visit(j, dist)
 		}
 	}
+	return probed
 }

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// defaultBounds are the log-spaced latency bucket upper bounds in
+// seconds: powers of two from 1µs to ~134s (28 buckets). Log spacing
+// keeps relative quantile-estimation error bounded (each bucket spans a
+// factor of 2, so an interpolated quantile is within 2× of the truth)
+// while the whole histogram stays 29 atomic words.
+var defaultBounds = func() []float64 {
+	b := make([]float64, 28)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// CountBounds returns log-spaced bounds for count-valued observations
+// (candidate counts, probe counts): powers of two from 1 to 2^(n-1).
+func CountBounds(n int) []float64 {
+	b := make([]float64, n)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent use: an
+// observation is one atomic bucket increment plus atomic updates of the
+// running sum and count. A nil *Histogram is a no-op, so optional
+// instrumentation costs one branch when disabled.
+//
+// Scrapes (Snapshot) read the atomics without a lock. A scrape racing
+// writers may therefore see a sum/count/bucket trio that was never
+// simultaneously true — each value is individually monotone, which is
+// what rate() arithmetic needs, and the skew is at most the handful of
+// observations in flight.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given ascending bucket
+// upper bounds (nil = default latency buckets, seconds).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = defaultBounds
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0, in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []float64 // bucket upper bounds; the final implicit bucket is +Inf
+	Counts []uint64  // len(Bounds)+1 per-bucket (non-cumulative) counts
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state. Nil histograms yield a zero
+// snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it. With
+// the default ×2 log spacing the estimate is within a factor of two of
+// the true value; 0 with no observations.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := lo
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if hi <= lo {
+				return hi // +Inf bucket: report its lower bound
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	// rank beyond the last populated bucket (scrape raced writers):
+	// report the largest populated upper bound.
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return 0
+}
+
+// Quantile is Snapshot().Quantile(q) — one-shot convenience.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}

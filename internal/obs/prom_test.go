@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flows_total", "flows received").Add(3)
+	r.Gauge("store_windows", "retained windows").Set(7)
+	r.GaugeFunc("uptime_seconds", "seconds since boot", func() int64 { return 42 })
+	h := r.Histogram("wal_fsync_seconds", "WAL fsync latency")
+	h.Observe(0.001)
+	h.Observe(0.004)
+	vec := r.HistogramVec("http_request_seconds", "request latency by route", "route", nil)
+	vec.With("post_v1_flows").Observe(0.002)
+	vec.With("get_metrics").Observe(0.0001)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	families, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	want := map[string]string{
+		"flows_total":          "counter",
+		"store_windows":        "gauge",
+		"uptime_seconds":       "gauge",
+		"wal_fsync_seconds":    "histogram",
+		"http_request_seconds": "histogram",
+	}
+	for name, typ := range want {
+		if families[name] != typ {
+			t.Fatalf("family %s = %q, want %q\n%s", name, families[name], typ, out)
+		}
+	}
+	for _, line := range []string{
+		"flows_total 3",
+		"store_windows 7",
+		"uptime_seconds 42",
+		"wal_fsync_seconds_count 2",
+		`http_request_seconds_bucket{route="post_v1_flows",le="+Inf"} 1`,
+		`http_request_seconds_count{route="post_v1_flows"} 1`,
+		`http_request_seconds_count{route="get_metrics"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Buckets are cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(out, `wal_fsync_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here",
+		"name{unclosed=\"x\" 3",
+		"name not-a-number",
+		"# TYPE x sometype",
+		"# BOGUS x y",
+		"1leading_digit 3",
+		"name 3 not-a-timestamp",
+	} {
+		if _, err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	// Valid corner cases.
+	for _, good := range []string{
+		"name 3.5e-7",
+		"name{a=\"with } brace\",b=\"x\"} 1",
+		"name 3 1700000000000",
+		"# HELP name some help text",
+		"",
+	} {
+		if _, err := ValidateExposition(strings.NewReader(good)); err != nil {
+			t.Fatalf("rejected %q: %v", good, err)
+		}
+	}
+}

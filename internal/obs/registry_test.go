@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flows_total", "flows")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // monotone: negative adds ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("flows_total", "flows"); same != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	r.GaugeFunc("up", "always one", func() int64 { return 1 })
+	snap := r.Snapshot()
+	if snap["flows_total"] != 5 || snap["depth"] != 5 || snap["up"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var v *HistogramVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	v.With("x").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles recorded something")
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %v", q)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad name!", "")
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	// 1000 observations uniform in (0, 100ms].
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 100e-6)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-50.05) > 1e-9*50.05 {
+		t.Fatalf("sum = %v, want 50.05", h.Sum())
+	}
+	// Log-bucketed estimates are within a factor of 2 of the truth.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 0.05}, {0.9, 0.09}, {0.99, 0.099},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Fatalf("p%v = %v, want within 2x of %v", tc.q*100, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramCustomBoundsAndOverflow(t *testing.T) {
+	h := NewHistogram(CountBounds(4)) // 1 2 4 8
+	for _, v := range []float64{0.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 1, 1, 0, 1} // le=1, le=2, le=4, le=8, +Inf
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+	// Everything in the +Inf bucket: quantile reports the last bound.
+	h2 := NewHistogram(CountBounds(2))
+	h2.Observe(50)
+	if q := h2.Quantile(0.5); q != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", q)
+	}
+}
+
+// TestRegistryConcurrentAccess hammers counters, gauges, histograms and
+// a vec from many goroutines while a scraper snapshots in a loop,
+// asserting counter monotonicity across snapshots. Run under -race this
+// is the registry's central safety test.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat_seconds", "")
+	vec := r.HistogramVec("route_seconds", "", "route", nil)
+
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeErr := make(chan error, 1)
+	scraper.Add(1)
+	go func() { // scraper: snapshots must observe monotone counters
+		defer scraper.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			if v := snap["hits_total"]; v < last {
+				select {
+				case scrapeErr <- fmt.Errorf("counter regressed: %d -> %d", last, v):
+				default:
+				}
+				return
+			} else {
+				last = v
+			}
+			h.Quantile(0.99)
+			_ = vec.Labels()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			route := fmt.Sprintf("r%d", w%3)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-6)
+				vec.With(route).Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Fatal(err)
+	default:
+	}
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var vecTotal uint64
+	for _, label := range vec.Labels() {
+		vecTotal += vec.With(label).Count()
+	}
+	if vecTotal != workers*perWorker {
+		t.Fatalf("vec count = %d, want %d", vecTotal, workers*perWorker)
+	}
+}

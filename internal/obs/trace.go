@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer mints per-request traces and retains a bounded ring of the
+// most recent finished ones (served by GET /v1/traces). Each trace is a
+// flat list of named child spans with durations — enough to answer
+// "where did this slow ingest batch spend its time?" without external
+// infrastructure. A span whose duration meets the slow-op threshold is
+// logged exactly once, as one structured line carrying the trace ID.
+//
+// A nil *Tracer (and the nil *Trace it starts) is a no-op, so tracing
+// can be compiled into hot paths unconditionally.
+type Tracer struct {
+	capacity int
+	slow     time.Duration
+	logger   *slog.Logger
+	seq      atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []TraceSnapshot // circular, len ≤ capacity
+	next  int             // ring insertion point once full
+	total uint64          // traces ever finished
+}
+
+// NewTracer builds a tracer retaining up to capacity finished traces
+// (≤ 0 means 64). slow is the span duration at or above which a span is
+// logged through logger (0 disables slow-op logging; a nil logger
+// disables it too).
+func NewTracer(capacity int, slow time.Duration, logger *slog.Logger) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{capacity: capacity, slow: slow, logger: logger}
+}
+
+// newTraceID returns a 16-hex-char random ID, falling back to a
+// sequence number when entropy is unavailable.
+func (t *Tracer) newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%012d", t.seq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Start begins a trace. Finish it to archive it into the ring.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{tracer: t, id: t.newTraceID(), name: name, start: time.Now()}
+}
+
+// SpanSnapshot is one finished child span.
+type SpanSnapshot struct {
+	Name           string `json:"name"`
+	OffsetMicros   int64  `json:"offset_micros"` // start relative to the trace start
+	DurationMicros int64  `json:"duration_micros"`
+}
+
+// TraceSnapshot is one finished trace, as served by /v1/traces.
+type TraceSnapshot struct {
+	ID             string         `json:"id"`
+	Name           string         `json:"name"`
+	Start          time.Time      `json:"start"`
+	DurationMicros int64          `json:"duration_micros"`
+	Slow           bool           `json:"slow,omitempty"`
+	Spans          []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Trace is an in-flight trace. Span and Finish are goroutine-safe,
+// though the serving stack runs each trace on one goroutine.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []SpanSnapshot
+	slow  bool
+}
+
+// ID reports the trace ID ("" for a nil trace).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Span starts a named child span and returns the function that ends
+// it. Ending a span whose duration reaches the tracer's slow-op
+// threshold emits exactly one structured log line with the trace ID.
+func (tr *Trace) Span(name string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		tr.mu.Lock()
+		tr.spans = append(tr.spans, SpanSnapshot{
+			Name:           name,
+			OffsetMicros:   begin.Sub(tr.start).Microseconds(),
+			DurationMicros: d.Microseconds(),
+		})
+		slow := tr.tracer.slow > 0 && d >= tr.tracer.slow
+		if slow {
+			tr.slow = true
+		}
+		tr.mu.Unlock()
+		if slow && tr.tracer.logger != nil {
+			tr.tracer.logger.Warn("slow operation",
+				"trace", tr.id, "op", tr.name, "span", name,
+				"duration", d.Round(time.Microsecond).String())
+		}
+	}
+}
+
+// Finish ends the trace and archives it into the tracer's ring,
+// evicting the oldest trace when the ring is full.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	t := tr.tracer
+	tr.mu.Lock()
+	snap := TraceSnapshot{
+		ID:             tr.id,
+		Name:           tr.name,
+		Start:          tr.start,
+		DurationMicros: time.Since(tr.start).Microseconds(),
+		Slow:           tr.slow,
+		Spans:          tr.spans,
+	}
+	tr.spans = nil // the snapshot owns the slice now
+	tr.mu.Unlock()
+
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, snap)
+	} else {
+		t.ring[t.next] = snap
+		t.next = (t.next + 1) % t.capacity
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recent returns up to n finished traces, newest first (n ≤ 0 means
+// all retained).
+func (t *Tracer) Recent(n int) []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]TraceSnapshot, 0, n)
+	// Newest is the slot just before the insertion point (or the slice
+	// tail while the ring is still filling).
+	newest := size - 1
+	if size == t.capacity {
+		newest = (t.next - 1 + t.capacity) % t.capacity
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(newest-i+size)%size])
+	}
+	return out
+}
+
+// Total reports how many traces have ever finished (including ones
+// evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -218,3 +218,41 @@ func (c *Client) Health() (HealthResponse, error) {
 	err := c.do(http.MethodGet, "/healthz", nil, &out)
 	return out, err
 }
+
+// Ready fetches the readiness report. A draining or degraded server
+// answers 503, which surfaces here as an error after the client's
+// retries are exhausted.
+func (c *Client) Ready() (ReadyResponse, error) {
+	var out ReadyResponse
+	err := c.do(http.MethodGet, "/readyz", nil, &out)
+	return out, err
+}
+
+// Traces fetches the most recent request traces, newest first (n ≤ 0
+// fetches the whole ring).
+func (c *Client) Traces(n int) (TracesResponse, error) {
+	path := "/v1/traces"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out TracesResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// MetricsProm fetches the Prometheus text rendering of /metrics.
+func (c *Client) MetricsProm() (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics?format=prom")
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics?format=prom: %s", resp.Status)
+	}
+	return string(body), nil
+}

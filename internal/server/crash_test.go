@@ -358,10 +358,10 @@ func TestIngestDedupIdempotent(t *testing.T) {
 	if !replayed.Deduplicated || replayed.Accepted != first.Accepted {
 		t.Fatalf("replayed ingest = %+v", replayed)
 	}
-	if got := srv.metrics.FlowsReceived.Load(); got != int64(len(window0Flows())) {
+	if got := srv.metrics.FlowsReceived.Value(); got != int64(len(window0Flows())) {
 		t.Fatalf("flows_received = %d after dedup, want %d", got, len(window0Flows()))
 	}
-	if got := srv.metrics.BatchesDeduped.Load(); got != 1 {
+	if got := srv.metrics.BatchesDeduped.Value(); got != 1 {
 		t.Fatalf("batches_deduped = %d, want 1", got)
 	}
 	// Without an ID every call hits the pipeline again: the repeat is
@@ -370,7 +370,7 @@ func TestIngestDedupIdempotent(t *testing.T) {
 	if res.Deduplicated || res.Accepted != len(window0Flows()) {
 		t.Fatalf("no-ID repeat = %+v", res)
 	}
-	if got := srv.metrics.FlowsReceived.Load(); got != int64(2*len(window0Flows())) {
+	if got := srv.metrics.FlowsReceived.Value(); got != int64(2*len(window0Flows())) {
 		t.Fatalf("flows_received = %d after no-ID repeat, want %d", got, 2*len(window0Flows()))
 	}
 }
@@ -460,7 +460,7 @@ func TestIngestThrottled429(t *testing.T) {
 	if err := <-firstDone; err != nil {
 		t.Fatalf("held ingest failed: %v", err)
 	}
-	if got := srv.metrics.IngestThrottled.Load(); got != 1 {
+	if got := srv.metrics.IngestThrottled.Value(); got != 1 {
 		t.Fatalf("ingest_throttled = %d, want 1", got)
 	}
 }

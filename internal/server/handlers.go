@@ -198,11 +198,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/watchlist", s.handleWatchlistAdd)
 	s.mux.HandleFunc("GET /v1/watchlist/hits", s.handleWatchlistHits)
 	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-// instrument wraps the mux with request counting and latency summing.
+// instrument wraps the mux with request counting and latency
+// histograms — aggregate and per-route (see serverObs).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		begin := time.Now()
@@ -212,7 +215,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if sw.status >= 400 {
 			s.metrics.HTTPErrors.Add(1)
 		}
-		s.metrics.RequestMicros.Add(time.Since(begin).Microseconds())
+		elapsed := time.Since(begin).Seconds()
+		s.obs.httpSeconds.Observe(elapsed)
+		s.obs.routeSeconds.With(routeName(r)).Observe(elapsed)
 	})
 }
 
@@ -308,6 +313,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.SearchQueries.Add(1)
+	tr := s.obs.tracer.Start("search")
+	defer tr.Finish()
 	d, err := s.distanceFor(req.Distance)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -321,7 +328,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.Label != "":
 		s.mu.RLock()
+		end := tr.Span("store.search")
 		raw, err := s.store.SearchLabel(d, req.Label, opts)
+		end()
 		if err == nil {
 			hits = convertHits(raw)
 		}
@@ -340,11 +349,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		end := tr.Span("store.search")
 		raw, err := s.store.Search(d, sig, opts)
+		end()
+		s.mu.Unlock()
 		if err == nil {
 			hits = convertHits(raw)
 		}
-		s.mu.Unlock()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -486,5 +497,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(time.Since(s.start)))
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.obs.registry.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metricsJSON())
 }

@@ -1,69 +1,69 @@
 package server
 
 import (
-	"sync/atomic"
-	"time"
+	"graphsig/internal/obs"
 )
 
-// metrics is the server's expvar-style counter set: monotone atomic
-// counters, rendered as a flat JSON object by GET /metrics. Counters
-// (not gauges) so scrapers can rate() them; latency is exported as a
-// (sum, count) pair per the usual convention.
+// metrics is the server's counter set, registered in the shared obs
+// registry under the same names the legacy flat-JSON /metrics body
+// used — so one family list renders both the backward-compatible JSON
+// shape and Prometheus text exposition. Counters (not gauges) so
+// scrapers can rate() them; latency lives in the request histograms
+// (see serverObs), with the legacy request_micros_sum key derived from
+// the aggregate histogram's sum.
 type metrics struct {
-	FlowsReceived  atomic.Int64 // records arriving at POST /v1/flows
-	FlowsAccepted  atomic.Int64 // records the pipeline ingested
-	FlowsDropped   atomic.Int64 // records filtered (e.g. non-TCP)
-	FlowsRejected  atomic.Int64 // records the pipeline refused
-	WindowsClosed  atomic.Int64 // signature sets emitted into the store
-	SearchQueries  atomic.Int64 // POST /v1/search served
-	HistoryQueries atomic.Int64 // GET /v1/signatures/{label} served
-	AnomalyQueries atomic.Int64 // GET /v1/anomalies served
-	WatchlistAdds  atomic.Int64 // archived watchlist signatures
-	WatchlistHits  atomic.Int64 // hits recorded at window close
-	HTTPRequests   atomic.Int64 // all requests routed
-	HTTPErrors     atomic.Int64 // responses with status >= 400
-	RequestMicros  atomic.Int64 // summed handler latency (µs)
+	FlowsReceived  *obs.Counter // records arriving at POST /v1/flows
+	FlowsAccepted  *obs.Counter // records the pipeline ingested
+	FlowsDropped   *obs.Counter // records filtered (e.g. non-TCP)
+	FlowsRejected  *obs.Counter // records the pipeline refused
+	WindowsClosed  *obs.Counter // signature sets emitted into the store
+	SearchQueries  *obs.Counter // POST /v1/search served
+	HistoryQueries *obs.Counter // GET /v1/signatures/{label} served
+	AnomalyQueries *obs.Counter // GET /v1/anomalies served
+	WatchlistAdds  *obs.Counter // archived watchlist signatures
+	WatchlistHits  *obs.Counter // hits recorded at window close
+	HTTPRequests   *obs.Counter // all requests routed
+	HTTPErrors     *obs.Counter // responses with status >= 400
 
 	// Durability and ingest-hardening counters.
-	SnapshotSaves       atomic.Int64 // successful store.Save calls
-	SnapshotErrors      atomic.Int64 // failed store.Save calls
-	SnapshotQuarantines atomic.Int64 // corrupt snapshots renamed aside at boot
-	WALAppendedRecords  atomic.Int64 // records framed into the WAL
-	WALReplayedRecords  atomic.Int64 // records replayed from the WAL at boot
-	WALResets           atomic.Int64 // log truncations after checkpoints
-	WALErrors           atomic.Int64 // failed WAL appends/resets (degraded durability)
-	WALQuarantines      atomic.Int64 // corrupt WALs renamed aside at boot
-	IngestThrottled     atomic.Int64 // POST /v1/flows rejected with 429
-	BatchesDeduped      atomic.Int64 // batch IDs answered from the dedup set
+	SnapshotSaves       *obs.Counter // successful store.Save calls
+	SnapshotErrors      *obs.Counter // failed store.Save calls
+	SnapshotQuarantines *obs.Counter // corrupt snapshots renamed aside at boot
+	WALAppendedRecords  *obs.Counter // records framed into the WAL
+	WALReplayedRecords  *obs.Counter // records replayed from the WAL at boot
+	WALResets           *obs.Counter // log truncations after checkpoints
+	WALErrors           *obs.Counter // failed WAL appends/resets (degraded durability)
+	WALQuarantines      *obs.Counter // corrupt WALs renamed aside at boot
+	IngestThrottled     *obs.Counter // POST /v1/flows rejected with 429
+	BatchesDeduped      *obs.Counter // batch IDs answered from the dedup set
 }
 
-// snapshot renders the counters for /metrics.
-func (m *metrics) snapshot(uptime time.Duration) map[string]int64 {
-	return map[string]int64{
-		"flows_received":      m.FlowsReceived.Load(),
-		"flows_accepted":      m.FlowsAccepted.Load(),
-		"flows_dropped":       m.FlowsDropped.Load(),
-		"flows_rejected":      m.FlowsRejected.Load(),
-		"windows_closed":      m.WindowsClosed.Load(),
-		"search_queries":      m.SearchQueries.Load(),
-		"history_queries":     m.HistoryQueries.Load(),
-		"anomaly_queries":     m.AnomalyQueries.Load(),
-		"watchlist_adds":      m.WatchlistAdds.Load(),
-		"watchlist_hits":      m.WatchlistHits.Load(),
-		"http_requests_total": m.HTTPRequests.Load(),
-		"http_errors_total":   m.HTTPErrors.Load(),
-		"request_micros_sum":  m.RequestMicros.Load(),
-		"uptime_seconds":      int64(uptime.Seconds()),
+// newMetrics registers the counter set. The names double as the JSON
+// keys: Registry.Snapshot reproduces the pre-obs /metrics body.
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		FlowsReceived:  reg.Counter("flows_received", "records arriving at POST /v1/flows"),
+		FlowsAccepted:  reg.Counter("flows_accepted", "records the pipeline ingested"),
+		FlowsDropped:   reg.Counter("flows_dropped", "records filtered (e.g. non-TCP)"),
+		FlowsRejected:  reg.Counter("flows_rejected", "records the pipeline refused"),
+		WindowsClosed:  reg.Counter("windows_closed", "signature sets committed to the store"),
+		SearchQueries:  reg.Counter("search_queries", "POST /v1/search requests served"),
+		HistoryQueries: reg.Counter("history_queries", "GET /v1/signatures/{label} requests served"),
+		AnomalyQueries: reg.Counter("anomaly_queries", "GET /v1/anomalies requests served"),
+		WatchlistAdds:  reg.Counter("watchlist_adds", "signatures archived into the watchlist"),
+		WatchlistHits:  reg.Counter("watchlist_hits", "watchlist hits recorded at window close"),
+		HTTPRequests:   reg.Counter("http_requests_total", "HTTP requests routed"),
+		HTTPErrors:     reg.Counter("http_errors_total", "HTTP responses with status >= 400"),
 
-		"snapshot_saves":       m.SnapshotSaves.Load(),
-		"snapshot_errors":      m.SnapshotErrors.Load(),
-		"snapshot_quarantines": m.SnapshotQuarantines.Load(),
-		"wal_appended_records": m.WALAppendedRecords.Load(),
-		"wal_replayed_records": m.WALReplayedRecords.Load(),
-		"wal_resets":           m.WALResets.Load(),
-		"wal_errors":           m.WALErrors.Load(),
-		"wal_quarantines":      m.WALQuarantines.Load(),
-		"ingest_throttled":     m.IngestThrottled.Load(),
-		"batches_deduped":      m.BatchesDeduped.Load(),
+		SnapshotSaves:       reg.Counter("snapshot_saves", "successful snapshot saves"),
+		SnapshotErrors:      reg.Counter("snapshot_errors", "failed snapshot saves"),
+		SnapshotQuarantines: reg.Counter("snapshot_quarantines", "corrupt snapshots renamed aside at boot"),
+		WALAppendedRecords:  reg.Counter("wal_appended_records", "records framed into the WAL"),
+		WALReplayedRecords:  reg.Counter("wal_replayed_records", "records replayed from the WAL at boot"),
+		WALResets:           reg.Counter("wal_resets", "WAL truncations after checkpoints"),
+		WALErrors:           reg.Counter("wal_errors", "failed WAL appends and resets"),
+		WALQuarantines:      reg.Counter("wal_quarantines", "corrupt WALs renamed aside at boot"),
+		IngestThrottled:     reg.Counter("ingest_throttled", "ingest batches rejected with 429"),
+		BatchesDeduped:      reg.Counter("batches_deduped", "batch IDs answered from the dedup set"),
 	}
 }

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphsig/internal/obs"
+)
+
+// DefaultTraceCapacity bounds the recent-trace ring served by GET
+// /v1/traces when Config.TraceCapacity is zero.
+const DefaultTraceCapacity = 64
+
+// serverObs bundles the server's observability surface: the shared
+// metric registry every layer records into, the request tracer, and
+// the HTTP latency histograms behind both /metrics renderings.
+type serverObs struct {
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	// httpSeconds aggregates request latency across routes — the source
+	// of the legacy request_micros_sum key and the p50/p90/p99 keys.
+	// routeSeconds partitions the same observations by route.
+	httpSeconds  *obs.Histogram
+	routeSeconds *obs.HistogramVec
+}
+
+func newServerObs(logger *slog.Logger, slowOp time.Duration, traceCap int) *serverObs {
+	reg := obs.NewRegistry()
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	return &serverObs{
+		registry: reg,
+		tracer:   obs.NewTracer(traceCap, slowOp, logger),
+		httpSeconds: reg.Histogram("http_request_seconds",
+			"HTTP request latency across all routes"),
+		routeSeconds: reg.HistogramVec("http_route_seconds",
+			"HTTP request latency by route", "route", nil),
+	}
+}
+
+// routeName maps a request onto the bounded label set of the per-route
+// histogram family, so path-scanning traffic cannot grow it without
+// bound. Unknown paths collapse into "other".
+func routeName(r *http.Request) string {
+	p := r.URL.Path
+	if strings.HasPrefix(p, "/v1/signatures/") {
+		p = "/v1/signatures/label"
+	}
+	switch p {
+	case "/v1/flows", "/v1/signatures/label", "/v1/search", "/v1/watchlist",
+		"/v1/watchlist/hits", "/v1/anomalies", "/v1/traces",
+		"/healthz", "/readyz", "/metrics":
+	default:
+		return "other"
+	}
+	return strings.ToLower(r.Method) + strings.ReplaceAll(p, "/", "_")
+}
+
+// Registry exposes the server's metric registry so embedders (the
+// daemon, the facade, tests) can register their own families alongside
+// the serving stack's.
+func (s *Server) Registry() *obs.Registry { return s.obs.registry }
+
+// Tracer exposes the server's request tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
+
+// metricsJSON renders the backward-compatible flat JSON /metrics body:
+// every registered counter and gauge under its legacy key, plus
+// histogram-derived latency keys in microseconds (int64, to keep the
+// body integer-valued as before).
+func (s *Server) metricsJSON() map[string]int64 {
+	out := s.obs.registry.Snapshot()
+	out["request_micros_sum"] = int64(s.obs.httpSeconds.Sum() * 1e6)
+	out["http_request_p50_micros"] = int64(s.obs.httpSeconds.Quantile(0.50) * 1e6)
+	out["http_request_p90_micros"] = int64(s.obs.httpSeconds.Quantile(0.90) * 1e6)
+	out["http_request_p99_micros"] = int64(s.obs.httpSeconds.Quantile(0.99) * 1e6)
+	for _, route := range s.obs.routeSeconds.Labels() {
+		h := s.obs.routeSeconds.With(route)
+		out["route_"+route+"_requests"] = int64(h.Count())
+		out["route_"+route+"_micros_sum"] = int64(h.Sum() * 1e6)
+	}
+	return out
+}
+
+// ReadyResponse is the GET /readyz body.
+type ReadyResponse struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// readiness reports whether the server can take traffic and why not.
+// Distinct from /healthz (process liveness): readiness degrades when
+// durability is configured but the WAL is not open, or during
+// shutdown, so load balancers drain before the listener dies.
+func (s *Server) readiness() ReadyResponse {
+	var reasons []string
+	if s.store == nil {
+		reasons = append(reasons, "store not loaded")
+	}
+	if s.cfg.SnapshotDir != "" && !s.cfg.DisableWAL && s.wal == nil {
+		reasons = append(reasons, "write-ahead log not open")
+	}
+	if s.shuttingDown.Load() {
+		reasons = append(reasons, "shutting down")
+	}
+	return ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := s.readiness()
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// TracesResponse is the GET /v1/traces body: the most recent traces,
+// newest first.
+type TracesResponse struct {
+	Total  uint64              `json:"total"`
+	Traces []obs.TraceSnapshot `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0 // whole ring
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad n parameter %q", ns)
+			return
+		}
+		n = v
+	}
+	traces := s.obs.tracer.Recent(n)
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Total: s.obs.tracer.Total(), Traces: traces})
+}

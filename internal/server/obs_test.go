@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
+)
+
+// TestMetricsJSONSupersetAndProm: the JSON /metrics body keeps every
+// pre-obs key, and ?format=prom renders a valid exposition carrying
+// the serving stack's histogram families.
+func TestMetricsJSONSupersetAndProm(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotDir = t.TempDir() + "/snap" // exercise WAL + snapshot histograms
+	_, c, done := newTestServer(t, cfg)
+	defer done()
+
+	// Ingest across a window boundary (WAL append, window close,
+	// checkpoint) and run one search so every layer observes something.
+	if _, err := c.Ingest(append(window0Flows(),
+		flowAt("10.0.0.1", "e1", time.Hour+time.Minute, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(SearchRequest{Label: "10.0.0.1", K: 3, MaxDist: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The complete pre-obs key set: removing any of these breaks
+	// existing scrapers.
+	legacy := []string{
+		"flows_received", "flows_accepted", "flows_dropped", "flows_rejected",
+		"windows_closed", "search_queries", "history_queries", "anomaly_queries",
+		"watchlist_adds", "watchlist_hits", "http_requests_total", "http_errors_total",
+		"request_micros_sum", "uptime_seconds",
+		"snapshot_saves", "snapshot_errors", "snapshot_quarantines",
+		"wal_appended_records", "wal_replayed_records", "wal_resets",
+		"wal_errors", "wal_quarantines", "ingest_throttled", "batches_deduped",
+	}
+	for _, k := range legacy {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON /metrics lost legacy key %q", k)
+		}
+	}
+	// New derived keys ride along.
+	for _, k := range []string{"http_request_p50_micros", "http_request_p99_micros",
+		"route_post_v1_flows_requests", "route_post_v1_flows_micros_sum", "store_windows"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON /metrics missing new key %q (have %v)", k, m)
+		}
+	}
+	if m["flows_received"] != 6 || m["windows_closed"] != 1 || m["search_queries"] != 1 {
+		t.Fatalf("counters off: %v", m)
+	}
+	if m["request_micros_sum"] <= 0 {
+		t.Fatalf("request_micros_sum = %d, want > 0", m["request_micros_sum"])
+	}
+	if m["route_post_v1_flows_requests"] != 1 {
+		t.Fatalf("per-route count = %d, want 1", m["route_post_v1_flows_requests"])
+	}
+
+	text, err := c.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	families, err := obs.ValidateExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("prom exposition invalid: %v\n%s", err, text)
+	}
+	wantHist := []string{
+		"http_request_seconds", "http_route_seconds", "wal_fsync_seconds",
+		"store_snapshot_save_seconds", "pipeline_window_close_seconds",
+		"store_search_probes", "distmat_row_seconds", "distmat_candidates",
+	}
+	for _, name := range wantHist {
+		if families[name] != "histogram" {
+			t.Errorf("prom family %s = %q, want histogram", name, families[name])
+		}
+	}
+	if families["flows_received"] != "counter" || families["store_windows"] != "gauge" {
+		t.Fatalf("families = %v", families)
+	}
+}
+
+// TestReadyzLifecycle: ready while serving, 503 with a reason once
+// shutdown begins.
+func TestReadyzLifecycle(t *testing.T) {
+	s, c, done := newTestServer(t, testConfig())
+	defer done()
+
+	ready, err := c.Ready()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || len(ready.Reasons) != 0 {
+		t.Fatalf("fresh server not ready: %+v", ready)
+	}
+
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	c.MaxRetries = -1 // 503 is retryable; the probe should see it at once
+	if _, err := c.Ready(); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("draining server still ready: %v", err)
+	}
+	resp := s.readiness()
+	if resp.Ready || len(resp.Reasons) == 0 {
+		t.Fatalf("readiness after shutdown = %+v", resp)
+	}
+}
+
+// TestTracesEndpoint: ingest and search traces land in the ring with
+// their spans, newest first, bounded by the configured capacity.
+func TestTracesEndpoint(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceCapacity = 4
+	_, c, done := newTestServer(t, cfg)
+	defer done()
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Ingest(window0Flows()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cross the window boundary so the searched label is archived.
+	if _, err := c.Ingest([]netflow.Record{flowAt("10.9.9.9", "e9", time.Hour+time.Minute, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(SearchRequest{Label: "10.0.0.1", K: 1, MaxDist: 0.99}); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := c.Traces(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 7 {
+		t.Fatalf("total traces = %d, want 7", tr.Total)
+	}
+	if len(tr.Traces) != 4 {
+		t.Fatalf("ring holds %d traces, want capacity 4", len(tr.Traces))
+	}
+	if tr.Traces[0].Name != "search" {
+		t.Fatalf("newest trace = %q, want search", tr.Traces[0].Name)
+	}
+	if tr.Traces[1].Name != "ingest" || len(tr.Traces[1].ID) != 16 {
+		t.Fatalf("trace 1 = %+v", tr.Traces[1])
+	}
+	var spanNames []string
+	for _, sp := range tr.Traces[1].Spans {
+		spanNames = append(spanNames, sp.Name)
+	}
+	if len(spanNames) == 0 || spanNames[0] != "lock.wait" {
+		t.Fatalf("ingest spans = %v", spanNames)
+	}
+
+	if got, err := c.Traces(2); err != nil || len(got.Traces) != 2 {
+		t.Fatalf("Traces(2) = %+v, %v", got, err)
+	}
+}
+
+// TestSlowOpLogsWithTraceID: a traced span over the threshold emits a
+// structured warning carrying its trace ID through the configured
+// slog logger.
+func TestSlowOpLogsWithTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+	cfg.SlowOp = time.Nanosecond // everything is slow
+	_, c, done := newTestServer(t, cfg)
+	defer done()
+
+	if _, err := c.Ingest(window0Flows()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow operation") || !strings.Contains(out, "trace=") {
+		t.Fatalf("no slow-op warning with trace ID:\n%s", out)
+	}
+}
+
+func TestRouteName(t *testing.T) {
+	for _, tc := range []struct{ method, path, want string }{
+		{"POST", "/v1/flows", "post_v1_flows"},
+		{"GET", "/v1/signatures/10.0.0.1", "get_v1_signatures_label"},
+		{"GET", "/metrics", "get_metrics"},
+		{"GET", "/readyz", "get_readyz"},
+		{"GET", "/secret/../../etc", "other"},
+	} {
+		r := httptest.NewRequest(tc.method, "http://x"+tc.path, nil)
+		if got := routeName(r); got != tc.want {
+			t.Errorf("routeName(%s %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+}

@@ -29,13 +29,16 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphsig/internal/apps"
 	"graphsig/internal/core"
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 	"graphsig/internal/store"
 	"graphsig/internal/stream"
 	"graphsig/internal/wal"
@@ -90,6 +93,16 @@ type Config struct {
 	// Logf, when non-nil, receives operational log lines (quarantines,
 	// failed snapshot saves, WAL trouble).
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives the same operational events as
+	// structured log records — and the tracer's slow-operation warnings
+	// with trace IDs. It takes precedence over Logf.
+	Logger *slog.Logger
+	// SlowOp is the span duration beyond which a traced operation logs
+	// a slow-operation warning (0 disables slow-op logging).
+	SlowOp time.Duration
+	// TraceCapacity bounds the recent-trace ring served by GET
+	// /v1/traces (0 means DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 // Float64 returns a pointer to v, for literal Config fields such as
@@ -151,7 +164,10 @@ type Server struct {
 
 	ingestSem chan struct{}
 	metrics   metrics
+	obs       *serverObs
 	mux       *http.ServeMux
+
+	shuttingDown atomic.Bool // flips at Shutdown entry; read by /readyz
 }
 
 // New builds a server, loading a prior snapshot and replaying the
@@ -173,6 +189,8 @@ func New(cfg Config) (*Server, error) {
 		watch:        apps.NewWatchlist(),
 		mux:          http.NewServeMux(),
 	}
+	s.obs = newServerObs(cfg.Logger, cfg.SlowOp, cfg.TraceCapacity)
+	s.metrics = newMetrics(s.obs.registry)
 	if cfg.WatchMaxDist != nil {
 		s.watchMaxDist = *cfg.WatchMaxDist
 	}
@@ -194,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 		LSHBands: cfg.LSHBands,
 		LSHRows:  cfg.LSHRows,
 		LSHSeed:  cfg.LSHSeed,
+		Registry: s.obs.registry,
 	}
 	if err := s.openStore(scfg); err != nil {
 		return nil, err
@@ -217,11 +236,26 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	if s.wal != nil {
+		s.wal.Instrument(
+			s.obs.registry.Histogram("wal_fsync_seconds",
+				"WAL write+fsync latency per flushed batch"),
+			s.obs.registry.Counter("wal_appended_bytes_total",
+				"framed bytes appended to the WAL"))
+	}
+
+	s.cfg.Stream.Registry = s.obs.registry
 	p, err := stream.NewPipeline(s.cfg.Stream, s.store.Universe())
 	if err != nil {
 		return nil, err
 	}
 	s.pipeline = p
+	s.obs.registry.GaugeFunc("uptime_seconds", "seconds since server start",
+		func() int64 { return int64(time.Since(s.start).Seconds()) })
+	s.obs.registry.GaugeFunc("store_windows", "retained archived windows",
+		func() int64 { return int64(s.store.Len()) })
+	s.obs.registry.GaugeFunc("watchlist_size", "archived watchlist signatures",
+		func() int64 { return int64(s.watch.Len()) })
 	s.replayWAL(replay)
 	s.routes()
 	return s, nil
@@ -363,8 +397,14 @@ func (s *Server) Store() *store.Store { return s.store }
 // Recovery reports what New reconstructed from disk.
 func (s *Server) Recovery() Recovery { return s.recovery }
 
-// logf forwards to the configured logger, if any.
+// logf forwards to the configured logger, if any. A structured Logger
+// wins over the printf-style Logf; operational events are warnings
+// (quarantines, failed saves, degraded durability).
 func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(fmt.Sprintf(format, args...))
+		return
+	}
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
@@ -399,7 +439,11 @@ func (s *Server) IngestRecords(records []netflow.Record) IngestResult {
 // result without touching the pipeline, making retried POSTs
 // idempotent.
 func (s *Server) IngestBatch(batchID string, records []netflow.Record) IngestResult {
+	tr := s.obs.tracer.Start("ingest")
+	defer tr.Finish()
+	endWait := tr.Span("lock.wait")
 	s.mu.Lock()
+	endWait()
 	defer s.mu.Unlock()
 	if batchID != "" && s.dedup != nil {
 		if res, ok := s.dedup.get(batchID); ok {
@@ -408,14 +452,14 @@ func (s *Server) IngestBatch(batchID string, records []netflow.Record) IngestRes
 			return res
 		}
 	}
-	res := s.ingestLocked(records)
+	res := s.ingestLocked(tr, records)
 	if batchID != "" && s.dedup != nil {
 		s.dedup.put(batchID, res)
 	}
 	return res
 }
 
-func (s *Server) ingestLocked(records []netflow.Record) IngestResult {
+func (s *Server) ingestLocked(tr *obs.Trace, records []netflow.Record) IngestResult {
 	res := IngestResult{Received: len(records)}
 	s.metrics.FlowsReceived.Add(int64(len(records)))
 	// walPending buffers this batch's accepted records; it is flushed
@@ -437,18 +481,24 @@ func (s *Server) ingestLocked(records []netflow.Record) IngestResult {
 			// The records logged so far belong to the closing windows;
 			// persist them before checkpointing so even a failed
 			// snapshot leaves the log complete for replay.
+			endWAL := tr.Span("wal.append")
 			s.walAppendLocked(walPending)
+			endWAL()
 			walPending = walPending[:0]
 			s.pending = 0
+			endCommit := tr.Span("window.commit")
 			for _, set := range emitted {
 				s.commitWindowLocked(set)
 				res.WindowsClosed++
 			}
+			endCommit()
 			// Every WAL entry now belongs to an archived window (the
 			// record that triggered the close is observed into the new
 			// window but not yet logged), so the checkpoint may
 			// truncate the log.
+			endCP := tr.Span("checkpoint")
 			s.checkpointLocked()
+			endCP()
 		}
 		if accepted := s.pipeline.Ingested() - before; accepted > 0 {
 			res.Accepted += accepted
@@ -460,7 +510,9 @@ func (s *Server) ingestLocked(records []netflow.Record) IngestResult {
 			s.metrics.FlowsDropped.Add(1)
 		}
 	}
+	endWAL := tr.Span("wal.append")
 	s.walAppendLocked(walPending)
+	endWAL()
 	res.CurrentWindow = s.pipeline.CurrentWindow()
 	return res
 }
@@ -608,6 +660,7 @@ func (s *Server) Flush() (int, error) {
 // is owned and drained by the caller (cmd/sigserverd) before calling
 // Shutdown.
 func (s *Server) Shutdown() error {
+	s.shuttingDown.Store(true) // /readyz flips to 503 while we drain
 	_, flushErr := s.Flush()
 	var saveErr error
 	if s.cfg.SnapshotDir != "" {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"graphsig/internal/core"
 	"graphsig/internal/fault"
@@ -72,6 +73,8 @@ func setFileName(w int) string { return fmt.Sprintf("window-%09d.sig", w) }
 func (s *Store) Save(dir string) error {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
+	begin := time.Now()
+	staged := int64(0) // bytes written into the staging dir
 
 	tmp := dir + tmpSuffix
 	if err := os.RemoveAll(tmp); err != nil {
@@ -100,6 +103,7 @@ func (s *Store) Save(dir string) error {
 		if err := writeFileSynced(filepath.Join(tmp, name), body.Bytes(), "store.save.set"); err != nil {
 			return fmt.Errorf("store: snapshot window %d: %w", set.Window, err)
 		}
+		staged += int64(body.Len())
 		fmt.Fprintf(&manifest, "set %s %d %08x\n", name, body.Len(), crc32.ChecksumIEEE(body.Bytes()))
 	}
 	fmt.Fprintf(&manifest, "crc %08x\n", crc32.ChecksumIEEE(manifest.Bytes()))
@@ -112,6 +116,8 @@ func (s *Store) Save(dir string) error {
 	if err := swapDirs(tmp, dir); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
+	s.obs.saveSeconds.ObserveSince(begin)
+	s.obs.saveBytes.Add(staged + int64(manifest.Len()))
 	return nil
 }
 

@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"graphsig/internal/core"
 	"graphsig/internal/distmat"
 	"graphsig/internal/graph"
 	"graphsig/internal/lsh"
+	"graphsig/internal/obs"
 )
 
 // Config parameterizes a Store.
@@ -40,6 +42,11 @@ type Config struct {
 	LSHBands, LSHRows int
 	// LSHSeed drives the MinHash hash family.
 	LSHSeed uint64
+	// Registry, when non-nil, receives the store's metrics (snapshot
+	// save latency and bytes, LSH index build latency, search probe
+	// counts, pairwise-engine row timings). Nil disables
+	// instrumentation at zero cost beyond one branch per event.
+	Registry *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -75,6 +82,40 @@ type Store struct {
 	// saveMu serializes Save calls (periodic snapshot loop vs window
 	// close vs shutdown) so two writers never race on the staging dir.
 	saveMu sync.Mutex
+
+	obs storeObs
+}
+
+// storeObs bundles the store's optional metric handles; the zero value
+// (no registry) is fully no-op.
+type storeObs struct {
+	saveSeconds  *obs.Histogram // successful Save wall time
+	saveBytes    *obs.Counter   // bytes staged by successful Saves
+	lshSeconds   *obs.Histogram // per-window LSH index build time
+	searchProbes *obs.Histogram // exact distance evaluations per Search
+	engine       distmat.Metrics
+}
+
+// bind registers the store metric families on reg (idempotent: names
+// resolve to the same handles on re-registration).
+func (o *storeObs) bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o.saveSeconds = reg.Histogram("store_snapshot_save_seconds",
+		"wall time of successful snapshot saves")
+	o.saveBytes = reg.Counter("store_snapshot_save_bytes_total",
+		"bytes written by successful snapshot saves")
+	o.lshSeconds = reg.Histogram("store_lsh_index_seconds",
+		"LSH MinHash index build time per archived window")
+	o.searchProbes = reg.HistogramWith("store_search_probes",
+		"exact distance evaluations per search request", obs.CountBounds(24))
+	o.engine = distmat.Metrics{
+		RowSeconds: reg.Histogram("distmat_row_seconds",
+			"pairwise-engine row computation time (one query vs one window)"),
+		Candidates: reg.HistogramWith("distmat_candidates",
+			"inverted-index candidates per engine row", obs.CountBounds(24)),
+	}
 }
 
 // New builds an empty store.
@@ -85,7 +126,9 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Universe == nil {
 		cfg.Universe = graph.NewUniverse()
 	}
-	return &Store{cfg: cfg, universe: cfg.Universe}, nil
+	s := &Store{cfg: cfg, universe: cfg.Universe}
+	s.obs.bind(cfg.Registry)
+	return s, nil
 }
 
 // Universe returns the shared label universe.
@@ -123,6 +166,8 @@ func (s *Store) Add(set *core.SignatureSet) error {
 }
 
 func (s *Store) buildIndex(set *core.SignatureSet) (*lsh.Index, error) {
+	begin := time.Now()
+	defer s.obs.lshSeconds.ObserveSince(begin)
 	hasher, err := lsh.NewHasher(s.cfg.LSHBands*s.cfg.LSHRows, s.cfg.LSHSeed)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -301,8 +346,10 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 		}
 	}
 	querier, fast := distmat.NewQuerier(d)
+	querier.SetMetrics(s.obs.engine)
 
 	var hits []Hit
+	probes := 0 // exact distance evaluations across all windows
 	for _, e := range ring {
 		if e.idx != nil && !opts.NoPrefilter && d.Name() == "jaccard" {
 			// minSim 0 keeps every bucket-sharing candidate; the exact
@@ -316,6 +363,7 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 				if !ok {
 					continue
 				}
+				probes++
 				if dist := d.Dist(sig, other); dist <= opts.MaxDist {
 					hits = append(hits, Hit{Node: c.Node, Label: s.universe.Label(c.Node), Window: e.set.Window, Dist: dist})
 				}
@@ -324,7 +372,7 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 		}
 		if fast && e.view != nil {
 			set := e.set
-			querier.Neighbors(e.view, sig, opts.MaxDist, func(i int, dist float64) {
+			probes += querier.Neighbors(e.view, sig, opts.MaxDist, func(i int, dist float64) {
 				v := set.Sources[i]
 				if v == exclude || set.Sigs[i].IsEmpty() {
 					return
@@ -337,11 +385,13 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 			if v == exclude || e.set.Sigs[i].IsEmpty() {
 				continue
 			}
+			probes++
 			if dist := d.Dist(sig, e.set.Sigs[i]); dist <= opts.MaxDist {
 				hits = append(hits, Hit{Node: v, Label: s.universe.Label(v), Window: e.set.Window, Dist: dist})
 			}
 		}
 	}
+	s.obs.searchProbes.Observe(float64(probes))
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Dist != hits[j].Dist {
 			return hits[i].Dist < hits[j].Dist

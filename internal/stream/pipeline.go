@@ -15,6 +15,7 @@ import (
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 	"graphsig/internal/sketch"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	Scheme string
 	// Sketch sizes the per-node state.
 	Sketch sketch.StreamConfig
+	// Registry, when non-nil, receives the pipeline's metrics
+	// (window-close signature extraction latency). Nil disables
+	// instrumentation.
+	Registry *obs.Registry
 }
 
 func (c *Config) validate() error {
@@ -70,6 +75,8 @@ type Pipeline struct {
 	ingested  int
 
 	current extractor
+
+	closeSeconds *obs.Histogram // window-close signature extraction time
 }
 
 // NewPipeline builds a pipeline over a shared (possibly pre-populated)
@@ -85,6 +92,10 @@ func NewPipeline(cfg Config, u *graph.Universe) (*Pipeline, error) {
 		u = graph.NewUniverse()
 	}
 	p := &Pipeline{cfg: cfg, universe: u}
+	if cfg.Registry != nil {
+		p.closeSeconds = cfg.Registry.Histogram("pipeline_window_close_seconds",
+			"signature extraction time per closed window")
+	}
 	if !cfg.Origin.IsZero() {
 		p.origin = cfg.Origin
 		p.originSet = true
@@ -166,6 +177,8 @@ func (p *Pipeline) Flush() (*core.SignatureSet, error) {
 }
 
 func (p *Pipeline) closeWindow() (*core.SignatureSet, error) {
+	begin := time.Now()
+	defer p.closeSeconds.ObserveSince(begin)
 	sources := p.current.Sources()
 	// Bipartite discipline: signatures only for Part1 sources, matching
 	// core.DefaultSources on materialized graphs.

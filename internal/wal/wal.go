@@ -42,6 +42,7 @@ import (
 
 	"graphsig/internal/fault"
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 )
 
 var header = []byte("GSWALv1\n")
@@ -81,6 +82,19 @@ type WAL struct {
 	f    *os.File
 	path string
 	buf  bytes.Buffer // frame scratch, reused across appends
+
+	// Optional instrumentation (nil handles no-op; see internal/obs).
+	syncHist   *obs.Histogram // write+fsync latency per flushed batch
+	bytesTotal *obs.Counter   // framed bytes appended
+}
+
+// Instrument attaches observability handles: syncHist observes the
+// write+fsync latency of every flushed batch (seconds), bytesTotal
+// counts framed bytes appended. Either may be nil. Call before sharing
+// the WAL across goroutines.
+func (w *WAL) Instrument(syncHist *obs.Histogram, bytesTotal *obs.Counter) {
+	w.syncHist = syncHist
+	w.bytesTotal = bytesTotal
 }
 
 // Open opens (creating if absent) the log at path, replays its frames,
@@ -233,6 +247,7 @@ func (w *WAL) frame(kind byte, payload []byte) {
 
 // flush writes the scratch buffer and syncs. Callers hold w.mu.
 func (w *WAL) flush() error {
+	begin := time.Now()
 	if err := fault.Inject("wal.write"); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -245,6 +260,8 @@ func (w *WAL) flush() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	w.syncHist.ObserveSince(begin)
+	w.bytesTotal.Add(int64(w.buf.Len()))
 	return nil
 }
 

@@ -21,3 +21,7 @@ go test -race ./...
 # tests; this catches races in the sharded row execution).
 go test -race -run '^$' -benchtime=1x \
 	-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
+# Observability smoke (make obs-smoke): the sigserverd replay e2e boots
+# the daemon, scrapes /metrics?format=prom, validates the exposition
+# with the obs line checker, and fetches a trace from /v1/traces.
+go test -race -run 'TestReplayRunExits' ./cmd/sigserverd/

@@ -6,6 +6,7 @@ package graphsig
 // in graphsig.go.
 
 import (
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 	"graphsig/internal/store"
 )
@@ -36,7 +37,25 @@ type (
 	// ServerRecovery reports what NewServer reconstructed from disk
 	// (snapshot restored/quarantined, WAL replay statistics).
 	ServerRecovery = server.Recovery
+
+	// MetricsRegistry is the observability registry every serving layer
+	// records into: counters, gauges and log-bucketed histograms,
+	// rendered as flat JSON or Prometheus text (see SignatureServer's
+	// GET /metrics). Library users embedding a SignatureStore directly
+	// can pass their own via SignatureStoreConfig.Registry.
+	MetricsRegistry = obs.Registry
+	// LatencyHistogram is a lock-free log-bucketed histogram with
+	// p50/p90/p99 quantile estimates.
+	LatencyHistogram = obs.Histogram
+	// RequestTracer mints per-request traces with named child spans; a
+	// bounded ring of recent traces is served at GET /v1/traces.
+	RequestTracer = obs.Tracer
+	// TraceSnapshot is one archived trace (ID, duration, spans).
+	TraceSnapshot = obs.TraceSnapshot
 )
+
+// NewMetricsRegistry builds an empty observability registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Float64 returns a pointer to v, for optional ServerConfig fields
 // such as WatchMaxDist.
