@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -26,6 +26,23 @@ crash-test:
 		-run 'Torn|Corrupt|Crash|Failpoint|Fault|Quarantine|Interrupted'
 	$(GO) test -race ./internal/server/ \
 		-run 'Crash|Corrupt|Torn|SnapshotFailure|ShutdownSave|Throttled|Dedup|Retries'
+
+# Deterministic simulation (internal/simcheck): drives the real
+# store+WAL+server through a seeded ≥10k-op schedule of ingest, search,
+# snapshots, fault injection, restarts and torn-tail crashes, checked
+# against an in-memory reference model. A divergence prints the seed
+# and a minimized op trace; re-running the seed replays it exactly.
+sim-smoke:
+	$(GO) test -race -run 'TestSim' ./internal/simcheck/
+
+# Bounded runs of the native fuzz targets: the netflow binary codec,
+# WAL frame recovery, and the merge-join distance kernels (bit-identity
+# vs the naive loops). Committed corpora under testdata/fuzz/ replay as
+# regression cases in the plain test suite; this also explores briefly.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadBinary -fuzztime 30s ./internal/netflow/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzSortedKernels -fuzztime 30s ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

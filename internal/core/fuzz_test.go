@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// fuzzSig decodes a signature from fuzz bytes: 3 bytes per entry — a
+// node id and a 2-byte weight mantissa — funneled through FromWeights
+// so the result is always Validate-clean (duplicates collapse, the
+// heaviest k survive in canonical order).
+func fuzzSig(data []byte, k int) Signature {
+	weights := make(map[graph.NodeID]float64)
+	for len(data) >= 3 {
+		node := graph.NodeID(data[0])
+		w := float64(binary.LittleEndian.Uint16(data[1:3]))
+		// Spread magnitudes across several orders so folds hit varied
+		// rounding, and keep some exact ties for tie-break coverage.
+		weights[node] += 0.25 + w/16
+		data = data[3:]
+	}
+	return FromWeights(weights, k)
+}
+
+// FuzzSortedKernels checks the merge-join kernels' bit-identity
+// contract: for any pair of Validate-clean signatures and every
+// distance in ExtendedDistances, DistKernel.Dist must return the exact
+// float64 the naive Distance.Dist does.
+func FuzzSortedKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{}, uint8(4))
+	f.Add([]byte{1, 16, 0, 2, 32, 0}, []byte{2, 32, 0, 3, 8, 0}, uint8(4))
+	f.Add([]byte{1, 1, 0, 2, 1, 0, 3, 1, 0}, []byte{4, 1, 0, 5, 1, 0}, uint8(2)) // disjoint, ties
+	f.Add([]byte{7, 255, 255, 7, 255, 255}, []byte{7, 255, 255}, uint8(8))       // duplicate folding
+
+	f.Fuzz(func(t *testing.T, araw, braw []byte, kraw uint8) {
+		k := 1 + int(kraw)%40
+		a := fuzzSig(araw, k)
+		b := fuzzSig(braw, k)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("fuzzSig built an invalid signature: %v", err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("fuzzSig built an invalid signature: %v", err)
+		}
+		sa, sb := NewSortedSig(a), NewSortedSig(b)
+		for _, d := range ExtendedDistances() {
+			kern, ok := NewDistKernel(d)
+			if !ok {
+				t.Fatalf("%s: no kernel", d.Name())
+			}
+			want := d.Dist(a, b)
+			got := kern.Dist(&sa, &sb)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: kernel %v (%x) != naive %v (%x) for %v vs %v",
+					d.Name(), got, math.Float64bits(got), want, math.Float64bits(want), a, b)
+			}
+			// Symmetric orientation: the kernels' a/b roles must both hold.
+			want = d.Dist(b, a)
+			got = kern.Dist(&sb, &sa)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s reversed: kernel %v != naive %v for %v vs %v", d.Name(), got, want, b, a)
+			}
+		}
+	})
+}

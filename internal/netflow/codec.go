@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -64,6 +65,17 @@ func ReadText(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
+// durationFromMillis converts a wire millisecond count, rejecting
+// values whose nanosecond form overflows time.Duration — the overflow
+// would otherwise wrap silently, letting a corrupt field round-trip to
+// a different duration (or a negative one) instead of an error.
+func durationFromMillis(ms int64) (time.Duration, error) {
+	if ms < 0 || ms > math.MaxInt64/int64(time.Millisecond) {
+		return 0, fmt.Errorf("duration %dms out of range", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
 func parseTextLine(text string) (Record, error) {
 	f := strings.Fields(text)
 	if len(f) != 8 {
@@ -93,11 +105,15 @@ func parseTextLine(text string) (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("bad packets: %w", err)
 	}
+	dur, err := durationFromMillis(durMS)
+	if err != nil {
+		return Record{}, err
+	}
 	rec := Record{
 		Src:      f[2],
 		Dst:      f[3],
 		Start:    time.UnixMilli(startMS).UTC(),
-		Duration: time.Duration(durMS) * time.Millisecond,
+		Duration: dur,
 		Proto:    proto,
 		Sessions: sessions,
 		Bytes:    bytes,
@@ -221,11 +237,15 @@ func ReadRecordBinary(r io.Reader) (Record, error) {
 			return Record{}, eofIsUnexpected(err)
 		}
 	}
+	dur, err := durationFromMillis(durMS)
+	if err != nil {
+		return Record{}, err
+	}
 	rec := Record{
 		Src:      src,
 		Dst:      dst,
 		Start:    time.UnixMilli(startMS).UTC(),
-		Duration: time.Duration(durMS) * time.Millisecond,
+		Duration: dur,
 		Proto:    Proto(proto),
 		Sessions: int(sessions),
 		Bytes:    bytes,

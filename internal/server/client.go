@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"graphsig/internal/netflow"
@@ -35,9 +36,20 @@ type Client struct {
 	MaxRetries int
 	// RetryBackoff is the base delay before the first retry, doubled
 	// each attempt with ±50% jitter (default 100 ms). A server-sent
-	// Retry-After overrides the computed delay.
+	// Retry-After overrides the computed delay. Every delay — computed
+	// or server-sent — is clamped to [RetryBackoff/2, MaxRetryDelay],
+	// so a long retry budget cannot overflow the shift into a negative
+	// duration and a Retry-After of 0 (or something absurd) cannot
+	// produce a hot loop or an hours-long stall.
 	RetryBackoff time.Duration
+
+	jitterMu sync.Mutex
+	jitter   *mrand.Rand // lazily seeded; avoids the deprecated global source
 }
+
+// MaxRetryDelay caps every retry delay, whether computed by backoff or
+// dictated by a server's Retry-After header.
+const MaxRetryDelay = 30 * time.Second
 
 // NewClient returns a client for the server at base.
 func NewClient(base string) *Client {
@@ -58,18 +70,60 @@ func retryable(status int) bool {
 }
 
 // backoff computes the jittered delay before retry attempt (0-based),
-// honoring a server-provided Retry-After in seconds when given.
+// honoring a server-provided Retry-After in seconds when given. The
+// result is always within [base/2, MaxRetryDelay]: the floor stops a
+// "Retry-After: 0" from turning retries into a hot loop hammering an
+// already overloaded server, the ceiling keeps both absurd Retry-After
+// values and the exponential's eventual int64 overflow (base<<attempt
+// goes negative around attempt 33 with the 100 ms base, which used to
+// panic mrand.Int63n) from stalling or crashing the caller.
 func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
-	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
 	base := c.RetryBackoff
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	d := base << attempt
+	if base > MaxRetryDelay {
+		base = MaxRetryDelay
+	}
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		return clampDelay(time.Duration(secs)*time.Second, base)
+	}
+	// Exponential growth, saturating instead of overflowing: once the
+	// shift would exceed the ceiling (or wrap negative) the delay pins
+	// at MaxRetryDelay.
+	d := MaxRetryDelay
+	if attempt < 63 {
+		if v := base << uint(attempt); v > 0 && v < MaxRetryDelay {
+			d = v
+		}
+	}
 	// ±50% jitter decorrelates a fleet of retrying senders.
-	return d/2 + time.Duration(mrand.Int63n(int64(d)))
+	return clampDelay(d/2+c.jitterDuration(d), base)
+}
+
+// clampDelay bounds a retry delay to [base/2, MaxRetryDelay].
+func clampDelay(d, base time.Duration) time.Duration {
+	if min := base / 2; d < min {
+		return min
+	}
+	if d > MaxRetryDelay {
+		return MaxRetryDelay
+	}
+	return d
+}
+
+// jitterDuration draws a uniform duration in [0, d) from the client's
+// private RNG, seeding it on first use.
+func (c *Client) jitterDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	if c.jitter == nil {
+		c.jitter = mrand.New(mrand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.jitter.Int63n(int64(d)))
 }
 
 func (c *Client) do(method, path string, body, out any) error {

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphsig/internal/netflow"
+)
+
+// TestBackoffBounds sweeps backoff over the whole retry range a caller
+// can configure and asserts every delay lands inside [base/2,
+// MaxRetryDelay] — the regression contract for the int64-overflow
+// panic (base << attempt going negative fed mrand.Int63n) and for the
+// Retry-After floor/cap.
+func TestBackoffBounds(t *testing.T) {
+	cases := []struct {
+		name       string
+		base       time.Duration
+		retryAfter string
+		attempts   int
+	}{
+		{"default base computed", 0, "", 64},
+		{"100ms base computed", 100 * time.Millisecond, "", 64},
+		{"large base computed", 10 * time.Second, "", 64},
+		{"base above ceiling", 2 * MaxRetryDelay, "", 8},
+		{"retry-after zero", 100 * time.Millisecond, "0", 4},
+		{"retry-after sane", 100 * time.Millisecond, "2", 4},
+		{"retry-after absurd", 100 * time.Millisecond, "86400", 4},
+		{"retry-after garbage", 100 * time.Millisecond, "soon", 64},
+		{"retry-after negative", 100 * time.Millisecond, "-5", 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Client{RetryBackoff: tc.base}
+			base := tc.base
+			if base <= 0 {
+				base = 100 * time.Millisecond
+			}
+			if base > MaxRetryDelay {
+				base = MaxRetryDelay
+			}
+			floor := base / 2
+			for attempt := 0; attempt < tc.attempts; attempt++ {
+				d := c.backoff(attempt, tc.retryAfter) // must not panic
+				if d < floor || d > MaxRetryDelay {
+					t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, floor, MaxRetryDelay)
+				}
+			}
+		})
+	}
+}
+
+// TestBackoffMonotoneUntilCap checks the exponential shape survives the
+// clamping: delays grow (in expectation bounds) and saturate at the cap
+// instead of wrapping negative.
+func TestBackoffMonotoneUntilCap(t *testing.T) {
+	c := &Client{RetryBackoff: time.Second}
+	// Attempt 40 would shift 1s << 40 — far past overflow territory for
+	// smaller bases and past the cap for this one.
+	for _, attempt := range []int{5, 6, 40, 62, 63, 64, 1000} {
+		d := c.backoff(attempt, "")
+		// With d pinned at the cap, jitter spans [cap/2, cap].
+		if d < MaxRetryDelay/2 || d > MaxRetryDelay {
+			t.Fatalf("attempt %d: saturated backoff %v outside [%v, %v]",
+				attempt, d, MaxRetryDelay/2, MaxRetryDelay)
+		}
+	}
+	// Early attempts must stay well under the cap.
+	if d := c.backoff(0, ""); d > 2*time.Second {
+		t.Fatalf("attempt 0: backoff %v, want ≤ 2s for a 1s base", d)
+	}
+}
+
+// TestBackoffRetryAfterClamp pins the exact clamp values for
+// server-sent delays.
+func TestBackoffRetryAfterClamp(t *testing.T) {
+	c := &Client{RetryBackoff: 100 * time.Millisecond}
+	if d := c.backoff(0, "0"); d != 50*time.Millisecond {
+		t.Fatalf("Retry-After 0: got %v, want the 50ms floor", d)
+	}
+	if d := c.backoff(0, "2"); d != 2*time.Second {
+		t.Fatalf("Retry-After 2: got %v, want 2s passed through", d)
+	}
+	if d := c.backoff(0, "86400"); d != MaxRetryDelay {
+		t.Fatalf("Retry-After 86400: got %v, want the %v cap", d, MaxRetryDelay)
+	}
+}
+
+// TestClientNoPanicAtMaxRetries64 drives a real retry loop (against a
+// server that always 429s with Retry-After: 0) at MaxRetries=64. Before
+// the overflow fix this panicked once the shift wrapped; now it must
+// just exhaust retries and return the last error, quickly (floor is
+// 50ms — but only a handful of retries are worth waiting for, so the
+// test trims MaxRetries to keep runtime sane while still crossing the
+// old panic threshold via TestBackoffBounds above).
+func TestClientNoPanicAtMaxRetries64(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"throttled"}`)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.MaxRetries = 64
+	c.RetryBackoff = time.Microsecond // keep the 65 attempts fast
+	_, err := c.Health()              // any endpoint exercises do()
+	if err == nil {
+		t.Fatal("want an error after exhausting retries")
+	}
+	if got := calls.Load(); got != 65 { // first try + 64 retries
+		t.Fatalf("server saw %d calls, want 65", got)
+	}
+}
+
+// TestIngestRetryDedupsExactlyOnce is the end-to-end idempotence
+// contract: a batch whose first POST is throttled with 429 must be
+// applied exactly once when the retry succeeds, keyed by its batch_id.
+func TestIngestRetryDedupsExactlyOnce(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Handler()
+
+	var posts atomic.Int64
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/flows" {
+			// Throttle the first attempt AFTER the server has fully
+			// processed it — modeling a response lost to a proxy timeout
+			// where the work was already applied.
+			if posts.Add(1) == 1 {
+				rec := httptest.NewRecorder()
+				inner.ServeHTTP(rec, r)
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(w, `{"error":"throttled after apply"}`)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(wrapped)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	records := []netflow.Record{
+		flowAt("10.0.0.1", "e1", time.Minute, 3),
+		flowAt("10.0.0.3", "e9", 2*time.Minute, 2),
+	}
+	res, err := c.Ingest(records)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if posts.Load() != 2 {
+		t.Fatalf("server saw %d POSTs, want 2 (throttled then retried)", posts.Load())
+	}
+	if !res.Deduplicated {
+		t.Fatal("retried batch should come back deduplicated")
+	}
+	if res.Accepted != 2 {
+		t.Fatalf("accepted %d, want 2", res.Accepted)
+	}
+	// The flows counter must reflect exactly one application.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if got := m["flows_accepted"]; got != 2 {
+		t.Fatalf("flows_accepted = %d, want 2 (batch applied exactly once)", got)
+	}
+}

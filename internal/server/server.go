@@ -697,6 +697,17 @@ func (s *Server) Shutdown() error {
 	return saveErr
 }
 
+// Abort releases the server's file handles without flushing, saving,
+// or truncating anything — the kill -9 path: what survives is exactly
+// the last snapshot plus the fsynced WAL frames. Crash-recovery tests
+// and the simcheck harness use it to model a crash without leaking a
+// descriptor per abandoned server. The server must not be used after.
+func (s *Server) Abort() {
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
 // Hits returns a copy of the recorded watchlist hit log, oldest first.
 func (s *Server) Hits() []WatchHit {
 	s.mu.RLock()

@@ -76,6 +76,14 @@ func (s *Store) Save(dir string) error {
 	begin := time.Now()
 	staged := int64(0) // bytes written into the staging dir
 
+	// An earlier swap interrupted between its two renames leaves the
+	// committed state only in the tmp sibling (dir already renamed
+	// aside). Repair that first: the RemoveAll below would otherwise
+	// destroy the sole complete copy, and if this Save then failed too,
+	// the effective snapshot would silently roll back to dir.prev.
+	if _, err := recoverDir(dir); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
 	tmp := dir + tmpSuffix
 	if err := os.RemoveAll(tmp); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
@@ -169,6 +177,13 @@ func swapDirs(tmp, dir string) error {
 		if err := os.Rename(dir, prev); err != nil {
 			return err
 		}
+	}
+	// Failpoint for the crash window between the two renames: the live
+	// dir is already aside but tmp not yet promoted. recoverDir repairs
+	// this by promoting the complete tmp (simcheck's crash schedules
+	// drive it).
+	if err := fault.Inject("store.save.swap.mid"); err != nil {
+		return err
 	}
 	if err := os.Rename(tmp, dir); err != nil {
 		return err

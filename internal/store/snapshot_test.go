@@ -300,3 +300,40 @@ func TestSaveFailpointLeavesOldSnapshot(t *testing.T) {
 		assertEquivalent(t, dir, orig)
 	}
 }
+
+func TestSaveAfterInterruptedSwapKeepsNewerState(t *testing.T) {
+	// Found by simcheck (seed 2): a swap interrupted between its two
+	// renames leaves the newly committed state only in dir.tmp. The next
+	// Save used to RemoveAll that tmp before staging — so if it then
+	// failed too, recovery fell back to dir.prev and the snapshot
+	// silently rolled back past a committed checkpoint.
+	t.Cleanup(fault.Reset)
+	dir := filepath.Join(t.TempDir(), "snap")
+	orig := savedSnapshot(t, dir) // 3 windows committed
+
+	// Grow the store and interrupt the swap mid-way: dir is renamed
+	// aside, tmp (with the 4-window state) never promoted.
+	u := orig.Universe()
+	set := buildSet(t, u, 3, map[string]map[string]float64{
+		"host-a": {"peer-1": 5},
+	})
+	if err := orig.Add(set); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-swap")
+	fault.Set("store.save.swap.mid", func() error { return boom })
+	if err := orig.Save(dir); !errors.Is(err, boom) {
+		t.Fatalf("Save returned %v", err)
+	}
+	fault.Clear("store.save.swap.mid")
+
+	// A subsequent Save that dies while staging must not destroy the
+	// only complete copy of the 4-window state.
+	fault.Set("store.save.set", func() error { return boom })
+	if err := orig.Save(dir); !errors.Is(err, boom) {
+		t.Fatalf("Save returned %v", err)
+	}
+	fault.Clear("store.save.set")
+
+	assertEquivalent(t, dir, orig) // all 4 windows, not the 3-window prev
+}

@@ -23,6 +23,7 @@ import (
 
 	"graphsig/internal/core"
 	"graphsig/internal/distmat"
+	"graphsig/internal/fault"
 	"graphsig/internal/graph"
 	"graphsig/internal/lsh"
 	"graphsig/internal/obs"
@@ -141,6 +142,9 @@ func (s *Store) Universe() *graph.Universe { return s.universe }
 func (s *Store) Add(set *core.SignatureSet) error {
 	if set == nil {
 		return fmt.Errorf("store: nil signature set")
+	}
+	if err := fault.Inject("store.add"); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"graphsig/internal/fault"
+	"graphsig/internal/netflow"
+)
+
+func flushFailRecord(src string, t0 time.Time) netflow.Record {
+	return netflow.Record{
+		Src:      src,
+		Dst:      "10.0.0.99",
+		Start:    t0,
+		Duration: time.Second,
+		Sessions: 1,
+		Bytes:    100,
+		Packets:  2,
+		Proto:    netflow.TCP,
+	}
+}
+
+// TestFlushFailureRollsBack exercises the torn-tail-on-failed-flush
+// bug: without rollback, a failed fsync leaves a partial frame behind
+// which later successful appends land *after*, and recovery — which
+// truncates at the first bad frame — silently drops those acked
+// records. The fix rolls the file back to the last acked offset on any
+// flush failure, so the log stays frame-aligned.
+func TestFlushFailureRollsBack(t *testing.T) {
+	defer fault.Reset()
+	t0 := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "roll.wal")
+
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]netflow.Record{flushFailRecord("10.0.0.1", t0)}); err != nil {
+		t.Fatalf("append A: %v", err)
+	}
+	before, err := w.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the fsync of batch B: the write itself lands but cannot be
+	// made durable, so Append must report failure AND undo the bytes.
+	fault.Set("wal.sync", func() error { return errors.New("injected sync failure") })
+	if err := w.Append([]netflow.Record{flushFailRecord("10.0.0.2", t0)}); err == nil {
+		t.Fatal("append with failing sync should error")
+	}
+	fault.Clear("wal.sync")
+
+	after, err := w.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("failed flush left %d bytes behind (size %d, want %d)", after-before, after, before)
+	}
+
+	// A later append must start exactly where batch A ended.
+	if err := w.Append([]netflow.Record{flushFailRecord("10.0.0.3", t0)}); err != nil {
+		t.Fatalf("append C: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornBytes != 0 {
+		t.Fatalf("TornBytes = %d, want 0 (rollback should keep the log frame-aligned)", rep.TornBytes)
+	}
+	got := make([]string, len(rep.Records))
+	for i, r := range rep.Records {
+		got[i] = r.Src
+	}
+	want := []string{"10.0.0.1", "10.0.0.3"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFlushFailureMidBatch checks that when one frame of a multi-record
+// batch is written before the failure, the whole batch is rolled back:
+// Append is all-or-nothing.
+func TestFlushFailureMidBatch(t *testing.T) {
+	defer fault.Reset()
+	t0 := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "midbatch.wal")
+
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Set("wal.sync", func() error { return errors.New("injected sync failure") })
+	batch := []netflow.Record{
+		flushFailRecord("10.0.0.4", t0),
+		flushFailRecord("10.0.0.5", t0),
+	}
+	if err := w.Append(batch); err == nil {
+		t.Fatal("append with failing sync should error")
+	}
+	fault.Clear("wal.sync")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 0 || rep.TornBytes != 0 {
+		t.Fatalf("got %d records, %d torn bytes; want an empty, clean log",
+			len(rep.Records), rep.TornBytes)
+	}
+}
+
+// TestResetClearsBroken verifies that a log marked broken (rollback
+// itself failed) recovers through Reset.
+func TestResetClearsBroken(t *testing.T) {
+	defer fault.Reset()
+	t0 := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	path := filepath.Join(t.TempDir(), "broken.wal")
+
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the broken state directly: simulating a failed Truncate
+	// would need OS-level interference, and the flag's contract is what
+	// matters here.
+	w.mu.Lock()
+	w.broken = true
+	w.mu.Unlock()
+
+	if err := w.Append([]netflow.Record{flushFailRecord("10.0.0.6", t0)}); err == nil {
+		t.Fatal("append on a broken log should fail fast")
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if err := w.Append([]netflow.Record{flushFailRecord("10.0.0.7", t0)}); err != nil {
+		t.Fatalf("append after reset: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 1 || rep.Records[0].Src != "10.0.0.7" {
+		t.Fatalf("replayed %+v, want exactly the post-reset record", rep.Records)
+	}
+}

@@ -77,11 +77,24 @@ type Replay struct {
 
 // WAL is an append-only, CRC-framed flow record log. Methods are
 // goroutine-safe.
+//
+// Append is all-or-nothing: a failed write or fsync rolls the file back
+// to the last durably acked offset, so a transient failure can never
+// leave a partial frame in the middle of the log. Without the rollback,
+// later (successful) appends would land after the torn region and
+// recovery — which truncates at the first bad frame — would silently
+// drop them, losing records the caller was told were durable.
 type WAL struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
 	buf  bytes.Buffer // frame scratch, reused across appends
+	good int64        // offset after the last durably acked frame
+	// broken flips when a failed flush could not be rolled back: the
+	// tail may hold a partial frame, so further appends would be
+	// silently unrecoverable. Every later Append fails fast instead;
+	// a successful Reset restores a consistent (empty) log.
+	broken bool
 
 	// Optional instrumentation (nil handles no-op; see internal/obs).
 	syncHist   *obs.Histogram // write+fsync latency per flushed batch
@@ -129,6 +142,7 @@ func (w *WAL) recover() (Replay, error) {
 		if err := w.f.Sync(); err != nil {
 			return Replay{}, fmt.Errorf("wal: %w", err)
 		}
+		w.good = int64(len(header))
 		return Replay{}, nil
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
@@ -195,6 +209,7 @@ scan:
 	if _, err := w.f.Seek(good, io.SeekStart); err != nil {
 		return Replay{}, fmt.Errorf("wal: %w", err)
 	}
+	w.good = good
 	return rep, nil
 }
 
@@ -245,9 +260,38 @@ func (w *WAL) frame(kind byte, payload []byte) {
 	w.buf.Write(payload)
 }
 
-// flush writes the scratch buffer and syncs. Callers hold w.mu.
+// flush writes the scratch buffer and syncs. On any failure it rolls
+// the file back to the last acked offset so no partial frame survives
+// in the middle of the log (see the WAL doc comment). Callers hold
+// w.mu.
 func (w *WAL) flush() error {
+	if w.broken {
+		return fmt.Errorf("wal: log broken by an earlier unrecoverable flush failure")
+	}
 	begin := time.Now()
+	err := w.writeAndSync()
+	if err != nil {
+		// Roll back whatever partial frame the failed write left behind.
+		if _, serr := w.f.Seek(w.good, io.SeekStart); serr == nil {
+			serr = w.f.Truncate(w.good)
+			if serr != nil {
+				w.broken = true
+				return fmt.Errorf("wal: rollback after failed flush: %v (original: %w)", serr, err)
+			}
+		} else {
+			w.broken = true
+			return fmt.Errorf("wal: rollback after failed flush: %v (original: %w)", serr, err)
+		}
+		return err
+	}
+	w.good += int64(w.buf.Len())
+	w.syncHist.ObserveSince(begin)
+	w.bytesTotal.Add(int64(w.buf.Len()))
+	return nil
+}
+
+// writeAndSync performs the raw write+fsync of the scratch buffer.
+func (w *WAL) writeAndSync() error {
 	if err := fault.Inject("wal.write"); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -260,8 +304,6 @@ func (w *WAL) flush() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	w.syncHist.ObserveSince(begin)
-	w.bytesTotal.Add(int64(w.buf.Len()))
 	return nil
 }
 
@@ -284,6 +326,8 @@ func (w *WAL) Reset() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	w.good = int64(len(header))
+	w.broken = false
 	return nil
 }
 

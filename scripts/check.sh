@@ -25,3 +25,13 @@ go test -race -run '^$' -benchtime=1x \
 # the daemon, scrapes /metrics?format=prom, validates the exposition
 # with the obs line checker, and fetches a trace from /v1/traces.
 go test -race -run 'TestReplayRunExits' ./cmd/sigserverd/
+# Simulation smoke (make sim-smoke): the deterministic simulation
+# harness replays its fixed seed set (≥10k ops, incl. fault and crash
+# schedules) against the reference model under the race detector.
+go test -race -run 'TestSim' ./internal/simcheck/
+# Fuzz smoke (make fuzz-smoke): short exploratory runs of the three
+# native fuzz targets; their committed testdata corpora already replay
+# as regression cases in the race run above.
+go test -run '^$' -fuzz FuzzReadBinary -fuzztime 15s ./internal/netflow/
+go test -run '^$' -fuzz FuzzWALReplay -fuzztime 15s ./internal/wal/
+go test -run '^$' -fuzz FuzzSortedKernels -fuzztime 15s ./internal/core/
