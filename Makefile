@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -34,6 +34,16 @@ crash-test:
 # and a minimized op trace; re-running the seed replays it exactly.
 sim-smoke:
 	$(GO) test -race -run 'TestSim' ./internal/simcheck/
+
+# Cluster smoke: the 2-shard (+1 follower) topology tests — routed
+# ingest accounting, scatter-gather search/anomaly/watchlist answers
+# bit-identical to a single node over the union, partial-result
+# degradation with a shard down, and WAL-shipped follower catch-up
+# serving reads after the primary dies — plus the ring properties and
+# the RNG-driven cluster-equivalence simulation.
+cluster-smoke:
+	$(GO) test -race -run 'TestCluster|TestRing' ./internal/cluster/
+	$(GO) test -race -run 'TestSimCluster' ./internal/simcheck/
 
 # Bounded runs of the native fuzz targets: the netflow binary codec,
 # WAL frame recovery, and the merge-join distance kernels (bit-identity

@@ -1,0 +1,125 @@
+// Command sigrouterd fronts a fleet of sigserverd shards with the same
+// v1 API a single node serves: it partitions ingest batches across the
+// shards by consistent hashing of source labels, scatter-gathers the
+// read paths, and merges the answers bit-identically to a single-node
+// run over the union of the data.
+//
+//	sigrouterd -addr :8780 \
+//	    -shard http://10.0.0.1:8787,http://10.0.0.1:8788 \
+//	    -shard http://10.0.0.2:8787
+//
+// Each -shard flag names one shard; a comma-separated list gives that
+// shard's seed addresses (the router fails over between them). Shard
+// order must be stable across router restarts and must match the
+// -shard-index each sigserverd was started with — the ring is the
+// contract, and /readyz exposes its epoch so mismatches are visible.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphsig/internal/cluster"
+)
+
+// shardList collects repeated -shard flags, each a comma-separated
+// seed-address list for one shard.
+type shardList [][]string
+
+func (s *shardList) String() string { return fmt.Sprint([][]string(*s)) }
+
+func (s *shardList) Set(v string) error {
+	seeds := strings.Split(v, ",")
+	for i, a := range seeds {
+		seeds[i] = strings.TrimSpace(a)
+		if seeds[i] == "" {
+			return fmt.Errorf("empty address in shard %q", v)
+		}
+	}
+	*s = append(*s, seeds)
+	return nil
+}
+
+type options struct {
+	addr    string
+	shards  shardList
+	vnodes  int
+	timeout time.Duration
+	retries int
+}
+
+func main() {
+	var o options
+	fs := flag.NewFlagSet("sigrouterd", flag.ExitOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8780", "listen address")
+	fs.Var(&o.shards, "shard", "shard seed addresses, comma-separated (repeat once per shard, in shard-index order)")
+	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the hash ring (0 = default; must match the shards)")
+	fs.DurationVar(&o.timeout, "timeout", cluster.DefaultScatterTimeout, "per-shard deadline for scatter-gather reads")
+	fs.IntVar(&o.retries, "retries", 0, "extra attempts per shard call (0 = client default)")
+	_ = fs.Parse(os.Args[1:])
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sigrouterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	logger := slog.New(slog.NewTextHandler(out, nil))
+
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards:     o.shards,
+		VNodes:     o.vnodes,
+		Timeout:    o.timeout,
+		MaxRetries: o.retries,
+		Logger:     logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	id := rt.Identity()
+	logger.Info(fmt.Sprintf("sigrouterd: serving on http://%s", ln.Addr()),
+		"shards", id.Shards, "ring_epoch", id.RingEpoch)
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		logger.Info("sigrouterd: signal received, shutting down")
+	case runErr = <-errc:
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}

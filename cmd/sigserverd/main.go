@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"graphsig/internal/cluster"
 	"graphsig/internal/core"
 	"graphsig/internal/datagen"
 	"graphsig/internal/netflow"
@@ -78,6 +79,14 @@ type options struct {
 	debugAddr    string
 	slowOp       time.Duration
 
+	shardIndex int
+	shardCount int
+	vnodes     int
+	replicate  bool
+	walRetain  int
+	follow     string
+	followPoll time.Duration
+
 	replay        bool
 	replaySeed    int64
 	replayHosts   int
@@ -110,6 +119,13 @@ func main() {
 	fs.IntVar(&o.sketchCand, "sketch-candidates", 256, "tracked heavy neighbours per source")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	fs.DurationVar(&o.slowOp, "slow-op", 500*time.Millisecond, "traced spans over this duration log a slow-operation warning (0 = disabled)")
+	fs.IntVar(&o.shardIndex, "shard-index", 0, "this node's shard index in a cluster (with -shard-count)")
+	fs.IntVar(&o.shardCount, "shard-count", 0, "total shards in the cluster (0 = single-node)")
+	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the hash ring (0 = default; must match the router)")
+	fs.BoolVar(&o.replicate, "replicate", false, "serve the WAL to read replicas over /v1/replication (requires -snapshot)")
+	fs.IntVar(&o.walRetain, "wal-retain", server.DefaultReplicaRetain, "sealed WAL segments kept for replica catch-up (-1 = all)")
+	fs.StringVar(&o.follow, "follow", "", "run as a read replica tailing this primary (comma-separated seed addresses)")
+	fs.DurationVar(&o.followPoll, "follow-poll", 0, "replication poll interval when caught up (0 = default)")
 	fs.BoolVar(&o.replay, "replay", false, "self-benchmark: replay a synthetic workload over HTTP, then exit")
 	fs.Int64Var(&o.replaySeed, "replay-seed", 1, "replay workload seed")
 	fs.IntVar(&o.replayHosts, "replay-hosts", 300, "replay local hosts")
@@ -148,6 +164,10 @@ func serverConfig(o options) (server.Config, error) {
 		}
 		scfg.Origin = t
 	}
+	node, err := nodeIdentity(o)
+	if err != nil {
+		return server.Config{}, err
+	}
 	return server.Config{
 		Stream:        scfg,
 		StoreCapacity: o.capacity,
@@ -160,7 +180,34 @@ func serverConfig(o options) (server.Config, error) {
 		DisableWAL:    o.noWAL,
 		MaxInFlight:   o.maxInFlight,
 		SlowOp:        o.slowOp,
+		Node:          node,
+		Replicate:     o.replicate,
+		ReplicaRetain: o.walRetain,
 	}, nil
+}
+
+// nodeIdentity derives this node's cluster identity for /readyz and
+// metric labels. The ring epoch comes from the same ring construction
+// the router uses, so a router/shard membership mismatch is visible by
+// comparing epochs.
+func nodeIdentity(o options) (*server.Identity, error) {
+	role := "single"
+	if o.replicate {
+		role = "primary"
+	}
+	id := &server.Identity{Role: role, Shard: o.shardIndex}
+	if o.shardCount > 0 {
+		if o.shardIndex < 0 || o.shardIndex >= o.shardCount {
+			return nil, fmt.Errorf("-shard-index %d out of range for -shard-count %d", o.shardIndex, o.shardCount)
+		}
+		ring, err := cluster.NewRing(o.shardCount, o.vnodes)
+		if err != nil {
+			return nil, err
+		}
+		id.Shards = o.shardCount
+		id.RingEpoch = ring.Epoch()
+	}
+	return id, nil
 }
 
 func run(o options, out io.Writer) error {
@@ -171,6 +218,10 @@ func run(o options, out io.Writer) error {
 	// with the server's slow-operation warnings (trace IDs included)
 	// interleaved on the same handler.
 	logger := slog.New(slog.NewTextHandler(out, nil))
+
+	if o.follow != "" {
+		return runFollower(ctx, o, logger)
+	}
 
 	cfg, err := serverConfig(o)
 	if err != nil {
@@ -291,6 +342,74 @@ func run(o options, out io.Writer) error {
 	}
 	if o.snapshot != "" {
 		logger.Info("sigserverd: snapshot saved to "+o.snapshot, "windows", srv.Store().Len())
+	}
+	return runErr
+}
+
+// runFollower runs the daemon as a WAL-tailing read replica: it builds
+// the same pipeline configuration a primary would, but fills it from
+// the primary's shipped log instead of client ingest, and serves the
+// read-only API.
+func runFollower(ctx context.Context, o options, logger *slog.Logger) error {
+	cfg, err := serverConfig(o)
+	if err != nil {
+		return err
+	}
+	node := &server.Identity{Role: "follower", Shard: o.shardIndex}
+	if cfg.Node != nil {
+		node.Shards = cfg.Node.Shards
+		node.RingEpoch = cfg.Node.RingEpoch
+	}
+	f, err := cluster.NewFollower(cluster.FollowerConfig{
+		Primary:       strings.Split(o.follow, ","),
+		Stream:        cfg.Stream,
+		StoreCapacity: cfg.StoreCapacity,
+		Distance:      cfg.Distance,
+		LSHBands:      cfg.LSHBands,
+		LSHRows:       cfg.LSHRows,
+		LSHSeed:       cfg.LSHSeed,
+		Poll:          o.followPoll,
+		Node:          node,
+		Logger:        logger,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           f.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	f.Start()
+	logger.Info(fmt.Sprintf("sigserverd: following %s on http://%s", o.follow, ln.Addr()))
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		logger.Info("sigserverd: signal received, shutting down")
+	case runErr = <-errc:
+	}
+	f.Stop()
+	if st := f.Stats(); st.Fatal != "" && runErr == nil {
+		runErr = errors.New(st.Fatal)
+	} else {
+		logger.Info("sigserverd: follower stopped",
+			"gen", f.Stats().Gen, "applied", f.Stats().AppliedRecords, "caught_up", f.Stats().CaughtUp)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && runErr == nil {
+		runErr = err
 	}
 	return runErr
 }

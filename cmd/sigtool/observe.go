@@ -5,8 +5,6 @@ import (
 	"io"
 	"strings"
 	"time"
-
-	"graphsig/internal/server"
 )
 
 // runObserve polls a running sigserverd's /metrics endpoint and renders
@@ -19,7 +17,7 @@ func runObserve(cfg config, out io.Writer) error {
 	if cfg.samples <= 0 {
 		return fmt.Errorf("observe: -samples must be positive")
 	}
-	c := server.NewClient(cfg.addr)
+	c := newClient(cfg.addr)
 	var prev map[string]int64
 	var prevAt time.Time
 	for i := 0; i < cfg.samples; i++ {

@@ -59,3 +59,83 @@ func DetectAnomalies(d core.Distance, at, next *core.SignatureSet, zCut float64)
 	})
 	return out, sum, nil
 }
+
+// PersistencePair is one label's self-persistence between two
+// consecutive windows, keyed by the interned label rather than the
+// process-local NodeID so results from different processes (cluster
+// shards) can be merged.
+type PersistencePair struct {
+	Label       string
+	Persistence float64
+}
+
+// PersistenceByLabel computes self-persistence for every source
+// present in both windows, keyed and sorted by label. The sorted-slice
+// form exists for determinism: eval.Persistence returns a map, and
+// feeding its random iteration order into Welford accumulation makes
+// the population mean/stddev runtime-dependent at the ulp level.
+// Everything downstream of this function is a pure function of the
+// sorted slice, so two processes holding the same (label, persistence)
+// pairs — or one process holding the union of several shards' disjoint
+// pairs — report bit-identical statistics.
+func PersistenceByLabel(d core.Distance, u *graph.Universe, at, next *core.SignatureSet) []PersistencePair {
+	pers := eval.Persistence(d, at, next)
+	out := make([]PersistencePair, 0, len(pers))
+	for v, p := range pers {
+		out = append(out, PersistencePair{Label: u.Label(v), Persistence: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabeledAnomaly is Anomaly with the node resolved to its label — the
+// form served over the wire and merged across shards.
+type LabeledAnomaly struct {
+	Label       string  `json:"label"`
+	Persistence float64 `json:"persistence"`
+	ZScore      float64 `json:"z"`
+}
+
+// DetectAnomaliesByLabel is DetectAnomalies over label-keyed pairs:
+// it accumulates the population statistics in label order (sorting a
+// copy if the input is unsorted) and reports labels more than zCut
+// standard deviations below the mean, sorted by ascending persistence
+// then label. Because the accumulation order is fixed by the labels
+// alone, the output is bit-identical for any two inputs holding the
+// same pairs, regardless of how they were partitioned or ordered.
+func DetectAnomaliesByLabel(pairs []PersistencePair, zCut float64) ([]LabeledAnomaly, stats.Summary, error) {
+	if zCut <= 0 {
+		return nil, stats.Summary{}, fmt.Errorf("apps: zCut must be positive, got %g", zCut)
+	}
+	if len(pairs) == 0 {
+		return nil, stats.Summary{}, fmt.Errorf("apps: no sources present in both windows")
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Label < pairs[j].Label }) {
+		sorted := append([]PersistencePair(nil), pairs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Label < sorted[j].Label })
+		pairs = sorted
+	}
+	var acc stats.Accumulator
+	for _, p := range pairs {
+		acc.Add(p.Persistence)
+	}
+	sum := acc.Summarize()
+	sd := sum.StdDev
+	if sd == 0 {
+		return nil, sum, nil
+	}
+	var out []LabeledAnomaly
+	for _, p := range pairs {
+		z := (p.Persistence - sum.Mean) / sd
+		if z < -zCut {
+			out = append(out, LabeledAnomaly{Label: p.Label, Persistence: p.Persistence, ZScore: z})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Persistence != out[j].Persistence {
+			return out[i].Persistence < out[j].Persistence
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out, sum, nil
+}

@@ -1,0 +1,534 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"graphsig/internal/datagen"
+	"graphsig/internal/netflow"
+	"graphsig/internal/server"
+	"graphsig/internal/sketch"
+	"graphsig/internal/stream"
+)
+
+// testStreamConfig builds the pipeline configuration every node in a
+// test topology shares — identical configuration is the cluster
+// contract, so one constructor keeps the tests honest.
+func testStreamConfig(gcfg datagen.EnterpriseConfig) stream.Config {
+	return stream.Config{
+		WindowSize: gcfg.WindowLength,
+		Origin:     gcfg.Origin,
+		Classify:   datagen.LocalClassifier,
+		TCPOnly:    true,
+		K:          10,
+		Scheme:     "tt",
+		Sketch:     sketch.StreamConfig{Width: 2048, Depth: 4, Candidates: 128, Seed: 3},
+	}
+}
+
+// newTestNode boots one sigserverd-equivalent server and serves it on
+// an ephemeral port.
+func newTestNode(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Abort() })
+	return srv, ts
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// sortHits applies the router's watch-hit order so single-node hit
+// logs (which are chronological) compare against merged ones.
+func sortHits(hits []server.WatchHitJSON) {
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Individual != b.Individual {
+			return a.Individual < b.Individual
+		}
+		return a.ArchivedWindow < b.ArchivedWindow
+	})
+}
+
+// TestClusterSmokeBitIdentical is the tentpole acceptance test: a
+// 2-shard router topology must answer search, anomaly and watchlist
+// queries bit-identically to one node holding the union of the data.
+func TestClusterSmokeBitIdentical(t *testing.T) {
+	gcfg := datagen.DefaultEnterpriseConfig(17)
+	gcfg.LocalHosts = 20
+	gcfg.ExternalHosts = 250
+	gcfg.Communities = 3
+	gcfg.Windows = 3
+	gcfg.MultiusageIndividuals = 2
+	data, err := datagen.GenerateEnterprise(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseCfg := func() server.Config {
+		return server.Config{
+			Stream:        testStreamConfig(gcfg),
+			StoreCapacity: 8,
+			WatchMaxDist:  server.Float64(0.9),
+		}
+	}
+	srvA, tsA := newTestNode(t, baseCfg())
+	srvB, tsB := newTestNode(t, baseCfg())
+	refSrv, refTS := newTestNode(t, baseCfg())
+	refClient := server.NewClient(refTS.URL)
+
+	rt, err := NewRouter(Config{
+		Shards:  [][]string{{tsA.URL}, {tsB.URL}},
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same stream through both worlds, batch by batch; per-batch
+	// accounting must already agree.
+	const batchSize = 500
+	for i := 0; i < len(data.Records); i += batchSize {
+		end := min(i+batchSize, len(data.Records))
+		batch := data.Records[i:end]
+		id := fmt.Sprintf("smoke-%06d", i)
+		cres, err := rt.Ingest(id, batch)
+		if err != nil {
+			t.Fatalf("routed ingest %s: %v", id, err)
+		}
+		rres, err := refClient.IngestBatch(id, batch)
+		if err != nil {
+			t.Fatalf("reference ingest %s: %v", id, err)
+		}
+		if cres.Accepted != rres.Accepted || cres.Dropped != rres.Dropped || cres.Rejected != rres.Rejected {
+			t.Fatalf("batch %s accounting diverged: cluster %+v, single %+v", id, cres.IngestResult, rres)
+		}
+		if cres.ShardsOK != cres.ShardsTotal {
+			t.Fatalf("batch %s landed on %d/%d shards", id, cres.ShardsOK, cres.ShardsTotal)
+		}
+	}
+
+	// Watch one planted multiusage label in both worlds before the
+	// final window closes, so screening runs on the same evidence.
+	pairs := data.Truth.MultiusageSets()
+	if len(pairs) == 0 {
+		t.Fatal("workload has no multiusage ground truth")
+	}
+	watched := pairs[0][0]
+	if _, err := rt.WatchlistAdd(server.WatchlistAddRequest{Individual: "case-0", Label: watched}); err != nil {
+		t.Fatalf("cluster watchlist add: %v", err)
+	}
+	if _, err := refClient.WatchlistAdd(server.WatchlistAddRequest{Individual: "case-0", Label: watched}); err != nil {
+		t.Fatalf("reference watchlist add: %v", err)
+	}
+
+	// Close the final partial window everywhere. Shard window close is
+	// lazy (driven by each shard's own record arrivals), so this is the
+	// comparison barrier.
+	for _, s := range []*server.Server{srvA, srvB, refSrv} {
+		if _, err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := srvA.Store().Len()+srvB.Store().Len(), 0; got == want {
+		t.Fatal("shards archived nothing; the workload never reached them")
+	}
+
+	// Every source label queried through both worlds: identical errors,
+	// and bit-identical hit lists (JSON is the wire format, so equality
+	// of the encoding is the real contract).
+	seen := map[string]bool{}
+	compared := 0
+	for _, rec := range data.Records {
+		if seen[rec.Src] {
+			continue
+		}
+		seen[rec.Src] = true
+		req := server.SearchRequest{Label: rec.Src, K: 10, MaxDist: 0.95}
+		cres, cerr := rt.Search(req)
+		rres, rerr := refClient.Search(req)
+		if (cerr != nil) != (rerr != nil) {
+			t.Fatalf("search %q: cluster err %v, single err %v", rec.Src, cerr, rerr)
+		}
+		if cerr != nil {
+			continue
+		}
+		if cj, rj := mustJSON(t, cres.Hits), mustJSON(t, rres.Hits); cj != rj {
+			t.Fatalf("search %q diverged:\ncluster: %s\nsingle:  %s", rec.Src, cj, rj)
+		}
+		compared++
+	}
+	if compared < 10 {
+		t.Fatalf("only %d labels compared; workload too sparse to prove anything", compared)
+	}
+
+	// Anomalies: same population statistics, same flagged set, bitwise.
+	cano, err := rt.Anomalies("", 2.0)
+	if err != nil {
+		t.Fatalf("cluster anomalies: %v", err)
+	}
+	if cano.ShardsOK != cano.ShardsTotal {
+		t.Fatalf("anomalies degraded: %d/%d shards", cano.ShardsOK, cano.ShardsTotal)
+	}
+	rano, err := refClient.Anomalies(2.0)
+	if err != nil {
+		t.Fatalf("reference anomalies: %v", err)
+	}
+	if cano.FromWindow != rano.FromWindow || cano.ToWindow != rano.ToWindow {
+		t.Fatalf("anomaly windows diverged: cluster (%d,%d), single (%d,%d)",
+			cano.FromWindow, cano.ToWindow, rano.FromWindow, rano.ToWindow)
+	}
+	if cano.Mean != rano.Mean || cano.StdDev != rano.StdDev {
+		t.Fatalf("anomaly statistics diverged: cluster (%v,%v), single (%v,%v)",
+			cano.Mean, cano.StdDev, rano.Mean, rano.StdDev)
+	}
+	if cj, rj := mustJSON(t, cano.Anomalies), mustJSON(t, rano.Anomalies); cj != rj {
+		t.Fatalf("anomaly sets diverged:\ncluster: %s\nsingle:  %s", cj, rj)
+	}
+
+	// Watchlist hits: same set under the router's deterministic order.
+	chits, err := rt.WatchlistHits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhits, err := refClient.WatchlistHits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortHits(rhits.Hits)
+	if cj, rj := mustJSON(t, chits.Hits), mustJSON(t, rhits.Hits); cj != rj {
+		t.Fatalf("watchlist hits diverged:\ncluster: %s\nsingle:  %s", cj, rj)
+	}
+
+	// History routes to the owner shard and must match the single node.
+	chist, err := rt.History(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhist, err := refClient.History(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cj, rj := mustJSON(t, chist.History), mustJSON(t, rhist.History); cj != rj {
+		t.Fatalf("history %q diverged:\ncluster: %s\nsingle:  %s", watched, cj, rj)
+	}
+}
+
+// TestClusterDegradation checks partial-result behavior: with one of
+// two shards down, reads still answer from the survivor and report
+// shards_ok=1/2 instead of failing.
+func TestClusterDegradation(t *testing.T) {
+	gcfg := datagen.DefaultEnterpriseConfig(23)
+	gcfg.LocalHosts = 12
+	gcfg.ExternalHosts = 150
+	gcfg.Windows = 2
+	gcfg.MultiusageIndividuals = 1
+	data, err := datagen.GenerateEnterprise(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg := func() server.Config {
+		return server.Config{Stream: testStreamConfig(gcfg), StoreCapacity: 8}
+	}
+	srvA, tsA := newTestNode(t, baseCfg())
+	srvB, tsB := newTestNode(t, baseCfg())
+	rt, err := NewRouter(Config{
+		Shards:     [][]string{{tsA.URL}, {tsB.URL}},
+		Timeout:    10 * time.Second,
+		MaxRetries: -1, // a dead shard should degrade fast, not backoff
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Ingest("deg-1", data.Records); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*server.Server{srvA, srvB} {
+		if _, err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Find a label shard 0 owns, then take shard 1 down.
+	var survivorLabel string
+	for _, rec := range data.Records {
+		if rt.Ring().Shard(rec.Src) == 0 {
+			survivorLabel = rec.Src
+			break
+		}
+	}
+	if survivorLabel == "" {
+		t.Fatal("no label owned by shard 0")
+	}
+	tsB.Close()
+
+	sres, err := rt.Search(server.SearchRequest{Label: survivorLabel, K: 5, MaxDist: 0.99})
+	if err != nil {
+		t.Fatalf("degraded search should still answer: %v", err)
+	}
+	if sres.ShardsOK != 1 || sres.ShardsTotal != 2 {
+		t.Fatalf("degraded search reported %d/%d shards, want 1/2", sres.ShardsOK, sres.ShardsTotal)
+	}
+	ares, err := rt.Anomalies("", 2.0)
+	if err != nil {
+		t.Fatalf("degraded anomalies should still answer: %v", err)
+	}
+	if ares.ShardsOK != 1 || ares.ShardsTotal != 2 {
+		t.Fatalf("degraded anomalies reported %d/%d shards, want 1/2", ares.ShardsOK, ares.ShardsTotal)
+	}
+	hres, err := rt.WatchlistHits()
+	if err != nil {
+		t.Fatalf("degraded watchlist hits should still answer: %v", err)
+	}
+	if hres.ShardsOK != 1 || hres.ShardsTotal != 2 {
+		t.Fatalf("degraded hits reported %d/%d shards, want 1/2", hres.ShardsOK, hres.ShardsTotal)
+	}
+
+	// The router's own surface reflects the degradation: /readyz goes
+	// 503 with the dead shard named, and the partial counter moves.
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	resp, err := http.Get(rts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a dead shard = %d, want 503", resp.StatusCode)
+	}
+	var ready server.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || ready.Node == nil || ready.Node.Role != "router" {
+		t.Fatalf("readyz body %+v, want not-ready with router identity", ready)
+	}
+	if got := rt.Registry().Snapshot()["partial_results"]; got == 0 {
+		t.Fatal("partial_results counter did not move under degradation")
+	}
+
+	// Routed ingest with the owner of some records dead is a partial
+	// failure: reported as an error with per-shard accounting, so the
+	// client can retry the same batch ID for exactly-once completion.
+	if _, err := rt.Ingest("deg-2", data.Records); err == nil {
+		t.Fatal("ingest with a dead shard should report partial failure")
+	}
+}
+
+// TestClusterNodeIdentity checks the identity satellite: shard servers
+// report role/shard/ring-epoch in /readyz and as constant Prometheus
+// labels.
+func TestClusterNodeIdentity(t *testing.T) {
+	gcfg := datagen.DefaultEnterpriseConfig(5)
+	ring, err := NewRing(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 4,
+		Node:          &server.Identity{Role: "primary", Shard: 1, Shards: 2, RingEpoch: ring.Epoch()},
+	}
+	_, ts := newTestNode(t, cfg)
+	c := server.NewClient(ts.URL)
+	ready, err := c.Ready()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready.Node == nil {
+		t.Fatal("readyz has no node identity")
+	}
+	if ready.Node.Role != "primary" || ready.Node.Shard != 1 || ready.Node.Shards != 2 || ready.Node.RingEpoch != ring.Epoch() {
+		t.Fatalf("readyz identity %+v", ready.Node)
+	}
+	prom, err := c.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`role="primary"`, `shard="1"`, fmt.Sprintf(`ring_epoch="%d"`, ring.Epoch())} {
+		if !containsStr(prom, want) {
+			t.Fatalf("prom exposition missing %s", want)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterFollowerCatchUp is the replication acceptance test: a
+// follower that starts after the primary has already sealed WAL
+// generations must replay them plus the live tail, serve search
+// bit-identically to a reference holding the same records, and keep
+// serving after the primary is killed.
+func TestClusterFollowerCatchUp(t *testing.T) {
+	gcfg := datagen.DefaultEnterpriseConfig(31)
+	gcfg.LocalHosts = 12
+	gcfg.ExternalHosts = 150
+	gcfg.Windows = 3
+	gcfg.MultiusageIndividuals = 1
+	data, err := datagen.GenerateEnterprise(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	primarySrv, primaryTS := newTestNode(t, server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		SnapshotDir:   t.TempDir(),
+		Replicate:     true,
+		Node:          &server.Identity{Role: "primary"},
+	})
+	pc := server.NewClient(primaryTS.URL)
+	refSrv, refTS := newTestNode(t, server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+	})
+	refClient := server.NewClient(refTS.URL)
+
+	ingestBoth := func(lo, hi int) int {
+		t.Helper()
+		accepted := 0
+		const batchSize = 400
+		for i := lo; i < hi; i += batchSize {
+			end := min(i+batchSize, hi)
+			res, err := pc.IngestBatch(fmt.Sprintf("rep-%06d", i), data.Records[i:end])
+			if err != nil {
+				t.Fatal(err)
+			}
+			accepted += res.Accepted
+			if _, err := refClient.IngestBatch(fmt.Sprintf("rep-%06d", i), data.Records[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return accepted
+	}
+
+	// First half before the follower exists: window closes checkpoint
+	// the primary, sealing WAL generations the follower must replay
+	// from segment files rather than the live log.
+	half := len(data.Records) / 2
+	accepted := ingestBoth(0, half)
+
+	f, err := NewFollower(FollowerConfig{
+		Primary:       []string{primaryTS.URL},
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		Poll:          5 * time.Millisecond,
+		ChunkBytes:    2048, // force many fetches per generation
+		Node:          &server.Identity{Role: "follower"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+
+	accepted += ingestBoth(half, len(data.Records))
+
+	// The primary must actually have rotated — otherwise this test is
+	// not exercising sealed-segment catch-up at all.
+	rs, err := pc.ReplicationStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Gen == 0 {
+		t.Fatal("primary never rotated its WAL; test premise broken")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := f.Stats()
+		if st.Fatal != "" {
+			t.Fatalf("follower died: %s", st.Fatal)
+		}
+		if st.CaughtUp && st.AppliedRecords == accepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v (want %d applied)", st, accepted)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill the primary. The follower keeps serving what it has.
+	primaryTS.Close()
+	primarySrv.Abort()
+
+	fts := httptest.NewServer(f.Handler())
+	defer fts.Close()
+	fc := server.NewClient(fts.URL)
+
+	ready, err := fc.Ready()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready.Node == nil || ready.Node.Role != "follower" {
+		t.Fatalf("follower readyz identity %+v, want role follower", ready.Node)
+	}
+
+	// Writes are refused: a replica that silently accepted flows would
+	// fork from its primary.
+	if _, err := fc.Ingest([]netflow.Record{data.Records[0]}); server.APIStatus(err) != http.StatusForbidden {
+		t.Fatalf("follower ingest error %v, want HTTP 403", err)
+	}
+
+	// Close the final partial window on both and compare every label's
+	// search and history bitwise.
+	if _, err := f.Server().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refSrv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	compared := 0
+	for _, rec := range data.Records {
+		if seen[rec.Src] {
+			continue
+		}
+		seen[rec.Src] = true
+		req := server.SearchRequest{Label: rec.Src, K: 10, MaxDist: 0.95}
+		fres, ferr := fc.Search(req)
+		rres, rerr := refClient.Search(req)
+		if (ferr != nil) != (rerr != nil) {
+			t.Fatalf("search %q: follower err %v, reference err %v", rec.Src, ferr, rerr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if fj, rj := mustJSON(t, fres.Hits), mustJSON(t, rres.Hits); fj != rj {
+			t.Fatalf("follower search %q diverged:\nfollower:  %s\nreference: %s", rec.Src, fj, rj)
+		}
+		compared++
+	}
+	if compared < 5 {
+		t.Fatalf("only %d labels compared on the follower", compared)
+	}
+}

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"graphsig/internal/core"
+	"graphsig/internal/netflow"
+	"graphsig/internal/server"
+	"graphsig/internal/stream"
+	"graphsig/internal/wal"
+)
+
+// DefaultFollowPoll is the idle replication poll interval.
+const DefaultFollowPoll = 500 * time.Millisecond
+
+// FollowerConfig parameterizes a Follower.
+type FollowerConfig struct {
+	// Primary is the primary's seed address list (failover rotates).
+	Primary []string
+	// Stream must match the primary's pipeline configuration (scheme,
+	// k, classifier, sketch sizing) — signatures are recomputed locally
+	// from the shipped records, so a mismatched scheme silently yields
+	// different signatures. Origin and WindowSize are learned from the
+	// WAL's origin frames and may be left zero.
+	Stream stream.Config
+	// StoreCapacity / Distance / LSH mirror server.Config.
+	StoreCapacity     int
+	Distance          core.Distance
+	LSHBands, LSHRows int
+	LSHSeed           uint64
+	// Poll is the idle polling interval (0 = DefaultFollowPoll).
+	Poll time.Duration
+	// ChunkBytes bounds each WAL fetch (0 = server default).
+	ChunkBytes int
+	// Node stamps the follower's identity into /readyz and metrics.
+	Node *server.Identity
+	// Logger receives operational warnings.
+	Logger *slog.Logger
+}
+
+// FollowerStats is a snapshot of replication progress.
+type FollowerStats struct {
+	// Gen and Offset are the cursor: the next byte to fetch.
+	Gen    int
+	Offset int64
+	// AppliedRecords counts records ingested into the local pipeline.
+	AppliedRecords int
+	// CaughtUp is true when the last fetch reached the primary's live
+	// durable tail.
+	CaughtUp bool
+	// Serving is true once the first origin frame arrived and the local
+	// server exists.
+	Serving bool
+	// LastErr is the most recent transient error ("" when the last
+	// fetch succeeded); Fatal is set when replication stopped for good.
+	LastErr string
+	Fatal   string
+}
+
+// Follower tails a primary's WAL over HTTP and serves read traffic
+// from the replica it builds. The primary ships raw durable log bytes;
+// the follower reframes them with the recovery torn-tail rules and
+// feeds each record through its own pipeline in primary-accepted
+// order, so its windows, signatures and archive are byte-for-byte the
+// primary's. The local server is built lazily from the first origin
+// frame (which fixes window alignment); until then Handler answers
+// 503.
+//
+// Failure model: transport errors and primary restarts are transient —
+// the follower keeps serving whatever it has and retries. A pruned
+// cursor (410), a bad frame, or an origin mismatch is fatal: the
+// replica can no longer prove it equals the primary, so it stops
+// applying (and keeps serving stale data, visible via Stats and
+// /readyz).
+type Follower struct {
+	cfg    FollowerConfig
+	client *server.Client
+
+	mu      sync.Mutex
+	srv     *server.Server
+	gen     int
+	off     int64
+	pending []byte
+	applied int
+	caught  bool
+	lastErr error
+	fatal   error
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewFollower builds a follower; Start begins replication.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if len(cfg.Primary) == 0 {
+		return nil, fmt.Errorf("cluster: follower needs a primary address")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultFollowPoll
+	}
+	f := &Follower{
+		cfg:    cfg,
+		client: server.NewClient(cfg.Primary[0], cfg.Primary[1:]...),
+		off:    wal.HeaderLen,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Replication owns its retry cadence; client-level retries would
+	// only add latency under the poll loop.
+	f.client.MaxRetries = -1
+	return f, nil
+}
+
+// Start launches the replication loop.
+func (f *Follower) Start() {
+	go f.run()
+}
+
+// Stop halts replication (the local server keeps serving) and waits
+// for the loop to exit.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Server exposes the local replica server (nil until the first origin
+// frame arrived).
+func (f *Follower) Server() *server.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.srv
+}
+
+// Stats snapshots replication progress.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStats{
+		Gen:            f.gen,
+		Offset:         f.off,
+		AppliedRecords: f.applied,
+		CaughtUp:       f.caught,
+		Serving:        f.srv != nil,
+	}
+	if f.lastErr != nil {
+		st.LastErr = f.lastErr.Error()
+	}
+	if f.fatal != nil {
+		st.Fatal = f.fatal.Error()
+	}
+	return st
+}
+
+// Handler serves the replica's read API, answering 503 until the
+// local server exists.
+func (f *Follower) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv := f.Server()
+		if srv == nil {
+			writeError(w, http.StatusServiceUnavailable, "follower bootstrapping: no origin frame received yet")
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logger != nil {
+		f.cfg.Logger.Warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// run is the replication loop: fetch, apply, advance; sleep only when
+// caught up.
+func (f *Follower) run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		progressed, err := f.step()
+		f.mu.Lock()
+		f.lastErr = err
+		fatal := f.fatal
+		f.mu.Unlock()
+		if fatal != nil {
+			f.logf("sigfollower: replication stopped: %v", fatal)
+			return
+		}
+		if progressed && err == nil {
+			continue // drain the backlog without sleeping
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.cfg.Poll):
+		}
+	}
+}
+
+// step performs one fetch+apply round. It reports whether the cursor
+// advanced (more bytes may be immediately available).
+func (f *Follower) step() (bool, error) {
+	f.mu.Lock()
+	gen, off := f.gen, f.off
+	f.mu.Unlock()
+
+	chunk, err := f.client.FetchWAL(gen, off, f.cfg.ChunkBytes)
+	if err != nil {
+		switch server.APIStatus(err) {
+		case http.StatusGone:
+			// The primary pruned our generation: the missing bytes are
+			// unrecoverable over this protocol.
+			f.setFatal(fmt.Errorf("cursor pruned by primary (lagged past retention): %w", err))
+		case http.StatusConflict:
+			f.setFatal(fmt.Errorf("primary is not replicating: %w", err))
+		}
+		// 404 (generation not started) and transport errors are
+		// transient: a restarting primary serves again shortly.
+		return false, err
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	progressed := false
+	if len(chunk.Data) > 0 {
+		f.pending = append(f.pending, chunk.Data...)
+		f.off += int64(len(chunk.Data))
+		frames, consumed, serr := wal.ScanFrames(f.pending)
+		if serr != nil {
+			f.fatal = fmt.Errorf("bad frame at gen %d offset %d: %w", f.gen, f.off-int64(len(f.pending)), serr)
+			return false, f.fatal
+		}
+		f.pending = f.pending[consumed:]
+		if err := f.applyLocked(frames); err != nil {
+			f.fatal = err
+			return false, err
+		}
+		progressed = true
+	}
+	f.caught = !chunk.Sealed && f.off >= chunk.Size
+	if chunk.Sealed && f.off >= chunk.Size {
+		// Generation complete. Durable logs end on frame boundaries, so
+		// leftover pending bytes mean corruption, not a torn tail.
+		if len(f.pending) > 0 {
+			f.fatal = fmt.Errorf("sealed generation %d ended mid-frame (%d pending bytes)", f.gen, len(f.pending))
+			return false, f.fatal
+		}
+		f.gen++
+		f.off = wal.HeaderLen
+		progressed = true
+	}
+	return progressed, nil
+}
+
+func (f *Follower) setFatal(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fatal == nil {
+		f.fatal = err
+	}
+}
+
+// applyLocked feeds decoded frames into the local replica, building
+// the server on the first origin frame. Callers hold f.mu.
+func (f *Follower) applyLocked(frames []wal.Frame) error {
+	var batch []netflow.Record
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res := f.srv.IngestRecords(batch)
+		if res.Rejected > 0 {
+			// The primary's pipeline accepted every logged record, and
+			// ours is configured identically — a rejection means it is
+			// not, and the replica is diverging.
+			return fmt.Errorf("replica pipeline rejected %d shipped records (config mismatch?): %v", res.Rejected, res.Errors)
+		}
+		f.applied += len(batch)
+		batch = batch[:0]
+		return nil
+	}
+	for _, fr := range frames {
+		switch fr.Kind {
+		case wal.FrameOrigin:
+			if f.srv == nil {
+				if err := f.buildServerLocked(fr); err != nil {
+					return err
+				}
+				continue
+			}
+			// Later generations re-record the same alignment; anything
+			// else means the primary was rebuilt under our feet.
+			if origin, ok := f.srv.PipelineOrigin(); ok && !origin.Equal(fr.Origin) {
+				return fmt.Errorf("origin frame %v disagrees with established origin %v", fr.Origin, origin)
+			}
+		case wal.FrameRecord:
+			if f.srv == nil {
+				return fmt.Errorf("record frame before any origin frame")
+			}
+			batch = append(batch, fr.Record)
+		}
+	}
+	return flush()
+}
+
+// buildServerLocked creates the read-only replica server once window
+// alignment is known.
+func (f *Follower) buildServerLocked(origin wal.Frame) error {
+	scfg := f.cfg.Stream
+	scfg.Origin = origin.Origin
+	if origin.Window > 0 {
+		if scfg.WindowSize > 0 && scfg.WindowSize != origin.Window {
+			f.logf("sigfollower: configured window %v overridden by primary's %v", scfg.WindowSize, origin.Window)
+		}
+		scfg.WindowSize = origin.Window
+	}
+	srv, err := server.New(server.Config{
+		Stream:        scfg,
+		StoreCapacity: f.cfg.StoreCapacity,
+		Distance:      f.cfg.Distance,
+		LSHBands:      f.cfg.LSHBands,
+		LSHRows:       f.cfg.LSHRows,
+		LSHSeed:       f.cfg.LSHSeed,
+		DisableWAL:    true,
+		ReadOnly:      true,
+		Node:          f.cfg.Node,
+		Logger:        f.cfg.Logger,
+	})
+	if err != nil {
+		return fmt.Errorf("building replica server: %w", err)
+	}
+	f.srv = srv
+	return nil
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"graphsig/internal/netflow"
+	"graphsig/internal/server"
+)
+
+// The router's HTTP surface mirrors sigserverd's v1 API so sigtool and
+// other clients work unchanged against a cluster: same routes, same
+// request bodies, responses extended with shards_ok/shards_total.
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("POST /v1/flows", rt.handleFlows)
+	rt.mux.HandleFunc("GET /v1/signatures/{label}", rt.handleHistory)
+	rt.mux.HandleFunc("POST /v1/search", rt.handleSearch)
+	rt.mux.HandleFunc("POST /v1/watchlist", rt.handleWatchlistAdd)
+	rt.mux.HandleFunc("GET /v1/watchlist/hits", rt.handleWatchlistHits)
+	rt.mux.HandleFunc("GET /v1/anomalies", rt.handleAnomalies)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.httpRequests.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		rt.mux.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			rt.httpErrors.Add(1)
+		}
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+const maxBodyBytes = 64 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// errStatus maps a routed-call failure onto a response status,
+// propagating the shard's own status when the failure was a single
+// shard API error (e.g. 404 from the owner shard).
+func errStatus(err error, fallback int) int {
+	if st := server.APIStatus(err); st != 0 {
+		return st
+	}
+	return fallback
+}
+
+func (rt *Router) handleFlows(w http.ResponseWriter, r *http.Request) {
+	var req server.IngestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	records := make([]netflow.Record, 0, len(req.Records))
+	for i, rj := range req.Records {
+		rec, err := rj.Record()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+			return
+		}
+		records = append(records, rec)
+	}
+	batchID := req.BatchID
+	if batchID == "" {
+		// Without a client ID the router still stamps one so its own
+		// per-shard retries stay exactly-once; the client's retry of the
+		// whole POST is then NOT deduplicated — same contract as posting
+		// ID-less batches to a single node.
+		batchID = server.NewBatchID()
+	}
+	resp, err := rt.Ingest(batchID, records)
+	if err != nil {
+		// Partial ingest: some shards applied their partitions, others
+		// did not. 502 tells the client to retry (with the same batch ID
+		// for exactly-once); the body carries the partial accounting.
+		writeJSON(w, http.StatusBadGateway, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleHistory(w http.ResponseWriter, r *http.Request) {
+	resp, err := rt.History(r.PathValue("label"))
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req server.SearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := rt.Search(req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
+	var req server.WatchlistAddRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Individual == "" || req.Label == "" {
+		writeError(w, http.StatusBadRequest, "watchlist add needs individual and label")
+		return
+	}
+	resp, err := rt.WatchlistAdd(req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleWatchlistHits(w http.ResponseWriter, r *http.Request) {
+	resp, err := rt.WatchlistHits()
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	zCut := 0.0
+	if zs := r.URL.Query().Get("z"); zs != "" {
+		z, err := strconv.ParseFloat(zs, 64)
+		if err != nil || z <= 0 {
+			writeError(w, http.StatusBadRequest, "bad z parameter %q", zs)
+			return
+		}
+		zCut = z
+	}
+	resp, err := rt.Anomalies(r.URL.Query().Get("distance"), zCut)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RouterHealth is the router's GET /healthz body.
+type RouterHealth struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, RouterHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Shards:        rt.ring.Shards(),
+	})
+}
+
+// handleReady reports ready only when every shard is: a router in
+// front of a half-down fleet still serves degraded reads, but load
+// balancers should prefer a fully connected one.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	results := scatter(rt, rt.allShards(), func(s int) (server.ReadyResponse, error) {
+		return rt.clients[s].Ready()
+	})
+	resp := server.ReadyResponse{Ready: true, Node: rt.Identity()}
+	for _, res := range results {
+		if res.err != nil {
+			resp.Ready = false
+			resp.Reasons = append(resp.Reasons, fmt.Sprintf("shard %d: %v", res.shard, res.err))
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = rt.registry.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.registry.Snapshot())
+}

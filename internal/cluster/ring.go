@@ -1,0 +1,106 @@
+// Package cluster is the multi-process topology layer: a shard router
+// that partitions ingest across N sigserverd shards by consistent
+// hashing of source labels and merges their answers bit-identically to
+// a single-node run, and a follower that tails a primary's WAL over
+// HTTP to serve read traffic from an exact replica.
+//
+// The partitioning invariant everything rests on: the streaming
+// schemes ("tt", "ut") derive each source's signature from that
+// source's own flows only, so splitting a flow stream by source label
+// changes which process computes each signature but never its value.
+// Search, anomaly and watchlist answers are then per-label facts that
+// a router can recombine, provided every ordering decision is made in
+// label space — which PR 6 made true end to end (store tie-breaks,
+// persistence accumulation order).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsig/internal/graph"
+)
+
+// DefaultVNodes is the virtual-node count per shard. 128 points per
+// shard keeps the expected per-shard load within a few percent of
+// uniform for realistic shard counts while the ring stays small enough
+// to rebuild on every boot.
+const DefaultVNodes = 128
+
+// Ring is a deterministic consistent-hash ring mapping source labels
+// to shard indices. Two processes that build a ring with the same
+// (shards, vnodes) agree on every assignment — determinism across
+// processes is what lets the router, the shards and offline tools
+// reason about placement independently. Adding or removing a shard
+// moves only the keys that land on the changed shard's virtual nodes
+// (≈1/n of the keyspace), never reshuffling the rest.
+type Ring struct {
+	shards int
+	vnodes int
+	points []ringPoint // sorted by hash, ascending
+	epoch  uint64
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds the ring for a membership of n shards with v virtual
+// nodes each (v <= 0 means DefaultVNodes).
+func NewRing(n, v int) (*Ring, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard, got %d", n)
+	}
+	if v <= 0 {
+		v = DefaultVNodes
+	}
+	r := &Ring{shards: n, vnodes: v, points: make([]ringPoint, 0, n*v)}
+	for shard := 0; shard < n; shard++ {
+		for i := 0; i < v; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("shard-%d#%d", shard, i)),
+				shard: shard,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit hash collision between virtual nodes is next to
+		// impossible, but the ring must still be a deterministic total
+		// order if it happens.
+		return r.points[i].shard < r.points[j].shard
+	})
+	// The epoch fingerprints the membership configuration: identical
+	// (shards, vnodes) → identical epoch, anything else → different.
+	// Surfaced in /readyz so a half-rolled-out ring change is visible.
+	r.epoch = hash64(fmt.Sprintf("ring:shards=%d:vnodes=%d", n, v))
+	return r, nil
+}
+
+// hash64 is graph.HashLabel: the shared process-stable string hash.
+// Sharing one function matters — the ring and the streaming sketches
+// must agree with every other process about label identity.
+func hash64(s string) uint64 { return graph.HashLabel(s) }
+
+// Shard maps a source label to its owning shard: the first virtual
+// node clockwise of the label's hash.
+func (r *Ring) Shard(label string) int {
+	h := hash64(label)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].shard
+}
+
+// Shards reports the membership size.
+func (r *Ring) Shards() int { return r.shards }
+
+// VNodes reports the per-shard virtual node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Epoch reports the membership fingerprint.
+func (r *Ring) Epoch() uint64 { return r.epoch }

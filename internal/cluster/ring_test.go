@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingGolden pins assignments and epochs to literal values: the
+// ring is a cross-process contract (router, shards and offline tools
+// build it independently), so any change to the hash or point layout
+// is a breaking topology change and must show up here.
+func TestRingGolden(t *testing.T) {
+	r, err := NewRing(3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Epoch(); got != 4691627404753987221 {
+		t.Fatalf("epoch(3,128) = %d, golden 4691627404753987221", got)
+	}
+	r2, err := NewRing(2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Epoch(); got != 11897401874864300687 {
+		t.Fatalf("epoch(2,128) = %d, golden 11897401874864300687", got)
+	}
+	golden := map[string]int{
+		"10.0.0.0":    1,
+		"10.0.0.1":    1,
+		"10.0.0.7":    1,
+		"198.18.0.42": 2,
+		"h00":         2,
+	}
+	for label, want := range golden {
+		if got := r.Shard(label); got != want {
+			t.Errorf("Shard(%q) = %d, golden %d", label, got, want)
+		}
+	}
+}
+
+// TestRingDeterminism checks that two independently built rings agree
+// on every assignment — the property that lets any process compute
+// placement without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Epoch() != b.Epoch() {
+		t.Fatalf("epochs differ: %d vs %d", a.Epoch(), b.Epoch())
+	}
+	for i := 0; i < 5000; i++ {
+		label := fmt.Sprintf("host-%d", i)
+		if a.Shard(label) != b.Shard(label) {
+			t.Fatalf("rings disagree on %q: %d vs %d", label, a.Shard(label), b.Shard(label))
+		}
+	}
+	// Different membership or vnode count must change the epoch.
+	c, _ := NewRing(6, 64)
+	d, _ := NewRing(5, 128)
+	if c.Epoch() == a.Epoch() || d.Epoch() == a.Epoch() {
+		t.Fatalf("epoch does not distinguish configurations: %d / %d / %d",
+			a.Epoch(), c.Epoch(), d.Epoch())
+	}
+}
+
+// TestRingBalance bounds per-shard load skew under the default vnode
+// count: no shard may see more than twice or less than half its fair
+// share of a large uniform key population.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 20000
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("10.0.%d.%d", i/250, i%250))]++
+	}
+	fair := keys / shards
+	for s, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("shard %d holds %d keys, fair share %d (counts %v)", s, n, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing contract:
+// growing the membership from n to n+1 shards moves only keys that
+// land on the new shard — nothing reshuffles between old shards — and
+// the moved fraction stays near 1/(n+1).
+func TestRingMinimalMovement(t *testing.T) {
+	const keys = 20000
+	old, err := NewRing(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		label := fmt.Sprintf("host-%d", i)
+		before, after := old.Shard(label), grown.Shard(label)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != 10 {
+			t.Fatalf("%q moved from shard %d to old shard %d; growth may only move keys to the new shard", label, before, after)
+		}
+	}
+	// Expectation is keys/11 ≈ 9%; allow generous slack for vnode
+	// placement variance but fail on anything near a reshuffle.
+	if frac := float64(moved) / keys; frac > 0.20 {
+		t.Fatalf("%.1f%% of keys moved when adding one shard to ten; consistent hashing should move ≈9%%", 100*frac)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new shard — it is not taking load")
+	}
+}
+
+func TestRingInvalid(t *testing.T) {
+	if _, err := NewRing(0, 16); err == nil {
+		t.Fatal("NewRing(0) should error")
+	}
+	if _, err := NewRing(-3, 16); err == nil {
+		t.Fatal("NewRing(-3) should error")
+	}
+}

@@ -1,0 +1,511 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphsig/internal/apps"
+	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
+	"graphsig/internal/server"
+	"graphsig/internal/store"
+)
+
+// DefaultScatterTimeout bounds each scatter-gather fan-out when
+// Config.Timeout is zero.
+const DefaultScatterTimeout = 5 * time.Second
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the per-shard seed address list: Shards[i] holds one or
+	// more base URLs for shard i (failover rotates through them). The
+	// ring size is len(Shards); its order is the shard numbering, so it
+	// must be identical on every router.
+	Shards [][]string
+	// VNodes is the virtual-node count per shard (0 = DefaultVNodes).
+	// Must match across routers for placement to agree.
+	VNodes int
+	// Timeout bounds each per-shard call during scatter-gather; shards
+	// that miss it are reported as degraded, not failed requests.
+	Timeout time.Duration
+	// MaxRetries configures the per-shard clients (0 keeps the client
+	// default; negative disables retries).
+	MaxRetries int
+	// Logger receives operational warnings (shard errors, degraded
+	// fan-outs).
+	Logger *slog.Logger
+}
+
+// Router scatters ingest across shards by ring placement and gathers
+// shard answers into responses bit-identical to a single node holding
+// the union — as long as every shard runs a per-source-local scheme
+// and the same distance kernels (see the package comment).
+type Router struct {
+	ring    *Ring
+	clients []*server.Client
+	timeout time.Duration
+	logger  *slog.Logger
+	start   time.Time
+
+	registry     *obs.Registry
+	mux          *http.ServeMux
+	routedFlows  *obs.CounterVec // records routed, by shard
+	shardErrors  *obs.CounterVec // failed shard calls, by shard
+	scatters     *obs.Counter    // scatter-gather fan-outs issued
+	partials     *obs.Counter    // fan-outs answered with shards_ok < shards_total
+	httpRequests *obs.Counter
+	httpErrors   *obs.Counter
+}
+
+// NewRouter builds the router and its ring.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard")
+	}
+	ring, err := NewRing(len(cfg.Shards), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		ring:     ring,
+		timeout:  cfg.Timeout,
+		logger:   cfg.Logger,
+		start:    time.Now(),
+		registry: obs.NewRegistry(),
+		mux:      http.NewServeMux(),
+	}
+	if rt.timeout <= 0 {
+		rt.timeout = DefaultScatterTimeout
+	}
+	for i, seeds := range cfg.Shards {
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no seed addresses", i)
+		}
+		c := server.NewClient(seeds[0], seeds[1:]...)
+		c.HTTP = &http.Client{Timeout: rt.timeout}
+		if cfg.MaxRetries != 0 {
+			c.MaxRetries = cfg.MaxRetries
+		}
+		rt.clients = append(rt.clients, c)
+	}
+	rt.registry.SetConstLabels(map[string]string{
+		"role":       "router",
+		"ring_epoch": strconv.FormatUint(ring.Epoch(), 10),
+	})
+	rt.routedFlows = rt.registry.CounterVec("routed_flows_total", "flow records routed, by shard", "shard")
+	rt.shardErrors = rt.registry.CounterVec("shard_errors_total", "failed shard calls, by shard", "shard")
+	rt.scatters = rt.registry.Counter("scatter_queries", "scatter-gather fan-outs issued")
+	rt.partials = rt.registry.Counter("partial_results", "fan-outs answered with shards_ok < shards_total")
+	rt.httpRequests = rt.registry.Counter("http_requests_total", "HTTP requests routed")
+	rt.httpErrors = rt.registry.Counter("http_errors_total", "HTTP responses with status >= 400")
+	rt.registry.GaugeFunc("uptime_seconds", "seconds since router start",
+		func() int64 { return int64(time.Since(rt.start).Seconds()) })
+	rt.routes()
+	return rt, nil
+}
+
+// Ring exposes the router's placement ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Registry exposes the router's metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.registry }
+
+// Identity describes the router in /readyz.
+func (rt *Router) Identity() *server.Identity {
+	return &server.Identity{Role: "router", Shards: rt.ring.Shards(), RingEpoch: rt.ring.Epoch()}
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.logger != nil {
+		rt.logger.Warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// shardResult carries one shard's answer through a scatter.
+type shardResult[T any] struct {
+	shard int
+	val   T
+	err   error
+}
+
+// errScatterTimeout marks a shard that missed the fan-out deadline.
+var errScatterTimeout = fmt.Errorf("cluster: shard missed the scatter deadline")
+
+// scatter fans fn out to the given shards concurrently and collects
+// answers until the deadline. Shards that miss it are reported with
+// errScatterTimeout; their goroutines finish in the background (the
+// per-shard HTTP timeout bounds the leak) and their late answers are
+// discarded.
+func scatter[T any](rt *Router, shards []int, fn func(shard int) (T, error)) []shardResult[T] {
+	rt.scatters.Add(1)
+	ch := make(chan shardResult[T], len(shards))
+	for _, s := range shards {
+		go func(s int) {
+			v, err := fn(s)
+			ch <- shardResult[T]{shard: s, val: v, err: err}
+		}(s)
+	}
+	out := make([]shardResult[T], 0, len(shards))
+	byShard := make(map[int]shardResult[T], len(shards))
+	timer := time.NewTimer(rt.timeout)
+	defer timer.Stop()
+collect:
+	for range shards {
+		select {
+		case r := <-ch:
+			byShard[r.shard] = r
+		case <-timer.C:
+			break collect
+		}
+	}
+	for _, s := range shards {
+		r, ok := byShard[s]
+		if !ok {
+			r = shardResult[T]{shard: s, err: errScatterTimeout}
+		}
+		if r.err != nil {
+			rt.shardErrors.With(strconv.Itoa(s)).Add(1)
+			rt.logf("sigrouter: shard %d: %v", s, r.err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// allShards lists every shard index.
+func (rt *Router) allShards() []int {
+	out := make([]int, rt.ring.Shards())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// IngestResponse is the routed POST /v1/flows body: the merged ingest
+// result plus fan-out accounting.
+type IngestResponse struct {
+	server.IngestResult
+	ShardsOK    int `json:"shards_ok"`
+	ShardsTotal int `json:"shards_total"`
+}
+
+// Ingest partitions records by ring placement of their source label
+// (preserving arrival order within each shard, so per-shard streams
+// stay time-ordered) and sends each shard its partition as one batch.
+//
+// Exactly-once: each shard batch carries the ID "<batchID>/<shard>".
+// The per-shard client retries transient failures under that same ID,
+// and the shard's dedup set absorbs retries of an already-applied
+// batch — including a retry of the whole routed call under the same
+// parent ID, which re-derives the same sub-IDs. A caller that retries
+// a partially failed routed ingest with the same parent ID therefore
+// re-applies only the partitions that did not land.
+func (rt *Router) Ingest(batchID string, records []netflow.Record) (IngestResponse, error) {
+	parts := make(map[int][]netflow.Record)
+	for i := range records {
+		s := rt.ring.Shard(records[i].Src)
+		parts[s] = append(parts[s], records[i])
+	}
+	shards := make([]int, 0, len(parts))
+	for s := range parts {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+
+	resp := IngestResponse{ShardsTotal: len(shards)}
+	resp.Received = len(records)
+	results := scatter(rt, shards, func(s int) (server.IngestResult, error) {
+		id := ""
+		if batchID != "" {
+			id = batchID + "/" + strconv.Itoa(s)
+		}
+		res, err := rt.clients[s].IngestBatch(id, parts[s])
+		if err == nil {
+			rt.routedFlows.With(strconv.Itoa(s)).Add(int64(len(parts[s])))
+		}
+		return res, err
+	})
+	var errs []string
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, fmt.Sprintf("shard %d: %v", r.shard, r.err))
+			continue
+		}
+		resp.ShardsOK++
+		resp.Accepted += r.val.Accepted
+		resp.Dropped += r.val.Dropped
+		resp.Rejected += r.val.Rejected
+		resp.WindowsClosed += r.val.WindowsClosed
+		resp.Errors = append(resp.Errors, r.val.Errors...)
+		resp.Deduplicated = resp.Deduplicated || r.val.Deduplicated
+		if r.val.CurrentWindow > resp.CurrentWindow {
+			resp.CurrentWindow = r.val.CurrentWindow
+		}
+	}
+	if resp.ShardsOK < resp.ShardsTotal {
+		rt.partials.Add(1)
+		return resp, fmt.Errorf("cluster: ingest landed on %d/%d shards: %s",
+			resp.ShardsOK, resp.ShardsTotal, strings.Join(errs, "; "))
+	}
+	return resp, nil
+}
+
+// SearchResponse is the routed POST /v1/search body.
+type SearchResponse struct {
+	Distance    string                 `json:"distance"`
+	Hits        []server.SearchHitJSON `json:"hits"`
+	ShardsOK    int                    `json:"shards_ok"`
+	ShardsTotal int                    `json:"shards_total"`
+}
+
+// Search fans the query out to every shard and merges the per-shard
+// top-k lists under the store's exact comparator (dist asc, window
+// desc, label asc), truncating to k. Each shard returns its own top-k,
+// and the global top-k of a union is a subset of the per-shard top-ks,
+// so the merged list is bit-identical to a single node searching the
+// union — with the cardinality-exact distances (jaccard and friends)
+// unconditionally, and for order-sensitive float kernels up to ulp
+// differences from summation order (see DESIGN.md §12).
+//
+// Label queries resolve the label's latest archived signature at its
+// owner shard first, then scatter it as a signature query with the
+// label excluded — exactly what SearchLabel does on a single node.
+func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
+	if req.Label != "" && req.Signature != nil {
+		return SearchResponse{}, fmt.Errorf("cluster: set either label or signature, not both")
+	}
+	if req.K <= 0 {
+		req.K = store.DefaultTopK
+	}
+	if req.Label != "" {
+		owner := rt.ring.Shard(req.Label)
+		hist, err := rt.clients[owner].History(req.Label)
+		if err != nil {
+			return SearchResponse{}, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
+		}
+		var latest *server.SignatureJSON
+		for i := range hist.History {
+			if len(hist.History[i].Signature.Nodes) > 0 {
+				latest = &hist.History[i].Signature
+			}
+		}
+		if latest == nil {
+			return SearchResponse{}, fmt.Errorf("cluster: label %q has no archived signature", req.Label)
+		}
+		req.Signature = latest
+		req.ExcludeLabel = req.Label
+		req.Label = ""
+	}
+
+	results := scatter(rt, rt.allShards(), func(s int) (server.SearchResponse, error) {
+		return rt.clients[s].Search(req)
+	})
+	// Non-nil even when empty: the routed body must serialize exactly
+	// like a single node's ("hits": [], never null).
+	resp := SearchResponse{ShardsTotal: len(results), Hits: []server.SearchHitJSON{}}
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		resp.ShardsOK++
+		resp.Distance = r.val.Distance
+		resp.Hits = append(resp.Hits, r.val.Hits...)
+	}
+	if resp.ShardsOK == 0 {
+		return resp, fmt.Errorf("cluster: search failed on all %d shards", resp.ShardsTotal)
+	}
+	if resp.ShardsOK < resp.ShardsTotal {
+		rt.partials.Add(1)
+	}
+	sort.Slice(resp.Hits, func(i, j int) bool {
+		a, b := resp.Hits[i], resp.Hits[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if a.Window != b.Window {
+			return a.Window > b.Window
+		}
+		return a.Label < b.Label
+	})
+	if len(resp.Hits) > req.K {
+		resp.Hits = resp.Hits[:req.K]
+	}
+	return resp, nil
+}
+
+// AnomaliesResponse is the routed GET /v1/anomalies body.
+type AnomaliesResponse struct {
+	FromWindow  int                  `json:"from_window"`
+	ToWindow    int                  `json:"to_window"`
+	Mean        float64              `json:"mean_persistence"`
+	StdDev      float64              `json:"stddev_persistence"`
+	Anomalies   []server.AnomalyJSON `json:"anomalies"`
+	ShardsOK    int                  `json:"shards_ok"`
+	ShardsTotal int                  `json:"shards_total"`
+}
+
+// Anomalies fetches every shard's label-keyed persistence pairs,
+// merges them (shards hold disjoint label sets), and runs the same
+// label-ordered detection a single node runs — so the population
+// mean/stddev and the flagged set are bit-identical to a single node
+// holding the union. Shards reporting a different window pair than the
+// newest one seen (a lagging shard mid-window-close) are counted as
+// degraded rather than polluting the population.
+func (rt *Router) Anomalies(distance string, zCut float64) (AnomaliesResponse, error) {
+	if zCut <= 0 {
+		zCut = 2.0
+	}
+	results := scatter(rt, rt.allShards(), func(s int) (server.PersistenceResponse, error) {
+		return rt.clients[s].Persistence(distance)
+	})
+	resp := AnomaliesResponse{ShardsTotal: len(results)}
+	// Reference window pair: the newest ToWindow any shard reports.
+	ref := -1
+	for _, r := range results {
+		if r.err == nil && r.val.ToWindow > ref {
+			ref = r.val.ToWindow
+			resp.FromWindow, resp.ToWindow = r.val.FromWindow, r.val.ToWindow
+		}
+	}
+	if ref == -1 {
+		return resp, fmt.Errorf("cluster: anomalies failed on all %d shards", resp.ShardsTotal)
+	}
+	var pairs []apps.PersistencePair
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		if r.val.FromWindow != resp.FromWindow || r.val.ToWindow != resp.ToWindow {
+			rt.logf("sigrouter: shard %d reports window pair (%d,%d), want (%d,%d); treating as degraded",
+				r.shard, r.val.FromWindow, r.val.ToWindow, resp.FromWindow, resp.ToWindow)
+			rt.shardErrors.With(strconv.Itoa(r.shard)).Add(1)
+			continue
+		}
+		resp.ShardsOK++
+		for _, p := range r.val.Pairs {
+			pairs = append(pairs, apps.PersistencePair{Label: p.Label, Persistence: p.Persistence})
+		}
+	}
+	if resp.ShardsOK < resp.ShardsTotal {
+		rt.partials.Add(1)
+	}
+	anomalies, summary, err := apps.DetectAnomaliesByLabel(pairs, zCut)
+	if err != nil {
+		return resp, fmt.Errorf("cluster: %w", err)
+	}
+	resp.Mean, resp.StdDev = summary.Mean, summary.StdDev
+	for _, a := range anomalies {
+		resp.Anomalies = append(resp.Anomalies, server.AnomalyJSON{
+			Label: a.Label, Persistence: a.Persistence, ZScore: a.ZScore,
+		})
+	}
+	return resp, nil
+}
+
+// WatchlistHitsResponse is the routed GET /v1/watchlist/hits body.
+type WatchlistHitsResponse struct {
+	Hits        []server.WatchHitJSON `json:"hits"`
+	ShardsOK    int                   `json:"shards_ok"`
+	ShardsTotal int                   `json:"shards_total"`
+}
+
+// WatchlistHits merges every shard's hit log under a deterministic
+// order (window, label, individual, archived window).
+func (rt *Router) WatchlistHits() (WatchlistHitsResponse, error) {
+	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistHitsResponse, error) {
+		return rt.clients[s].WatchlistHits()
+	})
+	resp := WatchlistHitsResponse{ShardsTotal: len(results), Hits: []server.WatchHitJSON{}}
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		resp.ShardsOK++
+		resp.Hits = append(resp.Hits, r.val.Hits...)
+	}
+	if resp.ShardsOK == 0 {
+		return resp, fmt.Errorf("cluster: watchlist hits failed on all %d shards", resp.ShardsTotal)
+	}
+	if resp.ShardsOK < resp.ShardsTotal {
+		rt.partials.Add(1)
+	}
+	sort.Slice(resp.Hits, func(i, j int) bool {
+		a, b := resp.Hits[i], resp.Hits[j]
+		if a.Window != b.Window {
+			return a.Window < b.Window
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Individual != b.Individual {
+			return a.Individual < b.Individual
+		}
+		return a.ArchivedWindow < b.ArchivedWindow
+	})
+	return resp, nil
+}
+
+// WatchlistAdd archives a label's signatures cluster-wide. Window-close
+// screening is local to each shard — a shard only sees its own labels'
+// new signatures — so every shard needs the full archive. The router
+// reads the signatures from the label's owner (the one shard that
+// stores them) and replays them onto every shard as explicit-signature
+// adds; the union of per-shard hit logs then matches a single node's.
+func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.WatchlistAddResponse, error) {
+	hist, err := rt.clients[rt.ring.Shard(req.Label)].History(req.Label)
+	if err != nil {
+		return server.WatchlistAddResponse{}, err
+	}
+	var entries []server.HistoryEntryJSON
+	for _, e := range hist.History {
+		if req.Window != nil && e.Window != *req.Window {
+			continue
+		}
+		if len(e.Signature.Nodes) == 0 {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return server.WatchlistAddResponse{}, fmt.Errorf("cluster: label %q has no archivable signature", req.Label)
+	}
+	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistAddResponse, error) {
+		var last server.WatchlistAddResponse
+		for _, e := range entries {
+			window := e.Window
+			var err error
+			last, err = rt.clients[s].WatchlistAdd(server.WatchlistAddRequest{
+				Individual: req.Individual,
+				Window:     &window,
+				Signature:  &e.Signature,
+			})
+			if err != nil {
+				return server.WatchlistAddResponse{}, err
+			}
+		}
+		return last, nil
+	})
+	resp := server.WatchlistAddResponse{Archived: len(entries)}
+	for _, r := range results {
+		if r.err != nil {
+			// A shard that missed the add would silently under-report
+			// hits from then on; archiving is a write, so fail loudly
+			// instead of degrading.
+			return server.WatchlistAddResponse{}, fmt.Errorf("cluster: watchlist add: %w", r.err)
+		}
+		if r.val.Total > resp.Total {
+			resp.Total = r.val.Total
+		}
+	}
+	return resp, nil
+}
+
+// History fetches the label's archived signatures from its owner.
+func (rt *Router) History(label string) (server.HistoryResponse, error) {
+	return rt.clients[rt.ring.Shard(label)].History(label)
+}

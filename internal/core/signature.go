@@ -123,11 +123,12 @@ func (s Signature) Validate() error {
 			return fmt.Errorf("core: signature repeats node %d", s.Nodes[i])
 		}
 		seen[s.Nodes[i]] = struct{}{}
-		if i > 0 {
-			prev := s.Weights[i-1]
-			if w > prev || (w == prev && s.Nodes[i] <= s.Nodes[i-1]) {
-				return fmt.Errorf("core: signature not in canonical order at entry %d", i)
-			}
+		if i > 0 && w > s.Weights[i-1] {
+			// Weight order is the invariant; the order among equal
+			// weights is the producer's tie-break (NodeID for exact
+			// extractors, stable label keys for streaming ones) and is
+			// not re-checkable here, where labels are unknown.
+			return fmt.Errorf("core: signature not in canonical order at entry %d", i)
 		}
 	}
 	return nil
@@ -147,10 +148,48 @@ func FromWeights(weights map[graph.NodeID]float64, k int) Signature {
 	return topK(cand, k)
 }
 
+// FromWeightsKeyed is FromWeights with the weight ties — both the
+// selection cut at k and the final entry order — broken by key(node)
+// instead of the NodeID. With a process-stable key (e.g.
+// graph.HashLabel of the label) every process extracting from the same
+// flows builds the same signature, member for member and slot for
+// slot, regardless of its interning order; the cluster's shard/single
+// bit-identity rests on this.
+func FromWeightsKeyed(weights map[graph.NodeID]float64, k int, key func(graph.NodeID) uint64) Signature {
+	cand := make([]entry, 0, len(weights))
+	for u, w := range weights {
+		if w > 0 && !math.IsNaN(w) && !math.IsInf(w, 0) {
+			cand = append(cand, entry{node: u, weight: w, key: key(u)})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].weight != cand[j].weight {
+			return cand[i].weight > cand[j].weight
+		}
+		if cand[i].key != cand[j].key {
+			return cand[i].key < cand[j].key
+		}
+		return cand[i].node < cand[j].node // 64-bit key collision: stay total
+	})
+	if k < len(cand) {
+		cand = cand[:k]
+	}
+	sig := Signature{
+		Nodes:   make([]graph.NodeID, len(cand)),
+		Weights: make([]float64, len(cand)),
+	}
+	for i, e := range cand {
+		sig.Nodes[i] = e.node
+		sig.Weights[i] = e.weight
+	}
+	return sig
+}
+
 // entry is a candidate (node, weight) pair during top-k selection.
 type entry struct {
 	node   graph.NodeID
 	weight float64
+	key    uint64
 }
 
 // topK selects the k heaviest entries, breaking weight ties by smaller

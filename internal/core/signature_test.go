@@ -94,7 +94,6 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		{Nodes: []graph.NodeID{1}, Weights: []float64{-1}},
 		{Nodes: []graph.NodeID{1, 1}, Weights: []float64{2, 1}},
 		{Nodes: []graph.NodeID{1, 2}, Weights: []float64{1, 2}},     // ascending weights
-		{Nodes: []graph.NodeID{2, 1}, Weights: []float64{0.5, 0.5}}, // tie, ids descending
 		{Nodes: []graph.NodeID{1}, Weights: []float64{math.NaN()}},  // NaN
 		{Nodes: []graph.NodeID{1}, Weights: []float64{math.Inf(1)}}, // Inf
 	}

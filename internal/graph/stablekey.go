@@ -1,0 +1,25 @@
+package graph
+
+import "hash/fnv"
+
+// HashLabel is a process-stable 64-bit hash of a node label: FNV-1a
+// run through a splitmix64-style finalizer (raw FNV avalanches poorly
+// on short, similar strings). Two processes always agree on it, unlike
+// NodeIDs, whose values are an interning-order accident. Anything that
+// must be bit-identical across processes holding different subsets of
+// a stream — cluster shard placement, streaming-sketch hashing,
+// signature tie-breaks — keys on this instead of the NodeID.
+func HashLabel(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StableKey is HashLabel of the node's label.
+func (u *Universe) StableKey(id NodeID) uint64 { return HashLabel(u.Label(id)) }

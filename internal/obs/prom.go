@@ -15,33 +15,66 @@ import (
 // label values in creation order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	konst := r.constLabelString()
 	for _, m := range r.families() {
 		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
 		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+			writeSample(bw, m.name, konst, m.counter.Value())
 		case kindGauge:
-			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+			writeSample(bw, m.name, konst, m.gauge.Value())
 		case kindGaugeFunc:
 			var v int64
 			if m.gaugeFn != nil {
 				v = m.gaugeFn()
 			}
-			fmt.Fprintf(bw, "%s %d\n", m.name, v)
+			writeSample(bw, m.name, konst, v)
 		case kindHistogram:
-			writeHistogram(bw, m.name, "", m.hist.Snapshot())
+			writeHistogram(bw, m.name, konst, m.hist.Snapshot())
 		case kindHistogramVec:
 			m.vec.mu.RLock()
 			values := append([]string(nil), m.vec.order...)
 			m.vec.mu.RUnlock()
 			for _, value := range values {
-				label := fmt.Sprintf("%s=%q", m.vec.label, value)
+				label := mergeLabels(konst, fmt.Sprintf("%s=%q", m.vec.label, value))
 				writeHistogram(bw, m.name, label, m.vec.With(value).Snapshot())
+			}
+		case kindCounterVec:
+			m.cvec.mu.RLock()
+			values := append([]string(nil), m.cvec.order...)
+			m.cvec.mu.RUnlock()
+			for _, value := range values {
+				label := mergeLabels(konst, fmt.Sprintf("%s=%q", m.cvec.label, value))
+				fmt.Fprintf(bw, "%s{%s} %d\n", m.name, label, m.cvec.With(value).Value())
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSample emits one scalar sample, with const labels when present.
+func writeSample(w io.Writer, name, label string, v int64) {
+	if label != "" {
+		fmt.Fprintf(w, "%s{%s} %d\n", name, label, v)
+		return
+	}
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// mergeLabels joins rendered label-pair lists, skipping empty parts.
+func mergeLabels(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if out != "" {
+			out += ","
+		}
+		out += p
+	}
+	return out
 }
 
 // writeHistogram emits one histogram series. label is either "" or a

@@ -59,6 +59,53 @@ func TestWritePrometheusAndValidate(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusConstLabelsAndCounterVec(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("flows_total", "flows received").Add(5)
+	cv := r.CounterVec("routed_flows_total", "flows routed by shard", "shard")
+	cv.With("0").Add(2)
+	cv.With("1").Add(9)
+	h := r.Histogram("fsync_seconds", "fsync latency")
+	h.Observe(0.01)
+	vec := r.HistogramVec("route_seconds", "latency by route", "route", nil)
+	vec.With("get_metrics").Observe(0.001)
+	r.SetConstLabels(map[string]string{"role": "primary", "ring_epoch": "42"})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, line := range []string{
+		`flows_total{ring_epoch="42",role="primary"} 5`,
+		`routed_flows_total{ring_epoch="42",role="primary",shard="0"} 2`,
+		`routed_flows_total{ring_epoch="42",role="primary",shard="1"} 9`,
+		`fsync_seconds_count{ring_epoch="42",role="primary"} 1`,
+		`route_seconds_count{ring_epoch="42",role="primary",route="get_metrics"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Clearing restores bare samples, and the JSON snapshot flattens
+	// the counter vec without const labels either way.
+	r.SetConstLabels(nil)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flows_total 5") {
+		t.Fatalf("const labels not cleared:\n%s", buf.String())
+	}
+	snap := r.Snapshot()
+	if snap["routed_flows_total_0"] != 2 || snap["routed_flows_total_1"] != 9 {
+		t.Fatalf("snapshot missing counter-vec keys: %v", snap)
+	}
+}
+
 func TestValidateExpositionRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"no_value_here",

@@ -93,11 +93,12 @@ const (
 	kindGaugeFunc
 	kindHistogram
 	kindHistogramVec
+	kindCounterVec
 )
 
 func (k metricKind) String() string {
 	switch k {
-	case kindCounter:
+	case kindCounter, kindCounterVec:
 		return "counter"
 	case kindGauge, kindGaugeFunc:
 		return "gauge"
@@ -116,6 +117,7 @@ type metric struct {
 	gaugeFn func() int64
 	hist    *Histogram
 	vec     *HistogramVec
+	cvec    *CounterVec
 }
 
 // Registry is a named collection of metrics. Registration methods are
@@ -128,6 +130,10 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*metric
 	order  []*metric // registration order, for stable exposition
+	// constLabels is the pre-rendered `k="v",...` pair list stamped on
+	// every exposition sample (node identity in a cluster); "" when the
+	// registry carries none.
+	constLabels string
 }
 
 // NewRegistry builds an empty registry.
@@ -219,6 +225,53 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	}).vec
 }
 
+// CounterVec returns the named counter family partitioned by one label
+// (e.g. routed flows by shard), creating it on first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return r.register(name, help, kindCounterVec, func(m *metric) {
+		m.cvec = newCounterVec(label)
+	}).cvec
+}
+
+// SetConstLabels stamps every sample the registry renders with the
+// given label pairs — node identity (shard index, role, ring epoch) in
+// a cluster deployment, so one Prometheus scrape across the fleet
+// stays distinguishable per node. Pairs render sorted by name; label
+// names must be grammatical and must not collide with any vec family's
+// partition label, values are escaped. Calling again replaces the set;
+// an empty map clears it. The flat JSON Snapshot is unaffected.
+func (r *Registry) SetConstLabels(labels map[string]string) {
+	names := make([]string, 0, len(labels))
+	for name := range labels {
+		if !validName(name) {
+			panic(fmt.Sprintf("obs: invalid const label name %q", name))
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%q", name, labels[name])
+	}
+	rendered := ""
+	if len(parts) > 0 {
+		rendered = parts[0]
+		for _, p := range parts[1:] {
+			rendered += "," + p
+		}
+	}
+	r.mu.Lock()
+	r.constLabels = rendered
+	r.mu.Unlock()
+}
+
+// constLabelString reports the rendered const-label pair list.
+func (r *Registry) constLabelString() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.constLabels
+}
+
 // families returns the registered metrics in registration order.
 func (r *Registry) families() []*metric {
 	r.mu.RLock()
@@ -242,9 +295,30 @@ func (r *Registry) Snapshot() map[string]int64 {
 			if m.gaugeFn != nil {
 				out[m.name] = m.gaugeFn()
 			}
+		case kindCounterVec:
+			// Flat-map form: one key per label value, value sanitized
+			// into the key grammar (shard indexes are already clean).
+			for _, v := range m.cvec.Labels() {
+				out[m.name+"_"+sanitizeKeyPart(v)] = m.cvec.With(v).Value()
+			}
 		}
 	}
 	return out
+}
+
+// sanitizeKeyPart maps an arbitrary label value into the snapshot key
+// grammar, replacing anything outside [a-zA-Z0-9_] with '_'.
+func sanitizeKeyPart(s string) string {
+	out := []byte(s)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // HistogramVec partitions a histogram family by one label value, e.g.
@@ -291,6 +365,59 @@ func (v *HistogramVec) With(value string) *Histogram {
 
 // Labels returns the label values seen so far, sorted.
 func (v *HistogramVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	out := append([]string(nil), v.order...)
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// CounterVec partitions a counter family by one label value, e.g.
+// routed flow counts by shard. With() is goroutine-safe and
+// get-or-create; a nil vec hands out nil (no-op) counters.
+type CounterVec struct {
+	label string
+
+	mu    sync.RWMutex
+	kids  map[string]*Counter
+	order []string
+}
+
+func newCounterVec(label string) *CounterVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	return &CounterVec{label: label, kids: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c, ok := v.kids[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.kids[value] = c
+	v.order = append(v.order, value)
+	return c
+}
+
+// Labels returns the label values seen so far, sorted.
+func (v *CounterVec) Labels() []string {
 	if v == nil {
 		return nil
 	}

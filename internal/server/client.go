@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	mrand "math/rand"
@@ -27,7 +28,10 @@ import (
 // retry after a timed-out-but-actually-applied POST is deduplicated
 // server-side instead of double-counting flows.
 type Client struct {
-	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	// Base is the primary server root, e.g. "http://127.0.0.1:8080".
+	// With fallback seeds configured (NewClient's variadic arguments),
+	// Base is only the first seed tried; requests go to the current
+	// seed, and every retried failure rotates to the next one.
 	Base string
 	// HTTP is the underlying client (default: 30 s timeout).
 	HTTP *http.Client
@@ -45,19 +49,92 @@ type Client struct {
 
 	jitterMu sync.Mutex
 	jitter   *mrand.Rand // lazily seeded; avoids the deprecated global source
+
+	// seedMu guards the failover rotation state. seeds holds every
+	// configured address (Base first); cur indexes the one currently in
+	// use. Empty seeds (a Client built by struct literal) fall back to
+	// Base alone.
+	seedMu sync.Mutex
+	seeds  []string
+	cur    int
+}
+
+// APIError is a server-reported failure (any HTTP status >= 400),
+// exposing the status code so callers can distinguish "not found" from
+// "conflict" from "gone" without string matching.
+type APIError struct {
+	Status int
+	Method string
+	Path   string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s %s: %s", e.Method, e.Path, e.Msg)
+}
+
+// APIStatus extracts the HTTP status from an *APIError chain (0 when
+// err carries none — e.g. a transport failure).
+func APIStatus(err error) int {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
 }
 
 // MaxRetryDelay caps every retry delay, whether computed by backoff or
 // dictated by a server's Retry-After header.
 const MaxRetryDelay = 30 * time.Second
 
-// NewClient returns a client for the server at base.
-func NewClient(base string) *Client {
-	return &Client{
+// NewClient returns a client for the server at base. Additional
+// fallback seed addresses may follow: every retried failure (transport
+// error, 429, 5xx) rotates to the next seed before the retry, so a
+// caller given several addresses for one logical service keeps working
+// through single-node outages.
+func NewClient(base string, fallbacks ...string) *Client {
+	c := &Client{
 		Base:         base,
 		HTTP:         &http.Client{Timeout: 30 * time.Second},
 		MaxRetries:   3,
 		RetryBackoff: 100 * time.Millisecond,
+	}
+	if len(fallbacks) > 0 {
+		c.seeds = append([]string{base}, fallbacks...)
+	}
+	return c
+}
+
+// Seeds reports every configured address, current first.
+func (c *Client) Seeds() []string {
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if len(c.seeds) == 0 {
+		return []string{c.Base}
+	}
+	out := make([]string, 0, len(c.seeds))
+	for i := range c.seeds {
+		out = append(out, c.seeds[(c.cur+i)%len(c.seeds)])
+	}
+	return out
+}
+
+// currentBase returns the seed requests currently target.
+func (c *Client) currentBase() string {
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if len(c.seeds) == 0 {
+		return c.Base
+	}
+	return c.seeds[c.cur]
+}
+
+// rotateSeed advances to the next seed after a retryable failure.
+func (c *Client) rotateSeed() {
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if len(c.seeds) > 1 {
+		c.cur = (c.cur + 1) % len(c.seeds)
 	}
 }
 
@@ -145,6 +222,7 @@ func (c *Client) do(method, path string, body, out any) error {
 		if retryAfter == noRetry || attempt >= c.MaxRetries {
 			return lastErr
 		}
+		c.rotateSeed()
 		time.Sleep(c.backoff(attempt, retryAfter))
 	}
 }
@@ -161,7 +239,7 @@ func (c *Client) once(method, path string, payload []byte, out any) (string, err
 	if payload != nil {
 		reader = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequest(method, c.Base+path, reader)
+	req, err := http.NewRequest(method, c.currentBase()+path, reader)
 	if err != nil {
 		return noRetry, fmt.Errorf("client: %w", err)
 	}
@@ -182,7 +260,7 @@ func (c *Client) once(method, path string, payload []byte, out any) (string, err
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
-		err := fmt.Errorf("client: %s %s: %s", method, path, msg)
+		err := error(&APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: msg})
 		if retryable(resp.StatusCode) {
 			return resp.Header.Get("Retry-After"), err
 		}
@@ -197,11 +275,14 @@ func (c *Client) once(method, path string, payload []byte, out any) (string, err
 	return "", nil
 }
 
-// newBatchID generates a random ingest batch ID.
-func newBatchID() string {
+// NewBatchID generates a random ingest batch ID ("" when the system
+// has no entropy, falling back to non-idempotent ingest). Exported for
+// callers that split one logical batch across shards and need the
+// sub-batch IDs to derive from a shared parent.
+func NewBatchID() string {
 	var b [16]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		return "" // no entropy: fall back to non-idempotent ingest
+		return ""
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -209,7 +290,14 @@ func newBatchID() string {
 // Ingest POSTs a batch of flow records. The batch carries a generated
 // ID so server-side deduplication makes retries idempotent.
 func (c *Client) Ingest(records []netflow.Record) (IngestResult, error) {
-	req := IngestRequest{Records: make([]RecordJSON, len(records)), BatchID: newBatchID()}
+	return c.IngestBatch(NewBatchID(), records)
+}
+
+// IngestBatch is Ingest with a caller-chosen batch ID, for exactly-once
+// pipelines that must keep the ID stable across their own retries (the
+// cluster router derives per-shard IDs from the client's parent ID).
+func (c *Client) IngestBatch(batchID string, records []netflow.Record) (IngestResult, error) {
+	req := IngestRequest{Records: make([]RecordJSON, len(records)), BatchID: batchID}
 	for i, r := range records {
 		req.Records[i] = RecordToJSON(r)
 	}
@@ -294,9 +382,80 @@ func (c *Client) Traces(n int) (TracesResponse, error) {
 	return out, err
 }
 
+// Persistence fetches the label-keyed persistence pairs between the
+// last two archived windows (the anomaly computation's intermediate
+// form; distance "" uses the server default).
+func (c *Client) Persistence(distance string) (PersistenceResponse, error) {
+	path := "/v1/persistence"
+	if distance != "" {
+		path += "?distance=" + url.QueryEscape(distance)
+	}
+	var out PersistenceResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// ReplicationStatus fetches the primary's WAL shipping state.
+func (c *Client) ReplicationStatus() (ReplicationStatusResponse, error) {
+	var out ReplicationStatusResponse
+	err := c.do(http.MethodGet, "/v1/replication/status", nil, &out)
+	return out, err
+}
+
+// WALChunk is one GET /v1/replication/wal response: raw durable log
+// bytes of one generation plus the cursor metadata from the headers.
+type WALChunk struct {
+	Gen    int
+	Sealed bool
+	Size   int64
+	Data   []byte
+}
+
+// FetchWAL reads up to max bytes (0 = server default) of WAL
+// generation gen starting at byte offset from. Unlike the JSON
+// methods it performs a single attempt — the replication loop owns its
+// own retry cadence — but a transport failure still rotates the seed.
+func (c *Client) FetchWAL(gen int, from int64, max int) (WALChunk, error) {
+	path := fmt.Sprintf("/v1/replication/wal?gen=%d&from=%d", gen, from)
+	if max > 0 {
+		path += fmt.Sprintf("&max=%d", max)
+	}
+	resp, err := c.HTTP.Get(c.currentBase() + path)
+	if err != nil {
+		c.rotateSeed()
+		return WALChunk{}, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		if retryable(resp.StatusCode) {
+			c.rotateSeed()
+		}
+		return WALChunk{}, &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path, Msg: msg}
+	}
+	var chunk WALChunk
+	if chunk.Gen, err = strconv.Atoi(resp.Header.Get(HeaderWALGen)); err != nil {
+		return WALChunk{}, fmt.Errorf("client: bad %s header %q", HeaderWALGen, resp.Header.Get(HeaderWALGen))
+	}
+	chunk.Sealed = resp.Header.Get(HeaderWALSealed) == "true"
+	if chunk.Size, err = strconv.ParseInt(resp.Header.Get(HeaderWALSize), 10, 64); err != nil {
+		return WALChunk{}, fmt.Errorf("client: bad %s header %q", HeaderWALSize, resp.Header.Get(HeaderWALSize))
+	}
+	if chunk.Data, err = io.ReadAll(resp.Body); err != nil {
+		return WALChunk{}, fmt.Errorf("client: reading WAL chunk: %w", err)
+	}
+	return chunk, nil
+}
+
 // MetricsProm fetches the Prometheus text rendering of /metrics.
 func (c *Client) MetricsProm() (string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/metrics?format=prom")
+	resp, err := c.HTTP.Get(c.currentBase() + "/metrics?format=prom")
 	if err != nil {
 		return "", fmt.Errorf("client: %w", err)
 	}

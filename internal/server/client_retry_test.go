@@ -177,3 +177,45 @@ func TestIngestRetryDedupsExactlyOnce(t *testing.T) {
 		t.Fatalf("flows_accepted = %d, want 2 (batch applied exactly once)", got)
 	}
 }
+
+// TestClientSeedFailover gives the client a dead primary seed and a
+// live fallback: the first attempt's connection failure must rotate to
+// the fallback and succeed, and the rotation must stick for subsequent
+// requests (no re-probing of the dead seed once past it).
+func TestClientSeedFailover(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := httptest.NewServer(s.Handler())
+	defer live.Close()
+	// A closed listener's address connection-refuses immediately.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c := NewClient(deadURL, live.URL)
+	c.RetryBackoff = time.Millisecond
+	if _, err := c.Health(); err != nil {
+		t.Fatalf("health through failover: %v", err)
+	}
+	if got := c.Seeds(); got[0] != live.URL {
+		t.Fatalf("current seed = %q, want the live fallback %q", got[0], live.URL)
+	}
+	// A definitive 4xx is not retried — and must not rotate back onto
+	// the dead seed.
+	_, err = c.History("no-such-label")
+	if APIStatus(err) != http.StatusNotFound {
+		t.Fatalf("history of unknown label: %v (status %d), want 404", err, APIStatus(err))
+	}
+	if got := c.Seeds(); got[0] != live.URL {
+		t.Fatalf("404 rotated the seed to %q", got[0])
+	}
+	// Exhausting every seed surfaces the transport error.
+	allDead := NewClient(deadURL, deadURL)
+	allDead.RetryBackoff = time.Microsecond
+	allDead.MaxRetries = 2
+	if _, err := allDead.Health(); err == nil {
+		t.Fatal("health against only dead seeds succeeded")
+	}
+}

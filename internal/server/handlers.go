@@ -61,6 +61,11 @@ func (r RecordJSON) record() (netflow.Record, error) {
 	}, nil
 }
 
+// Record converts the wire record to its native form — exported for
+// the cluster router, which decodes batches once and re-partitions
+// them across shards.
+func (r RecordJSON) Record() (netflow.Record, error) { return r.record() }
+
 // RecordToJSON converts a flow record to its wire form.
 func RecordToJSON(r netflow.Record) RecordJSON {
 	return RecordJSON{
@@ -122,6 +127,11 @@ type SearchRequest struct {
 	// Distance overrides the server default ("jaccard", "dice", ...).
 	Distance    string `json:"distance,omitempty"`
 	LastWindows int    `json:"last_windows,omitempty"`
+	// ExcludeLabel omits matches of this label from the results. Label
+	// queries already self-exclude; the cluster router sets this on the
+	// signature-query fan-out so non-owner shards apply the same
+	// exclusion the owner does.
+	ExcludeLabel string `json:"exclude_label,omitempty"`
 }
 
 // SearchHitJSON is one nearest-signature hit.
@@ -139,11 +149,16 @@ type SearchResponse struct {
 
 // WatchlistAddRequest archives a label's stored signatures under an
 // individual key. With Window set, only that window is archived;
-// otherwise every archived window of the label is.
+// otherwise every archived window of the label is. With Signature set,
+// the carried signature is archived directly (Window then required,
+// Label ignored) — the cluster router uses this to replicate one
+// shard's archive entry onto every other shard, since window-close
+// screening happens locally per shard.
 type WatchlistAddRequest struct {
-	Individual string `json:"individual"`
-	Label      string `json:"label"`
-	Window     *int   `json:"window,omitempty"`
+	Individual string         `json:"individual"`
+	Label      string         `json:"label"`
+	Window     *int           `json:"window,omitempty"`
+	Signature  *SignatureJSON `json:"signature,omitempty"`
 }
 
 // WatchlistAddResponse reports the archive growth.
@@ -198,6 +213,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/watchlist", s.handleWatchlistAdd)
 	s.mux.HandleFunc("GET /v1/watchlist/hits", s.handleWatchlistHits)
 	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
+	s.mux.HandleFunc("GET /v1/persistence", s.handlePersistence)
+	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
+	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplicationWAL)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -255,6 +273,9 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if !s.requireWritable(w) {
+		return
+	}
 	// Bound concurrent ingest work before reading the body: a server
 	// at its in-flight limit sheds load with 429 + Retry-After instead
 	// of queueing unboundedly on the ingest lock.
@@ -320,7 +341,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := store.SearchOptions{TopK: req.K, MaxDist: req.MaxDist, LastWindows: req.LastWindows}
+	opts := store.SearchOptions{TopK: req.K, MaxDist: req.MaxDist, LastWindows: req.LastWindows, ExcludeLabel: req.ExcludeLabel}
 	var hits []SearchHitJSON
 	switch {
 	case req.Label != "" && req.Signature != nil:
@@ -395,12 +416,36 @@ func (s *Server) internSignature(sj SignatureJSON) (core.Signature, error) {
 }
 
 func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
+	if !s.requireWritable(w) {
+		return
+	}
 	var req WatchlistAddRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Individual == "" || req.Label == "" {
+	if req.Individual == "" || (req.Label == "" && req.Signature == nil) {
 		writeError(w, http.StatusBadRequest, "watchlist add needs individual and label")
+		return
+	}
+	if req.Signature != nil {
+		if req.Window == nil {
+			writeError(w, http.StatusBadRequest, "explicit-signature watchlist add needs window")
+			return
+		}
+		// Interning the carried labels mutates the universe: write lock.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sig, err := s.internSignature(*req.Signature)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.watch.Add(req.Individual, *req.Window, sig); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.metrics.WatchlistAdds.Add(1)
+		writeJSON(w, http.StatusOK, WatchlistAddResponse{Archived: 1, Total: s.watch.Len()})
 		return
 	}
 	s.mu.RLock()
@@ -461,7 +506,11 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	at, next := windows[len(windows)-2], windows[len(windows)-1]
-	anomalies, summary, err := apps.DetectAnomalies(d, at, next, zCut)
+	// Label-keyed, label-ordered accumulation: the report is a pure
+	// function of the (label, persistence) pairs, so a cluster router
+	// merging per-shard pair sets reproduces it bit-identically.
+	pairs := apps.PersistenceByLabel(d, s.store.Universe(), at, next)
+	anomalies, summary, err := apps.DetectAnomaliesByLabel(pairs, zCut)
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -472,13 +521,58 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		Mean:       summary.Mean,
 		StdDev:     summary.StdDev,
 	}
-	u := s.store.Universe()
 	for _, a := range anomalies {
 		resp.Anomalies = append(resp.Anomalies, AnomalyJSON{
-			Label:       u.Label(a.Node),
+			Label:       a.Label,
 			Persistence: a.Persistence,
 			ZScore:      a.ZScore,
 		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PersistencePairJSON is one label's self-persistence on the wire.
+type PersistencePairJSON struct {
+	Label       string  `json:"label"`
+	Persistence float64 `json:"persistence"`
+}
+
+// PersistenceResponse is the GET /v1/persistence body: the raw
+// label-keyed persistence pairs between the last two archived windows.
+// This is the anomaly computation's intermediate form — the cluster
+// router fetches it from every shard, merges the (disjoint) pair sets,
+// and runs the same detection the single-node handler runs.
+type PersistenceResponse struct {
+	Distance   string                `json:"distance"`
+	FromWindow int                   `json:"from_window"`
+	ToWindow   int                   `json:"to_window"`
+	Pairs      []PersistencePairJSON `json:"pairs"`
+}
+
+func (s *Server) handlePersistence(w http.ResponseWriter, r *http.Request) {
+	s.metrics.PersistenceQueries.Add(1)
+	d, err := s.distanceFor(r.URL.Query().Get("distance"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	windows := s.store.Windows()
+	if len(windows) < 2 {
+		writeError(w, http.StatusConflict, "persistence needs two archived windows, have %d", len(windows))
+		return
+	}
+	at, next := windows[len(windows)-2], windows[len(windows)-1]
+	pairs := apps.PersistenceByLabel(d, s.store.Universe(), at, next)
+	resp := PersistenceResponse{
+		Distance:   d.Name(),
+		FromWindow: at.Window,
+		ToWindow:   next.Window,
+		Pairs:      make([]PersistencePairJSON, len(pairs)),
+	}
+	for i, p := range pairs {
+		resp.Pairs[i] = PersistencePairJSON{Label: p.Label, Persistence: p.Persistence}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

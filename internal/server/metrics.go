@@ -36,6 +36,14 @@ type metrics struct {
 	WALQuarantines      *obs.Counter // corrupt WALs renamed aside at boot
 	IngestThrottled     *obs.Counter // POST /v1/flows rejected with 429
 	BatchesDeduped      *obs.Counter // batch IDs answered from the dedup set
+
+	// Cluster-mode counters.
+	PersistenceQueries  *obs.Counter // GET /v1/persistence served
+	WALRotations        *obs.Counter // generations sealed at checkpoints (Replicate mode)
+	SegmentsPruned      *obs.Counter // sealed segments dropped by retention
+	ReplicationRequests *obs.Counter // GET /v1/replication/wal served
+	ReplicationBytes    *obs.Counter // WAL bytes shipped to followers
+	ReadOnlyRejected    *obs.Counter // mutating requests refused with 403
 }
 
 // newMetrics registers the counter set. The names double as the JSON
@@ -65,5 +73,12 @@ func newMetrics(reg *obs.Registry) metrics {
 		WALQuarantines:      reg.Counter("wal_quarantines", "corrupt WALs renamed aside at boot"),
 		IngestThrottled:     reg.Counter("ingest_throttled", "ingest batches rejected with 429"),
 		BatchesDeduped:      reg.Counter("batches_deduped", "batch IDs answered from the dedup set"),
+
+		PersistenceQueries:  reg.Counter("persistence_queries", "GET /v1/persistence requests served"),
+		WALRotations:        reg.Counter("wal_rotations", "WAL generations sealed at checkpoints"),
+		SegmentsPruned:      reg.Counter("wal_segments_pruned", "sealed WAL segments dropped by retention"),
+		ReplicationRequests: reg.Counter("replication_requests", "GET /v1/replication/wal requests served"),
+		ReplicationBytes:    reg.Counter("replication_bytes", "WAL bytes shipped to followers"),
+		ReadOnlyRejected:    reg.Counter("readonly_rejected", "mutating requests refused with 403"),
 	}
 }

@@ -53,7 +53,8 @@ func routeName(r *http.Request) string {
 	}
 	switch p {
 	case "/v1/flows", "/v1/signatures/label", "/v1/search", "/v1/watchlist",
-		"/v1/watchlist/hits", "/v1/anomalies", "/v1/traces",
+		"/v1/watchlist/hits", "/v1/anomalies", "/v1/persistence",
+		"/v1/replication/status", "/v1/replication/wal", "/v1/traces",
 		"/healthz", "/readyz", "/metrics":
 	default:
 		return "other"
@@ -91,6 +92,8 @@ func (s *Server) metricsJSON() map[string]int64 {
 type ReadyResponse struct {
 	Ready   bool     `json:"ready"`
 	Reasons []string `json:"reasons,omitempty"`
+	// Node is this process's cluster identity, when configured.
+	Node *Identity `json:"node,omitempty"`
 }
 
 // readiness reports whether the server can take traffic and why not.
@@ -108,7 +111,7 @@ func (s *Server) readiness() ReadyResponse {
 	if s.shuttingDown.Load() {
 		reasons = append(reasons, "shutting down")
 	}
-	return ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons}
+	return ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons, Node: s.cfg.Node}
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {

@@ -31,6 +31,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,7 +55,26 @@ const (
 	DefaultWatchMaxDist  = 0.5
 	DefaultHitLogSize    = 1024
 	DefaultDedupCap      = 4096
+	DefaultReplicaRetain = 8
 )
+
+// Identity names a process's place in a cluster topology. It is
+// purely descriptive — the server enforces nothing from it — but it
+// surfaces in GET /readyz and as constant Prometheus labels so
+// operators and the router can tell shards, followers and epochs
+// apart.
+type Identity struct {
+	// Role is "single", "primary", "follower" or "router".
+	Role string `json:"role"`
+	// Shard and Shards locate this node on the ring (0-based index out
+	// of Shards; Shards 0 means unsharded).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards,omitempty"`
+	// RingEpoch is the fingerprint of the ring membership this node was
+	// configured with; mismatched epochs across a fleet mean a config
+	// rollout is incomplete.
+	RingEpoch uint64 `json:"ring_epoch,omitempty"`
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -103,6 +127,27 @@ type Config struct {
 	// TraceCapacity bounds the recent-trace ring served by GET
 	// /v1/traces (0 means DefaultTraceCapacity).
 	TraceCapacity int
+	// Node, when non-nil, stamps this process's cluster identity into
+	// GET /readyz and as constant Prometheus labels (role, shard,
+	// ring_epoch) on every exposed family.
+	Node *Identity
+	// ReadOnly rejects the mutating HTTP endpoints (POST /v1/flows,
+	// POST /v1/watchlist) with 403 — the follower serving mode. Library
+	// calls (IngestRecords) are unaffected: the replication loop feeds
+	// the follower through them.
+	ReadOnly bool
+	// Replicate switches WAL checkpointing from truncation to rotation:
+	// each checkpoint seals the log as an immutable generation segment
+	// (<walpath>.gNNNNNNNN) and starts the next generation, and the
+	// /v1/replication endpoints serve both live and sealed bytes so
+	// followers can tail the log. Requires SnapshotDir and an enabled
+	// WAL.
+	Replicate bool
+	// ReplicaRetain bounds retained sealed segments (0 means
+	// DefaultReplicaRetain; negative keeps all). A follower lagging by
+	// more generations than this finds its cursor pruned (410) and must
+	// re-bootstrap.
+	ReplicaRetain int
 }
 
 // Float64 returns a pointer to v, for literal Config fields such as
@@ -159,6 +204,7 @@ type Server struct {
 
 	wal             *wal.WAL
 	walOriginLogged bool
+	walGen          int // current WAL generation (Replicate mode); guarded by mu
 	dedup           *dedupCache
 	recovery        Recovery
 
@@ -181,6 +227,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Distance == nil {
 		cfg.Distance = core.Jaccard{}
 	}
+	if cfg.Replicate && (cfg.SnapshotDir == "" || cfg.DisableWAL) {
+		return nil, fmt.Errorf("server: Replicate requires SnapshotDir and an enabled WAL")
+	}
+	if cfg.ReplicaRetain == 0 {
+		cfg.ReplicaRetain = DefaultReplicaRetain
+	}
 	s := &Server{
 		cfg:          cfg,
 		start:        time.Now(),
@@ -191,6 +243,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.obs = newServerObs(cfg.Logger, cfg.SlowOp, cfg.TraceCapacity)
 	s.metrics = newMetrics(s.obs.registry)
+	if cfg.Node != nil {
+		labels := map[string]string{
+			"role":       cfg.Node.Role,
+			"ring_epoch": strconv.FormatUint(cfg.Node.RingEpoch, 10),
+		}
+		if cfg.Node.Shards > 0 {
+			labels["shard"] = strconv.Itoa(cfg.Node.Shard)
+		}
+		s.obs.registry.SetConstLabels(labels)
+	}
 	if cfg.WatchMaxDist != nil {
 		s.watchMaxDist = *cfg.WatchMaxDist
 	}
@@ -224,6 +286,15 @@ func New(cfg Config) (*Server, error) {
 		replay, err = s.openWAL()
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Replicate {
+			// The live log continues the generation after the newest
+			// sealed segment; followers identify bytes by (gen, offset),
+			// so generation numbers must never repeat across restarts.
+			s.walGen, err = nextWALGen(s.wal.Path())
+			if err != nil {
+				return nil, err
+			}
 		}
 		// Restore window alignment from the log before the pipeline is
 		// built; an explicitly configured origin wins.
@@ -371,7 +442,7 @@ func (s *Server) replayWAL(replay wal.Replay) {
 			return
 		}
 		s.metrics.SnapshotSaves.Add(1)
-		if err := s.wal.Reset(); err != nil {
+		if err := s.resetWALLocked(); err != nil {
 			s.metrics.WALErrors.Add(1)
 			s.logf("sigserver: post-replay WAL reset failed: %v", err)
 			return
@@ -396,6 +467,15 @@ func (s *Server) Store() *store.Store { return s.store }
 
 // Recovery reports what New reconstructed from disk.
 func (s *Server) Recovery() Recovery { return s.recovery }
+
+// PipelineOrigin reports the stream pipeline's window origin once it is
+// known — followers use it to cross-check origin frames from later WAL
+// generations against the alignment they already committed to.
+func (s *Server) PipelineOrigin() (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pipeline.Origin()
+}
 
 // logf forwards to the configured logger, if any. A structured Logger
 // wins over the printf-style Logf; operational events are warnings
@@ -569,7 +649,7 @@ func (s *Server) checkpointLocked() {
 	if s.wal == nil {
 		return
 	}
-	if err := s.wal.Reset(); err != nil {
+	if err := s.resetWALLocked(); err != nil {
 		s.metrics.WALErrors.Add(1)
 		s.logf("sigserver: WAL reset failed: %v", err)
 		return
@@ -577,6 +657,86 @@ func (s *Server) checkpointLocked() {
 	s.metrics.WALResets.Add(1)
 	s.walOriginLogged = false
 	s.logWALOrigin()
+}
+
+// resetWALLocked empties the log after a checkpoint. Normally that is
+// a plain truncation; in Replicate mode the current generation is
+// instead sealed as an immutable segment file and the next generation
+// started, so a follower whose cursor is still inside the old
+// generation can keep fetching its bytes. Callers hold s.mu (or run
+// before the server is shared) and re-log the origin afterwards.
+func (s *Server) resetWALLocked() error {
+	if !s.cfg.Replicate {
+		return s.wal.Reset()
+	}
+	if err := s.wal.Rotate(walSegmentPath(s.wal.Path(), s.walGen)); err != nil {
+		return err
+	}
+	s.walGen++
+	s.metrics.WALRotations.Add(1)
+	s.pruneSegmentsLocked()
+	return nil
+}
+
+// walSegmentPath names the sealed segment file of one WAL generation.
+func walSegmentPath(walPath string, gen int) string {
+	return fmt.Sprintf("%s.g%08d", walPath, gen)
+}
+
+// walSegmentGens lists the generations with sealed segments beside
+// walPath, ascending.
+func walSegmentGens(walPath string) ([]int, error) {
+	matches, err := filepath.Glob(walPath + ".g*")
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var gens []int
+	for _, m := range matches {
+		g, err := strconv.Atoi(strings.TrimPrefix(m, walPath+".g"))
+		if err != nil {
+			continue // stray file (e.g. a quarantined segment)
+		}
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// nextWALGen picks the generation number for the live log: one past
+// the newest sealed segment, 0 on a fresh deployment.
+func nextWALGen(walPath string) (int, error) {
+	gens, err := walSegmentGens(walPath)
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, nil
+	}
+	return gens[len(gens)-1] + 1, nil
+}
+
+// pruneSegmentsLocked drops sealed segments beyond the retention
+// bound, oldest first. Pruning is best-effort: a failed remove is
+// logged and retried at the next rotation.
+func (s *Server) pruneSegmentsLocked() {
+	retain := s.cfg.ReplicaRetain
+	if retain < 0 {
+		return
+	}
+	gens, err := walSegmentGens(s.wal.Path())
+	if err != nil {
+		s.logf("sigserver: listing WAL segments: %v", err)
+		return
+	}
+	for len(gens) > retain {
+		g := gens[0]
+		gens = gens[1:]
+		if err := os.Remove(walSegmentPath(s.wal.Path(), g)); err != nil {
+			s.logf("sigserver: pruning WAL segment g%08d: %v", g, err)
+			return
+		}
+		s.metrics.SegmentsPruned.Add(1)
+	}
 }
 
 // Snapshot saves the archive now — the periodic background loop in
@@ -674,7 +834,7 @@ func (s *Server) Shutdown() error {
 				// keeping the origin for the next run's alignment. On a
 				// failed flush the open window's records must stay in
 				// the WAL — they are its only surviving copy.
-				if err := s.wal.Reset(); err != nil {
+				if err := s.resetWALLocked(); err != nil {
 					s.metrics.WALErrors.Add(1)
 					s.logf("sigserver: shutdown WAL reset failed: %v", err)
 				} else {

@@ -1,0 +1,36 @@
+package simcheck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSimCluster drives the cluster-equivalence harness: a router over
+// two (and three) shards must answer ingest accounting, search,
+// history and watchlist reads bitwise like one node holding the whole
+// stream, under an RNG-driven schedule.
+func TestSimCluster(t *testing.T) {
+	cfgs := []ClusterConfig{
+		{Seed: 41, Ops: 400, Shards: 2},
+		{Seed: 42, Ops: 400, Shards: 2, Capacity: 3}, // ring eviction in play
+		{Seed: 43, Ops: 250, Shards: 3},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed%d_shards%d_cap%d", cfg.Seed, cfg.Shards, cfg.Capacity), func(t *testing.T) {
+			if err := RunCluster(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSimClusterDeterministic replays one seed twice: the harness must
+// not leak state between runs.
+func TestSimClusterDeterministic(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		if err := RunCluster(ClusterConfig{Seed: 47, Ops: 150}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

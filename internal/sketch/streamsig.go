@@ -22,6 +22,14 @@ type StreamConfig struct {
 	FMBitmaps int
 	// Seed drives the hash families.
 	Seed uint64
+	// Key maps a NodeID to the 64-bit key fed into the hash-based
+	// summaries (CM, FM) and used to break weight ties during top-k
+	// selection and candidate eviction. Nil keys on the raw NodeID —
+	// deterministic within one process but not across processes, since
+	// NodeIDs follow interning order. Extractors that must agree across
+	// processes over different stream subsets (cluster shards vs a
+	// single node) pass a label-derived key (graph.Universe.StableKey).
+	Key func(graph.NodeID) uint64
 }
 
 func (c *StreamConfig) fill() {
@@ -36,6 +44,9 @@ func (c *StreamConfig) fill() {
 	}
 	if c.FMBitmaps == 0 {
 		c.FMBitmaps = 16
+	}
+	if c.Key == nil {
+		c.Key = func(id graph.NodeID) uint64 { return uint64(id) }
 	}
 }
 
@@ -56,18 +67,21 @@ func newSourceState(cfg *StreamConfig) (*sourceState, error) {
 	return &sourceState{cm: cm, cand: make(map[graph.NodeID]float64, cfg.Candidates+1)}, nil
 }
 
-func (st *sourceState) observe(dst graph.NodeID, weight float64, cap int) {
-	st.cm.Add(uint64(dst), weight)
+func (st *sourceState) observe(dst graph.NodeID, weight float64, cap int, key func(graph.NodeID) uint64) {
+	st.cm.Add(key(dst), weight)
 	st.total += weight
-	st.cand[dst] = st.cm.Estimate(uint64(dst))
+	st.cand[dst] = st.cm.Estimate(key(dst))
 	if len(st.cand) > cap {
-		// Evict the current lightest candidate (ties by larger ID so
-		// eviction is deterministic).
+		// Evict the current lightest candidate (ties by larger key,
+		// then larger ID, so eviction is deterministic — and, with a
+		// label-derived key, identical across processes).
 		var victim graph.NodeID
+		victimKey := uint64(0)
 		min := -1.0
 		for u, w := range st.cand {
-			if min < 0 || w < min || (w == min && u > victim) {
-				victim, min = u, w
+			uk := key(u)
+			if min < 0 || w < min || (w == min && (uk > victimKey || (uk == victimKey && u > victim))) {
+				victim, victimKey, min = u, uk, w
 			}
 		}
 		delete(st.cand, victim)
@@ -108,7 +122,7 @@ func (s *StreamTT) Observe(src, dst graph.NodeID, weight float64) error {
 		}
 		s.sources[src] = st
 	}
-	st.observe(dst, weight, s.cfg.Candidates)
+	st.observe(dst, weight, s.cfg.Candidates, s.cfg.Key)
 	return nil
 }
 
@@ -133,9 +147,9 @@ func (s *StreamTT) Signature(v graph.NodeID, k int) (core.Signature, error) {
 	}
 	weights := make(map[graph.NodeID]float64, len(st.cand))
 	for u := range st.cand {
-		weights[u] = st.cm.Estimate(uint64(u)) / st.total
+		weights[u] = st.cm.Estimate(s.cfg.Key(u)) / st.total
 	}
-	return core.FromWeights(weights, k), nil
+	return core.FromWeightsKeyed(weights, k, s.cfg.Key), nil
 }
 
 // StreamUT computes approximate Unexpected Talkers signatures from one
@@ -177,7 +191,7 @@ func (s *StreamUT) Observe(src, dst graph.NodeID, weight float64) error {
 		}
 		s.indeg[dst] = fm
 	}
-	fm.Add(uint64(src))
+	fm.Add(s.cfg.Key(src))
 	return nil
 }
 
@@ -213,7 +227,7 @@ func (s *StreamUT) Signature(v graph.NodeID, k int) (core.Signature, error) {
 		if indeg <= 0 {
 			continue
 		}
-		weights[u] = st.cm.Estimate(uint64(u)) / indeg
+		weights[u] = st.cm.Estimate(s.cfg.Key(u)) / indeg
 	}
-	return core.FromWeights(weights, k), nil
+	return core.FromWeightsKeyed(weights, k, s.cfg.Key), nil
 }

@@ -290,9 +290,14 @@ type Hit struct {
 	Dist   float64
 }
 
+// DefaultTopK is the result bound applied when SearchOptions.TopK is
+// unset. Exported so remote callers (the cluster router) can normalize
+// a zero k the same way before merging per-shard results.
+const DefaultTopK = 10
+
 // SearchOptions tunes a nearest-signature search.
 type SearchOptions struct {
-	// TopK bounds the result count (default 10).
+	// TopK bounds the result count (default DefaultTopK).
 	TopK int
 	// MaxDist drops hits farther than this (default 1 = keep all).
 	MaxDist float64
@@ -327,7 +332,7 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 		return nil, fmt.Errorf("store: search with empty signature")
 	}
 	if opts.TopK <= 0 {
-		opts.TopK = 10
+		opts.TopK = DefaultTopK
 	}
 	if opts.MaxDist <= 0 {
 		opts.MaxDist = 1
@@ -403,7 +408,11 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 		if hits[i].Window != hits[j].Window {
 			return hits[i].Window > hits[j].Window // newer evidence first
 		}
-		return hits[i].Node < hits[j].Node
+		// Labels, not NodeIDs: interning order is a per-process accident,
+		// so a label tie-break keeps rankings — and the top-k cut — stable
+		// across processes. Cluster mode relies on this to merge per-shard
+		// top-k lists bit-identically to a single-node run.
+		return hits[i].Label < hits[j].Label
 	})
 	if len(hits) > opts.TopK {
 		hits = hits[:opts.TopK]

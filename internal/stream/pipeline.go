@@ -105,10 +105,18 @@ func NewPipeline(cfg Config, u *graph.Universe) (*Pipeline, error) {
 }
 
 func (p *Pipeline) newExtractor() extractor {
-	if p.cfg.Scheme == "ut" {
-		return sketch.NewStreamUT(p.cfg.Sketch)
+	scfg := p.cfg.Sketch
+	if scfg.Key == nil {
+		// Key the sketches and tie-breaks on the stable label hash, not
+		// the NodeID: interning order is a per-process accident, and a
+		// cluster shard must compute the same signature bytes for a
+		// source as a single node holding the whole stream would.
+		scfg.Key = p.universe.StableKey
 	}
-	return sketch.NewStreamTT(p.cfg.Sketch)
+	if p.cfg.Scheme == "ut" {
+		return sketch.NewStreamUT(scfg)
+	}
+	return sketch.NewStreamTT(scfg)
 }
 
 // Universe returns the shared label universe.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -215,6 +216,27 @@ func TestPipelineTCPOnly(t *testing.T) {
 	}
 }
 
+// labelEntry is a signature entry resolved to its label, for
+// order-normalized comparison between universes.
+type labelEntry struct {
+	label  string
+	weight float64
+}
+
+func labelEntries(u *graph.Universe, sig core.Signature) []labelEntry {
+	out := make([]labelEntry, sig.Len())
+	for i := range sig.Nodes {
+		out[i] = labelEntry{label: u.Label(sig.Nodes[i]), weight: sig.Weights[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].weight != out[j].weight {
+			return out[i].weight > out[j].weight
+		}
+		return out[i].label < out[j].label
+	})
+	return out
+}
+
 // TestPipelineMatchesBatch compares the full streaming path against the
 // materialized-graph batch path on a generated capture: with roomy
 // sketches the per-window TT signatures must be identical.
@@ -240,8 +262,7 @@ func TestPipelineMatchesBatch(t *testing.T) {
 		Sketch:     sketch.StreamConfig{Width: 4096, Depth: 5, Candidates: 256, Seed: 3},
 	}
 	// Pre-seed the stream universe with the batch universe's labels in
-	// ID order so NodeIDs — and therefore canonical tie-breaking —
-	// coincide between the two paths.
+	// ID order so node identity coincides between the two paths.
 	streamU := graph.NewUniverse()
 	for id := 0; id < data.Universe.Size(); id++ {
 		nid := graph.NodeID(id)
@@ -278,12 +299,24 @@ func TestPipelineMatchesBatch(t *testing.T) {
 			if streamed.Len() != want.Len() {
 				t.Fatalf("window %d %q: len %d vs %d", wi, label, streamed.Len(), want.Len())
 			}
-			for j := range want.Nodes {
-				wantLabel := data.Universe.Label(want.Nodes[j])
-				gotLabel := streamU.Label(streamed.Nodes[j])
-				if wantLabel != gotLabel || streamed.Weights[j] != want.Weights[j] {
+			// The batch extractor breaks weight ties by NodeID, the
+			// streaming one by stable label hash (so cluster shards agree
+			// with single nodes). A tie straddling the k-cut may therefore
+			// keep different members, but only at the boundary weight:
+			// compare weights positionally and labels for every entry
+			// strictly above the boundary.
+			wantEntries := labelEntries(data.Universe, want)
+			gotEntries := labelEntries(streamU, streamed)
+			boundary := wantEntries[len(wantEntries)-1].weight
+			for j := range wantEntries {
+				if wantEntries[j].weight != gotEntries[j].weight {
+					t.Fatalf("window %d %q entry %d weight: %g vs %g",
+						wi, label, j, gotEntries[j].weight, wantEntries[j].weight)
+				}
+				if wantEntries[j].weight > boundary && wantEntries[j] != gotEntries[j] {
 					t.Fatalf("window %d %q entry %d: (%s,%g) vs (%s,%g)",
-						wi, label, j, gotLabel, streamed.Weights[j], wantLabel, want.Weights[j])
+						wi, label, j, gotEntries[j].label, gotEntries[j].weight,
+						wantEntries[j].label, wantEntries[j].weight)
 				}
 			}
 		}
