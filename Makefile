@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke failover-smoke
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -44,6 +44,16 @@ sim-smoke:
 cluster-smoke:
 	$(GO) test -race -run 'TestCluster|TestRing' ./internal/cluster/
 	$(GO) test -race -run 'TestSimCluster' ./internal/simcheck/
+
+# Failover smoke: kill a shard primary mid-run — the health prober
+# marks it down, reads fail over to the freshest follower (surfaced in
+# stale_shards), the follower auto-promotes and writes resume with
+# dedup continuity — plus the prober state-machine unit tests and the
+# fault-injecting simulation schedules. See DESIGN.md §13.
+failover-smoke:
+	$(GO) test -race -v -run 'TestClusterFailoverPromotion|TestProber|TestRouterIngestHonorsRetryAfter' \
+		./internal/cluster/
+	$(GO) test -race -run 'TestSimClusterFailover' ./internal/simcheck/
 
 # Bounded runs of the native fuzz targets: the netflow binary codec,
 # WAL frame recovery, and the merge-join distance kernels (bit-identity

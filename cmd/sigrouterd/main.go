@@ -13,6 +13,18 @@
 // order must be stable across router restarts and must match the
 // -shard-index each sigserverd was started with — the ring is the
 // contract, and /readyz exposes its epoch so mismatches are visible.
+//
+// Fault tolerance: each -follower flag lists one shard's WAL-tailing
+// replicas (repeat in shard-index order, "" for a shard with none).
+// With followers configured the router runs a health prober; while a
+// primary is down, reads fail over to the freshest follower (responses
+// carry stale_shards), and with -auto-promote set the router promotes
+// that follower to read-write after the primary stays down that long.
+//
+//	sigrouterd -addr :8780 \
+//	    -shard http://10.0.0.1:8787 -follower http://10.0.1.1:8789 \
+//	    -shard http://10.0.0.2:8787 -follower http://10.0.1.2:8789 \
+//	    -auto-promote 30s
 package main
 
 import (
@@ -51,12 +63,35 @@ func (s *shardList) Set(v string) error {
 	return nil
 }
 
+// followerList collects repeated -follower flags, each a
+// comma-separated replica-address list for one shard ("" = none).
+type followerList [][]string
+
+func (s *followerList) String() string { return fmt.Sprint([][]string(*s)) }
+
+func (s *followerList) Set(v string) error {
+	var addrs []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	*s = append(*s, addrs)
+	return nil
+}
+
 type options struct {
-	addr    string
-	shards  shardList
-	vnodes  int
-	timeout time.Duration
-	retries int
+	addr      string
+	shards    shardList
+	followers followerList
+	vnodes    int
+	timeout   time.Duration
+	retries   int
+
+	probeInterval time.Duration
+	probeCooldown time.Duration
+	probeFails    int
+	autoPromote   time.Duration
 }
 
 func main() {
@@ -64,9 +99,14 @@ func main() {
 	fs := flag.NewFlagSet("sigrouterd", flag.ExitOnError)
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8780", "listen address")
 	fs.Var(&o.shards, "shard", "shard seed addresses, comma-separated (repeat once per shard, in shard-index order)")
+	fs.Var(&o.followers, "follower", "follower addresses for one shard, comma-separated (repeat in shard-index order; \"\" for a shard with none)")
 	fs.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard on the hash ring (0 = default; must match the shards)")
 	fs.DurationVar(&o.timeout, "timeout", cluster.DefaultScatterTimeout, "per-shard deadline for scatter-gather reads")
 	fs.IntVar(&o.retries, "retries", 0, "extra attempts per shard call (0 = client default)")
+	fs.DurationVar(&o.probeInterval, "probe-interval", cluster.DefaultProbeInterval, "health probe interval (with followers configured)")
+	fs.DurationVar(&o.probeCooldown, "probe-cooldown", cluster.DefaultProbeCooldown, "re-probe spacing for nodes marked down")
+	fs.IntVar(&o.probeFails, "probe-fail-threshold", cluster.DefaultFailThreshold, "consecutive probe failures before a node is marked down")
+	fs.DurationVar(&o.autoPromote, "auto-promote", 0, "promote a shard's freshest follower after its primary stays down this long (0 = operator-driven only)")
 	_ = fs.Parse(os.Args[1:])
 
 	if err := run(o, os.Stdout); err != nil {
@@ -80,15 +120,29 @@ func run(o options, out io.Writer) error {
 	defer stop()
 	logger := slog.New(slog.NewTextHandler(out, nil))
 
-	rt, err := cluster.NewRouter(cluster.Config{
+	cfg := cluster.Config{
 		Shards:     o.shards,
+		Followers:  o.followers,
 		VNodes:     o.vnodes,
 		Timeout:    o.timeout,
 		MaxRetries: o.retries,
 		Logger:     logger,
-	})
+	}
+	if len(o.followers) > 0 {
+		cfg.Health = &cluster.HealthConfig{
+			Interval:      o.probeInterval,
+			Cooldown:      o.probeCooldown,
+			FailThreshold: o.probeFails,
+			AutoPromote:   o.autoPromote,
+		}
+	}
+	rt, err := cluster.NewRouter(cfg)
 	if err != nil {
 		return err
+	}
+	if p := rt.Prober(); p != nil {
+		p.Start()
+		defer p.Stop()
 	}
 
 	ln, err := net.Listen("tcp", o.addr)

@@ -365,12 +365,17 @@ func runFollower(ctx context.Context, o options, logger *slog.Logger) error {
 		Stream:        cfg.Stream,
 		StoreCapacity: cfg.StoreCapacity,
 		Distance:      cfg.Distance,
+		WatchMaxDist:  cfg.WatchMaxDist,
 		LSHBands:      cfg.LSHBands,
 		LSHRows:       cfg.LSHRows,
 		LSHSeed:       cfg.LSHSeed,
 		Poll:          o.followPoll,
-		Node:          node,
-		Logger:        logger,
+		// A promoted follower turns -snapshot into its own durability
+		// root: it quarantines any stale WAL there and starts logging a
+		// fresh generation.
+		PromoteDir: o.snapshot,
+		Node:       node,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err
@@ -380,7 +385,10 @@ func runFollower(ctx context.Context, o options, logger *slog.Logger) error {
 		return err
 	}
 	hs := &http.Server{
-		Handler:           f.Handler(),
+		// FollowerHandler adds GET /v1/follower/status and POST
+		// /v1/promote on top of the replica's read API, so an operator or
+		// the router's prober can fail this node over.
+		Handler:           f.FollowerHandler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		MaxHeaderBytes:    1 << 20,
 	}
@@ -400,7 +408,16 @@ func runFollower(ctx context.Context, o options, logger *slog.Logger) error {
 	case runErr = <-errc:
 	}
 	f.Stop()
-	if st := f.Stats(); st.Fatal != "" && runErr == nil {
+	if st := f.Stats(); st.Promoted {
+		// The node took writes after promotion; give its WAL and
+		// snapshot the same clean shutdown a primary gets.
+		if srv := f.Server(); srv != nil {
+			if err := srv.Shutdown(); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		logger.Info("sigserverd: promoted follower stopped", "gen", st.Gen, "applied", st.AppliedRecords)
+	} else if st.Fatal != "" && runErr == nil {
 		runErr = errors.New(st.Fatal)
 	} else {
 		logger.Info("sigserverd: follower stopped",

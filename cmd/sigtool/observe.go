@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -52,7 +53,49 @@ func renderObserveLine(m, prev map[string]int64, elapsed time.Duration) string {
 			rate("flows_accepted"), rate("http_requests_total"),
 			m["windows_closed"], m["http_errors_total"])
 	}
+	b.WriteString(renderClusterSuffix(m))
 	fmt.Fprintf(&b, " p50=%dus p90=%dus p99=%dus\n",
 		m["http_request_p50_micros"], m["http_request_p90_micros"], m["http_request_p99_micros"])
+	return b.String()
+}
+
+// renderClusterSuffix surfaces the failover health of a router (or a
+// replicating primary) when its metrics carry per-shard replication
+// state: byte lag and wall-clock staleness of each shard's freshest
+// follower, how many reads were answered by followers, and how many
+// promotions the prober has issued. Nodes without cluster metrics get
+// an empty suffix, so the single-node dashboard line is unchanged.
+func renderClusterSuffix(m map[string]int64) string {
+	const lagPrefix = "replica_lag_bytes_"
+	var shards []string
+	for k := range m {
+		if strings.HasPrefix(k, lagPrefix) {
+			shards = append(shards, strings.TrimPrefix(k, lagPrefix))
+		}
+	}
+	var failoverReads int64
+	for k, v := range m {
+		if strings.HasPrefix(k, "failover_reads_total_") {
+			failoverReads += v
+		}
+	}
+	promotions := m["promotions_total"]
+	if len(shards) == 0 && failoverReads == 0 && promotions == 0 {
+		return ""
+	}
+	sort.Strings(shards)
+	var b strings.Builder
+	for _, s := range shards {
+		fmt.Fprintf(&b, " lag[%s]=%dB", s, m[lagPrefix+s])
+		if behind := m["replica_behind_seconds_"+s]; behind > 0 {
+			fmt.Fprintf(&b, "/%ds", behind)
+		}
+	}
+	if failoverReads > 0 {
+		fmt.Fprintf(&b, " failover_reads=%d", failoverReads)
+	}
+	if promotions > 0 {
+		fmt.Fprintf(&b, " promotions=%d", promotions)
+	}
 	return b.String()
 }

@@ -65,4 +65,31 @@ func TestRenderObserveLineRates(t *testing.T) {
 			t.Fatalf("line %q missing %q", line, want)
 		}
 	}
+	// A single-node snapshot carries no cluster metrics: no suffix.
+	if strings.Contains(line, "lag[") || strings.Contains(line, "promotions=") {
+		t.Fatalf("cluster suffix on a non-cluster line: %q", line)
+	}
+}
+
+// TestRenderObserveLineClusterSuffix: a router snapshot with replication
+// and failover metrics grows the per-shard lag / failover-read /
+// promotion columns, sorted by shard for a stable layout.
+func TestRenderObserveLineClusterSuffix(t *testing.T) {
+	cur := map[string]int64{
+		"replica_lag_bytes_1":      2048,
+		"replica_lag_bytes_0":      512,
+		"replica_behind_seconds_0": 3,
+		"failover_reads_total_0":   4,
+		"failover_reads_total_1":   1,
+		"promotions_total":         1,
+	}
+	line := renderObserveLine(cur, nil, 0)
+	for _, want := range []string{"lag[0]=512B/3s", "lag[1]=2048B", "failover_reads=5", "promotions=1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if strings.Index(line, "lag[0]") > strings.Index(line, "lag[1]") {
+		t.Fatalf("shard columns not sorted: %q", line)
+	}
 }

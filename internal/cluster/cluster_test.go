@@ -532,3 +532,273 @@ func TestClusterFollowerCatchUp(t *testing.T) {
 		t.Fatalf("only %d labels compared on the follower", compared)
 	}
 }
+
+// TestClusterFailoverPromotion is the fault-tolerance acceptance test:
+// a replicated shard's primary is killed mid-run; reads must keep
+// answering through its follower without a shards_ok drop (staleness
+// surfaced), auto-promotion must restore writes, and after the second
+// half of the traffic lands through the promoted node every query must
+// stay bit-identical to a single reference node over the union —
+// including watch entries added before the kill.
+func TestClusterFailoverPromotion(t *testing.T) {
+	gcfg := datagen.DefaultEnterpriseConfig(41)
+	gcfg.LocalHosts = 12
+	gcfg.ExternalHosts = 150
+	gcfg.Windows = 3
+	gcfg.MultiusageIndividuals = 1
+	data, err := datagen.GenerateEnterprise(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchDist := server.Float64(0.9)
+
+	// Shard 0 replicates to a follower; shard 1 stays a plain primary.
+	srvA, tsA := newTestNode(t, server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		WatchMaxDist:  watchDist,
+		SnapshotDir:   t.TempDir(),
+		Replicate:     true,
+		Node:          &server.Identity{Role: "primary", Shard: 0, Shards: 2},
+	})
+	srvB, tsB := newTestNode(t, server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		WatchMaxDist:  watchDist,
+	})
+	refSrv, refTS := newTestNode(t, server.Config{
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		WatchMaxDist:  watchDist,
+	})
+	refClient := server.NewClient(refTS.URL)
+
+	f, err := NewFollower(FollowerConfig{
+		Primary:       []string{tsA.URL},
+		Stream:        testStreamConfig(gcfg),
+		StoreCapacity: 8,
+		WatchMaxDist:  watchDist,
+		Poll:          5 * time.Millisecond,
+		ChunkBytes:    2048,
+		PromoteDir:    t.TempDir(),
+		Node:          &server.Identity{Role: "follower", Shard: 0, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	fts := httptest.NewServer(f.FollowerHandler())
+	defer fts.Close()
+
+	rt, err := NewRouter(Config{
+		Shards:    [][]string{{tsA.URL}, {tsB.URL}},
+		Followers: [][]string{{fts.URL}, nil},
+		Health: &HealthConfig{
+			Interval:      time.Hour, // never fires: the test drives ProbeOnce
+			FailThreshold: 3,
+			Cooldown:      time.Millisecond,
+			AutoPromote:   time.Millisecond,
+			Timeout:       5 * time.Second,
+		},
+		Timeout:    30 * time.Second,
+		MaxRetries: -1, // fail fast against the killed primary
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ingestBoth := func(lo, hi int) {
+		t.Helper()
+		const batchSize = 400
+		for i := lo; i < hi; i += batchSize {
+			end := min(i+batchSize, hi)
+			id := fmt.Sprintf("fo-%06d", i)
+			cres, err := rt.Ingest(id, data.Records[i:end])
+			if err != nil {
+				t.Fatalf("routed ingest %s: %v", id, err)
+			}
+			rres, err := refClient.IngestBatch(id, data.Records[i:end])
+			if err != nil {
+				t.Fatalf("reference ingest %s: %v", id, err)
+			}
+			if cres.Accepted != rres.Accepted || cres.Dropped != rres.Dropped || cres.Rejected != rres.Rejected {
+				t.Fatalf("batch %s accounting diverged: cluster %+v, single %+v", id, cres.IngestResult, rres)
+			}
+		}
+	}
+
+	// First half of the traffic, plus a watch entry, before the fault.
+	half := len(data.Records) / 2
+	ingestBoth(0, half)
+	pairs := data.Truth.MultiusageSets()
+	if len(pairs) == 0 {
+		t.Fatal("workload has no multiusage ground truth")
+	}
+	watched := pairs[0][0]
+	if _, err := rt.WatchlistAdd(server.WatchlistAddRequest{Individual: "case-0", Label: watched}); err != nil {
+		t.Fatalf("cluster watchlist add: %v", err)
+	}
+	if _, err := refClient.WatchlistAdd(server.WatchlistAddRequest{Individual: "case-0", Label: watched}); err != nil {
+		t.Fatalf("reference watchlist add: %v", err)
+	}
+
+	// Barrier: the follower must hold everything the primary durably
+	// logged before the kill, or the fault would (correctly) lose data.
+	pcA := server.NewClient(tsA.URL)
+	rs, err := pcA.ReplicationStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := f.Stats()
+		if st.Fatal != "" {
+			t.Fatalf("follower died: %s", st.Fatal)
+		}
+		if st.Gen > rs.Gen || (st.Gen == rs.Gen && st.Offset >= rs.DurableSize) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached primary cursor (%d,%d): %+v", rs.Gen, rs.DurableSize, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill shard 0's primary and let the prober converge: FailThreshold
+	// rounds walk it to Down, the next round auto-promotes.
+	tsA.Close()
+	srvA.Abort()
+	p := rt.Prober()
+	for i := 0; i < 3; i++ {
+		p.ProbeOnce()
+	}
+	if tgt := p.target(0); !tgt.primaryDown {
+		t.Fatalf("prober did not mark shard 0 primary down: %+v", tgt)
+	}
+
+	// Before promotion: reads fail over to the follower with no
+	// shards_ok drop, and staleness is surfaced per shard.
+	var ownedByZero string
+	for _, rec := range data.Records {
+		if rt.Ring().Shard(rec.Src) == 0 {
+			ownedByZero = rec.Src
+			break
+		}
+	}
+	if ownedByZero == "" {
+		t.Fatal("no label owned by shard 0")
+	}
+	sres, err := rt.Search(server.SearchRequest{Label: ownedByZero, K: 5, MaxDist: 0.99})
+	if err != nil {
+		t.Fatalf("failover search: %v", err)
+	}
+	if sres.ShardsOK != 2 {
+		t.Fatalf("failover search answered %d/%d shards, want 2/2", sres.ShardsOK, sres.ShardsTotal)
+	}
+	if len(sres.StaleShards) != 1 || sres.StaleShards[0].Shard != 0 {
+		t.Fatalf("failover search stale_shards = %+v, want shard 0", sres.StaleShards)
+	}
+	if got := rt.Registry().Snapshot()["failover_reads_total_0"]; got == 0 {
+		t.Fatal("failover_reads_total did not move")
+	}
+
+	// Promotion: downSince is already past the 1ms grace, so one more
+	// round issues it; the follower flips to read-write.
+	time.Sleep(5 * time.Millisecond)
+	p.ProbeOnce()
+	if tgt := p.target(0); tgt.promoted < 0 {
+		t.Fatalf("prober did not promote shard 0's follower: %+v", tgt)
+	}
+	st := f.Stats()
+	if !st.Promoted {
+		t.Fatalf("follower not promoted: %+v", st)
+	}
+	promoted := f.Server()
+	if id := promoted.Identity(); id == nil || id.Role != "primary" || id.RingEpoch != 1 {
+		t.Fatalf("promoted identity %+v, want primary at ring epoch 1", id)
+	}
+
+	// Exactly-once across the failover: re-sending a pre-kill batch ID
+	// must be absorbed by the promoted node's replicated dedup set, with
+	// the original accounting.
+	re, err := rt.Ingest("fo-000000", data.Records[0:min(400, half)])
+	if err != nil {
+		t.Fatalf("replayed batch after promotion: %v", err)
+	}
+	if !re.Deduplicated {
+		t.Fatal("promoted node did not deduplicate a pre-kill batch ID")
+	}
+	if re.ShardsOK != re.ShardsTotal {
+		t.Fatalf("replayed batch landed on %d/%d shards", re.ShardsOK, re.ShardsTotal)
+	}
+
+	// Second half of the traffic lands through the promoted node.
+	ingestBoth(half, len(data.Records))
+
+	// Close final windows everywhere and compare the two worlds bitwise.
+	for _, s := range []*server.Server{promoted, srvB, refSrv} {
+		if _, err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	compared := 0
+	for _, rec := range data.Records {
+		if seen[rec.Src] {
+			continue
+		}
+		seen[rec.Src] = true
+		req := server.SearchRequest{Label: rec.Src, K: 10, MaxDist: 0.95}
+		cres, cerr := rt.Search(req)
+		rres, rerr := refClient.Search(req)
+		if (cerr != nil) != (rerr != nil) {
+			t.Fatalf("search %q: cluster err %v, single err %v", rec.Src, cerr, rerr)
+		}
+		if cerr != nil {
+			continue
+		}
+		if cj, rj := mustJSON(t, cres.Hits), mustJSON(t, rres.Hits); cj != rj {
+			t.Fatalf("post-promotion search %q diverged:\ncluster: %s\nsingle:  %s", rec.Src, cj, rj)
+		}
+		compared++
+	}
+	if compared < 10 {
+		t.Fatalf("only %d labels compared post-promotion", compared)
+	}
+
+	// The watch entry added before the kill survived the failover: hit
+	// logs merge bit-identically to the reference.
+	chits, err := rt.WatchlistHits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chits.ShardsOK != chits.ShardsTotal {
+		t.Fatalf("watchlist hits answered %d/%d shards", chits.ShardsOK, chits.ShardsTotal)
+	}
+	rhits, err := refClient.WatchlistHits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortHits(rhits.Hits)
+	if cj, rj := mustJSON(t, chits.Hits), mustJSON(t, rhits.Hits); cj != rj {
+		t.Fatalf("post-promotion watchlist hits diverged:\ncluster: %s\nsingle:  %s", cj, rj)
+	}
+
+	// Anomalies over the union stay bit-identical too.
+	cano, err := rt.Anomalies("", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rano, err := refClient.Anomalies(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cano.Mean != rano.Mean || cano.StdDev != rano.StdDev {
+		t.Fatalf("post-promotion anomaly statistics diverged: cluster (%v,%v), single (%v,%v)",
+			cano.Mean, cano.StdDev, rano.Mean, rano.StdDev)
+	}
+	if cj, rj := mustJSON(t, cano.Anomalies), mustJSON(t, rano.Anomalies); cj != rj {
+		t.Fatalf("post-promotion anomaly sets diverged:\ncluster: %s\nsingle:  %s", cj, rj)
+	}
+}

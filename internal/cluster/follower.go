@@ -27,17 +27,24 @@ type FollowerConfig struct {
 	// different signatures. Origin and WindowSize are learned from the
 	// WAL's origin frames and may be left zero.
 	Stream stream.Config
-	// StoreCapacity / Distance / LSH mirror server.Config.
+	// StoreCapacity / Distance / LSH / WatchMaxDist mirror server.Config
+	// — watch screening runs on the replica too, so a mismatched
+	// threshold silently yields a different hit log.
 	StoreCapacity     int
 	Distance          core.Distance
 	LSHBands, LSHRows int
 	LSHSeed           uint64
+	WatchMaxDist      *float64
 	// Poll is the idle polling interval (0 = DefaultFollowPoll).
 	Poll time.Duration
 	// ChunkBytes bounds each WAL fetch (0 = server default).
 	ChunkBytes int
 	// Node stamps the follower's identity into /readyz and metrics.
 	Node *server.Identity
+	// PromoteDir, when non-empty, is the durability home a Promote call
+	// attaches to the replica (fresh WAL + snapshot). Empty promotes to
+	// a memory-only primary.
+	PromoteDir string
 	// Logger receives operational warnings.
 	Logger *slog.Logger
 }
@@ -55,6 +62,12 @@ type FollowerStats struct {
 	// Serving is true once the first origin frame arrived and the local
 	// server exists.
 	Serving bool
+	// Promoted is true once Promote flipped the replica to read-write;
+	// replication is permanently stopped at that point.
+	Promoted bool
+	// LastProgress is when the cursor last advanced (zero before the
+	// first fetch) — the prober's seconds-behind source.
+	LastProgress time.Time
 	// LastErr is the most recent transient error ("" when the last
 	// fetch succeeded); Fatal is set when replication stopped for good.
 	LastErr string
@@ -89,6 +102,21 @@ type Follower struct {
 	caught  bool
 	lastErr error
 	fatal   error
+
+	// watchApplied counts watch entries applied so far; watchSkip is
+	// armed with that count at each generation boundary, because every
+	// generation opens with a prologue re-logging the full watch set —
+	// exactly the entries this follower has already applied when it
+	// finished the previous generation. Skipping by count (not by
+	// content) keeps genuine duplicate adds intact.
+	watchApplied int
+	watchSkip    int
+	// preOrigin buffers watch/batch frames that precede the first origin
+	// frame (possible in generation 0 before the primary's window
+	// alignment is known); they apply right after the server is built.
+	preOrigin    []wal.Frame
+	promoted     bool
+	lastProgress time.Time
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -146,6 +174,8 @@ func (f *Follower) Stats() FollowerStats {
 		AppliedRecords: f.applied,
 		CaughtUp:       f.caught,
 		Serving:        f.srv != nil,
+		Promoted:       f.promoted,
+		LastProgress:   f.lastProgress,
 	}
 	if f.lastErr != nil {
 		st.LastErr = f.lastErr.Error()
@@ -255,7 +285,13 @@ func (f *Follower) step() (bool, error) {
 		}
 		f.gen++
 		f.off = wal.HeaderLen
+		// The next generation opens by re-logging the full watch set;
+		// arm the skip counter so those replays are not applied twice.
+		f.watchSkip = f.watchApplied
 		progressed = true
+	}
+	if progressed {
+		f.lastProgress = time.Now()
 	}
 	return progressed, nil
 }
@@ -306,6 +342,36 @@ func (f *Follower) applyLocked(frames []wal.Frame) error {
 				return fmt.Errorf("record frame before any origin frame")
 			}
 			batch = append(batch, fr.Record)
+		case wal.FrameWatch:
+			if f.watchSkip > 0 {
+				f.watchSkip-- // generation-prologue replay of an applied entry
+				continue
+			}
+			if f.srv == nil {
+				f.preOrigin = append(f.preOrigin, fr)
+				f.watchApplied++
+				continue
+			}
+			// Watch entries order against records: an entry screens only
+			// windows that close after it, so the pending record batch
+			// must land first.
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := f.srv.ApplyWatchEntry(fr.Watch); err != nil {
+				return fmt.Errorf("replica rejected shipped watch entry for %q: %w", fr.Watch.Individual, err)
+			}
+			f.watchApplied++
+		case wal.FrameBatch:
+			if f.srv == nil {
+				f.preOrigin = append(f.preOrigin, fr)
+				continue
+			}
+			// Dedup markers must register after the records they cover.
+			if err := flush(); err != nil {
+				return err
+			}
+			f.srv.RegisterBatch(fr.Batch)
 		}
 	}
 	return flush()
@@ -329,6 +395,7 @@ func (f *Follower) buildServerLocked(origin wal.Frame) error {
 		LSHBands:      f.cfg.LSHBands,
 		LSHRows:       f.cfg.LSHRows,
 		LSHSeed:       f.cfg.LSHSeed,
+		WatchMaxDist:  f.cfg.WatchMaxDist,
 		DisableWAL:    true,
 		ReadOnly:      true,
 		Node:          f.cfg.Node,
@@ -338,5 +405,65 @@ func (f *Follower) buildServerLocked(origin wal.Frame) error {
 		return fmt.Errorf("building replica server: %w", err)
 	}
 	f.srv = srv
+	// Apply mutations that were shipped before window alignment was
+	// known (watch adds and batch markers preceding the first ingest).
+	for _, fr := range f.preOrigin {
+		switch fr.Kind {
+		case wal.FrameWatch:
+			if err := f.srv.ApplyWatchEntry(fr.Watch); err != nil {
+				return fmt.Errorf("replica rejected buffered watch entry for %q: %w", fr.Watch.Individual, err)
+			}
+		case wal.FrameBatch:
+			f.srv.RegisterBatch(fr.Batch)
+		}
+	}
+	f.preOrigin = nil
 	return nil
+}
+
+// Promote stops replication and flips the replica into a serving
+// primary (see server.Promote): the accumulated state — archive, open
+// window, watchlist, dedup set — is exactly what the primary had
+// durably logged, so routed retries and watch screening carry over. The
+// promoted node rejoins the ring under the same shard index with a
+// bumped RingEpoch, and starts its own WAL lineage one generation past
+// the replication cursor so (gen, offset) positions never collide with
+// bytes the old primary shipped.
+func (f *Follower) Promote() (*server.Server, error) {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("cluster: follower already promoted")
+	}
+	if f.srv == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("cluster: follower has no replica yet (no origin frame received)")
+	}
+	f.mu.Unlock()
+
+	// Stop outside the lock: the replication loop takes f.mu per step.
+	f.Stop()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted {
+		return nil, fmt.Errorf("cluster: follower already promoted")
+	}
+	node := &server.Identity{Role: "primary"}
+	if f.cfg.Node != nil {
+		n := *f.cfg.Node
+		n.Role = "primary"
+		n.RingEpoch++
+		node = &n
+	}
+	if err := f.srv.Promote(server.PromoteConfig{
+		SnapshotDir: f.cfg.PromoteDir,
+		WALGen:      f.gen + 1,
+		Node:        node,
+	}); err != nil {
+		return nil, err
+	}
+	f.promoted = true
+	f.caught = false
+	return f.srv, nil
 }

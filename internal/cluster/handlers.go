@@ -24,6 +24,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /v1/anomalies", rt.handleAnomalies)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /v1/cluster/health", rt.handleClusterHealth)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 }
 
@@ -197,23 +198,46 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleReady reports ready only when every shard is: a router in
 // front of a half-down fleet still serves degraded reads, but load
-// balancers should prefer a fully connected one.
+// balancers should prefer a fully connected one. With a health prober
+// configured, a shard whose writes answer through a promoted follower
+// counts as ready, and one whose reads fail over to a follower counts
+// as ready with a staleness note — failover is the feature working, not
+// an outage.
 func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 	results := scatter(rt, rt.allShards(), func(s int) (server.ReadyResponse, error) {
-		return rt.clients[s].Ready()
+		return rt.writeClient(s).Ready()
 	})
 	resp := server.ReadyResponse{Ready: true, Node: rt.Identity()}
 	for _, res := range results {
-		if res.err != nil {
-			resp.Ready = false
-			resp.Reasons = append(resp.Reasons, fmt.Sprintf("shard %d: %v", res.shard, res.err))
+		if res.err == nil {
+			continue
 		}
+		if rt.prober != nil {
+			if t := rt.prober.target(res.shard); t.primaryDown && t.freshest >= 0 {
+				resp.Reasons = append(resp.Reasons,
+					fmt.Sprintf("shard %d: primary unavailable; reads served by follower at gen %d offset %d",
+						res.shard, t.gen, t.off))
+				continue
+			}
+		}
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, fmt.Sprintf("shard %d: %v", res.shard, res.err))
 	}
 	status := http.StatusOK
 	if !resp.Ready {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleClusterHealth reports the prober's membership view; with no
+// prober configured the body is {"enabled": false}.
+func (rt *Router) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if rt.prober == nil {
+		writeJSON(w, http.StatusOK, ClusterHealthResponse{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.prober.snapshot())
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {

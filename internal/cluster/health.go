@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"graphsig/internal/obs"
+	"graphsig/internal/server"
+)
+
+// The health prober is the router's membership view. The static ring
+// (NewRing) decides where keys live; the prober decides which process
+// currently answers for each slot: the primary while it is healthy, the
+// freshest follower when it is not, and a promoted follower from the
+// moment a promotion is observed. Probes are deliberately dumb — GET
+// /readyz on primaries, GET /v1/follower/status on followers, one
+// attempt each — and all intelligence lives in the per-endpoint state
+// machine: consecutive failures walk Healthy → Suspect → Down, one
+// success walks straight back to Healthy, and Down endpoints are
+// re-probed only every Cooldown so a dead node costs one connect
+// timeout per cooldown instead of one per request.
+
+// Prober defaults.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	DefaultFailThreshold = 3
+	DefaultProbeCooldown = 5 * time.Second
+)
+
+// HealthConfig parameterizes the router's health prober.
+type HealthConfig struct {
+	// Interval between probe rounds (default DefaultProbeInterval),
+	// jittered ±20% so a fleet of routers decorrelates.
+	Interval time.Duration
+	// FailThreshold is how many consecutive probe failures mark an
+	// endpoint Down (default DefaultFailThreshold).
+	FailThreshold int
+	// Cooldown spaces re-probes of Down endpoints (default
+	// DefaultProbeCooldown).
+	Cooldown time.Duration
+	// AutoPromote, when positive, promotes the freshest serving
+	// follower of a shard whose primary has been Down for at least this
+	// long. Zero leaves promotion to the operator (POST /v1/promote on
+	// the chosen follower).
+	AutoPromote time.Duration
+	// Timeout bounds each probe request (default: Interval).
+	Timeout time.Duration
+}
+
+// HealthState is one endpoint's position in the probe state machine.
+type HealthState int
+
+const (
+	// Healthy: the last probe succeeded.
+	Healthy HealthState = iota
+	// Suspect: recent probes failed, but fewer than FailThreshold in a
+	// row. The endpoint still takes traffic — flapping networks must
+	// not trigger failover.
+	Suspect
+	// Down: FailThreshold consecutive probes failed. Reads fail over,
+	// and after AutoPromote the freshest follower is promoted.
+	Down
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// endpoint is one probed process. All fields below base are guarded by
+// Prober.mu.
+type endpoint struct {
+	name string // metric/label identity, e.g. "s0/primary", "s1/f0"
+	base string
+
+	state     HealthState
+	fails     int
+	lastProbe time.Time
+	downSince time.Time
+
+	// Follower-only: the last successfully fetched status.
+	status   FollowerStatusResponse
+	statusOK bool
+	// Primary-only: the last observed replication cursor, for lag.
+	gen     int
+	durable int64
+	replOK  bool
+}
+
+// Prober health-checks a router's fleet and feeds the failover view
+// behind readClient/writeClient. Construct via Router (Config.Health);
+// drive it with Start for wall-clock probing or ProbeOnce for
+// deterministic tests and simulations.
+type Prober struct {
+	cfg    HealthConfig
+	httpc  *http.Client
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	primaries []*endpoint
+	followers [][]*endpoint
+	jitter    *mrand.Rand
+
+	transitions *obs.CounterVec // state changes, by endpoint
+	probeFails  *obs.CounterVec // failed probes, by endpoint
+	promotions  *obs.Counter    // auto-promotions issued
+	lagBytes    *obs.GaugeVec   // freshest follower's byte lag, by shard
+	lagGens     *obs.GaugeVec   // freshest follower's generation lag, by shard
+	behindSecs  *obs.GaugeVec   // seconds since the cursor advanced, by shard
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newProber wires a prober over the router's topology. followers[i] may
+// be empty — a shard without replicas simply has nothing to fail over
+// to.
+func newProber(cfg HealthConfig, primaries []string, followers [][]string, reg *obs.Registry, logger *slog.Logger) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultProbeInterval
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultProbeCooldown
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval
+	}
+	p := &Prober{
+		cfg:    cfg,
+		httpc:  &http.Client{Timeout: cfg.Timeout},
+		logger: logger,
+		jitter: mrand.New(mrand.NewSource(time.Now().UnixNano())),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+
+		transitions: reg.CounterVec("health_transitions_total", "endpoint health-state changes, by endpoint", "endpoint"),
+		probeFails:  reg.CounterVec("probe_failures_total", "failed health probes, by endpoint", "endpoint"),
+		promotions:  reg.Counter("promotions_total", "follower promotions issued by the prober"),
+		lagBytes:    reg.GaugeVec("replica_lag_bytes", "freshest follower's byte lag behind the primary, by shard", "shard"),
+		lagGens:     reg.GaugeVec("replica_lag_gens", "freshest follower's generation lag behind the primary, by shard", "shard"),
+		behindSecs:  reg.GaugeVec("replica_behind_seconds", "seconds since the freshest follower's cursor advanced, by shard", "shard"),
+	}
+	for s, base := range primaries {
+		p.primaries = append(p.primaries, &endpoint{
+			name: fmt.Sprintf("s%d/primary", s),
+			base: base,
+		})
+		var fes []*endpoint
+		if s < len(followers) {
+			for i, fb := range followers[s] {
+				fes = append(fes, &endpoint{
+					name: fmt.Sprintf("s%d/f%d", s, i),
+					base: fb,
+				})
+			}
+		}
+		p.followers = append(p.followers, fes)
+	}
+	return p
+}
+
+func (p *Prober) logf(format string, args ...any) {
+	if p.logger != nil {
+		p.logger.Warn(fmt.Sprintf(format, args...))
+	}
+}
+
+// Start launches the wall-clock probe loop; Stop halts it.
+func (p *Prober) Start() { go p.loop() }
+
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (p *Prober) loop() {
+	defer close(p.done)
+	for {
+		// ±20% jitter decorrelates a fleet of routers probing the same
+		// shards.
+		d := p.cfg.Interval
+		p.mu.Lock()
+		d += time.Duration(p.jitter.Int63n(int64(p.cfg.Interval)/5)*2) - p.cfg.Interval/5
+		p.mu.Unlock()
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(d):
+		}
+		p.round(false)
+	}
+}
+
+// ProbeOnce runs one synchronous probe round over every endpoint,
+// ignoring the Down-endpoint cooldown — the deterministic driver for
+// tests and the simulation harness (FailThreshold calls walk a dead
+// endpoint to Down without any wall-clock dependency).
+func (p *Prober) ProbeOnce() { p.round(true) }
+
+func (p *Prober) round(force bool) {
+	now := time.Now()
+	for s := range p.primaries {
+		p.probeShard(s, now, force)
+	}
+}
+
+func (p *Prober) probeShard(s int, now time.Time, force bool) {
+	pe := p.primaries[s]
+	if force || p.due(pe, now) {
+		var ready server.ReadyResponse
+		err := p.getJSON(pe.base+"/readyz", &ready)
+		ok := err == nil && ready.Ready
+		var repl *server.ReplicationStatusResponse
+		if ok && len(p.followers[s]) > 0 {
+			var rs server.ReplicationStatusResponse
+			if p.getJSON(pe.base+"/v1/replication/status", &rs) == nil && rs.Replicating {
+				repl = &rs
+			}
+		}
+		p.mu.Lock()
+		p.observeLocked(pe, ok, now)
+		if repl != nil {
+			pe.gen, pe.durable, pe.replOK = repl.Gen, repl.DurableSize, true
+		}
+		p.mu.Unlock()
+	}
+	for _, fe := range p.followers[s] {
+		if !(force || p.due(fe, now)) {
+			continue
+		}
+		var st FollowerStatusResponse
+		err := p.getJSON(fe.base+"/v1/follower/status", &st)
+		p.mu.Lock()
+		if err == nil {
+			fe.status, fe.statusOK = st, true
+		}
+		// A follower whose replication died (Fatal) is reachable but
+		// useless as a failover target; count it as a failed probe so it
+		// walks to Down rather than serving ever-staler data forever.
+		p.observeLocked(fe, err == nil && st.Fatal == "", now)
+		p.mu.Unlock()
+	}
+	p.updateLag(s)
+	p.maybePromote(s, now)
+}
+
+// due reports whether an endpoint should be probed this round: always,
+// except Down endpoints inside their re-probe cooldown.
+func (p *Prober) due(ep *endpoint, now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ep.state != Down || now.Sub(ep.lastProbe) >= p.cfg.Cooldown
+}
+
+// observeLocked feeds one probe outcome into the state machine.
+// Callers hold p.mu.
+func (p *Prober) observeLocked(ep *endpoint, ok bool, now time.Time) {
+	ep.lastProbe = now
+	next := Healthy
+	if !ok {
+		ep.fails++
+		p.probeFails.With(ep.name).Add(1)
+		next = Suspect
+		if ep.fails >= p.cfg.FailThreshold {
+			next = Down
+		}
+	} else {
+		ep.fails = 0
+	}
+	if next != ep.state {
+		if next == Down {
+			ep.downSince = now
+		}
+		p.transitions.With(ep.name).Add(1)
+		p.logf("sigrouter: %s %s -> %s (%d consecutive failures)", ep.name, ep.state, next, ep.fails)
+		ep.state = next
+	}
+}
+
+// getJSON performs one probe request: single attempt, bounded by the
+// probe timeout, 2xx-or-failure.
+func (p *Prober) getJSON(url string, out any) error {
+	resp, err := p.httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// updateLag publishes the freshest follower's replication lag for one
+// shard. Byte lag is only defined while primary and follower are in the
+// same generation; across generations the gap is reported in
+// generations instead.
+func (p *Prober) updateLag(s int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pe := p.primaries[s]
+	t := p.targetLocked(s)
+	if t.freshest < 0 {
+		return
+	}
+	label := strconv.Itoa(s)
+	if t.promoted >= 0 {
+		// The follower is the shard's primary now: replication lag is no
+		// longer a staleness signal, and a cursor-age gauge that keeps
+		// growing after promotion would read as an outage.
+		p.behindSecs.With(label).Set(0)
+		p.lagBytes.With(label).Set(0)
+		p.lagGens.With(label).Set(0)
+		return
+	}
+	fe := p.followers[s][t.freshest]
+	p.behindSecs.With(label).Set(int64(fe.status.BehindSeconds))
+	if !pe.replOK {
+		return
+	}
+	gens := pe.gen - fe.status.Gen
+	if gens < 0 {
+		gens = 0 // follower observed a rotation the prober has not yet
+	}
+	p.lagGens.With(label).Set(int64(gens))
+	if gens == 0 {
+		if bytes := pe.durable - fe.status.Offset; bytes >= 0 {
+			p.lagBytes.With(label).Set(bytes)
+		}
+	}
+}
+
+// maybePromote issues the auto-promotion for one shard when its primary
+// has been Down past the AutoPromote grace period. The target is the
+// freshest serving follower; a 409 (already promoted, e.g. by an
+// operator or a sibling router) counts as success.
+func (p *Prober) maybePromote(s int, now time.Time) {
+	if p.cfg.AutoPromote <= 0 {
+		return
+	}
+	p.mu.Lock()
+	pe := p.primaries[s]
+	t := p.targetLocked(s)
+	downFor := now.Sub(pe.downSince)
+	eligible := pe.state == Down && downFor >= p.cfg.AutoPromote &&
+		t.promoted < 0 && t.freshest >= 0
+	var base, name string
+	if eligible {
+		base = p.followers[s][t.freshest].base
+		name = p.followers[s][t.freshest].name
+	}
+	p.mu.Unlock()
+	if !eligible {
+		return
+	}
+	p.logf("sigrouter: shard %d primary down %.1fs; promoting %s", s, downFor.Seconds(), name)
+	resp, err := p.httpc.Post(base+"/v1/promote", "application/json", nil)
+	if err != nil {
+		p.logf("sigrouter: promoting %s: %v", name, err)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		p.logf("sigrouter: promoting %s: status %s", name, resp.Status)
+		return
+	}
+	p.promotions.Add(1)
+	p.mu.Lock()
+	// Mark eagerly so traffic shifts this round; the next status probe
+	// confirms from the node itself.
+	p.followers[s][t.freshest].status.Promoted = true
+	p.followers[s][t.freshest].statusOK = true
+	p.mu.Unlock()
+}
+
+// shardTarget is the prober's routing answer for one shard.
+type shardTarget struct {
+	primaryDown bool
+	// promoted indexes a follower that has been promoted to primary
+	// (-1: none). Once present it is preferred for reads AND writes even
+	// if the old primary resurfaces — the promoted node carries the
+	// bumped ring epoch, and the stale primary must not take writes.
+	promoted int
+	// freshest indexes the serving follower with the most advanced
+	// replication cursor (-1: none); gen/off/behindSec describe it.
+	freshest  int
+	gen       int
+	off       int64
+	behindSec float64
+}
+
+func (p *Prober) target(s int) shardTarget {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.targetLocked(s)
+}
+
+func (p *Prober) targetLocked(s int) shardTarget {
+	t := shardTarget{promoted: -1, freshest: -1, primaryDown: p.primaries[s].state == Down}
+	for i, fe := range p.followers[s] {
+		if !fe.statusOK {
+			continue
+		}
+		if fe.status.Promoted {
+			t.promoted = i
+			continue
+		}
+		if fe.state == Down || !fe.status.Serving || fe.status.Fatal != "" {
+			continue
+		}
+		if t.freshest < 0 || fe.status.Gen > t.gen ||
+			(fe.status.Gen == t.gen && fe.status.Offset > t.off) {
+			t.freshest, t.gen, t.off = i, fe.status.Gen, fe.status.Offset
+			t.behindSec = fe.status.BehindSeconds
+		}
+	}
+	return t
+}
+
+// EndpointHealth is one endpoint's state in the GET /v1/cluster/health
+// body.
+type EndpointHealth struct {
+	Endpoint string `json:"endpoint"`
+	State    string `json:"state"`
+	Fails    int    `json:"fails,omitempty"`
+	// DownSeconds is how long the endpoint has been Down (0 otherwise).
+	DownSeconds float64 `json:"down_seconds,omitempty"`
+	// Follower fields, when the endpoint is one.
+	Serving  bool  `json:"serving,omitempty"`
+	Promoted bool  `json:"promoted,omitempty"`
+	Gen      int   `json:"gen,omitempty"`
+	Offset   int64 `json:"offset,omitempty"`
+}
+
+// ClusterHealthResponse is the GET /v1/cluster/health body.
+type ClusterHealthResponse struct {
+	Enabled   bool             `json:"enabled"`
+	Endpoints []EndpointHealth `json:"endpoints,omitempty"`
+}
+
+// snapshot renders the membership view for the debug endpoint.
+func (p *Prober) snapshot() ClusterHealthResponse {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	resp := ClusterHealthResponse{Enabled: true}
+	add := func(ep *endpoint, follower bool) {
+		eh := EndpointHealth{Endpoint: ep.name, State: ep.state.String(), Fails: ep.fails}
+		if ep.state == Down {
+			eh.DownSeconds = now.Sub(ep.downSince).Seconds()
+		}
+		if follower && ep.statusOK {
+			eh.Serving = ep.status.Serving
+			eh.Promoted = ep.status.Promoted
+			eh.Gen = ep.status.Gen
+			eh.Offset = ep.status.Offset
+		}
+		resp.Endpoints = append(resp.Endpoints, eh)
+	}
+	for s, pe := range p.primaries {
+		add(pe, false)
+		for _, fe := range p.followers[s] {
+			add(fe, true)
+		}
+	}
+	return resp
+}

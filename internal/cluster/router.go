@@ -20,6 +20,13 @@ import (
 // Config.Timeout is zero.
 const DefaultScatterTimeout = 5 * time.Second
 
+// maxThrottleRetries bounds the router-side re-sends of a sub-batch
+// whose shard keeps answering 429 after the client's own retries are
+// exhausted. A 429 means the shard is alive and shedding load, so the
+// router waits out the advertised Retry-After (via the client's
+// saturating jittered backoff) instead of failing the sub-batch.
+const maxThrottleRetries = 3
+
 // Config parameterizes a Router.
 type Config struct {
 	// Shards is the per-shard seed address list: Shards[i] holds one or
@@ -36,6 +43,17 @@ type Config struct {
 	// MaxRetries configures the per-shard clients (0 keeps the client
 	// default; negative disables retries).
 	MaxRetries int
+	// Followers is the per-shard follower address list: Followers[i]
+	// holds base URLs of processes tailing shard i's WAL. With a Health
+	// prober configured, reads fail over to the freshest follower while
+	// shard i's primary is down, and a promoted follower takes over the
+	// slot entirely. May be nil or shorter than Shards.
+	Followers [][]string
+	// Health, when non-nil, enables the health prober that feeds the
+	// failover view (and auto-promotion, if HealthConfig.AutoPromote is
+	// set). Call Prober().Start() to begin wall-clock probing; tests
+	// drive Prober().ProbeOnce() instead.
+	Health *HealthConfig
 	// Logger receives operational warnings (shard errors, degraded
 	// fan-outs).
 	Logger *slog.Logger
@@ -46,20 +64,24 @@ type Config struct {
 // the union — as long as every shard runs a per-source-local scheme
 // and the same distance kernels (see the package comment).
 type Router struct {
-	ring    *Ring
-	clients []*server.Client
-	timeout time.Duration
-	logger  *slog.Logger
-	start   time.Time
+	ring      *Ring
+	clients   []*server.Client
+	followers [][]*server.Client // per shard, parallel to Config.Followers
+	prober    *Prober            // nil without Config.Health
+	timeout   time.Duration
+	logger    *slog.Logger
+	start     time.Time
 
-	registry     *obs.Registry
-	mux          *http.ServeMux
-	routedFlows  *obs.CounterVec // records routed, by shard
-	shardErrors  *obs.CounterVec // failed shard calls, by shard
-	scatters     *obs.Counter    // scatter-gather fan-outs issued
-	partials     *obs.Counter    // fan-outs answered with shards_ok < shards_total
-	httpRequests *obs.Counter
-	httpErrors   *obs.Counter
+	registry      *obs.Registry
+	mux           *http.ServeMux
+	routedFlows   *obs.CounterVec // records routed, by shard
+	shardErrors   *obs.CounterVec // failed shard calls, by shard
+	failoverReads *obs.CounterVec // reads served by a follower, by shard
+	scatters      *obs.Counter    // scatter-gather fan-outs issued
+	partials      *obs.Counter    // fan-outs answered with shards_ok < shards_total
+	throttleWaits *obs.Counter    // routed ingest retries after shard 429s
+	httpRequests  *obs.Counter
+	httpErrors    *obs.Counter
 }
 
 // NewRouter builds the router and its ring.
@@ -82,16 +104,26 @@ func NewRouter(cfg Config) (*Router, error) {
 	if rt.timeout <= 0 {
 		rt.timeout = DefaultScatterTimeout
 	}
-	for i, seeds := range cfg.Shards {
-		if len(seeds) == 0 {
-			return nil, fmt.Errorf("cluster: shard %d has no seed addresses", i)
-		}
+	newClient := func(seeds []string) *server.Client {
 		c := server.NewClient(seeds[0], seeds[1:]...)
 		c.HTTP = &http.Client{Timeout: rt.timeout}
 		if cfg.MaxRetries != 0 {
 			c.MaxRetries = cfg.MaxRetries
 		}
-		rt.clients = append(rt.clients, c)
+		return c
+	}
+	for i, seeds := range cfg.Shards {
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no seed addresses", i)
+		}
+		rt.clients = append(rt.clients, newClient(seeds))
+		var fcs []*server.Client
+		if i < len(cfg.Followers) {
+			for _, fb := range cfg.Followers[i] {
+				fcs = append(fcs, newClient([]string{fb}))
+			}
+		}
+		rt.followers = append(rt.followers, fcs)
 	}
 	rt.registry.SetConstLabels(map[string]string{
 		"role":       "router",
@@ -99,14 +131,96 @@ func NewRouter(cfg Config) (*Router, error) {
 	})
 	rt.routedFlows = rt.registry.CounterVec("routed_flows_total", "flow records routed, by shard", "shard")
 	rt.shardErrors = rt.registry.CounterVec("shard_errors_total", "failed shard calls, by shard", "shard")
+	rt.failoverReads = rt.registry.CounterVec("failover_reads_total", "reads served by a follower while the primary was down, by shard", "shard")
 	rt.scatters = rt.registry.Counter("scatter_queries", "scatter-gather fan-outs issued")
 	rt.partials = rt.registry.Counter("partial_results", "fan-outs answered with shards_ok < shards_total")
+	rt.throttleWaits = rt.registry.Counter("ingest_throttle_retries", "routed ingest retries after shard 429 responses")
 	rt.httpRequests = rt.registry.Counter("http_requests_total", "HTTP requests routed")
 	rt.httpErrors = rt.registry.Counter("http_errors_total", "HTTP responses with status >= 400")
 	rt.registry.GaugeFunc("uptime_seconds", "seconds since router start",
 		func() int64 { return int64(time.Since(rt.start).Seconds()) })
+	if cfg.Health != nil {
+		primaries := make([]string, len(cfg.Shards))
+		for i, seeds := range cfg.Shards {
+			primaries[i] = seeds[0]
+		}
+		rt.prober = newProber(*cfg.Health, primaries, cfg.Followers, rt.registry, cfg.Logger)
+	}
 	rt.routes()
 	return rt, nil
+}
+
+// Prober exposes the health prober (nil without Config.Health). The
+// caller owns its lifecycle: Start for wall-clock probing, ProbeOnce
+// for deterministic stepping, Stop on shutdown.
+func (rt *Router) Prober() *Prober { return rt.prober }
+
+// StaleShard reports that one shard's portion of a response was served
+// by a follower whose replication cursor may trail the lost primary's
+// final durable state.
+type StaleShard struct {
+	Shard int `json:"shard"`
+	// Gen and Offset are the follower's replication cursor — everything
+	// the primary durably logged before that point is reflected.
+	Gen    int   `json:"gen"`
+	Offset int64 `json:"offset"`
+	// BehindSeconds is how long ago the cursor last advanced.
+	BehindSeconds float64 `json:"behind_seconds,omitempty"`
+}
+
+// readClient picks the client answering reads for one shard: the
+// primary while it is not Down, a promoted follower from the moment the
+// prober observes one, otherwise the freshest serving follower — with
+// the staleness it implies — and, with nothing better, the primary
+// anyway so the caller gets a real error instead of a silent gap.
+func (rt *Router) readClient(s int) (*server.Client, *StaleShard) {
+	if rt.prober == nil {
+		return rt.clients[s], nil
+	}
+	t := rt.prober.target(s)
+	if t.promoted >= 0 {
+		return rt.followers[s][t.promoted], nil
+	}
+	if !t.primaryDown {
+		return rt.clients[s], nil
+	}
+	if t.freshest >= 0 {
+		rt.failoverReads.With(strconv.Itoa(s)).Add(1)
+		return rt.followers[s][t.freshest],
+			&StaleShard{Shard: s, Gen: t.gen, Offset: t.off, BehindSeconds: t.behindSec}
+	}
+	return rt.clients[s], nil
+}
+
+// writeClient picks the client taking writes for one shard: the
+// promoted follower once one exists — even if the old primary
+// resurfaces, since the promoted node owns the bumped ring epoch and
+// the stale primary must not take writes — otherwise the primary.
+func (rt *Router) writeClient(s int) *server.Client {
+	if rt.prober == nil {
+		return rt.clients[s]
+	}
+	if t := rt.prober.target(s); t.promoted >= 0 {
+		return rt.followers[s][t.promoted]
+	}
+	return rt.clients[s]
+}
+
+// readClients resolves every shard's read client up front (routing
+// decisions happen before the fan-out, not inside its goroutines) and
+// returns the staleness the selection implies — nil when every shard is
+// answered authoritatively, so the response field serializes away.
+func (rt *Router) readClients() ([]*server.Client, []StaleShard) {
+	clients := make([]*server.Client, rt.ring.Shards())
+	var stale []StaleShard
+	for s := range clients {
+		c, st := rt.readClient(s)
+		clients[s] = c
+		if st != nil {
+			stale = append(stale, *st)
+		}
+	}
+	return clients, stale
 }
 
 // Ring exposes the router's placement ring.
@@ -224,7 +338,14 @@ func (rt *Router) Ingest(batchID string, records []netflow.Record) (IngestRespon
 		if batchID != "" {
 			id = batchID + "/" + strconv.Itoa(s)
 		}
-		res, err := rt.clients[s].IngestBatch(id, parts[s])
+		c := rt.writeClient(s)
+		res, err := c.IngestBatch(id, parts[s])
+		for attempt := 0; attempt < maxThrottleRetries &&
+			server.APIStatus(err) == http.StatusTooManyRequests; attempt++ {
+			rt.throttleWaits.Add(1)
+			time.Sleep(c.Backoff(attempt, server.RetryAfter(err)))
+			res, err = c.IngestBatch(id, parts[s])
+		}
 		if err == nil {
 			rt.routedFlows.With(strconv.Itoa(s)).Add(int64(len(parts[s])))
 		}
@@ -261,6 +382,7 @@ type SearchResponse struct {
 	Hits        []server.SearchHitJSON `json:"hits"`
 	ShardsOK    int                    `json:"shards_ok"`
 	ShardsTotal int                    `json:"shards_total"`
+	StaleShards []StaleShard           `json:"stale_shards,omitempty"`
 }
 
 // Search fans the query out to every shard and merges the per-shard
@@ -284,7 +406,8 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 	}
 	if req.Label != "" {
 		owner := rt.ring.Shard(req.Label)
-		hist, err := rt.clients[owner].History(req.Label)
+		oc, _ := rt.readClient(owner)
+		hist, err := oc.History(req.Label)
 		if err != nil {
 			return SearchResponse{}, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
 		}
@@ -302,12 +425,13 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 		req.Label = ""
 	}
 
+	clients, stale := rt.readClients()
 	results := scatter(rt, rt.allShards(), func(s int) (server.SearchResponse, error) {
-		return rt.clients[s].Search(req)
+		return clients[s].Search(req)
 	})
 	// Non-nil even when empty: the routed body must serialize exactly
 	// like a single node's ("hits": [], never null).
-	resp := SearchResponse{ShardsTotal: len(results), Hits: []server.SearchHitJSON{}}
+	resp := SearchResponse{ShardsTotal: len(results), Hits: []server.SearchHitJSON{}, StaleShards: stale}
 	for _, r := range results {
 		if r.err != nil {
 			continue
@@ -347,6 +471,7 @@ type AnomaliesResponse struct {
 	Anomalies   []server.AnomalyJSON `json:"anomalies"`
 	ShardsOK    int                  `json:"shards_ok"`
 	ShardsTotal int                  `json:"shards_total"`
+	StaleShards []StaleShard         `json:"stale_shards,omitempty"`
 }
 
 // Anomalies fetches every shard's label-keyed persistence pairs,
@@ -360,10 +485,11 @@ func (rt *Router) Anomalies(distance string, zCut float64) (AnomaliesResponse, e
 	if zCut <= 0 {
 		zCut = 2.0
 	}
+	clients, stale := rt.readClients()
 	results := scatter(rt, rt.allShards(), func(s int) (server.PersistenceResponse, error) {
-		return rt.clients[s].Persistence(distance)
+		return clients[s].Persistence(distance)
 	})
-	resp := AnomaliesResponse{ShardsTotal: len(results)}
+	resp := AnomaliesResponse{ShardsTotal: len(results), StaleShards: stale}
 	// Reference window pair: the newest ToWindow any shard reports.
 	ref := -1
 	for _, r := range results {
@@ -412,15 +538,17 @@ type WatchlistHitsResponse struct {
 	Hits        []server.WatchHitJSON `json:"hits"`
 	ShardsOK    int                   `json:"shards_ok"`
 	ShardsTotal int                   `json:"shards_total"`
+	StaleShards []StaleShard          `json:"stale_shards,omitempty"`
 }
 
 // WatchlistHits merges every shard's hit log under a deterministic
 // order (window, label, individual, archived window).
 func (rt *Router) WatchlistHits() (WatchlistHitsResponse, error) {
+	clients, stale := rt.readClients()
 	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistHitsResponse, error) {
-		return rt.clients[s].WatchlistHits()
+		return clients[s].WatchlistHits()
 	})
-	resp := WatchlistHitsResponse{ShardsTotal: len(results), Hits: []server.WatchHitJSON{}}
+	resp := WatchlistHitsResponse{ShardsTotal: len(results), Hits: []server.WatchHitJSON{}, StaleShards: stale}
 	for _, r := range results {
 		if r.err != nil {
 			continue
@@ -457,7 +585,8 @@ func (rt *Router) WatchlistHits() (WatchlistHitsResponse, error) {
 // stores them) and replays them onto every shard as explicit-signature
 // adds; the union of per-shard hit logs then matches a single node's.
 func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.WatchlistAddResponse, error) {
-	hist, err := rt.clients[rt.ring.Shard(req.Label)].History(req.Label)
+	oc, _ := rt.readClient(rt.ring.Shard(req.Label))
+	hist, err := oc.History(req.Label)
 	if err != nil {
 		return server.WatchlistAddResponse{}, err
 	}
@@ -476,10 +605,11 @@ func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.Watchlist
 	}
 	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistAddResponse, error) {
 		var last server.WatchlistAddResponse
+		c := rt.writeClient(s)
 		for _, e := range entries {
 			window := e.Window
 			var err error
-			last, err = rt.clients[s].WatchlistAdd(server.WatchlistAddRequest{
+			last, err = c.WatchlistAdd(server.WatchlistAddRequest{
 				Individual: req.Individual,
 				Window:     &window,
 				Signature:  &e.Signature,
@@ -505,7 +635,9 @@ func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.Watchlist
 	return resp, nil
 }
 
-// History fetches the label's archived signatures from its owner.
+// History fetches the label's archived signatures from its owner,
+// failing over to the owner shard's follower when its primary is down.
 func (rt *Router) History(label string) (server.HistoryResponse, error) {
-	return rt.clients[rt.ring.Shard(label)].History(label)
+	c, _ := rt.readClient(rt.ring.Shard(label))
+	return c.History(label)
 }

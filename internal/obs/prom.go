@@ -48,6 +48,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				label := mergeLabels(konst, fmt.Sprintf("%s=%q", m.cvec.label, value))
 				fmt.Fprintf(bw, "%s{%s} %d\n", m.name, label, m.cvec.With(value).Value())
 			}
+		case kindGaugeVec:
+			m.gvec.mu.RLock()
+			values := append([]string(nil), m.gvec.order...)
+			m.gvec.mu.RUnlock()
+			for _, value := range values {
+				label := mergeLabels(konst, fmt.Sprintf("%s=%q", m.gvec.label, value))
+				fmt.Fprintf(bw, "%s{%s} %d\n", m.name, label, m.gvec.With(value).Value())
+			}
 		}
 	}
 	return bw.Flush()

@@ -94,13 +94,14 @@ const (
 	kindHistogram
 	kindHistogramVec
 	kindCounterVec
+	kindGaugeVec
 )
 
 func (k metricKind) String() string {
 	switch k {
 	case kindCounter, kindCounterVec:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindGaugeVec:
 		return "gauge"
 	default:
 		return "histogram"
@@ -118,6 +119,7 @@ type metric struct {
 	hist    *Histogram
 	vec     *HistogramVec
 	cvec    *CounterVec
+	gvec    *GaugeVec
 }
 
 // Registry is a named collection of metrics. Registration methods are
@@ -233,6 +235,14 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	}).cvec
 }
 
+// GaugeVec returns the named gauge family partitioned by one label
+// (e.g. replication lag by shard), creating it on first use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return r.register(name, help, kindGaugeVec, func(m *metric) {
+		m.gvec = newGaugeVec(label)
+	}).gvec
+}
+
 // SetConstLabels stamps every sample the registry renders with the
 // given label pairs — node identity (shard index, role, ring epoch) in
 // a cluster deployment, so one Prometheus scrape across the fleet
@@ -300,6 +310,10 @@ func (r *Registry) Snapshot() map[string]int64 {
 			// into the key grammar (shard indexes are already clean).
 			for _, v := range m.cvec.Labels() {
 				out[m.name+"_"+sanitizeKeyPart(v)] = m.cvec.With(v).Value()
+			}
+		case kindGaugeVec:
+			for _, v := range m.gvec.Labels() {
+				out[m.name+"_"+sanitizeKeyPart(v)] = m.gvec.With(v).Value()
 			}
 		}
 	}
@@ -418,6 +432,59 @@ func (v *CounterVec) With(value string) *Counter {
 
 // Labels returns the label values seen so far, sorted.
 func (v *CounterVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	out := append([]string(nil), v.order...)
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// GaugeVec partitions a gauge family by one label value, e.g.
+// follower replication lag by shard. With() is goroutine-safe and
+// get-or-create; a nil vec hands out nil (no-op) gauges.
+type GaugeVec struct {
+	label string
+
+	mu    sync.RWMutex
+	kids  map[string]*Gauge
+	order []string
+}
+
+func newGaugeVec(label string) *GaugeVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	return &GaugeVec{label: label, kids: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g, ok := v.kids[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.kids[value]; ok {
+		return g
+	}
+	g = &Gauge{}
+	v.kids[value] = g
+	v.order = append(v.order, value)
+	return g
+}
+
+// Labels returns the label values seen so far, sorted.
+func (v *GaugeVec) Labels() []string {
 	if v == nil {
 		return nil
 	}

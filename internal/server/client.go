@@ -46,17 +46,27 @@ type Client struct {
 	// duration and a Retry-After of 0 (or something absurd) cannot
 	// produce a hot loop or an hours-long stall.
 	RetryBackoff time.Duration
+	// SeedCooldown is how long a seed that failed at the transport level
+	// (connection refused, reset, timeout) is skipped by the failover
+	// rotation before being tried again (0 = DefaultSeedCooldown;
+	// negative disables the cooldown, restoring plain round-robin).
+	// HTTP-status failures do not trigger it: a node answering 429 or
+	// 503 is alive and shedding load, not dead.
+	SeedCooldown time.Duration
 
 	jitterMu sync.Mutex
 	jitter   *mrand.Rand // lazily seeded; avoids the deprecated global source
 
 	// seedMu guards the failover rotation state. seeds holds every
 	// configured address (Base first); cur indexes the one currently in
-	// use. Empty seeds (a Client built by struct literal) fall back to
-	// Base alone.
-	seedMu sync.Mutex
-	seeds  []string
-	cur    int
+	// use. deadUntil (parallel to seeds, nil until first transport
+	// failure) holds each seed's cooldown expiry. Empty seeds (a Client
+	// built by struct literal) fall back to Base alone.
+	seedMu    sync.Mutex
+	seeds     []string
+	cur       int
+	deadUntil []time.Time
+	now       func() time.Time // test hook; nil means time.Now
 }
 
 // APIError is a server-reported failure (any HTTP status >= 400),
@@ -67,6 +77,11 @@ type APIError struct {
 	Method string
 	Path   string
 	Msg    string
+	// RetryAfter is the response's Retry-After header ("" when absent),
+	// kept so a caller running its own retry loop above the client (the
+	// cluster router's routed ingest) can honor the server's pacing via
+	// Client.Backoff instead of inventing its own.
+	RetryAfter string
 }
 
 func (e *APIError) Error() string {
@@ -86,6 +101,20 @@ func APIStatus(err error) int {
 // MaxRetryDelay caps every retry delay, whether computed by backoff or
 // dictated by a server's Retry-After header.
 const MaxRetryDelay = 30 * time.Second
+
+// DefaultSeedCooldown is how long a transport-dead seed is skipped by
+// the failover rotation when Client.SeedCooldown is zero.
+const DefaultSeedCooldown = 5 * time.Second
+
+// RetryAfter extracts the Retry-After header value from an *APIError
+// chain ("" when err carries none).
+func RetryAfter(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return ""
+}
 
 // NewClient returns a client for the server at base. Additional
 // fallback seed addresses may follow: every retried failure (transport
@@ -129,13 +158,67 @@ func (c *Client) currentBase() string {
 	return c.seeds[c.cur]
 }
 
-// rotateSeed advances to the next seed after a retryable failure.
+// rotateSeed advances to the next seed after a retryable failure,
+// preferring seeds not in transport-failure cooldown.
 func (c *Client) rotateSeed() {
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
-	if len(c.seeds) > 1 {
-		c.cur = (c.cur + 1) % len(c.seeds)
+	c.advanceSeedLocked()
+}
+
+// markSeedDown records a transport-level failure of the current seed —
+// it enters cooldown and the rotation skips it — then advances. A seed
+// that merely answered an error status is never marked: it is alive,
+// and re-probing a live node is cheap, whereas re-dialing a dead one
+// burns a connect timeout per request.
+func (c *Client) markSeedDown() {
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if len(c.seeds) == 0 || c.seedCooldown() <= 0 {
+		c.advanceSeedLocked()
+		return
 	}
+	if c.deadUntil == nil {
+		c.deadUntil = make([]time.Time, len(c.seeds))
+	}
+	c.deadUntil[c.cur] = c.timeNow().Add(c.seedCooldown())
+	c.advanceSeedLocked()
+}
+
+// advanceSeedLocked moves cur to the next seed outside cooldown,
+// falling back to plain round-robin when every seed is cooling down.
+// Callers hold seedMu.
+func (c *Client) advanceSeedLocked() {
+	if len(c.seeds) <= 1 {
+		return
+	}
+	for i := 1; i <= len(c.seeds); i++ {
+		n := (c.cur + i) % len(c.seeds)
+		if !c.seedDeadLocked(n) {
+			c.cur = n
+			return
+		}
+	}
+	c.cur = (c.cur + 1) % len(c.seeds)
+}
+
+// seedDeadLocked reports whether seed i is still in cooldown.
+func (c *Client) seedDeadLocked(i int) bool {
+	return c.deadUntil != nil && c.timeNow().Before(c.deadUntil[i])
+}
+
+func (c *Client) seedCooldown() time.Duration {
+	if c.SeedCooldown == 0 {
+		return DefaultSeedCooldown
+	}
+	return c.SeedCooldown
+}
+
+func (c *Client) timeNow() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
 }
 
 // retryable reports whether a response status is worth retrying.
@@ -176,6 +259,14 @@ func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
 	}
 	// ±50% jitter decorrelates a fleet of retrying senders.
 	return clampDelay(d/2+c.jitterDuration(d), base)
+}
+
+// Backoff exposes the client's jittered, saturating retry delay for
+// callers that loop above the client's own retries: attempt is 0-based,
+// retryAfter the server's Retry-After header value ("" computes the
+// exponential delay instead).
+func (c *Client) Backoff(attempt int, retryAfter string) time.Duration {
+	return c.backoff(attempt, retryAfter)
 }
 
 // clampDelay bounds a retry delay to [base/2, MaxRetryDelay].
@@ -222,7 +313,14 @@ func (c *Client) do(method, path string, body, out any) error {
 		if retryAfter == noRetry || attempt >= c.MaxRetries {
 			return lastErr
 		}
-		c.rotateSeed()
+		// A transport failure (no HTTP status) means the seed itself is
+		// unreachable: cool it down so subsequent requests do not re-dial
+		// a dead node first. Status failures just rotate.
+		if APIStatus(err) == 0 {
+			c.markSeedDown()
+		} else {
+			c.rotateSeed()
+		}
 		time.Sleep(c.backoff(attempt, retryAfter))
 	}
 }
@@ -253,18 +351,19 @@ func (c *Client) once(method, path string, payload []byte, out any) (string, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var apiErr struct {
+		var body struct {
 			Error string `json:"error"`
 		}
 		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
+		if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Error != "" {
+			msg = body.Error
 		}
-		err := error(&APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: msg})
+		apiErr := &APIError{Status: resp.StatusCode, Method: method, Path: path, Msg: msg}
 		if retryable(resp.StatusCode) {
-			return resp.Header.Get("Retry-After"), err
+			apiErr.RetryAfter = resp.Header.Get("Retry-After")
+			return apiErr.RetryAfter, apiErr
 		}
-		return noRetry, err
+		return noRetry, apiErr
 	}
 	if out == nil {
 		return "", nil
@@ -422,7 +521,7 @@ func (c *Client) FetchWAL(gen int, from int64, max int) (WALChunk, error) {
 	}
 	resp, err := c.HTTP.Get(c.currentBase() + path)
 	if err != nil {
-		c.rotateSeed()
+		c.markSeedDown()
 		return WALChunk{}, fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
@@ -434,10 +533,12 @@ func (c *Client) FetchWAL(gen int, from int64, max int) (WALChunk, error) {
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 		}
+		e := &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path, Msg: msg}
 		if retryable(resp.StatusCode) {
+			e.RetryAfter = resp.Header.Get("Retry-After")
 			c.rotateSeed()
 		}
-		return WALChunk{}, &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path, Msg: msg}
+		return WALChunk{}, e
 	}
 	var chunk WALChunk
 	if chunk.Gen, err = strconv.Atoi(resp.Header.Get(HeaderWALGen)); err != nil {

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestSeedCooldownRotation drives the failover rotation state machine
+// directly: transport failures put seeds into cooldown and the
+// rotation skips them; status failures rotate without cooling; expiry
+// restores a seed; with every seed cooling the rotation degrades to
+// plain round-robin rather than pinning.
+func TestSeedCooldownRotation(t *testing.T) {
+	const (
+		evTransportFail = iota // current seed fails at transport level
+		evStatusFail           // current seed answers a retryable status
+		evAdvance              // clock advances by the step's delta
+	)
+	type step struct {
+		ev    int
+		delta time.Duration
+		want  string // expected current seed after the step
+	}
+	seeds := []string{"http://a", "http://b", "http://c"}
+	cases := []struct {
+		name     string
+		cooldown time.Duration
+		steps    []step
+	}{
+		{
+			name:     "transport failure cools the seed",
+			cooldown: time.Minute,
+			steps: []step{
+				{ev: evTransportFail, want: "http://b"},
+				// b fails too; a is cooling, so rotation lands on c.
+				{ev: evTransportFail, want: "http://c"},
+				// c answers 429: alive, shedding load — it rotates, and with
+				// a and b both cooling the next stop is c again... but b
+				// cooled before a, so round-robin order from c is a: still
+				// cooling. Plain rotation picks a.
+			},
+		},
+		{
+			name:     "status failure does not cool",
+			cooldown: time.Minute,
+			steps: []step{
+				{ev: evStatusFail, want: "http://b"},
+				{ev: evStatusFail, want: "http://c"},
+				// Nothing is cooling: rotation wraps back to a.
+				{ev: evStatusFail, want: "http://a"},
+			},
+		},
+		{
+			name:     "cooldown expiry restores the seed",
+			cooldown: time.Minute,
+			steps: []step{
+				{ev: evTransportFail, want: "http://b"},
+				{ev: evStatusFail, want: "http://c"},
+				// a is still cooling: c's rotation skips it.
+				{ev: evStatusFail, want: "http://b"},
+				// Past the cooldown, a rejoins the rotation.
+				{ev: evAdvance, delta: 2 * time.Minute},
+				{ev: evStatusFail, want: "http://c"},
+				{ev: evStatusFail, want: "http://a"},
+			},
+		},
+		{
+			name:     "all seeds cooling degrades to round-robin",
+			cooldown: time.Hour,
+			steps: []step{
+				{ev: evTransportFail, want: "http://b"},
+				{ev: evTransportFail, want: "http://c"},
+				{ev: evTransportFail, want: "http://a"},
+				// Everything is cooling; the rotation must still move.
+				{ev: evTransportFail, want: "http://b"},
+			},
+		},
+		{
+			name:     "negative cooldown disables marking",
+			cooldown: -1,
+			steps: []step{
+				{ev: evTransportFail, want: "http://b"},
+				{ev: evTransportFail, want: "http://c"},
+				// With no cooldown, a was never marked: plain round-robin.
+				{ev: evTransportFail, want: "http://a"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewClient(seeds[0], seeds[1:]...)
+			c.SeedCooldown = tc.cooldown
+			clock := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+			c.now = func() time.Time { return clock }
+			for i, s := range tc.steps {
+				switch s.ev {
+				case evTransportFail:
+					c.markSeedDown()
+				case evStatusFail:
+					c.rotateSeed()
+				case evAdvance:
+					clock = clock.Add(s.delta)
+					continue
+				}
+				if got := c.currentBase(); got != s.want {
+					t.Fatalf("step %d: current seed %s, want %s", i, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryAfterSurfaced checks the S2 plumbing: a 429's Retry-After
+// header must ride the APIError out of the client once its own retries
+// are exhausted, and Backoff must honor it.
+func TestRetryAfterSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"throttled"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.MaxRetries = -1
+	_, err := c.Health()
+	if APIStatus(err) != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", APIStatus(err))
+	}
+	if got := RetryAfter(err); got != "7" {
+		t.Fatalf("RetryAfter(err) = %q, want \"7\"", got)
+	}
+	if got := c.Backoff(0, RetryAfter(err)); got != 7*time.Second {
+		t.Fatalf("Backoff honoring Retry-After = %v, want 7s", got)
+	}
+	if got := RetryAfter(nil); got != "" {
+		t.Fatalf("RetryAfter(nil) = %q, want empty", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"graphsig/internal/graph"
 	"graphsig/internal/netflow"
 	"graphsig/internal/store"
+	"graphsig/internal/wal"
 )
 
 // convertHits maps store hits to their wire form.
@@ -435,21 +436,25 @@ func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 		// Interning the carried labels mutates the universe: write lock.
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		sig, err := s.internSignature(*req.Signature)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+		entry := wal.WatchEntry{
+			Individual: req.Individual,
+			Window:     *req.Window,
+			Nodes:      req.Signature.Nodes,
+			Weights:    req.Signature.Weights,
 		}
-		if err := s.watch.Add(req.Individual, *req.Window, sig); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+		if err := s.addWatchLocked(entry, true); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		s.metrics.WatchlistAdds.Add(1)
 		writeJSON(w, http.StatusOK, WatchlistAddResponse{Archived: 1, Total: s.watch.Len()})
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// Label adds also mutate: the archived entries are mirrored into
+	// watchWire and framed into the WAL so a follower (and any later
+	// generation's replay) screens the same set. Write lock throughout.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	entries := s.store.History(req.Label)
 	archived := 0
 	for _, e := range entries {
@@ -459,7 +464,14 @@ func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 		if e.Sig.IsEmpty() {
 			continue
 		}
-		if err := s.watch.Add(req.Individual, e.Window, e.Sig); err != nil {
+		sj := s.signatureJSON(e.Sig)
+		entry := wal.WatchEntry{
+			Individual: req.Individual,
+			Window:     e.Window,
+			Nodes:      sj.Nodes,
+			Weights:    sj.Weights,
+		}
+		if err := s.addWatchLocked(entry, true); err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}

@@ -44,6 +44,8 @@ type metrics struct {
 	ReplicationRequests *obs.Counter // GET /v1/replication/wal served
 	ReplicationBytes    *obs.Counter // WAL bytes shipped to followers
 	ReadOnlyRejected    *obs.Counter // mutating requests refused with 403
+	WatchEntriesLogged  *obs.Counter // watchlist entries framed into the WAL
+	Promotions          *obs.Counter // follower-to-primary promotions served
 }
 
 // newMetrics registers the counter set. The names double as the JSON
@@ -80,5 +82,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		ReplicationRequests: reg.Counter("replication_requests", "GET /v1/replication/wal requests served"),
 		ReplicationBytes:    reg.Counter("replication_bytes", "WAL bytes shipped to followers"),
 		ReadOnlyRejected:    reg.Counter("readonly_rejected", "mutating requests refused with 403"),
+		WatchEntriesLogged:  reg.Counter("wal_watch_entries", "watchlist entries framed into the WAL"),
+		Promotions:          reg.Counter("promotions", "follower-to-primary promotions performed"),
 	}
 }

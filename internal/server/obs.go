@@ -102,16 +102,20 @@ type ReadyResponse struct {
 // shutdown, so load balancers drain before the listener dies.
 func (s *Server) readiness() ReadyResponse {
 	var reasons []string
+	// Promote rewrites the durability fields of cfg under mu, so they
+	// must be read under the lock here.
+	s.mu.RLock()
 	if s.store == nil {
 		reasons = append(reasons, "store not loaded")
 	}
 	if s.cfg.SnapshotDir != "" && !s.cfg.DisableWAL && s.wal == nil {
 		reasons = append(reasons, "write-ahead log not open")
 	}
+	s.mu.RUnlock()
 	if s.shuttingDown.Load() {
 		reasons = append(reasons, "shutting down")
 	}
-	return ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons, Node: s.cfg.Node}
+	return ReadyResponse{Ready: len(reasons) == 0, Reasons: reasons, Node: s.Identity()}
 }
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {

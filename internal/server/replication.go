@@ -47,14 +47,15 @@ type ReplicationStatusResponse struct {
 }
 
 func (s *Server) handleReplicationStatus(w http.ResponseWriter, r *http.Request) {
-	resp := ReplicationStatusResponse{Replicating: s.cfg.Replicate, Node: s.cfg.Node}
-	if s.cfg.Replicate {
+	resp := ReplicationStatusResponse{Replicating: s.replicating.Load(), Node: s.Identity()}
+	if resp.Replicating {
 		s.mu.RLock()
+		log := s.wal
 		resp.Gen = s.walGen
-		resp.DurableSize = s.wal.DurableSize()
+		resp.DurableSize = log.DurableSize()
 		s.mu.RUnlock()
 		resp.OldestGen = resp.Gen
-		if gens, err := walSegmentGens(s.wal.Path()); err == nil && len(gens) > 0 {
+		if gens, err := walSegmentGens(log.Path()); err == nil && len(gens) > 0 {
 			resp.OldestGen = gens[0]
 		}
 	}
@@ -62,7 +63,7 @@ func (s *Server) handleReplicationStatus(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
-	if !s.cfg.Replicate {
+	if !s.replicating.Load() {
 		writeError(w, http.StatusConflict, "replication not enabled on this node")
 		return
 	}
@@ -93,14 +94,15 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 	// rotation could mislabel sealed bytes as live ones.
 	s.mu.RLock()
 	cur := s.walGen
+	log := s.wal
 	if gen == cur {
-		size := s.wal.DurableSize()
+		size := log.DurableSize()
 		if from > size {
 			s.mu.RUnlock()
 			writeError(w, http.StatusRequestedRangeNotSatisfiable, "offset %d beyond durable size %d of generation %d", from, size, gen)
 			return
 		}
-		data, err := s.wal.ReadDurable(from, chunk)
+		data, err := log.ReadDurable(from, chunk)
 		s.mu.RUnlock()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -116,7 +118,7 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Sealed generations are immutable files; no lock needed.
-	f, err := os.Open(walSegmentPath(s.wal.Path(), gen))
+	f, err := os.Open(walSegmentPath(log.Path(), gen))
 	if os.IsNotExist(err) {
 		writeError(w, http.StatusGone, "generation %d pruned; re-bootstrap from a snapshot or the oldest retained generation", gen)
 		return
@@ -158,15 +160,17 @@ func (s *Server) writeWALChunk(w http.ResponseWriter, gen int, sealed bool, size
 	s.metrics.ReplicationBytes.Add(int64(len(data)))
 }
 
-// requireWritable gates a mutating handler in ReadOnly mode.
+// requireWritable gates a mutating handler in ReadOnly mode. It reads
+// the readOnly shadow atomic, not cfg, because Promote flips the mode
+// while handlers are running.
 func (s *Server) requireWritable(w http.ResponseWriter) bool {
-	if !s.cfg.ReadOnly {
+	if !s.readOnly.Load() {
 		return true
 	}
 	s.metrics.ReadOnlyRejected.Add(1)
 	role := "follower"
-	if s.cfg.Node != nil && s.cfg.Node.Role != "" {
-		role = s.cfg.Node.Role
+	if id := s.Identity(); id != nil && id.Role != "" {
+		role = id.Role
 	}
 	writeError(w, http.StatusForbidden, "node is read-only (%s); send writes to the primary", role)
 	return false

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -208,12 +209,27 @@ type Server struct {
 	dedup           *dedupCache
 	recovery        Recovery
 
+	// watchWire mirrors every watchlist entry in wire (label) form, in
+	// add order, so the full set can be re-logged into each fresh WAL
+	// generation — watch entries are rare and the watchlist itself is
+	// not in the snapshot, so the log is their only durable home and a
+	// bootstrapping follower's only source. Guarded by mu.
+	watchWire []wal.WatchEntry
+
 	ingestSem chan struct{}
 	metrics   metrics
 	obs       *serverObs
 	mux       *http.ServeMux
 
 	shuttingDown atomic.Bool // flips at Shutdown entry; read by /readyz
+	// readOnly and replicating shadow cfg.ReadOnly / cfg.Replicate for
+	// lock-free handler checks; Promote flips them at runtime, so
+	// handlers must not read the cfg fields without mu.
+	readOnly    atomic.Bool
+	replicating atomic.Bool
+	// identity is the live cluster identity (starts as cfg.Node);
+	// Promote swaps in the promoted one.
+	identity atomic.Pointer[Identity]
 }
 
 // New builds a server, loading a prior snapshot and replaying the
@@ -243,15 +259,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.obs = newServerObs(cfg.Logger, cfg.SlowOp, cfg.TraceCapacity)
 	s.metrics = newMetrics(s.obs.registry)
+	s.readOnly.Store(cfg.ReadOnly)
+	s.replicating.Store(cfg.Replicate)
 	if cfg.Node != nil {
-		labels := map[string]string{
-			"role":       cfg.Node.Role,
-			"ring_epoch": strconv.FormatUint(cfg.Node.RingEpoch, 10),
-		}
-		if cfg.Node.Shards > 0 {
-			labels["shard"] = strconv.Itoa(cfg.Node.Shard)
-		}
-		s.obs.registry.SetConstLabels(labels)
+		s.stampIdentity(cfg.Node)
 	}
 	if cfg.WatchMaxDist != nil {
 		s.watchMaxDist = *cfg.WatchMaxDist
@@ -332,6 +343,25 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// stampIdentity publishes a cluster identity: /readyz and the
+// replication status report it, and every Prometheus family carries it
+// as constant labels. Called at New and again at Promote.
+func (s *Server) stampIdentity(id *Identity) {
+	s.identity.Store(id)
+	labels := map[string]string{
+		"role":       id.Role,
+		"ring_epoch": strconv.FormatUint(id.RingEpoch, 10),
+	}
+	if id.Shards > 0 {
+		labels["shard"] = strconv.Itoa(id.Shard)
+	}
+	s.obs.registry.SetConstLabels(labels)
+}
+
+// Identity reports the live cluster identity (nil when unconfigured).
+// Unlike cfg.Node it tracks promotion.
+func (s *Server) Identity() *Identity { return s.identity.Load() }
+
 // openStore loads the snapshot (quarantining corruption) or builds a
 // fresh store.
 func (s *Server) openStore(scfg store.Config) error {
@@ -392,21 +422,38 @@ func (s *Server) openWAL() (wal.Replay, error) {
 	return replay, nil
 }
 
-// replayWAL pushes recovered records through the pipeline, rebuilding
-// the open window's sketch state. Runs before the server is shared, so
-// no locking. If the replay completes windows (a snapshot save failed
-// in a previous life), they are checkpointed now.
+// replayWAL pushes recovered frames through the pipeline in append
+// order, rebuilding the open window's sketch state, the watchlist and
+// the dedup set. Order matters: a watch entry screens only windows
+// that close after it, so record and watch frames interleave exactly
+// as the primary applied them. Runs before the server is shared, so no
+// locking. If the replay completes windows (a snapshot save failed in
+// a previous life), they are checkpointed now.
 func (s *Server) replayWAL(replay wal.Replay) {
-	if len(replay.Records) == 0 {
+	if len(replay.Frames) == 0 {
 		return
 	}
-	s.recovery.WALRecords = len(replay.Records)
 	// tail collects the records of the window still open after replay,
 	// so a post-replay checkpoint can rewrite them into the reset log.
 	var tail []netflow.Record
-	for i := range replay.Records {
+	for _, fr := range replay.Frames {
+		switch fr.Kind {
+		case wal.FrameWatch:
+			if err := s.addWatchLocked(fr.Watch, false); err != nil {
+				s.recovery.WALRejected++
+				s.logf("sigserver: WAL watch replay failed: %v", err)
+			}
+			continue
+		case wal.FrameBatch:
+			s.registerBatchLocked(fr.Batch)
+			continue
+		case wal.FrameRecord:
+		default:
+			continue // origin frames were consumed by Open
+		}
+		s.recovery.WALRecords++
 		before := s.pipeline.Ingested()
-		emitted, err := s.pipeline.Ingest(replay.Records[i])
+		emitted, err := s.pipeline.Ingest(fr.Record)
 		if err != nil {
 			s.recovery.WALRejected++
 			continue
@@ -426,7 +473,7 @@ func (s *Server) replayWAL(replay wal.Replay) {
 		}
 		if accepted := s.pipeline.Ingested() - before; accepted > 0 {
 			s.pending += accepted
-			tail = append(tail, replay.Records[i])
+			tail = append(tail, fr.Record)
 		}
 	}
 	s.metrics.WALReplayedRecords.Add(int64(s.recovery.WALRecords))
@@ -447,8 +494,7 @@ func (s *Server) replayWAL(replay wal.Replay) {
 			s.logf("sigserver: post-replay WAL reset failed: %v", err)
 			return
 		}
-		s.walOriginLogged = false
-		s.logWALOrigin()
+		s.relogWALLocked()
 		if err := s.wal.Append(tail); err != nil {
 			s.metrics.WALErrors.Add(1)
 			s.logf("sigserver: rewriting open-window tail failed: %v", err)
@@ -535,6 +581,11 @@ func (s *Server) IngestBatch(batchID string, records []netflow.Record) IngestRes
 	res := s.ingestLocked(tr, records)
 	if batchID != "" && s.dedup != nil {
 		s.dedup.put(batchID, res)
+		// Make the dedup decision durable and shippable: a follower that
+		// replays this marker registers the same ID with the same
+		// recorded result, so a client retry that lands on the follower
+		// after its promotion is answered exactly like a retry here.
+		s.walAppendBatchLocked(batchID, res)
 	}
 	return res
 }
@@ -613,6 +664,109 @@ func (s *Server) walAppendLocked(records []netflow.Record) {
 	s.metrics.WALAppendedRecords.Add(int64(len(records)))
 }
 
+// walAppendBatchLocked logs one applied-batch dedup marker after the
+// batch's records. Failure degrades cross-failover idempotency, not
+// availability. Callers hold s.mu.
+func (s *Server) walAppendBatchLocked(batchID string, res IngestResult) {
+	if s.wal == nil || batchID == "" {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		s.logf("sigserver: encoding batch result for WAL: %v", err)
+		return
+	}
+	if err := s.wal.AppendBatch(wal.BatchEntry{ID: batchID, Result: payload}); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("sigserver: WAL batch marker append failed: %v", err)
+	}
+}
+
+// registerBatchLocked replays one batch dedup marker (WAL recovery or
+// follower replication) into the dedup set. Callers hold s.mu.
+func (s *Server) registerBatchLocked(e wal.BatchEntry) {
+	if s.dedup == nil || e.ID == "" {
+		return
+	}
+	var res IngestResult
+	if len(e.Result) > 0 {
+		if err := json.Unmarshal(e.Result, &res); err != nil {
+			s.logf("sigserver: undecodable batch result for %q: %v", e.ID, err)
+			res = IngestResult{}
+		}
+	}
+	s.dedup.put(e.ID, res)
+}
+
+// RegisterBatch is registerBatchLocked for the replication path: the
+// follower feeds shipped batch markers through it so a promoted
+// follower inherits the primary's dedup set.
+func (s *Server) RegisterBatch(e wal.BatchEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registerBatchLocked(e)
+}
+
+// addWatchLocked applies one watchlist mutation in wire form —
+// interning its labels, archiving it, and mirroring it into watchWire
+// for per-generation re-logging. With logToWAL set (the HTTP add path)
+// the entry is also framed into the log; replay paths pass false, the
+// entry is already in the log they came from. Callers hold s.mu.
+func (s *Server) addWatchLocked(e wal.WatchEntry, logToWAL bool) error {
+	sig, err := s.internSignature(SignatureJSON{Nodes: e.Nodes, Weights: e.Weights})
+	if err != nil {
+		return err
+	}
+	if err := s.watch.Add(e.Individual, e.Window, sig); err != nil {
+		return err
+	}
+	s.watchWire = append(s.watchWire, e)
+	if logToWAL && s.wal != nil {
+		s.logWALOrigin()
+		if werr := s.wal.AppendWatches([]wal.WatchEntry{e}); werr != nil {
+			s.metrics.WALErrors.Add(1)
+			s.logf("sigserver: WAL watch append failed (durability degraded): %v", werr)
+		} else {
+			s.metrics.WatchEntriesLogged.Add(1)
+		}
+	}
+	return nil
+}
+
+// ApplyWatchEntry applies one WAL-shipped watchlist mutation — the
+// follower replication path. The entry is not re-framed locally; a
+// later Promote re-logs the accumulated set into the promoted node's
+// own log.
+func (s *Server) ApplyWatchEntry(e wal.WatchEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.addWatchLocked(e, false); err != nil {
+		return err
+	}
+	s.metrics.WatchlistAdds.Add(1)
+	return nil
+}
+
+// relogWALLocked re-records the per-generation prologue after a reset
+// or rotation: the pipeline origin and the full watchlist wire set.
+// The watchlist is memory-only outside the log (it is not in the
+// snapshot), so every generation must open with the complete set —
+// which also hands it to followers whose cursor starts mid-lineage.
+// Callers hold s.mu.
+func (s *Server) relogWALLocked() {
+	s.walOriginLogged = false
+	s.logWALOrigin()
+	if s.wal == nil || len(s.watchWire) == 0 {
+		return
+	}
+	if err := s.wal.AppendWatches(s.watchWire); err != nil {
+		s.metrics.WALErrors.Add(1)
+		s.logf("sigserver: re-logging %d watch entries failed: %v", len(s.watchWire), err)
+		return
+	}
+	s.metrics.WatchEntriesLogged.Add(int64(len(s.watchWire)))
+}
+
 // logWALOrigin records the pipeline's window alignment in the log once
 // per log generation.
 func (s *Server) logWALOrigin() {
@@ -655,8 +809,7 @@ func (s *Server) checkpointLocked() {
 		return
 	}
 	s.metrics.WALResets.Add(1)
-	s.walOriginLogged = false
-	s.logWALOrigin()
+	s.relogWALLocked()
 }
 
 // resetWALLocked empties the log after a checkpoint. Normally that is
@@ -839,8 +992,7 @@ func (s *Server) Shutdown() error {
 					s.logf("sigserver: shutdown WAL reset failed: %v", err)
 				} else {
 					s.metrics.WALResets.Add(1)
-					s.walOriginLogged = false
-					s.logWALOrigin()
+					s.relogWALLocked()
 				}
 			}
 		}

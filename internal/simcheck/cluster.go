@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -35,6 +36,16 @@ type ClusterConfig struct {
 	K int
 	// WindowSize is the aggregation window (default 5m of logical time).
 	WindowSize time.Duration
+	// Faults, when true, injects the failover schedule: shard 0 gets a
+	// WAL-shipping follower, its primary is killed halfway through the
+	// run, reads must keep answering through the follower, and the
+	// router's prober promotes it — after which the rest of the schedule
+	// (including a dedup-replay of the last pre-kill batch) must stay
+	// bitwise equal to the reference.
+	Faults bool
+	// Dir is the scratch directory for shard 0's durability when Faults
+	// is set (WAL, snapshots, the follower's promote home).
+	Dir string
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -95,6 +106,14 @@ type csim struct {
 	watchN   int
 	trace    []string
 	op       int
+
+	// Fault-schedule state (Faults only).
+	shardSrv    []*server.Server
+	shardTS     []*httptest.Server
+	follower    *cluster.Follower
+	faulted     bool
+	lastID      string           // last successfully ingested batch ID...
+	lastRecords []netflow.Record // ...and its records, for the dedup replay
 }
 
 // RunCluster executes a cluster-equivalence simulation and returns nil
@@ -109,17 +128,27 @@ func RunCluster(cfg ClusterConfig) error {
 		s.labels = append(s.labels, fmt.Sprintf("h%02d", i))
 	}
 
+	if cfg.Faults && cfg.Dir == "" {
+		return fmt.Errorf("simcheck: Faults requires a scratch Dir")
+	}
+
 	var seeds [][]string
-	var nodes []*httptest.Server
 	for i := 0; i < cfg.Shards; i++ {
-		srv, err := server.New(cfg.serverConfig())
+		scfg := cfg.serverConfig()
+		if cfg.Faults && i == 0 {
+			// The shard that will fail: durable and replicating.
+			scfg.SnapshotDir = filepath.Join(cfg.Dir, "shard0")
+			scfg.Replicate = true
+		}
+		srv, err := server.New(scfg)
 		if err != nil {
 			return fmt.Errorf("simcheck: shard %d: %w", i, err)
 		}
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		defer srv.Abort()
-		nodes = append(nodes, ts)
+		s.shardSrv = append(s.shardSrv, srv)
+		s.shardTS = append(s.shardTS, ts)
 		seeds = append(seeds, []string{ts.URL})
 	}
 	refSrv, err := server.New(cfg.serverConfig())
@@ -131,7 +160,37 @@ func RunCluster(cfg ClusterConfig) error {
 	defer refSrv.Abort()
 	s.ref = server.NewClient(refTS.URL)
 
-	rt, err := cluster.NewRouter(cluster.Config{Shards: seeds, Timeout: 30 * time.Second})
+	rcfg := cluster.Config{Shards: seeds, Timeout: 30 * time.Second}
+	if cfg.Faults {
+		f, err := cluster.NewFollower(cluster.FollowerConfig{
+			Primary:       []string{seeds[0][0]},
+			Stream:        cfg.streamConfig(),
+			StoreCapacity: cfg.Capacity,
+			WatchMaxDist:  server.Float64(0.9),
+			Poll:          5 * time.Millisecond,
+			ChunkBytes:    2048,
+			PromoteDir:    filepath.Join(cfg.Dir, "promoted"),
+		})
+		if err != nil {
+			return fmt.Errorf("simcheck: follower: %w", err)
+		}
+		f.Start()
+		defer f.Stop()
+		fts := httptest.NewServer(f.FollowerHandler())
+		defer fts.Close()
+		s.follower = f
+		rcfg.Followers = make([][]string, cfg.Shards)
+		rcfg.Followers[0] = []string{fts.URL}
+		rcfg.Health = &cluster.HealthConfig{
+			Interval:      time.Hour, // the schedule drives ProbeOnce
+			FailThreshold: 3,
+			Cooldown:      time.Millisecond,
+			AutoPromote:   time.Millisecond,
+			Timeout:       5 * time.Second,
+		}
+		rcfg.MaxRetries = -1 // a killed shard should fail fast, not backoff
+	}
+	rt, err := cluster.NewRouter(rcfg)
 	if err != nil {
 		return fmt.Errorf("simcheck: router: %w", err)
 	}
@@ -153,11 +212,121 @@ func RunCluster(cfg ClusterConfig) error {
 	}
 
 	for s.op = 0; s.op < cfg.Ops; s.op++ {
+		if cfg.Faults && !s.faulted && s.op == cfg.Ops/2 {
+			if err := s.failover(); err != nil {
+				return err
+			}
+		}
 		if err := s.step(); err != nil {
 			return err
 		}
 	}
 	return s.compareHits() // final read-path check
+}
+
+// failover is the injected fault: align windows, wait for the follower
+// to hold everything shard 0 durably logged, kill shard 0's primary,
+// walk the prober to Down, check reads answer fully through the
+// follower, let auto-promotion restore writes, and replay the last
+// pre-kill batch ID to prove the dedup set survived the failover.
+func (s *csim) failover() error {
+	s.faulted = true
+	if err := s.barrier(); err != nil {
+		return err
+	}
+	s.note("failover: killing shard 0 primary")
+
+	// Catch-up barrier against the primary's durable cursor.
+	pc := server.NewClient(s.shardTS[0].URL)
+	rs, err := pc.ReplicationStatus()
+	if err != nil {
+		return fmt.Errorf("simcheck: replication status: %w", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := s.follower.Stats()
+		if st.Fatal != "" {
+			return fmt.Errorf("simcheck: follower died: %s", st.Fatal)
+		}
+		if st.Gen > rs.Gen || (st.Gen == rs.Gen && st.Offset >= rs.DurableSize) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("simcheck: follower never reached (%d,%d): %+v", rs.Gen, rs.DurableSize, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.shardTS[0].Close()
+	s.shardSrv[0].Abort()
+	p := s.router.Prober()
+	for i := 0; i < 3; i++ {
+		p.ProbeOnce()
+	}
+
+	// Reads must keep answering at full width through the follower, and
+	// stay bitwise equal to the reference (windows are aligned and
+	// nothing has mutated since the barrier).
+	label := ""
+	for _, l := range s.labels {
+		if s.router.Ring().Shard(l) == 0 {
+			label = l
+			break
+		}
+	}
+	if label == "" {
+		return fmt.Errorf("simcheck: no label owned by shard 0")
+	}
+	req := server.SearchRequest{Label: label, K: 5}
+	routed, rerr := s.router.Search(req)
+	refRes, ferr := s.ref.Search(req)
+	if rerr != nil || ferr != nil {
+		if rsc, fsc := server.APIStatus(rerr), server.APIStatus(ferr); rsc != fsc {
+			return s.fail("failover search %s: router status %d (%v), reference status %d (%v)",
+				label, rsc, rerr, fsc, ferr)
+		}
+	} else {
+		if routed.ShardsOK != routed.ShardsTotal {
+			return s.fail("failover search answered %d/%d shards, want full width via follower",
+				routed.ShardsOK, routed.ShardsTotal)
+		}
+		if len(routed.StaleShards) != 1 || routed.StaleShards[0].Shard != 0 {
+			return s.fail("failover search stale_shards %+v, want shard 0", routed.StaleShards)
+		}
+		if ja, jb, ok := jsonEq(routed.Hits, refRes.Hits); !ok {
+			return s.fail("failover search %s hits:\n  router:    %s\n  reference: %s", label, ja, jb)
+		}
+	}
+
+	// Promotion restores writes.
+	time.Sleep(5 * time.Millisecond) // grace period
+	p.ProbeOnce()
+	if !s.follower.Stats().Promoted {
+		return fmt.Errorf("simcheck: follower not promoted after grace period")
+	}
+	s.note("failover: follower promoted")
+
+	// Exactly-once across the failover: the last pre-kill batch replayed
+	// under its original ID must be absorbed by the promoted node's
+	// replicated dedup set with matching accounting (ingestBoth compares;
+	// the reference dedups it too).
+	if s.lastID != "" {
+		s.note("failover: dedup replay of %s", s.lastID)
+		routed, rerr := s.router.Ingest(s.lastID, s.lastRecords)
+		refRes, ferr := s.ref.IngestBatch(s.lastID, s.lastRecords)
+		if rerr != nil || ferr != nil {
+			return fmt.Errorf("simcheck: dedup replay %s: router %v, reference %v", s.lastID, rerr, ferr)
+		}
+		if !routed.Deduplicated {
+			return s.fail("dedup replay %s was not deduplicated by the promoted topology", s.lastID)
+		}
+		if routed.Accepted != refRes.Accepted || routed.Dropped != refRes.Dropped ||
+			routed.Rejected != refRes.Rejected {
+			return s.fail("dedup replay %s accounting: router %+v, reference %+v",
+				s.lastID, routed.IngestResult, refRes)
+		}
+	}
+	return nil
 }
 
 func (s *csim) fail(format string, args ...any) error {
@@ -245,6 +414,7 @@ func (s *csim) ingestBoth(records []netflow.Record, kind string) error {
 		routed.Dropped != refRes.Dropped || routed.Rejected != refRes.Rejected {
 		return s.fail("ingest %s accounting: router %+v, reference %+v", id, routed.IngestResult, refRes)
 	}
+	s.lastID, s.lastRecords = id, append([]netflow.Record(nil), records...)
 	return nil
 }
 

@@ -34,3 +34,24 @@ func TestSimClusterDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestSimClusterFailover drives the fault schedule: shard 0's primary
+// is killed mid-run, reads must keep answering through its follower,
+// auto-promotion must restore writes, and the remaining schedule
+// (including a dedup replay of the last pre-kill batch) must stay
+// bitwise equal to the reference node.
+func TestSimClusterFailover(t *testing.T) {
+	cfgs := []ClusterConfig{
+		{Seed: 51, Ops: 300, Shards: 2, Faults: true},
+		{Seed: 52, Ops: 250, Shards: 3, Capacity: 3, Faults: true},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed%d_shards%d", cfg.Seed, cfg.Shards), func(t *testing.T) {
+			cfg.Dir = t.TempDir()
+			if err := RunCluster(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -41,6 +42,8 @@ const HeaderLen = int64(8)
 const (
 	FrameRecord = byte(kindRecord)
 	FrameOrigin = byte(kindOrigin)
+	FrameWatch  = byte(kindWatch)
+	FrameBatch  = byte(kindBatch)
 )
 
 // ErrBadFrame marks a frame that is definitively invalid even though
@@ -49,12 +52,15 @@ const (
 var ErrBadFrame = errors.New("wal: bad frame")
 
 // Frame is one decoded WAL frame. Kind selects which fields are set:
-// FrameRecord fills Record, FrameOrigin fills Origin and Window.
+// FrameRecord fills Record, FrameOrigin fills Origin and Window,
+// FrameWatch fills Watch, FrameBatch fills Batch.
 type Frame struct {
 	Kind   byte
 	Record netflow.Record
 	Origin time.Time
 	Window time.Duration
+	Watch  WatchEntry
+	Batch  BatchEntry
 }
 
 // ScanFrames decodes consecutive frames from b, which must start at a
@@ -99,6 +105,14 @@ func ScanFrames(b []byte) (frames []Frame, consumed int64, err error) {
 			}
 			fr.Origin = time.UnixMilli(int64(binary.LittleEndian.Uint64(payload[:8]))).UTC()
 			fr.Window = time.Duration(int64(binary.LittleEndian.Uint64(payload[8:16]))) * time.Millisecond
+		case kindWatch:
+			if derr := json.Unmarshal(payload, &fr.Watch); derr != nil {
+				return frames, consumed, fmt.Errorf("%w: watch payload undecodable: %v", ErrBadFrame, derr)
+			}
+		case kindBatch:
+			if derr := json.Unmarshal(payload, &fr.Batch); derr != nil || fr.Batch.ID == "" {
+				return frames, consumed, fmt.Errorf("%w: batch payload undecodable", ErrBadFrame)
+			}
 		default:
 			return frames, consumed, fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, kind)
 		}

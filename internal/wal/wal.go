@@ -21,6 +21,9 @@
 //	frame:   u8 kind, u32 payloadLen, u32 crc32(payload), payload
 //	kinds:   1 = flow record (netflow per-record binary encoding)
 //	         2 = origin     (i64 originUnixMs, i64 windowMs)
+//	         3 = watch      (JSON WatchEntry: a watchlist mutation)
+//	         4 = batch      (JSON BatchEntry: an applied ingest batch ID
+//	                         plus its recorded result, for dedup)
 //
 // Recovery scans frames until the first torn or corrupt one and
 // truncates the file there: a partially flushed tail is expected after
@@ -32,6 +35,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -50,6 +54,8 @@ var header = []byte("GSWALv1\n")
 const (
 	kindRecord = 1
 	kindOrigin = 2
+	kindWatch  = 3
+	kindBatch  = 4
 
 	frameOverhead = 1 + 4 + 4 // kind + len + crc
 	// maxPayload rejects absurd frame lengths during recovery so a
@@ -63,9 +69,36 @@ const (
 // it is repaired in place by Open.
 var ErrCorrupt = errors.New("wal: corrupt log header")
 
+// WatchEntry is one watchlist mutation in wire form: a signature
+// (labels + weights, the cross-process identity) archived under an
+// individual key at a window index. Logged so recovery rebuilds the
+// (otherwise memory-only) watchlist and so followers screen the same
+// entries the primary does.
+type WatchEntry struct {
+	Individual string    `json:"individual"`
+	Window     int       `json:"window"`
+	Nodes      []string  `json:"nodes"`
+	Weights    []float64 `json:"weights"`
+}
+
+// BatchEntry marks an applied ingest batch: the dedup ID plus the
+// recorded result (opaque JSON to this package). A follower that
+// replays it registers the ID in its own dedup set, so a client retry
+// after the follower's promotion returns the original accounting
+// instead of double-applying — exactly-once across failover.
+type BatchEntry struct {
+	ID     string          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
 // Replay is what Open recovered from an existing log.
 type Replay struct {
-	// Records are the framed flow records, in append order.
+	// Frames holds every recovered frame in append order — the
+	// authoritative replay sequence (record/watch/batch interleaving
+	// matters: a watch entry screens only windows that close after it).
+	Frames []Frame
+	// Records are the framed flow records, in append order (the
+	// FrameRecord subsequence of Frames, kept for convenience).
 	Records []netflow.Record
 	// Origin and Window are the pipeline alignment from the last origin
 	// frame; Origin.IsZero() means none was recorded.
@@ -184,12 +217,26 @@ scan:
 				break scan
 			}
 			rep.Records = append(rep.Records, rec)
+			rep.Frames = append(rep.Frames, Frame{Kind: kindRecord, Record: rec})
 		case kindOrigin:
 			if len(payload) != 16 {
 				break scan
 			}
 			rep.Origin = time.UnixMilli(int64(binary.LittleEndian.Uint64(payload[:8]))).UTC()
 			rep.Window = time.Duration(int64(binary.LittleEndian.Uint64(payload[8:16]))) * time.Millisecond
+			rep.Frames = append(rep.Frames, Frame{Kind: kindOrigin, Origin: rep.Origin, Window: rep.Window})
+		case kindWatch:
+			var e WatchEntry
+			if json.Unmarshal(payload, &e) != nil {
+				break scan
+			}
+			rep.Frames = append(rep.Frames, Frame{Kind: kindWatch, Watch: e})
+		case kindBatch:
+			var e BatchEntry
+			if json.Unmarshal(payload, &e) != nil || e.ID == "" {
+				break scan
+			}
+			rep.Frames = append(rep.Frames, Frame{Kind: kindBatch, Batch: e})
 		default:
 			// Unknown frame kind: written by a future version. Stop, as
 			// replay semantics past it are undefined.
@@ -247,6 +294,43 @@ func (w *WAL) AppendOrigin(origin time.Time, window time.Duration) error {
 	binary.LittleEndian.PutUint64(payload[8:16], uint64(window.Milliseconds()))
 	w.buf.Reset()
 	w.frame(kindOrigin, payload[:])
+	return w.flush()
+}
+
+// AppendWatches frames and appends watchlist mutations, one frame per
+// entry, then fsyncs once for the whole batch — the server re-logs its
+// full watch set after every checkpoint, so the batched flush keeps
+// that O(1) fsyncs. Appending no entries is a no-op.
+func (w *WAL) AppendWatches(entries []WatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Reset()
+	for i := range entries {
+		payload, err := json.Marshal(&entries[i])
+		if err != nil {
+			return fmt.Errorf("wal: watch entry %d: %w", i, err)
+		}
+		w.frame(kindWatch, payload)
+	}
+	return w.flush()
+}
+
+// AppendBatch frames and appends one applied-batch marker and fsyncs.
+func (w *WAL) AppendBatch(e BatchEntry) error {
+	if e.ID == "" {
+		return fmt.Errorf("wal: batch entry needs an ID")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("wal: batch entry: %w", err)
+	}
+	w.buf.Reset()
+	w.frame(kindBatch, payload)
 	return w.flush()
 }
 

@@ -29,12 +29,13 @@ go test -race -run 'TestReplayRunExits' ./cmd/sigserverd/
 # harness replays its fixed seed set (≥10k ops, incl. fault and crash
 # schedules) against the reference model under the race detector.
 go test -race -run 'TestSim' ./internal/simcheck/
-# Cluster smoke (make cluster-smoke): 2-shard (+1 follower) topology —
-# bit-identical scatter-gather answers, degradation with a shard down,
-# follower WAL catch-up — plus ring properties and the RNG-driven
-# cluster-equivalence simulation. (TestSimCluster already ran in the
-# simcheck line above; the cluster package tests are the addition.)
-go test -race -run 'TestCluster|TestRing' ./internal/cluster/
+# Cluster + failover smoke (make cluster-smoke / failover-smoke): the
+# full cluster package under the race detector — 2-shard bit-identical
+# scatter-gather, degradation with a shard down, follower WAL catch-up,
+# the prober state machine, and the kill-a-primary failover/promotion
+# e2e. (The fault-injecting TestSimClusterFailover already ran in the
+# simcheck line above.)
+go test -race ./internal/cluster/...
 # Fuzz smoke (make fuzz-smoke): short exploratory runs of the three
 # native fuzz targets; their committed testdata corpora already replay
 # as regression cases in the race run above.
