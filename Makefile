@@ -70,9 +70,14 @@ bench:
 # One iteration of the pairwise-engine benchmarks under the race
 # detector: a cheap smoke test that the engine's parallel paths are
 # race-clean and still bit-identical to the naive loops they replace.
+# The sigbench lines then drive both engine variants (SoA scatter and
+# match-fold, each with the thresholded prefilter sweep) on a scaled
+# dataset — runPairwise exits non-zero on any `identical: false`.
 bench-smoke:
 	$(GO) test -race -run=^$$ -benchtime=1x \
 		-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
+	$(GO) run ./cmd/sigbench -experiment pairwise -scale 0.5
+	$(GO) run ./cmd/sigbench -experiment pairwise -scale 0.5 -soa=false
 
 # Observability smoke: boot sigserverd in replay mode end to end. The
 # replay scrapes /metrics?format=prom, validates the exposition with

@@ -30,11 +30,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor in (0,1]")
 	name := flag.String("experiment", "", "run a single experiment (fig1..fig6, tables, ablations, pairwise); empty = all")
 	jsonPath := flag.String("json", "", "write the experiment's machine-readable report to this path (pairwise only)")
+	soa := flag.Bool("soa", true, "pairwise: use the scatter SoA row kernels (false A/Bs the match-list folds)")
+	prefilter := flag.Bool("prefilter", true, "pairwise: measure the thresholded sweep with the mask prefilter off and on")
+	threshold := flag.Float64("threshold", 0.5, "pairwise: maxDist of the thresholded prefilter sweep")
+	baseline := flag.String("baseline", "", "pairwise: diff engine pairs/sec against this committed report, warn on >20% regressions")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
 
-	if err := profiledRun(*seed, *scale, *name, *jsonPath, *cpuProfile, *memProfile); err != nil {
+	popts := pairwiseOpts{SoA: *soa, Prefilter: *prefilter, Threshold: *threshold, Baseline: *baseline}
+	if err := profiledRun(*seed, *scale, *name, *jsonPath, popts, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "sigbench:", err)
 		os.Exit(1)
 	}
@@ -42,7 +47,7 @@ func main() {
 
 // profiledRun wraps run with optional pprof capture so the profiles are
 // flushed even when the experiment fails.
-func profiledRun(seed int64, scale float64, name, jsonPath, cpuProfile, memProfile string) error {
+func profiledRun(seed int64, scale float64, name, jsonPath string, popts pairwiseOpts, cpuProfile, memProfile string) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -54,7 +59,7 @@ func profiledRun(seed int64, scale float64, name, jsonPath, cpuProfile, memProfi
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(seed, scale, name, jsonPath); err != nil {
+	if err := run(seed, scale, name, jsonPath, popts); err != nil {
 		return err
 	}
 	if memProfile != "" {
@@ -71,7 +76,7 @@ func profiledRun(seed int64, scale float64, name, jsonPath, cpuProfile, memProfi
 	return nil
 }
 
-func run(seed int64, scale float64, name, jsonPath string) error {
+func run(seed int64, scale float64, name, jsonPath string, popts pairwiseOpts) error {
 	ds, err := experiments.LoadScaled(seed, scale)
 	if err != nil {
 		return err
@@ -200,7 +205,7 @@ func run(seed int64, scale float64, name, jsonPath string) error {
 		fmt.Fprintln(out, experiments.FormatAnomaly(rows))
 		return nil
 	case "pairwise":
-		return runPairwise(e, seed, scale, out, jsonPath)
+		return runPairwise(e, seed, scale, popts, out, jsonPath)
 	case "ablations":
 		streaming, err := experiments.StreamingAblation(e, sketch.StreamConfig{Seed: uint64(seed)})
 		if err != nil {

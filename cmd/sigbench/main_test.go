@@ -7,6 +7,10 @@ import (
 	"testing"
 )
 
+// testOpts mirrors the flag defaults: SoA scatter kernels on, the
+// thresholded prefilter sweep on.
+var testOpts = pairwiseOpts{SoA: true, Prefilter: true, Threshold: 0.5}
+
 // The per-experiment paths run at a small scale; RunAll is covered by
 // the experiments package test and the full-scale binary run.
 func TestSigbenchExperiments(t *testing.T) {
@@ -16,20 +20,20 @@ func TestSigbenchExperiments(t *testing.T) {
 		"deanon", "phone", "prune", "hops", "horizon", "ablations",
 		"pairwise",
 	} {
-		if err := run(7, 0.2, name, ""); err != nil {
+		if err := run(7, 0.2, name, "", testOpts); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
 }
 
 func TestSigbenchUnknownExperiment(t *testing.T) {
-	if err := run(7, 0.2, "bogus", ""); err == nil {
+	if err := run(7, 0.2, "bogus", "", testOpts); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestSigbenchBadScale(t *testing.T) {
-	if err := run(7, 0, "tables", ""); err == nil {
+	if err := run(7, 0, "tables", "", testOpts); err == nil {
 		t.Fatal("scale 0 accepted")
 	}
 }
@@ -39,7 +43,7 @@ func TestSigbenchBadScale(t *testing.T) {
 // throughput numbers.
 func TestSigbenchPairwiseJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_pairwise.json")
-	if err := run(7, 0.2, "pairwise", path); err != nil {
+	if err := run(7, 0.2, "pairwise", path, testOpts); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(path)
@@ -63,6 +67,17 @@ func TestSigbenchPairwiseJSON(t *testing.T) {
 		if r.Naive.NsPerPair <= 0 || r.Engine.NsPerPair <= 0 || r.Speedup <= 0 {
 			t.Fatalf("%s: implausible timings: %+v", r.Distance, r)
 		}
+		if r.EngineKernel.NsPerPair <= 0 {
+			t.Fatalf("%s: missing engine_kernel side: %+v", r.Distance, r)
+		}
+		// The alloc-free rebuild pins the engine side to view
+		// construction only — far under the old ~1.5k per run.
+		if r.Engine.Allocs > 152 {
+			t.Fatalf("%s: engine side allocates %d times, want ≤152", r.Distance, r.Engine.Allocs)
+		}
+		if r.PrefilterOff == nil || r.PrefilterOn == nil {
+			t.Fatalf("%s: missing thresholded prefilter sides", r.Distance)
+		}
 	}
 }
 
@@ -70,7 +85,7 @@ func TestSigbenchProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := profiledRun(7, 0.2, "fig1", "", cpu, mem); err != nil {
+	if err := profiledRun(7, 0.2, "fig1", "", testOpts, cpu, mem); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{cpu, mem} {

@@ -69,6 +69,30 @@ func TestRenderObserveLineRates(t *testing.T) {
 	if strings.Contains(line, "lag[") || strings.Contains(line, "promotions=") {
 		t.Fatalf("cluster suffix on a non-cluster line: %q", line)
 	}
+	// And no search traffic yet: no search suffix either.
+	if strings.Contains(line, "searches=") {
+		t.Fatalf("search suffix on an idle line: %q", line)
+	}
+}
+
+// TestRenderObserveLineSearchSuffix: a snapshot with search traffic
+// grows the query/batch/prefilter columns, including the batch route's
+// average latency from its per-route histogram.
+func TestRenderObserveLineSearchSuffix(t *testing.T) {
+	cur := map[string]int64{
+		"search_queries":                        40,
+		"batch_searches":                        3,
+		"route_post_v1_search_batch_requests":   3,
+		"route_post_v1_search_batch_micros_sum": 900,
+		"distmat_prefilter_checked_total":       200,
+		"distmat_prefilter_skipped_total":       150,
+	}
+	line := renderObserveLine(cur, nil, 0)
+	for _, want := range []string{"searches=40", "batches=3", "batch_avg=300us", "prefilter_skip=150/200"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
 }
 
 // TestRenderObserveLineClusterSuffix: a router snapshot with replication

@@ -183,6 +183,59 @@ func TestClusterSmokeBitIdentical(t *testing.T) {
 		t.Fatalf("only %d labels compared; workload too sparse to prove anything", compared)
 	}
 
+	// Batch search: one routed fan-out answering many slots must match
+	// the single node's batch AND the equivalent single routed searches,
+	// slot for slot, with per-slot errors agreeing on the bad slot.
+	var batchQ []server.SearchRequest
+	batchSeen := map[string]bool{}
+	for _, rec := range data.Records {
+		if batchSeen[rec.Src] {
+			continue
+		}
+		batchSeen[rec.Src] = true
+		batchQ = append(batchQ, server.SearchRequest{Label: rec.Src, K: 10, MaxDist: 0.95})
+		if len(batchQ) == 12 {
+			break
+		}
+	}
+	batchQ = append(batchQ, server.SearchRequest{Label: "no-such-host"})
+	cbatch, err := rt.SearchBatch(server.BatchSearchRequest{Queries: batchQ})
+	if err != nil {
+		t.Fatalf("cluster batch search: %v", err)
+	}
+	if cbatch.ShardsOK != cbatch.ShardsTotal {
+		t.Fatalf("batch search degraded: %d/%d shards", cbatch.ShardsOK, cbatch.ShardsTotal)
+	}
+	rbatch, err := refClient.SearchBatch(server.BatchSearchRequest{Queries: batchQ})
+	if err != nil {
+		t.Fatalf("reference batch search: %v", err)
+	}
+	if len(cbatch.Results) != len(batchQ) || len(rbatch.Results) != len(batchQ) {
+		t.Fatalf("batch sizes: cluster %d, single %d, want %d", len(cbatch.Results), len(rbatch.Results), len(batchQ))
+	}
+	for i := range batchQ {
+		cr, rr := cbatch.Results[i], rbatch.Results[i]
+		if (cr.Error != "") != (rr.Error != "") {
+			t.Fatalf("batch slot %d error parity: cluster %q, single %q", i, cr.Error, rr.Error)
+		}
+		if cr.Error != "" {
+			continue
+		}
+		if cj, rj := mustJSON(t, cr.Hits), mustJSON(t, rr.Hits); cj != rj {
+			t.Fatalf("batch slot %d diverged from single node:\ncluster: %s\nsingle:  %s", i, cj, rj)
+		}
+		sres, serr := rt.Search(batchQ[i])
+		if serr != nil {
+			t.Fatalf("routed single search %d: %v", i, serr)
+		}
+		if cj, sj := mustJSON(t, cr.Hits), mustJSON(t, sres.Hits); cj != sj {
+			t.Fatalf("batch slot %d diverged from routed single:\nbatch:  %s\nsingle: %s", i, cj, sj)
+		}
+	}
+	if cbatch.Results[len(batchQ)-1].Error == "" {
+		t.Fatal("unknown-label batch slot carried no error")
+	}
+
 	// Anomalies: same population statistics, same flagged set, bitwise.
 	cano, err := rt.Anomalies("", 2.0)
 	if err != nil {

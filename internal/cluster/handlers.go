@@ -19,6 +19,7 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("POST /v1/flows", rt.handleFlows)
 	rt.mux.HandleFunc("GET /v1/signatures/{label}", rt.handleHistory)
 	rt.mux.HandleFunc("POST /v1/search", rt.handleSearch)
+	rt.mux.HandleFunc("POST /v1/search/batch", rt.handleSearchBatch)
 	rt.mux.HandleFunc("POST /v1/watchlist", rt.handleWatchlistAdd)
 	rt.mux.HandleFunc("GET /v1/watchlist/hits", rt.handleWatchlistHits)
 	rt.mux.HandleFunc("GET /v1/anomalies", rt.handleAnomalies)
@@ -130,6 +131,19 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := rt.Search(req)
+	if err != nil {
+		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchSearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := rt.SearchBatch(req)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return

@@ -405,24 +405,11 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 		req.K = store.DefaultTopK
 	}
 	if req.Label != "" {
-		owner := rt.ring.Shard(req.Label)
-		oc, _ := rt.readClient(owner)
-		hist, err := oc.History(req.Label)
+		resolved, err := rt.resolveLabelQuery(req)
 		if err != nil {
-			return SearchResponse{}, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
+			return SearchResponse{}, err
 		}
-		var latest *server.SignatureJSON
-		for i := range hist.History {
-			if len(hist.History[i].Signature.Nodes) > 0 {
-				latest = &hist.History[i].Signature
-			}
-		}
-		if latest == nil {
-			return SearchResponse{}, fmt.Errorf("cluster: label %q has no archived signature", req.Label)
-		}
-		req.Signature = latest
-		req.ExcludeLabel = req.Label
-		req.Label = ""
+		req = resolved
 	}
 
 	clients, stale := rt.readClients()
@@ -446,8 +433,46 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 	if resp.ShardsOK < resp.ShardsTotal {
 		rt.partials.Add(1)
 	}
-	sort.Slice(resp.Hits, func(i, j int) bool {
-		a, b := resp.Hits[i], resp.Hits[j]
+	sortSearchHits(resp.Hits)
+	if len(resp.Hits) > req.K {
+		resp.Hits = resp.Hits[:req.K]
+	}
+	return resp, nil
+}
+
+// resolveLabelQuery rewrites a label query into the equivalent
+// signature query by fetching the label's latest archived signature
+// from its owner shard (the one shard that stores it), excluding the
+// label from the results — exactly what SearchLabel does on a single
+// node.
+func (rt *Router) resolveLabelQuery(req server.SearchRequest) (server.SearchRequest, error) {
+	owner := rt.ring.Shard(req.Label)
+	oc, _ := rt.readClient(owner)
+	hist, err := oc.History(req.Label)
+	if err != nil {
+		return req, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
+	}
+	var latest *server.SignatureJSON
+	for i := range hist.History {
+		if len(hist.History[i].Signature.Nodes) > 0 {
+			latest = &hist.History[i].Signature
+		}
+	}
+	if latest == nil {
+		return req, fmt.Errorf("cluster: label %q has no archived signature", req.Label)
+	}
+	req.Signature = latest
+	req.ExcludeLabel = req.Label
+	req.Label = ""
+	return req, nil
+}
+
+// sortSearchHits orders merged shard hits under the store's exact
+// comparator (dist asc, window desc, label asc), so the routed top-k
+// cut reproduces a single node's.
+func sortSearchHits(hits []server.SearchHitJSON) {
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
 		if a.Dist != b.Dist {
 			return a.Dist < b.Dist
 		}
@@ -456,8 +481,104 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 		}
 		return a.Label < b.Label
 	})
-	if len(resp.Hits) > req.K {
-		resp.Hits = resp.Hits[:req.K]
+}
+
+// BatchSearchResponse is the routed POST /v1/search/batch body.
+// Results[i] answers Queries[i].
+type BatchSearchResponse struct {
+	Distance    string                     `json:"distance"`
+	Results     []server.BatchSearchResult `json:"results"`
+	ShardsOK    int                        `json:"shards_ok"`
+	ShardsTotal int                        `json:"shards_total"`
+	StaleShards []StaleShard               `json:"stale_shards,omitempty"`
+}
+
+// SearchBatch fans a whole query batch out to every shard in ONE
+// scatter — each shard answers all slots against a single ring
+// snapshot with one pooled kernel scratch — then merges every slot's
+// per-shard top-k lists under the store comparator, exactly as Search
+// does for a single query. Label slots resolve at their owner shard
+// first; slots that fail to resolve carry their error without failing
+// the batch or the fan-out.
+func (rt *Router) SearchBatch(req server.BatchSearchRequest) (BatchSearchResponse, error) {
+	if len(req.Queries) == 0 {
+		return BatchSearchResponse{}, fmt.Errorf("cluster: batch search needs at least one query")
+	}
+	results := make([]server.BatchSearchResult, len(req.Queries))
+	ks := make([]int, len(req.Queries))
+	fan := server.BatchSearchRequest{Distance: req.Distance}
+	slots := make([]int, 0, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.Label != "" && q.Signature != nil {
+			results[i].Error = "set either label or signature, not both"
+			continue
+		}
+		if q.K <= 0 {
+			q.K = store.DefaultTopK
+		}
+		ks[i] = q.K
+		if q.Label != "" {
+			resolved, err := rt.resolveLabelQuery(q)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			q = resolved
+		}
+		fan.Queries = append(fan.Queries, q)
+		slots = append(slots, i)
+	}
+
+	clients, stale := rt.readClients()
+	resp := BatchSearchResponse{Distance: req.Distance, Results: results,
+		ShardsTotal: rt.ring.Shards(), StaleShards: stale}
+	if len(fan.Queries) == 0 {
+		// Every slot failed resolution; nothing to scatter.
+		resp.ShardsOK = resp.ShardsTotal
+		return resp, nil
+	}
+	answers := scatter(rt, rt.allShards(), func(s int) (server.BatchSearchResponse, error) {
+		return clients[s].SearchBatch(fan)
+	})
+	for _, r := range answers {
+		if r.err != nil {
+			continue
+		}
+		resp.ShardsOK++
+		resp.Distance = r.val.Distance
+	}
+	if resp.ShardsOK == 0 {
+		return resp, fmt.Errorf("cluster: batch search failed on all %d shards", resp.ShardsTotal)
+	}
+	if resp.ShardsOK < resp.ShardsTotal {
+		rt.partials.Add(1)
+	}
+	for k, slot := range slots {
+		merged := []server.SearchHitJSON{}
+		slotErr := ""
+		for _, r := range answers {
+			if r.err != nil || k >= len(r.val.Results) {
+				continue
+			}
+			sr := r.val.Results[k]
+			if sr.Error != "" {
+				// Shard-side slot errors (a malformed signature, say) are
+				// deterministic across shards: every shard reports the same
+				// one, so keeping the last seen loses nothing.
+				slotErr = sr.Error
+				continue
+			}
+			merged = append(merged, sr.Hits...)
+		}
+		if slotErr != "" && len(merged) == 0 {
+			results[slot].Error = slotErr
+			continue
+		}
+		sortSearchHits(merged)
+		if len(merged) > ks[slot] {
+			merged = merged[:ks[slot]]
+		}
+		results[slot].Hits = merged
 	}
 	return resp, nil
 }

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+
+	"graphsig/internal/graph"
+)
+
+// This file implements the structure-of-arrays (SoA) view of a slice of
+// signatures: every per-signature array (canonical nodes, weights,
+// node-sorted order, normalized weights, prefix sums) lives in one
+// contiguous allocation for the whole set, addressed through a shared
+// offset table. Batch layers (internal/distmat) iterate these arrays
+// directly, so an all-pairs job walks a handful of flat slices instead
+// of chasing one Signature header pair per comparison.
+//
+// The layout also precomputes what the prefilter bound in
+// internal/distmat needs: inclusive prefix sums over the canonical
+// (weight-descending) entry order, so "the largest possible sum of any
+// m weights of signature i" is a single array read.
+//
+// Bit-identity: the per-signature folds (sum, sumSq, normalized
+// weights) replay makeSortedSig exactly, and the flat kernel entry
+// points on DistKernel share the fold helpers with the SortedSig path,
+// so FlatDist(a, i, b, j) == Dist(NewSortedSig(aSig), NewSortedSig(bSig))
+// bit-for-bit.
+
+// FlatSigs is the SoA view of a signature slice. Build it with
+// NewFlatSigs (or recycle one with Reset — zero allocations once the
+// backing arrays have grown to fit). The view is immutable between
+// Resets; the accessor slices alias the backing arrays and must not be
+// mutated by callers.
+type FlatSigs struct {
+	offs   []int32        // len n+1; entries of sig i live at [offs[i], offs[i+1])
+	nodes  []graph.NodeID // canonical (weight-descending) node order
+	w      []float64      // canonical weights
+	sorted []graph.NodeID // nodes re-sorted ascending, per signature
+	pos    []int32        // pos[t] = canonical index (within the sig) of sorted[t]
+	normW  []float64      // Normalized().Weights in canonical order
+
+	// Inclusive prefix sums over the canonical order. Because canonical
+	// order is weight-descending, prefW[offs[i]+m-1] is the largest sum
+	// any m weights of sig i can reach (and likewise prefSq for squared
+	// weights, prefNorm for normalized weights).
+	prefW    []float64
+	prefSq   []float64
+	prefNorm []float64
+
+	sum     []float64 // per-sig fold of w in canonical order (== WeightSum)
+	sumSq   []float64 // per-sig fold of w² in canonical order
+	norm    []float64 // math.Sqrt(sumSq), cosine's denominator factor
+	normSum []float64 // per-sig fold of normW in canonical order
+}
+
+// NewFlatSigs builds the SoA view of sigs. Each signature must be
+// Validate-clean: nodes unique, canonical order.
+func NewFlatSigs(sigs []Signature) *FlatSigs {
+	f := &FlatSigs{}
+	f.Reset(sigs)
+	return f
+}
+
+// growTo returns s resized to length n, reusing its backing array when
+// capacity allows — the Reset path's no-allocation guarantee.
+func growTo[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Reset rebuilds the view over sigs in place, reusing every backing
+// array whose capacity suffices. A FlatSigs cycled through same-shape
+// inputs allocates nothing — the property the query path in
+// internal/distmat relies on.
+func (f *FlatSigs) Reset(sigs []Signature) {
+	n := len(sigs)
+	total := 0
+	for i := range sigs {
+		total += len(sigs[i].Nodes)
+	}
+	f.offs = growTo(f.offs, n+1)
+	f.nodes = growTo(f.nodes, total)
+	f.w = growTo(f.w, total)
+	f.sorted = growTo(f.sorted, total)
+	f.pos = growTo(f.pos, total)
+	f.normW = growTo(f.normW, total)
+	f.prefW = growTo(f.prefW, total)
+	f.prefSq = growTo(f.prefSq, total)
+	f.prefNorm = growTo(f.prefNorm, total)
+	f.sum = growTo(f.sum, n)
+	f.sumSq = growTo(f.sumSq, n)
+	f.norm = growTo(f.norm, n)
+	f.normSum = growTo(f.normSum, n)
+
+	off := int32(0)
+	for i := range sigs {
+		f.offs[i] = off
+		off += int32(len(sigs[i].Nodes))
+		f.fill(i, sigs[i])
+	}
+	f.offs[n] = off
+}
+
+// fill populates signature i's segment of every flat array, replaying
+// makeSortedSig's sort and folds.
+func (f *FlatSigs) fill(i int, s Signature) {
+	lo := int(f.offs[i])
+	k := len(s.Nodes)
+	nodes := f.nodes[lo : lo+k]
+	w := f.w[lo : lo+k]
+	copy(nodes, s.Nodes)
+	copy(w, s.Weights)
+
+	pos := f.pos[lo : lo+k]
+	for t := range pos {
+		pos[t] = int32(t)
+	}
+	if k <= insertionSortCutoff {
+		for t := 1; t < k; t++ {
+			p := pos[t]
+			key := s.Nodes[p]
+			j := t - 1
+			for j >= 0 && s.Nodes[pos[j]] > key {
+				pos[j+1] = pos[j]
+				j--
+			}
+			pos[j+1] = p
+		}
+	} else {
+		sortPosByNode(pos, s.Nodes)
+	}
+	srt := f.sorted[lo : lo+k]
+	for t, p := range pos {
+		srt[t] = s.Nodes[p]
+	}
+
+	sum, sumSq := 0.0, 0.0
+	for t, wv := range w {
+		sum += wv
+		sumSq += wv * wv
+		f.prefW[lo+t] = sum
+		f.prefSq[lo+t] = sumSq
+	}
+	f.sum[i] = sum
+	f.sumSq[i] = sumSq
+	f.norm[i] = math.Sqrt(sumSq)
+
+	// Mirror Signature.Normalized exactly: massless signatures keep
+	// their raw weights.
+	normW := f.normW[lo : lo+k]
+	if sum > 0 {
+		for t, wv := range w {
+			normW[t] = wv / sum
+		}
+	} else {
+		copy(normW, w)
+	}
+	normSum := 0.0
+	for t, wv := range normW {
+		normSum += wv
+		f.prefNorm[lo+t] = normSum
+	}
+	f.normSum[i] = normSum
+}
+
+// sortPosByNode sorts pos so that nodes[pos[t]] ascends, for the rare
+// signatures above the insertion-sort cutoff. Plain heapsort: no
+// allocation, and the cutoff means it never runs on the hot sizes.
+func sortPosByNode(pos []int32, nodes []graph.NodeID) {
+	n := len(pos)
+	less := func(a, b int32) bool { return nodes[a] < nodes[b] }
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && less(pos[child], pos[child+1]) {
+				child++
+			}
+			if !less(pos[root], pos[child]) {
+				return
+			}
+			pos[root], pos[child] = pos[child], pos[root]
+			root = child
+		}
+	}
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDown(root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		pos[0], pos[end] = pos[end], pos[0]
+		siftDown(0, end)
+	}
+}
+
+// NumSigs reports the number of signatures in the view.
+func (f *FlatSigs) NumSigs() int { return len(f.offs) - 1 }
+
+// Len reports the entry count of signature i.
+func (f *FlatSigs) Len(i int) int { return int(f.offs[i+1] - f.offs[i]) }
+
+// IsEmpty reports whether signature i has no entries.
+func (f *FlatSigs) IsEmpty(i int) bool { return f.offs[i+1] == f.offs[i] }
+
+// Nodes returns signature i's nodes in canonical order.
+func (f *FlatSigs) Nodes(i int) []graph.NodeID { return f.nodes[f.offs[i]:f.offs[i+1]] }
+
+// Weights returns signature i's weights in canonical order.
+func (f *FlatSigs) Weights(i int) []float64 { return f.w[f.offs[i]:f.offs[i+1]] }
+
+// NormWeights returns signature i's normalized weights in canonical
+// order (raw weights when the signature is massless, mirroring
+// Signature.Normalized).
+func (f *FlatSigs) NormWeights(i int) []float64 { return f.normW[f.offs[i]:f.offs[i+1]] }
+
+// SortedNodes returns signature i's nodes in ascending order.
+func (f *FlatSigs) SortedNodes(i int) []graph.NodeID { return f.sorted[f.offs[i]:f.offs[i+1]] }
+
+// Pos returns, for each entry of SortedNodes(i), its canonical index
+// within signature i.
+func (f *FlatSigs) Pos(i int) []int32 { return f.pos[f.offs[i]:f.offs[i+1]] }
+
+// WeightSum returns signature i's total weight.
+func (f *FlatSigs) WeightSum(i int) float64 { return f.sum[i] }
+
+// SumSq returns signature i's canonical-order fold of squared weights.
+func (f *FlatSigs) SumSq(i int) float64 { return f.sumSq[i] }
+
+// Norm returns math.Sqrt(SumSq(i)).
+func (f *FlatSigs) Norm(i int) float64 { return f.norm[i] }
+
+// NormSum returns signature i's canonical-order fold of its normalized
+// weights (≈1 for massful signatures, but the actual float fold — the
+// prefilter bound must compare against the value the kernels divide by).
+func (f *FlatSigs) NormSum(i int) float64 { return f.normSum[i] }
+
+// TopWeightSum returns the largest sum any m weights of signature i can
+// reach: the inclusive prefix sum of the canonical (descending) order.
+// m is clamped to [0, Len(i)].
+func (f *FlatSigs) TopWeightSum(i, m int) float64 { return topPrefix(f.prefW, f.offs, i, m) }
+
+// TopSqSum is TopWeightSum over squared weights.
+func (f *FlatSigs) TopSqSum(i, m int) float64 { return topPrefix(f.prefSq, f.offs, i, m) }
+
+// TopNormSum is TopWeightSum over normalized weights.
+func (f *FlatSigs) TopNormSum(i, m int) float64 { return topPrefix(f.prefNorm, f.offs, i, m) }
+
+// RawOffs, RawWeights, RawNormWeights and RawNodes expose the flat
+// backing arrays for batch layers whose inner loops index entries
+// globally (offset table + flat array) rather than per signature.
+// Read-only: callers must not mutate them.
+func (f *FlatSigs) RawOffs() []int32 { return f.offs }
+
+// RawWeights returns the flat canonical-order weight array.
+func (f *FlatSigs) RawWeights() []float64 { return f.w }
+
+// RawNormWeights returns the flat canonical-order normalized weights.
+func (f *FlatSigs) RawNormWeights() []float64 { return f.normW }
+
+// RawNodes returns the flat canonical-order node array.
+func (f *FlatSigs) RawNodes() []graph.NodeID { return f.nodes }
+
+func topPrefix(pref []float64, offs []int32, i, m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	lo, hi := int(offs[i]), int(offs[i+1])
+	if m > hi-lo {
+		m = hi - lo
+	}
+	if m == 0 {
+		return 0
+	}
+	return pref[lo+m-1]
+}
+
+// FlatDist computes the distance between signature i of fa and
+// signature j of fb, bit-identical to k.Distance().Dist on the original
+// signatures. Like Dist, it uses the kernel's scratch: one kernel per
+// goroutine.
+func (k *DistKernel) FlatDist(fa *FlatSigs, i int, fb *FlatSigs, j int) float64 {
+	if fa.IsEmpty(i) && fb.IsEmpty(j) {
+		return 0
+	}
+	k.mergeFlat(fa, i, fb, j)
+	k.sortMatchesByA()
+	return k.flatMatched(fa, i, fb, j, k.matches)
+}
+
+// FlatDistMatched is DistMatched over flat views: matches lists the
+// shared entries with canonical indices on both sides, A side ascending.
+func (k *DistKernel) FlatDistMatched(fa *FlatSigs, i int, fb *FlatSigs, j int, matches []Match) float64 {
+	if fa.IsEmpty(i) && fb.IsEmpty(j) {
+		return 0
+	}
+	return k.flatMatched(fa, i, fb, j, matches)
+}
+
+// mergeFlat is merge over the flat sorted/pos segments.
+func (k *DistKernel) mergeFlat(fa *FlatSigs, i int, fb *FlatSigs, j int) {
+	k.matches = k.matches[:0]
+	an, ap := fa.SortedNodes(i), fa.Pos(i)
+	bn, bp := fb.SortedNodes(j), fb.Pos(j)
+	s, t := 0, 0
+	for s < len(an) && t < len(bn) {
+		switch {
+		case an[s] < bn[t]:
+			s++
+		case an[s] > bn[t]:
+			t++
+		default:
+			k.matches = append(k.matches, Match{A: ap[s], B: bp[t]})
+			s++
+			t++
+		}
+	}
+}
+
+func (k *DistKernel) flatMatched(fa *FlatSigs, i int, fb *FlatSigs, j int, matches []Match) float64 {
+	switch k.kind {
+	case KindJaccard:
+		return jaccardCount(fa.Len(i), fb.Len(j), len(matches))
+	case KindDice:
+		return diceFold(fa.Weights(i), fb.Weights(j), fa.sum[i], fb.sum[j], matches)
+	case KindScaledDice:
+		return k.scaledFold(fa.Weights(i), fb.Weights(j), matches, false)
+	case KindScaledHellinger:
+		return k.scaledFold(fa.Weights(i), fb.Weights(j), matches, true)
+	case KindCosine:
+		return cosineFold(fa.Weights(i), fb.Weights(j), fa.sumSq[i], fb.sumSq[j], fa.norm[i], fb.norm[j], matches)
+	default:
+		return k.scaledFold(fa.NormWeights(i), fb.NormWeights(j), matches, false)
+	}
+}
+
+// ScatterFinish turns a row-scatter accumulator into the final
+// distance for the kinds whose numerator is a plain per-shared-entry
+// sum: the shared count for Jaccard, Σ(wa+wb) for Dice, the dot product
+// for Cosine. The accumulator must have been folded in signature i's
+// canonical entry order (what a posting scatter over i's entries
+// produces), so the result is bit-identical to FlatDist. Panics for the
+// scaled kinds — they need the full match list.
+func (k *DistKernel) ScatterFinish(fa *FlatSigs, i int, fb *FlatSigs, j int, cnt int32, acc float64) float64 {
+	switch k.kind {
+	case KindJaccard:
+		return jaccardCount(fa.Len(i), fb.Len(j), int(cnt))
+	case KindDice:
+		den := fa.sum[i] + fb.sum[j]
+		if den == 0 {
+			return 0
+		}
+		return clamp01(1 - acc/den)
+	case KindCosine:
+		if fa.sumSq[i] == 0 || fb.sumSq[j] == 0 {
+			return 1
+		}
+		return clamp01(1 - acc/(fa.norm[i]*fb.norm[j]))
+	default:
+		panic("core: ScatterFinish on a non-scatter kernel kind")
+	}
+}

@@ -46,6 +46,7 @@ func FuzzSortedKernels(f *testing.F) {
 			t.Fatalf("fuzzSig built an invalid signature: %v", err)
 		}
 		sa, sb := NewSortedSig(a), NewSortedSig(b)
+		flat := NewFlatSigs([]Signature{a, b})
 		for _, d := range ExtendedDistances() {
 			kern, ok := NewDistKernel(d)
 			if !ok {
@@ -57,11 +58,18 @@ func FuzzSortedKernels(f *testing.F) {
 				t.Fatalf("%s: kernel %v (%x) != naive %v (%x) for %v vs %v",
 					d.Name(), got, math.Float64bits(got), want, math.Float64bits(want), a, b)
 			}
+			// The SoA entry point must hit the same bits.
+			if got := kern.FlatDist(flat, 0, flat, 1); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: flat kernel %v != naive %v for %v vs %v", d.Name(), got, want, a, b)
+			}
 			// Symmetric orientation: the kernels' a/b roles must both hold.
 			want = d.Dist(b, a)
 			got = kern.Dist(&sb, &sa)
 			if math.Float64bits(got) != math.Float64bits(want) {
 				t.Fatalf("%s reversed: kernel %v != naive %v for %v vs %v", d.Name(), got, want, b, a)
+			}
+			if got := kern.FlatDist(flat, 1, flat, 0); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s reversed: flat kernel %v != naive %v for %v vs %v", d.Name(), got, want, b, a)
 			}
 		}
 	})

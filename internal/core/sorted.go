@@ -174,16 +174,19 @@ func fmax(x, y float64) float64 {
 	return y
 }
 
-// kernelKind selects the per-distance merge kernel.
-type kernelKind int
+// KernelKind identifies which of the six registered distances a
+// DistKernel implements. Batch layers use it to pick a row strategy
+// (count/sum/dot scatter vs full match lists) and the matching
+// prefilter bound.
+type KernelKind int
 
 const (
-	kernJaccard kernelKind = iota
-	kernDice
-	kernSDice
-	kernSHel
-	kernCosine
-	kernWJaccard
+	KindJaccard KernelKind = iota
+	KindDice
+	KindScaledDice
+	KindScaledHellinger
+	KindCosine
+	KindWeightedJaccard
 )
 
 // Match records one shared node: its canonical index in the two
@@ -199,7 +202,7 @@ type Match struct {
 // (construction is cheap).
 type DistKernel struct {
 	d    Distance
-	kind kernelKind
+	kind KernelKind
 	// Scratch: matches lists the shared canonical index pairs found by
 	// the merge; bsorted is the B side re-sorted ascending for the
 	// b-side fold.
@@ -211,28 +214,50 @@ type DistKernel struct {
 // not one of the known kernelizable distances (a custom Distance
 // implementation): callers then fall back to the naive d.Dist.
 func NewDistKernel(d Distance) (*DistKernel, bool) {
-	k := &DistKernel{d: d}
-	switch d.(type) {
-	case Jaccard:
-		k.kind = kernJaccard
-	case Dice:
-		k.kind = kernDice
-	case ScaledDice:
-		k.kind = kernSDice
-	case ScaledHellinger:
-		k.kind = kernSHel
-	case Cosine:
-		k.kind = kernCosine
-	case WeightedJaccard:
-		k.kind = kernWJaccard
-	default:
+	kind, ok := kernelKindOf(d)
+	if !ok {
 		return nil, false
 	}
-	return k, true
+	return &DistKernel{d: d, kind: kind}, true
+}
+
+func kernelKindOf(d Distance) (KernelKind, bool) {
+	switch d.(type) {
+	case Jaccard:
+		return KindJaccard, true
+	case Dice:
+		return KindDice, true
+	case ScaledDice:
+		return KindScaledDice, true
+	case ScaledHellinger:
+		return KindScaledHellinger, true
+	case Cosine:
+		return KindCosine, true
+	case WeightedJaccard:
+		return KindWeightedJaccard, true
+	default:
+		return 0, false
+	}
 }
 
 // Distance returns the wrapped distance.
 func (k *DistKernel) Distance() Distance { return k.d }
+
+// Kind reports which registered distance the kernel implements.
+func (k *DistKernel) Kind() KernelKind { return k.kind }
+
+// Reset re-points the kernel at d, keeping the grown scratch arrays —
+// what pooled batch layers use to recycle kernels across jobs with no
+// allocation. Returns false (kernel unchanged) when d is not
+// kernelizable.
+func (k *DistKernel) Reset(d Distance) bool {
+	kind, ok := kernelKindOf(d)
+	if !ok {
+		return false
+	}
+	k.d, k.kind = d, kind
+	return true
+}
 
 // Dist computes the distance between a and b, bit-identical to
 // k.Distance().Dist(a.Sig(), b.Sig()).
@@ -261,18 +286,19 @@ func (k *DistKernel) DistMatched(a, b *SortedSig, matches []Match) float64 {
 
 func (k *DistKernel) distMatched(a, b *SortedSig, matches []Match) float64 {
 	switch k.kind {
-	case kernJaccard:
-		return jaccardMatched(a, b, len(matches))
-	case kernDice:
-		return diceMatched(a, b, matches)
-	case kernSDice:
-		return k.scaledMatched(a, b, matches, false)
-	case kernSHel:
-		return k.scaledMatched(a, b, matches, true)
-	case kernCosine:
-		return cosineMatched(a, b, matches)
+	case KindJaccard:
+		return jaccardCount(a.Len(), b.Len(), len(matches))
+	case KindDice:
+		return diceFold(a.sig.Weights, b.sig.Weights, a.sum, b.sum, matches)
+	case KindScaledDice:
+		return k.scaledFold(a.sig.Weights, b.sig.Weights, matches, false)
+	case KindScaledHellinger:
+		return k.scaledFold(a.sig.Weights, b.sig.Weights, matches, true)
+	case KindCosine:
+		return cosineFold(a.sig.Weights, b.sig.Weights, a.sumSq, b.sumSq,
+			math.Sqrt(a.sumSq), math.Sqrt(b.sumSq), matches)
 	default:
-		return k.wjaccardMatched(a, b, matches)
+		return k.scaledFold(a.normW, b.normW, matches, false)
 	}
 }
 
@@ -331,27 +357,26 @@ func (k *DistKernel) sortBAscending(matches []Match) []int32 {
 	return bs
 }
 
-// jaccardMatched: the numerator is the shared-node count and the naive
+// jaccardCount: the numerator is the shared-node count and the naive
 // division is replayed verbatim, so the whole distance is O(1) given
 // the match count.
-func jaccardMatched(a, b *SortedSig, inter int) float64 {
-	union := a.Len() + b.Len() - inter
+func jaccardCount(la, lb, inter int) float64 {
+	union := la + lb - inter
 	if union == 0 {
 		return 0
 	}
 	return 1 - float64(inter)/float64(union)
 }
 
-// diceMatched: the naive numerator adds wa+wb for exactly the shared
+// diceFold: the naive numerator adds wa+wb for exactly the shared
 // entries in a's canonical order — the matched list verbatim — and the
 // denominator is the two precomputed canonical-order weight sums.
-func diceMatched(a, b *SortedSig, matches []Match) float64 {
-	aw, bwgt := a.sig.Weights, b.sig.Weights
+func diceFold(aw, bwgt []float64, asum, bsum float64, matches []Match) float64 {
 	num := 0.0
 	for _, m := range matches {
 		num += aw[m.A] + bwgt[m.B]
 	}
-	den := a.sum + b.sum
+	den := asum + bsum
 	if den == 0 {
 		return 0
 	}
@@ -394,37 +419,27 @@ func (k *DistKernel) scaledMinMax(aw, bwgt []float64, matches []Match, hellinger
 	return num, den
 }
 
-// scaledMatched computes SDice (hellinger=false) and SHel
-// (hellinger=true), which share the max-denominator structure.
-func (k *DistKernel) scaledMatched(a, b *SortedSig, matches []Match, hellinger bool) float64 {
-	num, den := k.scaledMinMax(a.sig.Weights, b.sig.Weights, matches, hellinger)
+// scaledFold computes SDice (hellinger=false), SHel (hellinger=true)
+// and — fed the normalized weights — WeightedJaccard, which all share
+// the min/max-denominator structure.
+func (k *DistKernel) scaledFold(aw, bwgt []float64, matches []Match, hellinger bool) float64 {
+	num, den := k.scaledMinMax(aw, bwgt, matches, hellinger)
 	if den == 0 {
 		return 0
 	}
 	return clamp01(1 - num/den)
 }
 
-// cosineMatched: the naive dot accumulates shared entries in a's
-// canonical order (unshared terms are skipped by its wb > 0 branch) and
-// both norms are the precomputed canonical-order folds.
-func cosineMatched(a, b *SortedSig, matches []Match) float64 {
-	aw, bwgt := a.sig.Weights, b.sig.Weights
+// cosineFold: the naive dot accumulates shared entries in a's canonical
+// order (unshared terms are skipped by its wb > 0 branch); the norms
+// are the canonical-order sumSq folds and their precomputed roots.
+func cosineFold(aw, bwgt []float64, asumSq, bsumSq, anorm, bnorm float64, matches []Match) float64 {
 	dot := 0.0
 	for _, m := range matches {
 		dot += aw[m.A] * bwgt[m.B]
 	}
-	if a.sumSq == 0 || b.sumSq == 0 {
+	if asumSq == 0 || bsumSq == 0 {
 		return 1
 	}
-	return clamp01(1 - dot/(math.Sqrt(a.sumSq)*math.Sqrt(b.sumSq)))
-}
-
-// wjaccardMatched is scaledMatched's min/max structure over the
-// normalized weights.
-func (k *DistKernel) wjaccardMatched(a, b *SortedSig, matches []Match) float64 {
-	num, den := k.scaledMinMax(a.normW, b.normW, matches, false)
-	if den == 0 {
-		return 0
-	}
-	return clamp01(1 - num/den)
+	return clamp01(1 - dot/(anorm*bnorm))
 }

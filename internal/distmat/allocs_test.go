@@ -1,0 +1,78 @@
+package distmat
+
+import (
+	"testing"
+
+	"graphsig/internal/core"
+)
+
+// TestEngineRowsAllocFree is the tentpole's steady-state contract: a
+// sequential Rows pass over a warm engine performs zero allocations —
+// the pooled scratch, the flat SoA views and the reused row buffer
+// carry the whole job.
+func TestEngineRowsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector drops sync.Pool puts, defeating scratch reuse")
+	}
+	set := randSet(t, 7, 150, 10, 120)
+	idx := make([]int, set.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sink := 0.0
+	consume := func(_ int, row []float64) { sink += row[0] }
+	for _, d := range core.ExtendedDistances() {
+		eng, ok := NewEngine(set, set, d, 1)
+		if !ok {
+			t.Fatalf("no engine for %s", d.Name())
+		}
+		eng.Rows(idx, consume) // warm the pool and grow all scratch
+		if allocs := testing.AllocsPerRun(10, func() { eng.Rows(idx, consume) }); allocs != 0 {
+			t.Errorf("%s: Engine.Rows allocates %.1f times per run, want 0", d.Name(), allocs)
+		}
+	}
+	_ = sink
+}
+
+// TestQuerierSteadyStateAllocFree: a warm querier answering repeated
+// queries allocates nothing — both on the thresholded candidate path
+// and the dense row path.
+func TestQuerierSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector drops sync.Pool puts, defeating scratch reuse")
+	}
+	set := randSet(t, 8, 120, 10, 100)
+	view := NewSetView(set)
+	query := set.Sigs[3]
+	for i := 3; query.IsEmpty(); i++ {
+		query = set.Sigs[i]
+	}
+	sink := 0.0
+	visit := func(_ int, dist float64) { sink += dist }
+	for _, d := range core.ExtendedDistances() {
+		q, ok := NewQuerier(d)
+		if !ok {
+			t.Fatalf("no querier for %s", d.Name())
+		}
+		for _, maxDist := range []float64{0.6, 1} {
+			q.Neighbors(view, query, maxDist, visit) // warm
+			if allocs := testing.AllocsPerRun(10, func() { q.Neighbors(view, query, maxDist, visit) }); allocs != 0 {
+				t.Errorf("%s maxDist=%g: Querier.Neighbors allocates %.1f times per call, want 0",
+					d.Name(), maxDist, allocs)
+			}
+		}
+		q.Release()
+	}
+	_ = sink
+}
+
+// TestQuerierRelease: a released querier's scratch is returned to the
+// pool; Release is idempotent.
+func TestQuerierRelease(t *testing.T) {
+	q, _ := NewQuerier(core.Jaccard{})
+	q.Release()
+	q.Release()
+	if q.s != nil {
+		t.Fatal("scratch not cleared on release")
+	}
+}

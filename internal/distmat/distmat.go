@@ -2,26 +2,41 @@
 // layer every all-pairs signature job in this module rides (§IV property
 // metrics, §V applications, the sigserverd search path).
 //
-// It combines three ideas:
+// It combines four ideas:
 //
-//  1. Merge-join kernels (core.DistKernel): each signature gets a
-//     node-sorted view built once (core.SortedSig), so a single distance
-//     costs O(k) instead of the naive O(k²) membership probing.
-//  2. An inverted index (node → posting list of signature indices) over
-//     a SignatureSet: all-pairs jobs enumerate only pairs that share at
-//     least one node and resolve the (dominant) disjoint remainder in
-//     closed form — for every Validate-clean signature pair sharing no
-//     node the distance is exactly 1.0 (0.0 when both are empty), see
-//     internal/core/sorted.go. Dense O(n²·k²) work becomes
-//     overlap-proportional work. Posting entries carry the node's
+//  1. Structure-of-arrays kernels: every signature set is flattened
+//     into one contiguous node-ID array, one weight array and a shared
+//     offset table (core.FlatSigs), and the merge-join kernels
+//     (core.DistKernel) index those flat arrays directly. An all-pairs
+//     job walks a handful of cache-resident slices instead of chasing
+//     per-signature headers, and for Jaccard/Dice/Cosine the whole row
+//     is computed by scattering counts/sums into flat per-candidate
+//     accumulators during posting enumeration — no per-pair kernel call
+//     at all.
+//  2. An inverted index (node → posting list of signature indices):
+//     all-pairs jobs enumerate only pairs that share at least one node
+//     and resolve the (dominant) disjoint remainder in closed form —
+//     for every Validate-clean signature pair sharing no node the
+//     distance is exactly 1.0 (0.0 when both are empty), see
+//     internal/core/sorted.go. Posting entries carry the node's
 //     canonical index inside the column signature, so the enumeration
-//     itself assembles each candidate's shared-node match list and the
-//     kernels skip their merge step entirely (core.DistKernel.DistMatched).
-//  3. Sharded parallel execution: rows are chunked deterministically
+//     itself assembles each candidate's shared-node match list for the
+//     kinds that need one (core.DistKernel.FlatDistMatched).
+//  3. A deterministic mask prefilter (lsh.Mask): thresholded jobs skip
+//     candidates whose distance provably cannot reach the threshold,
+//     using a 128-bit node mask per signature and weight prefix sums —
+//     a conservative bound with no false rejections (see prefilter.go),
+//     so filtered results stay bit-identical to the naive scan.
+//  4. Sharded parallel execution: rows are chunked deterministically
 //     across workers (mirroring core.Parallel's contract) and delivered
 //     to the consumer sequentially in row order, so parallel output —
 //     including order-sensitive Welford reductions downstream — is
 //     bit-identical to a single-threaded run.
+//
+// All matcher and row scratch is recycled through a package-level pool
+// shared across engines, queriers and shards: steady-state jobs (eval
+// loops, store searches, router scatter-gather) allocate nothing per
+// row once the pool is warm.
 //
 // Determinism contract: every cell (i,j) is computed by exactly one
 // worker from immutable inputs, and consumers observe rows in ascending
@@ -36,6 +51,7 @@ import (
 
 	"graphsig/internal/core"
 	"graphsig/internal/graph"
+	"graphsig/internal/lsh"
 	"graphsig/internal/obs"
 )
 
@@ -49,6 +65,25 @@ type Metrics struct {
 	// Candidates observes the inverted-index candidate count per row:
 	// how many columns shared at least one node with the query.
 	Candidates *obs.Histogram
+	// PrefilterChecked counts candidates tested against the mask
+	// prefilter bound; PrefilterSkipped counts those it rejected
+	// without an exact kernel evaluation.
+	PrefilterChecked *obs.Counter
+	PrefilterSkipped *obs.Counter
+}
+
+// instrumented reports whether a timing handle is attached, so the hot
+// loop skips clock reads entirely when observability is off.
+func (m Metrics) instrumented() bool { return m.RowSeconds != nil || m.Candidates != nil }
+
+// flushPrefilter adds a job's prefilter tallies to the counters.
+func (m Metrics) flushPrefilter(checked, skipped int64) {
+	if m.PrefilterChecked != nil && checked > 0 {
+		m.PrefilterChecked.Add(checked)
+	}
+	if m.PrefilterSkipped != nil && skipped > 0 {
+		m.PrefilterSkipped.Add(skipped)
+	}
 }
 
 // Kernelizable reports whether d has a merge-join kernel, i.e. whether
@@ -65,10 +100,11 @@ type posting struct {
 	idx int32
 }
 
-// SetView is the engine-side view of a SignatureSet: node-sorted views
-// of every signature, the inverted index, and the precomputed disjoint
-// baseline rows. Build it once per set (O(n·k·log k)) and reuse it; it
-// is immutable afterwards and safe for concurrent use.
+// SetView is the engine-side view of a SignatureSet: the flat SoA
+// layout of every signature (core.FlatSigs), the inverted index, the
+// per-signature prefilter masks, and the precomputed disjoint baseline
+// rows. Build it once per set (O(n·k·log k)) and reuse it; it is
+// immutable afterwards and safe for concurrent use.
 //
 // The inverted index has two representations. When the node-ID space is
 // dense (max ID comparable to the number of posting entries — the
@@ -80,7 +116,8 @@ type posting struct {
 // fall back to a map keyed by node.
 type SetView struct {
 	set   *core.SignatureSet
-	views []core.SortedSig
+	flat  *core.FlatSigs
+	masks []lsh.Mask                 // per-signature prefilter masks
 	offs  []int32                    // CSR offsets (dense index); nil when the map is in use
 	bulk  []posting                  // all postings, grouped by node (CSR) in ascending j
 	post  map[graph.NodeID][]posting // node → postings in ascending j (fallback)
@@ -103,7 +140,8 @@ func NewSetView(set *core.SignatureSet) *SetView {
 	n := set.Len()
 	v := &SetView{
 		set:      set,
-		views:    core.NewSortedSigs(set.Sigs),
+		flat:     core.NewFlatSigs(set.Sigs),
+		masks:    make([]lsh.Mask, n),
 		ones:     make([]float64, n),
 		emptyRow: make([]float64, n),
 	}
@@ -112,12 +150,14 @@ func NewSetView(set *core.SignatureSet) *SetView {
 	dense := true
 	for i := 0; i < n; i++ {
 		v.ones[i] = 1
-		if v.views[i].IsEmpty() {
+		if v.flat.IsEmpty(i) {
 			v.emptyIdx = append(v.emptyIdx, int32(i))
 			continue // emptyRow stays 0: empty-vs-empty pairs are at distance 0
 		}
 		v.emptyRow[i] = 1
-		for _, u := range set.Sigs[i].Nodes {
+		nodes := v.flat.Nodes(i)
+		v.masks[i] = lsh.NewMask(nodes)
+		for _, u := range nodes {
 			if u < 0 {
 				dense = false
 			} else if u > maxNode {
@@ -138,12 +178,8 @@ func NewSetView(set *core.SignatureSet) *SetView {
 // offsets, then scatter the postings — no hashing, no per-node slices.
 func (v *SetView) buildDense(nodes, total int) {
 	offs := make([]int32, nodes+1)
-	sigs := v.set.Sigs
-	for i := range v.views {
-		if v.views[i].IsEmpty() {
-			continue
-		}
-		for _, u := range sigs[i].Nodes {
+	for i := 0; i < v.flat.NumSigs(); i++ {
+		for _, u := range v.flat.Nodes(i) {
 			offs[u+1]++
 		}
 	}
@@ -152,11 +188,8 @@ func (v *SetView) buildDense(nodes, total int) {
 	}
 	bulk := make([]posting, total)
 	next := make([]int32, nodes)
-	for i := range v.views {
-		if v.views[i].IsEmpty() {
-			continue
-		}
-		for bi, u := range sigs[i].Nodes {
+	for i := 0; i < v.flat.NumSigs(); i++ {
+		for bi, u := range v.flat.Nodes(i) {
 			slot := offs[u] + next[u]
 			next[u]++
 			bulk[slot] = posting{j: int32(i), idx: int32(bi)}
@@ -169,23 +202,16 @@ func (v *SetView) buildDense(nodes, total int) {
 // exact-capacity lists carved from one bulk allocation.
 func (v *SetView) buildMap(total int) {
 	counts := make(map[graph.NodeID]int32)
-	sigs := v.set.Sigs
-	for i := range v.views {
-		if v.views[i].IsEmpty() {
-			continue
-		}
-		for _, u := range sigs[i].Nodes {
+	for i := 0; i < v.flat.NumSigs(); i++ {
+		for _, u := range v.flat.Nodes(i) {
 			counts[u]++
 		}
 	}
 	v.post = make(map[graph.NodeID][]posting, len(counts))
 	bulk := make([]posting, total)
 	off := 0
-	for i := range v.views {
-		if v.views[i].IsEmpty() {
-			continue
-		}
-		for bi, u := range sigs[i].Nodes {
+	for i := 0; i < v.flat.NumSigs(); i++ {
+		for bi, u := range v.flat.Nodes(i) {
 			list, ok := v.post[u]
 			if !ok {
 				c := int(counts[u])
@@ -213,10 +239,229 @@ func (v *SetView) postings(u graph.NodeID) []posting {
 func (v *SetView) Set() *core.SignatureSet { return v.set }
 
 // Len reports the number of signatures.
-func (v *SetView) Len() int { return len(v.views) }
+func (v *SetView) Len() int { return v.flat.NumSigs() }
 
-// View returns the node-sorted view of signature i.
-func (v *SetView) View(i int) core.SortedSig { return v.views[i] }
+// Flat returns the SoA view of the set's signatures.
+func (v *SetView) Flat() *core.FlatSigs { return v.flat }
+
+// rowMode selects how a row is computed against the column postings.
+type rowMode int
+
+const (
+	// modeCount: the distance needs only the shared-node count
+	// (Jaccard). One int32 increment per posting hit.
+	modeCount rowMode = iota
+	// modeSum: the numerator is Σ(wa+wb) over shared entries (Dice).
+	modeSum
+	// modeDot: the numerator is the dot product (Cosine).
+	modeDot
+	// modeMatches: the kernel needs the full shared-entry match list
+	// (the scaled min/max kinds, or any kind with scatter disabled).
+	modeMatches
+)
+
+func modeFor(kind core.KernelKind, scatter bool) rowMode {
+	if !scatter {
+		return modeMatches
+	}
+	switch kind {
+	case core.KindJaccard:
+		return modeCount
+	case core.KindDice:
+		return modeSum
+	case core.KindCosine:
+		return modeDot
+	default:
+		return modeMatches
+	}
+}
+
+// scratch is the recyclable per-worker state: the kernel, the
+// epoch-stamped candidate dedup arrays, the scatter accumulators, the
+// flat match buffer, a row buffer, and a single-signature SoA view for
+// query-side jobs. Instances cycle through a package-level pool shared
+// by every engine, querier and shard, so steady-state jobs allocate
+// nothing per row.
+type scratch struct {
+	kern  core.DistKernel
+	mark  []uint32 // epoch stamps per column
+	epoch uint32
+	cands []int32   // candidate columns, in discovery order
+	cnt   []int32   // per-candidate shared-entry count
+	acc   []float64 // per-candidate numerator accumulator (modeSum/modeDot)
+	slot  []int32   // per-candidate slot into matchBuf (modeMatches)
+
+	// matchBuf holds candidate match lists at a fixed stride (the row
+	// signature's length — an upper bound on any match count): candidate
+	// in slot c owns matchBuf[c*stride : c*stride+cnt].
+	matchBuf []core.Match
+	stride   int
+
+	row   []float64 // dense row buffer (sequential Rows, Querier, PairsWithin maxDist ≥ 1)
+	qsig  [1]core.Signature
+	qflat core.FlatSigs // SoA view of qsig — the query side of Querier jobs
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch checks a scratch out of the pool, re-pointed at d and
+// grown to serve n columns. d must be kernelizable.
+func getScratch(d core.Distance, n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if !s.kern.Reset(d) {
+		panic("distmat: scratch for a non-kernelizable distance")
+	}
+	s.grow(n)
+	return s
+}
+
+func (s *scratch) release() {
+	s.qsig[0] = core.Signature{} // do not retain caller signatures across jobs
+	scratchPool.Put(s)
+}
+
+// grow makes the scratch serve a column set of n signatures.
+func (s *scratch) grow(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.cnt = make([]int32, n)
+		s.acc = make([]float64, n)
+		s.slot = make([]int32, n)
+		s.epoch = 0
+	}
+}
+
+// gatherCount enumerates postings for the row nodes qn (canonical
+// order), collecting each candidate j ≥ minJ once in s.cands with its
+// shared-entry count in s.cnt[j].
+func (s *scratch) gatherCount(qn []graph.NodeID, cols *SetView, minJ int32) {
+	s.cands = s.cands[:0]
+	s.epoch++
+	for _, u := range qn {
+		for _, p := range cols.postings(u) {
+			if p.j < minJ {
+				continue
+			}
+			if s.mark[p.j] != s.epoch {
+				s.mark[p.j] = s.epoch
+				s.cnt[p.j] = 0
+				s.cands = append(s.cands, p.j)
+			}
+			s.cnt[p.j]++
+		}
+	}
+}
+
+// gatherSum is gatherCount accumulating the Dice numerator Σ(wa+wb)
+// into s.acc — folded, per candidate, in the row's canonical entry
+// order, which is exactly the naive loop's accumulation order.
+func (s *scratch) gatherSum(qn []graph.NodeID, qw []float64, cols *SetView, minJ int32) {
+	s.cands = s.cands[:0]
+	s.epoch++
+	offs, cw := cols.flat.RawOffs(), cols.flat.RawWeights()
+	for ai, u := range qn {
+		wa := qw[ai]
+		for _, p := range cols.postings(u) {
+			if p.j < minJ {
+				continue
+			}
+			if s.mark[p.j] != s.epoch {
+				s.mark[p.j] = s.epoch
+				s.acc[p.j] = 0
+				s.cands = append(s.cands, p.j)
+			}
+			s.acc[p.j] += wa + cw[offs[p.j]+p.idx]
+		}
+	}
+}
+
+// gatherDot is gatherSum for the Cosine numerator Σ(wa·wb).
+func (s *scratch) gatherDot(qn []graph.NodeID, qw []float64, cols *SetView, minJ int32) {
+	s.cands = s.cands[:0]
+	s.epoch++
+	offs, cw := cols.flat.RawOffs(), cols.flat.RawWeights()
+	for ai, u := range qn {
+		wa := qw[ai]
+		for _, p := range cols.postings(u) {
+			if p.j < minJ {
+				continue
+			}
+			if s.mark[p.j] != s.epoch {
+				s.mark[p.j] = s.epoch
+				s.acc[p.j] = 0
+				s.cands = append(s.cands, p.j)
+			}
+			s.acc[p.j] += wa * cw[offs[p.j]+p.idx]
+		}
+	}
+}
+
+// gatherMatches collects each candidate's full shared-entry match list
+// into the strided matchBuf, in the row's canonical entry order — the
+// A-ascending input FlatDistMatched wants.
+func (s *scratch) gatherMatches(qn []graph.NodeID, cols *SetView, minJ int32) {
+	s.cands = s.cands[:0]
+	s.epoch++
+	ka := len(qn)
+	s.stride = ka
+	for ai, u := range qn {
+		for _, p := range cols.postings(u) {
+			if p.j < minJ {
+				continue
+			}
+			if s.mark[p.j] != s.epoch {
+				s.mark[p.j] = s.epoch
+				s.cnt[p.j] = 0
+				s.slot[p.j] = int32(len(s.cands))
+				s.cands = append(s.cands, p.j)
+				if need := len(s.cands) * ka; need > len(s.matchBuf) {
+					grown := make([]core.Match, max(need, 2*len(s.matchBuf)))
+					copy(grown, s.matchBuf)
+					s.matchBuf = grown
+				}
+			}
+			s.matchBuf[int(s.slot[p.j])*ka+int(s.cnt[p.j])] = core.Match{A: int32(ai), B: p.idx}
+			s.cnt[p.j]++
+		}
+	}
+}
+
+// matchesOf returns candidate j's match list after gatherMatches.
+func (s *scratch) matchesOf(j int32) []core.Match {
+	base := int(s.slot[j]) * s.stride
+	return s.matchBuf[base : base+int(s.cnt[j])]
+}
+
+// fillRow computes the full distance row of rf's signature i (which
+// must be non-empty) against cols into dst: baseline first, then the
+// exact value for every posting candidate.
+func (s *scratch) fillRow(mode rowMode, rf *core.FlatSigs, i int, cols *SetView, dst []float64) int {
+	copy(dst, cols.ones)
+	qn := rf.Nodes(i)
+	switch mode {
+	case modeCount:
+		s.gatherCount(qn, cols, 0)
+		for _, j := range s.cands {
+			dst[j] = s.kern.ScatterFinish(rf, i, cols.flat, int(j), s.cnt[j], 0)
+		}
+	case modeSum:
+		s.gatherSum(qn, rf.Weights(i), cols, 0)
+		for _, j := range s.cands {
+			dst[j] = s.kern.ScatterFinish(rf, i, cols.flat, int(j), 0, s.acc[j])
+		}
+	case modeDot:
+		s.gatherDot(qn, rf.Weights(i), cols, 0)
+		for _, j := range s.cands {
+			dst[j] = s.kern.ScatterFinish(rf, i, cols.flat, int(j), 0, s.acc[j])
+		}
+	default:
+		s.gatherMatches(qn, cols, 0)
+		for _, j := range s.cands {
+			dst[j] = s.kern.FlatDistMatched(rf, i, cols.flat, int(j), s.matchesOf(j))
+		}
+	}
+	return len(s.cands)
+}
 
 // Engine computes distance rows/pairs between a row set and a column
 // set (pass the same set twice for within-window jobs). The engine
@@ -224,14 +469,29 @@ func (v *SetView) View(i int) core.SortedSig { return v.views[i] }
 type Engine struct {
 	rows, cols *SetView
 	d          core.Distance
+	kind       core.KernelKind
 	workers    int
 	metrics    Metrics
-	seq        *rower // lazily built, serves the sequential Dist method
+	scatter    bool
+	prefilter  bool
+	seq        *scratch // lazily acquired, serves the sequential Dist method
 }
 
 // SetMetrics attaches instrumentation to the engine. Call before the
 // first Rows/PairsWithin; rowers built afterwards carry the handles.
 func (e *Engine) SetMetrics(m Metrics) { e.metrics = m }
+
+// SetScatter toggles the scatter row kernels for Jaccard/Dice/Cosine
+// (default on). Off, those kinds fall back to per-candidate match
+// lists + FlatDistMatched — the mode the scaled kinds always use.
+// Results are bit-identical either way; the toggle exists for A/B
+// benchmarking (sigbench -soa=false).
+func (e *Engine) SetScatter(enabled bool) { e.scatter = enabled }
+
+// SetPrefilter toggles the mask prefilter on thresholded jobs
+// (default on). Results are bit-identical either way: the prefilter
+// only skips pairs provably outside the threshold.
+func (e *Engine) SetPrefilter(enabled bool) { e.prefilter = enabled }
 
 // NewEngine builds an engine over the two signature sets with the given
 // worker count (0 = GOMAXPROCS). It returns false when d has no
@@ -245,87 +505,47 @@ func NewEngine(rowSet, colSet *core.SignatureSet, d core.Distance, workers int) 
 	if colSet != rowSet {
 		cv = NewSetView(colSet)
 	}
-	return &Engine{rows: rv, cols: cv, d: d, workers: workers}, true
+	return NewEngineOn(rv, cv, d, workers)
 }
 
 // NewEngineOn is NewEngine over prebuilt views (for callers that cache
 // SetViews, like the store).
 func NewEngineOn(rows, cols *SetView, d core.Distance, workers int) (*Engine, bool) {
-	if !Kernelizable(d) {
+	kern, ok := core.NewDistKernel(d)
+	if !ok {
 		return nil, false
 	}
-	return &Engine{rows: rows, cols: cols, d: d, workers: workers}, true
+	return &Engine{
+		rows: rows, cols: cols, d: d, kind: kern.Kind(),
+		workers: workers, scatter: true, prefilter: true,
+	}, true
 }
 
-// matcher is the shared inverted-index enumeration state: an
-// epoch-stamped candidate dedup array (a signature pair sharing several
-// nodes appears on several posting lists but must be computed once)
-// plus per-candidate shared-node match lists, assembled in the row's
-// canonical entry order — exactly the input DistMatched wants.
-type matcher struct {
-	mark    []uint32
-	epoch   uint32
-	cands   []int32
-	matches [][]core.Match
-}
-
-// grow makes the matcher serve a column set of n signatures.
-func (m *matcher) grow(n int) {
-	if len(m.mark) < n {
-		m.mark = make([]uint32, n)
-		m.epoch = 0
-		m.matches = make([][]core.Match, n)
-	}
-}
-
-// gather enumerates the posting lists for ra's entries (in canonical
-// order) against cols' inverted index, collecting each candidate
-// j ≥ minJ once in m.cands with its match list in m.matches[j].
-func (m *matcher) gather(ra *core.SortedSig, cols *SetView, minJ int32) {
-	m.cands = m.cands[:0]
-	m.epoch++
-	sig := ra.Sig()
-	for ai, u := range sig.Nodes {
-		for _, p := range cols.postings(u) {
-			if p.j < minJ {
-				continue
-			}
-			if m.mark[p.j] != m.epoch {
-				m.mark[p.j] = m.epoch
-				m.matches[p.j] = m.matches[p.j][:0]
-				m.cands = append(m.cands, p.j)
-			}
-			m.matches[p.j] = append(m.matches[p.j], core.Match{A: int32(ai), B: p.idx})
-		}
-	}
-}
-
-// rower is per-worker state: a kernel plus a matcher.
+// rower is per-worker state: pooled scratch plus the engine's row mode.
 type rower struct {
 	e       *Engine
-	kern    *core.DistKernel
-	m       matcher
+	s       *scratch
+	mode    rowMode
 	metrics Metrics
 }
 
-func (e *Engine) newRower() *rower {
-	kern, _ := core.NewDistKernel(e.d)
-	r := &rower{e: e, kern: kern, metrics: e.metrics}
-	r.m.grow(e.cols.Len())
-	return r
+func (e *Engine) newRower() rower {
+	return rower{
+		e:       e,
+		s:       getScratch(e.d, e.cols.Len()),
+		mode:    modeFor(e.kind, e.scatter),
+		metrics: e.metrics,
+	}
 }
 
-// instrumented reports whether any handle is attached, so the hot loop
-// skips clock reads entirely when observability is off.
-func (m Metrics) instrumented() bool { return m.RowSeconds != nil || m.Candidates != nil }
+func (r *rower) release() { r.s.release() }
 
 // rowInto fills dst[j] = Dist(row i, col j) for every column: the
 // disjoint baseline first, then the exact kernel distance for every
 // posting-list candidate sharing at least one node with row i.
 func (r *rower) rowInto(i int, dst []float64) {
 	e := r.e
-	ra := &e.rows.views[i]
-	if ra.IsEmpty() {
+	if e.rows.flat.IsEmpty(i) {
 		copy(dst, e.cols.emptyRow)
 		return
 	}
@@ -333,14 +553,10 @@ func (r *rower) rowInto(i int, dst []float64) {
 	if r.metrics.instrumented() {
 		begin = time.Now()
 	}
-	copy(dst, e.cols.ones)
-	r.m.gather(ra, e.cols, 0)
-	for _, j := range r.m.cands {
-		dst[j] = r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
-	}
+	cands := r.s.fillRow(r.mode, e.rows.flat, i, e.cols, dst)
 	if r.metrics.instrumented() {
 		r.metrics.RowSeconds.ObserveSince(begin)
-		r.metrics.Candidates.Observe(float64(len(r.m.cands)))
+		r.metrics.Candidates.Observe(float64(cands))
 	}
 }
 
@@ -349,21 +565,25 @@ func (r *rower) rowInto(i int, dst []float64) {
 // concurrent use (it shares one kernel's scratch).
 func (e *Engine) Dist(i, j int) float64 {
 	if e.seq == nil {
-		e.seq = e.newRower()
+		e.seq = getScratch(e.d, 0)
 	}
-	return e.seq.kern.Dist(&e.rows.views[i], &e.cols.views[j])
+	return e.seq.kern.FlatDist(e.rows.flat, i, e.cols.flat, j)
 }
 
 // blockRows bounds how many rows one worker computes per wave; it also
 // bounds buffered memory to workers·blockRows·n floats.
 const blockRows = 16
 
+// slabPool recycles the parallel Rows path's buffered-row slab.
+var slabPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Rows computes the distance rows for the given row indices and streams
 // them to consume(t, row) where t is the position within idx — strictly
 // in ascending t, from a single goroutine. Row buffers are reused:
 // consumers that retain a row must copy it. Computation is sharded
 // across the engine's workers in deterministic contiguous blocks, so the
-// values and delivery order are identical to a sequential run.
+// values and delivery order are identical to a sequential run. With one
+// worker the whole job runs on pooled scratch and allocates nothing.
 func (e *Engine) Rows(idx []int, consume func(t int, row []float64)) {
 	workers := e.workers
 	if workers <= 0 {
@@ -375,18 +595,38 @@ func (e *Engine) Rows(idx []int, consume func(t int, row []float64)) {
 	n := e.cols.Len()
 	if workers <= 1 {
 		r := e.newRower()
-		row := make([]float64, n)
+		defer r.release()
+		if cap(r.s.row) < n {
+			r.s.row = make([]float64, n)
+		}
+		row := r.s.row[:n]
 		for t, i := range idx {
 			r.rowInto(i, row)
 			consume(t, row)
 		}
 		return
 	}
-	rowers := make([]*rower, workers)
+	rowers := make([]rower, workers)
+	active := 0
+	defer func() {
+		for w := 0; w < active; w++ {
+			rowers[w].release()
+		}
+	}()
 	stride := workers * blockRows
+	slabPtr := slabPool.Get().(*[]float64)
+	slab := *slabPtr
+	if cap(slab) < stride*n {
+		slab = make([]float64, stride*n)
+	}
+	slab = slab[:stride*n]
+	defer func() {
+		*slabPtr = slab
+		slabPool.Put(slabPtr)
+	}()
 	bufs := make([][]float64, stride)
 	for i := range bufs {
-		bufs[i] = make([]float64, n)
+		bufs[i] = slab[i*n : (i+1)*n : (i+1)*n]
 	}
 	for base := 0; base < len(idx); base += stride {
 		end := base + stride
@@ -403,8 +643,9 @@ func (e *Engine) Rows(idx []int, consume func(t int, row []float64)) {
 			if hi > end {
 				hi = end
 			}
-			if rowers[w] == nil {
+			if w >= active {
 				rowers[w] = e.newRower()
+				active = w + 1
 			}
 			wg.Add(1)
 			go func(r *rower, lo, hi int) {
@@ -412,7 +653,7 @@ func (e *Engine) Rows(idx []int, consume func(t int, row []float64)) {
 				for t := lo; t < hi; t++ {
 					r.rowInto(idx[t], bufs[t-base])
 				}
-			}(rowers[w], lo, hi)
+			}(&rowers[w], lo, hi)
 		}
 		wg.Wait()
 		for t := base; t < end; t++ {
@@ -431,9 +672,11 @@ type Pair struct {
 // signatures with Dist ≤ maxDist, for a same-set engine. With
 // maxDist < 1 only pairs sharing at least one node can qualify (disjoint
 // pairs sit at exactly 1), so the inverted index enumerates candidates
-// directly; with maxDist ≥ 1 every non-empty pair qualifies and the
-// dense row path is used. The result is sorted by (I, J), independent of
-// the worker count.
+// directly — and, for the match-list kinds, the mask prefilter drops
+// candidates provably outside the threshold before any kernel work
+// (unless SetPrefilter(false)). With maxDist ≥ 1 every non-empty pair
+// qualifies and the dense row path is used. The result is sorted by
+// (I, J), independent of the worker count.
 func (e *Engine) PairsWithin(maxDist float64) []Pair {
 	n := e.rows.Len()
 	workers := e.workers
@@ -462,45 +705,12 @@ func (e *Engine) PairsWithin(maxDist float64) []Pair {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			r := e.newRower()
+			defer r.release()
 			var out []Pair
 			if maxDist < 1 {
-				for i := lo; i < hi; i++ {
-					ra := &e.rows.views[i]
-					if ra.IsEmpty() {
-						continue
-					}
-					var begin time.Time
-					if r.metrics.instrumented() {
-						begin = time.Now()
-					}
-					r.m.gather(ra, e.cols, int32(i)+1)
-					for _, j := range r.m.cands {
-						dist := r.kern.DistMatched(ra, &e.cols.views[j], r.m.matches[j])
-						if dist <= maxDist {
-							out = append(out, Pair{I: i, J: int(j), Dist: dist})
-						}
-					}
-					if r.metrics.instrumented() {
-						r.metrics.RowSeconds.ObserveSince(begin)
-						r.metrics.Candidates.Observe(float64(len(r.m.cands)))
-					}
-				}
+				out = r.pairsThresholded(lo, hi, maxDist)
 			} else {
-				row := make([]float64, n)
-				for i := lo; i < hi; i++ {
-					if e.rows.views[i].IsEmpty() {
-						continue
-					}
-					r.rowInto(i, row)
-					for j := i + 1; j < n; j++ {
-						if e.cols.views[j].IsEmpty() {
-							continue
-						}
-						if row[j] <= maxDist {
-							out = append(out, Pair{I: i, J: j, Dist: row[j]})
-						}
-					}
-				}
+				out = r.pairsDense(lo, hi, maxDist)
 			}
 			outs[w] = out
 		}(w, lo, hi)
@@ -519,27 +729,139 @@ func (e *Engine) PairsWithin(maxDist float64) []Pair {
 	return all
 }
 
+// pairsThresholded enumerates candidates of rows [lo, hi) above the
+// diagonal and keeps those within maxDist (< 1).
+func (r *rower) pairsThresholded(lo, hi int, maxDist float64) []Pair {
+	e := r.e
+	s := r.s
+	rf, cols := e.rows.flat, e.cols
+	var out []Pair
+	var checked, skipped int64
+	for i := lo; i < hi; i++ {
+		if rf.IsEmpty(i) {
+			continue
+		}
+		var begin time.Time
+		if r.metrics.instrumented() {
+			begin = time.Now()
+		}
+		qn := rf.Nodes(i)
+		minJ := int32(i) + 1
+		switch r.mode {
+		case modeCount:
+			s.gatherCount(qn, cols, minJ)
+			for _, j := range s.cands {
+				if dist := s.kern.ScatterFinish(rf, i, cols.flat, int(j), s.cnt[j], 0); dist <= maxDist {
+					out = append(out, Pair{I: i, J: int(j), Dist: dist})
+				}
+			}
+		case modeSum:
+			s.gatherSum(qn, rf.Weights(i), cols, minJ)
+			for _, j := range s.cands {
+				if dist := s.kern.ScatterFinish(rf, i, cols.flat, int(j), 0, s.acc[j]); dist <= maxDist {
+					out = append(out, Pair{I: i, J: int(j), Dist: dist})
+				}
+			}
+		case modeDot:
+			s.gatherDot(qn, rf.Weights(i), cols, minJ)
+			for _, j := range s.cands {
+				if dist := s.kern.ScatterFinish(rf, i, cols.flat, int(j), 0, s.acc[j]); dist <= maxDist {
+					out = append(out, Pair{I: i, J: int(j), Dist: dist})
+				}
+			}
+		default:
+			s.gatherMatches(qn, cols, minJ)
+			rowMask := e.rows.masks[i]
+			for _, j := range s.cands {
+				if e.prefilter {
+					checked++
+					if distLowerBound(e.kind, rf, i, cols.flat, int(j), rowMask, cols.masks[j]) > maxDist+prefilterSlack {
+						skipped++
+						continue
+					}
+				}
+				if dist := s.kern.FlatDistMatched(rf, i, cols.flat, int(j), s.matchesOf(j)); dist <= maxDist {
+					out = append(out, Pair{I: i, J: int(j), Dist: dist})
+				}
+			}
+		}
+		if r.metrics.instrumented() {
+			r.metrics.RowSeconds.ObserveSince(begin)
+			r.metrics.Candidates.Observe(float64(len(s.cands)))
+		}
+	}
+	r.metrics.flushPrefilter(checked, skipped)
+	return out
+}
+
+// pairsDense scans full rows of [lo, hi) for maxDist ≥ 1.
+func (r *rower) pairsDense(lo, hi int, maxDist float64) []Pair {
+	e := r.e
+	n := e.cols.Len()
+	if cap(r.s.row) < n {
+		r.s.row = make([]float64, n)
+	}
+	row := r.s.row[:n]
+	var out []Pair
+	for i := lo; i < hi; i++ {
+		if e.rows.flat.IsEmpty(i) {
+			continue
+		}
+		r.rowInto(i, row)
+		for j := i + 1; j < n; j++ {
+			if e.cols.flat.IsEmpty(j) {
+				continue
+			}
+			if row[j] <= maxDist {
+				out = append(out, Pair{I: i, J: j, Dist: row[j]})
+			}
+		}
+	}
+	return out
+}
+
 // Querier answers single-signature nearest-neighbour queries against
-// SetViews — the store's search primitive. It holds kernel and matcher
-// scratch, so it is not safe for concurrent use; construction is cheap.
+// SetViews — the store's search primitive. It holds pooled kernel and
+// matcher scratch, so it is not safe for concurrent use; construction
+// is cheap, and Release returns the scratch to the shared pool when the
+// caller is done (using the querier after Release is a bug). A querier
+// cycled over queries of similar shape allocates nothing per call.
 type Querier struct {
-	kern    *core.DistKernel
-	m       matcher
-	row     []float64
-	metrics Metrics
+	s         *scratch
+	kind      core.KernelKind
+	mode      rowMode
+	prefilter bool
+	metrics   Metrics
 }
 
 // SetMetrics attaches instrumentation: every Neighbors call observes
 // one row timing and one candidate count.
 func (q *Querier) SetMetrics(m Metrics) { q.metrics = m }
 
+// SetPrefilter toggles the mask prefilter (default on); results are
+// bit-identical either way.
+func (q *Querier) SetPrefilter(enabled bool) { q.prefilter = enabled }
+
 // NewQuerier returns a querier for d, or false when d has no kernel.
 func NewQuerier(d core.Distance) (*Querier, bool) {
-	kern, ok := core.NewDistKernel(d)
-	if !ok {
+	if !Kernelizable(d) {
 		return nil, false
 	}
-	return &Querier{kern: kern}, true
+	kern, _ := core.NewDistKernel(d)
+	return &Querier{
+		s:         getScratch(d, 0),
+		kind:      kern.Kind(),
+		mode:      modeFor(kern.Kind(), true),
+		prefilter: true,
+	}, true
+}
+
+// Release returns the querier's scratch to the shared pool.
+func (q *Querier) Release() {
+	if q.s != nil {
+		q.s.release()
+		q.s = nil
+	}
 }
 
 // Neighbors visits every signature of view at distance ≤ maxDist from
@@ -548,8 +870,8 @@ func NewQuerier(d core.Distance) (*Querier, bool) {
 // columns when sig itself is empty — those pairs are at distance 0) and
 // the visit order is unspecified; with maxDist ≥ 1 every column is
 // visited in ascending order. The callback must not re-enter the
-// querier. Returns the number of inverted-index candidates whose
-// distance was evaluated with a kernel probe.
+// querier. Returns the number of candidates whose distance was actually
+// evaluated (prefilter-rejected candidates are not counted).
 func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) int {
 	if !q.metrics.instrumented() {
 		return q.neighbors(view, sig, maxDist, visit)
@@ -562,14 +884,16 @@ func (q *Querier) Neighbors(view *SetView, sig core.Signature, maxDist float64, 
 }
 
 // neighbors is Neighbors' uninstrumented body; it reports the number
-// of inverted-index candidates probed.
+// of candidates whose distance was evaluated.
 func (q *Querier) neighbors(view *SetView, sig core.Signature, maxDist float64, visit func(j int, dist float64)) int {
 	n := view.Len()
-	q.m.grow(n)
-	qview := core.NewSortedSig(sig)
-	qv := &qview
+	s := q.s
+	s.grow(n)
+	s.qsig[0] = sig
+	s.qflat.Reset(s.qsig[:1])
+	qf := &s.qflat
 	if maxDist < 1 {
-		if qv.IsEmpty() {
+		if qf.IsEmpty(0) {
 			if 0 <= maxDist {
 				for _, j := range view.emptyIdx {
 					visit(int(j), 0)
@@ -577,29 +901,17 @@ func (q *Querier) neighbors(view *SetView, sig core.Signature, maxDist float64, 
 			}
 			return 0
 		}
-		q.m.gather(qv, view, 0)
-		for _, j := range q.m.cands {
-			dist := q.kern.DistMatched(qv, &view.views[j], q.m.matches[j])
-			if dist <= maxDist {
-				visit(int(j), dist)
-			}
-		}
-		return len(q.m.cands)
+		return q.thresholded(view, maxDist, visit)
 	}
-	if cap(q.row) < n {
-		q.row = make([]float64, n)
+	if cap(s.row) < n {
+		s.row = make([]float64, n)
 	}
-	row := q.row[:n]
+	row := s.row[:n]
 	probed := 0
-	if qv.IsEmpty() {
+	if qf.IsEmpty(0) {
 		copy(row, view.emptyRow)
 	} else {
-		copy(row, view.ones)
-		q.m.gather(qv, view, 0)
-		for _, j := range q.m.cands {
-			row[j] = q.kern.DistMatched(qv, &view.views[j], q.m.matches[j])
-		}
-		probed = len(q.m.cands)
+		probed = s.fillRow(q.mode, qf, 0, view, row)
 	}
 	for j, dist := range row {
 		if dist <= maxDist {
@@ -607,4 +919,52 @@ func (q *Querier) neighbors(view *SetView, sig core.Signature, maxDist float64, 
 		}
 	}
 	return probed
+}
+
+// thresholded serves the maxDist < 1 candidate path for a non-empty
+// query already loaded into s.qflat.
+func (q *Querier) thresholded(view *SetView, maxDist float64, visit func(j int, dist float64)) int {
+	s := q.s
+	qf := &s.qflat
+	qn := qf.Nodes(0)
+	switch q.mode {
+	case modeCount:
+		s.gatherCount(qn, view, 0)
+		for _, j := range s.cands {
+			if dist := s.kern.ScatterFinish(qf, 0, view.flat, int(j), s.cnt[j], 0); dist <= maxDist {
+				visit(int(j), dist)
+			}
+		}
+		return len(s.cands)
+	case modeSum:
+		s.gatherSum(qn, qf.Weights(0), view, 0)
+	case modeDot:
+		s.gatherDot(qn, qf.Weights(0), view, 0)
+	default:
+		s.gatherMatches(qn, view, 0)
+		mask := lsh.NewMask(qn)
+		probed := 0
+		var checked, skipped int64
+		for _, j := range s.cands {
+			if q.prefilter {
+				checked++
+				if distLowerBound(q.kind, qf, 0, view.flat, int(j), mask, view.masks[j]) > maxDist+prefilterSlack {
+					skipped++
+					continue
+				}
+			}
+			probed++
+			if dist := s.kern.FlatDistMatched(qf, 0, view.flat, int(j), s.matchesOf(j)); dist <= maxDist {
+				visit(int(j), dist)
+			}
+		}
+		q.metrics.flushPrefilter(checked, skipped)
+		return probed
+	}
+	for _, j := range s.cands {
+		if dist := s.kern.ScatterFinish(qf, 0, view.flat, int(j), 0, s.acc[j]); dist <= maxDist {
+			visit(int(j), dist)
+		}
+	}
+	return len(s.cands)
 }

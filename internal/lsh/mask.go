@@ -1,0 +1,38 @@
+package lsh
+
+import (
+	"math/bits"
+
+	"graphsig/internal/graph"
+)
+
+// Mask is a 128-bit one-hash Bloom signature of a node set: each node
+// sets exactly one of 128 bits chosen by the same mix hash the MinHash
+// machinery uses. Unlike the banding Index — which trades recall for
+// speed — masks support a *deterministic* bound: hash collisions can
+// only merge bits, so for any two sets A and B
+//
+//	popcount(mask(A) | mask(B)) ≤ |A ∪ B|
+//
+// always holds, with no probabilistic caveat. The exact-prefilter in
+// internal/distmat turns that union lower bound into an intersection
+// upper bound (|A∩B| ≤ |A| + |B| − popcount) and rejects candidate
+// pairs that provably cannot beat a distance threshold, falling back to
+// the exact kernels for every survivor.
+type Mask [2]uint64
+
+// NewMask builds the mask of a node set.
+func NewMask(nodes []graph.NodeID) Mask {
+	var m Mask
+	for _, u := range nodes {
+		h := mix(uint64(uint32(u)))
+		m[(h>>6)&1] |= 1 << (h & 63)
+	}
+	return m
+}
+
+// UnionPop returns popcount(m | o): a lower bound on the size of the
+// union of the two underlying node sets.
+func (m Mask) UnionPop(o Mask) int {
+	return bits.OnesCount64(m[0]|o[0]) + bits.OnesCount64(m[1]|o[1])
+}

@@ -1,0 +1,57 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsig/internal/graph"
+)
+
+// TestMaskUnionPopIsLowerBound checks the deterministic contract the
+// distmat prefilter rests on: for random node sets, the popcount of the
+// OR-ed masks never exceeds the true union size.
+func TestMaskUnionPopIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randSet := func(n, span int) []graph.NodeID {
+		if n > span {
+			n = span
+		}
+		seen := map[graph.NodeID]bool{}
+		for len(seen) < n {
+			seen[graph.NodeID(rng.Intn(span))] = true
+		}
+		out := make([]graph.NodeID, 0, n)
+		for u := range seen {
+			out = append(out, u)
+		}
+		return out
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := randSet(rng.Intn(40), 1+rng.Intn(300))
+		b := randSet(rng.Intn(40), 1+rng.Intn(300))
+		union := map[graph.NodeID]bool{}
+		for _, u := range a {
+			union[u] = true
+		}
+		for _, u := range b {
+			union[u] = true
+		}
+		ma, mb := NewMask(a), NewMask(b)
+		if got := ma.UnionPop(mb); got > len(union) {
+			t.Fatalf("trial %d: UnionPop %d exceeds true union %d", trial, got, len(union))
+		}
+	}
+}
+
+// TestMaskDeterministic: the same set always hashes to the same mask,
+// regardless of element order.
+func TestMaskDeterministic(t *testing.T) {
+	a := []graph.NodeID{9, 3, 200, 41}
+	b := []graph.NodeID{41, 200, 3, 9}
+	if NewMask(a) != NewMask(b) {
+		t.Fatal("mask must be order-independent")
+	}
+	if (NewMask(nil) != Mask{}) {
+		t.Fatal("empty set must produce the zero mask")
+	}
+}

@@ -419,6 +419,15 @@ func (c *Client) Search(req SearchRequest) (SearchResponse, error) {
 	return out, err
 }
 
+// SearchBatch answers many nearest-signature queries under one
+// distance in a single round trip. Per-query failures come back as
+// slot errors in the response, not as a call error.
+func (c *Client) SearchBatch(req BatchSearchRequest) (BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	err := c.do(http.MethodPost, "/v1/search/batch", req, &out)
+	return out, err
+}
+
 // WatchlistAdd archives a label's stored signatures under an
 // individual key.
 func (c *Client) WatchlistAdd(req WatchlistAddRequest) (WatchlistAddResponse, error) {

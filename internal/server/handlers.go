@@ -148,6 +148,31 @@ type SearchResponse struct {
 	Hits     []SearchHitJSON `json:"hits"`
 }
 
+// BatchSearchRequest is the POST /v1/search/batch body: many queries
+// answered under one distance in a single round trip. The batch shares
+// one window-ring snapshot and one pooled distance-kernel scratch, so
+// n queries cost one setup plus n scans. Per-query Distance fields, if
+// set, must agree with the batch distance — one batch, one kernel.
+type BatchSearchRequest struct {
+	Distance string          `json:"distance,omitempty"`
+	Queries  []SearchRequest `json:"queries"`
+}
+
+// BatchSearchResult is one slot of a batch response: hits on success,
+// an error string when that query alone failed (unknown label, bad
+// signature). Slot failures do not fail the batch.
+type BatchSearchResult struct {
+	Hits  []SearchHitJSON `json:"hits"`
+	Error string          `json:"error,omitempty"`
+}
+
+// BatchSearchResponse is the POST /v1/search/batch body. Results[i]
+// answers Queries[i].
+type BatchSearchResponse struct {
+	Distance string              `json:"distance"`
+	Results  []BatchSearchResult `json:"results"`
+}
+
 // WatchlistAddRequest archives a label's stored signatures under an
 // individual key. With Window set, only that window is archived;
 // otherwise every archived window of the label is. With Signature set,
@@ -211,6 +236,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/flows", s.handleFlows)
 	s.mux.HandleFunc("GET /v1/signatures/{label}", s.handleHistory)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/watchlist", s.handleWatchlistAdd)
 	s.mux.HandleFunc("GET /v1/watchlist/hits", s.handleWatchlistHits)
 	s.mux.HandleFunc("GET /v1/anomalies", s.handleAnomalies)
@@ -387,6 +413,109 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SearchResponse{Distance: d.Name(), Hits: hits})
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "batch search needs at least one query")
+		return
+	}
+	s.metrics.BatchSearches.Add(1)
+	s.metrics.SearchQueries.Add(int64(len(req.Queries)))
+	tr := s.obs.tracer.Start("search.batch")
+	defer tr.Finish()
+	d, err := s.distanceFor(req.Distance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Inline signatures may intern labels the universe has never seen,
+	// so a batch carrying any takes the write lock; an all-label batch
+	// only reads.
+	needsIntern := false
+	for i := range req.Queries {
+		if req.Queries[i].Signature != nil {
+			needsIntern = true
+			break
+		}
+	}
+	if needsIntern {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+
+	// Resolve every slot to a concrete (signature, options) query or a
+	// per-slot error, then run the survivors through one store batch.
+	results := make([]BatchSearchResult, len(req.Queries))
+	queries := make([]store.BatchQuery, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries))
+	end := tr.Span("resolve")
+	for i, q := range req.Queries {
+		bq, err := s.resolveSearchQuery(q, d)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		queries = append(queries, bq)
+		slots = append(slots, i)
+	}
+	end()
+	end = tr.Span("store.search")
+	hits, err := s.store.SearchBatch(d, queries)
+	end()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for k := range hits {
+		results[slots[k]].Hits = convertHits(hits[k])
+	}
+	writeJSON(w, http.StatusOK, BatchSearchResponse{Distance: d.Name(), Results: results})
+}
+
+// resolveSearchQuery turns one batch slot into a store query. Callers
+// hold the server lock (write when the slot carries an inline
+// signature, read otherwise).
+func (s *Server) resolveSearchQuery(q SearchRequest, d core.Distance) (store.BatchQuery, error) {
+	if q.Distance != "" {
+		qd, err := s.distanceFor(q.Distance)
+		if err != nil {
+			return store.BatchQuery{}, err
+		}
+		if qd.Name() != d.Name() {
+			return store.BatchQuery{}, fmt.Errorf("query distance %q differs from batch distance %q", qd.Name(), d.Name())
+		}
+	}
+	opts := store.SearchOptions{TopK: q.K, MaxDist: q.MaxDist, LastWindows: q.LastWindows, ExcludeLabel: q.ExcludeLabel}
+	switch {
+	case q.Label != "" && q.Signature != nil:
+		return store.BatchQuery{}, fmt.Errorf("set either label or signature, not both")
+	case q.Label != "":
+		sig, _, ok := s.store.LatestSignature(q.Label)
+		if !ok {
+			return store.BatchQuery{}, fmt.Errorf("label %q has no archived signature", q.Label)
+		}
+		if opts.ExcludeLabel == "" {
+			opts.ExcludeLabel = q.Label
+		}
+		return store.BatchQuery{Sig: sig, Opts: opts}, nil
+	case q.Signature != nil:
+		sig, err := s.internSignature(*q.Signature)
+		if err != nil {
+			return store.BatchQuery{}, err
+		}
+		return store.BatchQuery{Sig: sig, Opts: opts}, nil
+	default:
+		return store.BatchQuery{}, fmt.Errorf("search needs a label or a signature")
+	}
 }
 
 // internSignature builds a core.Signature from wire form, interning

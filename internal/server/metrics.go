@@ -17,7 +17,8 @@ type metrics struct {
 	FlowsDropped   *obs.Counter // records filtered (e.g. non-TCP)
 	FlowsRejected  *obs.Counter // records the pipeline refused
 	WindowsClosed  *obs.Counter // signature sets emitted into the store
-	SearchQueries  *obs.Counter // POST /v1/search served
+	SearchQueries  *obs.Counter // search queries served (singles + batch slots)
+	BatchSearches  *obs.Counter // POST /v1/search/batch requests served
 	HistoryQueries *obs.Counter // GET /v1/signatures/{label} served
 	AnomalyQueries *obs.Counter // GET /v1/anomalies served
 	WatchlistAdds  *obs.Counter // archived watchlist signatures
@@ -57,7 +58,8 @@ func newMetrics(reg *obs.Registry) metrics {
 		FlowsDropped:   reg.Counter("flows_dropped", "records filtered (e.g. non-TCP)"),
 		FlowsRejected:  reg.Counter("flows_rejected", "records the pipeline refused"),
 		WindowsClosed:  reg.Counter("windows_closed", "signature sets committed to the store"),
-		SearchQueries:  reg.Counter("search_queries", "POST /v1/search requests served"),
+		SearchQueries:  reg.Counter("search_queries", "search queries served, counting each batch slot"),
+		BatchSearches:  reg.Counter("batch_searches", "POST /v1/search/batch requests served"),
 		HistoryQueries: reg.Counter("history_queries", "GET /v1/signatures/{label} requests served"),
 		AnomalyQueries: reg.Counter("anomaly_queries", "GET /v1/anomalies requests served"),
 		WatchlistAdds:  reg.Counter("watchlist_adds", "signatures archived into the watchlist"),

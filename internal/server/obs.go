@@ -52,7 +52,7 @@ func routeName(r *http.Request) string {
 		p = "/v1/signatures/label"
 	}
 	switch p {
-	case "/v1/flows", "/v1/signatures/label", "/v1/search", "/v1/watchlist",
+	case "/v1/flows", "/v1/signatures/label", "/v1/search", "/v1/search/batch", "/v1/watchlist",
 		"/v1/watchlist/hits", "/v1/anomalies", "/v1/persistence",
 		"/v1/replication/status", "/v1/replication/wal", "/v1/traces",
 		"/healthz", "/readyz", "/metrics":

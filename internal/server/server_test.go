@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -211,6 +212,122 @@ func TestServerIngestQueryWatchlistAnomalies(t *testing.T) {
 	}
 	if res.Rejected != 1 || len(res.Errors) != 1 {
 		t.Fatalf("regressing ingest = %+v", res)
+	}
+}
+
+// TestServerSearchBatch: POST /v1/search/batch answers every slot
+// exactly as the equivalent single POST /v1/search would, carries
+// per-slot errors without failing the batch, and enforces the
+// one-batch-one-distance rule.
+func TestServerSearchBatch(t *testing.T) {
+	_, c, done := newTestServer(t, testConfig())
+	defer done()
+	if _, err := c.Ingest(append(window0Flows(),
+		flowAt("10.0.0.1", "e1", time.Hour+time.Minute, 2),
+		flowAt("10.0.0.3", "e8", time.Hour+2*time.Minute, 2),
+		flowAt("10.0.0.3", "e8", 2*time.Hour, 1))); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []SearchRequest{
+		{Label: "10.0.0.1", K: 3, MaxDist: 0.9},
+		{Signature: &SignatureJSON{Nodes: []string{"e1", "e2", "never-seen"}, Weights: []float64{3, 1, 1}}, K: 2},
+		{Label: "10.0.0.3", K: 5, LastWindows: 1},
+		{Label: "10.0.0.2", K: 4, ExcludeLabel: "10.0.0.1"},
+	}
+	batch, err := c.SearchBatch(BatchSearchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Distance != "jaccard" || len(batch.Results) != len(queries) {
+		t.Fatalf("batch = %+v", batch)
+	}
+	for i, q := range queries {
+		single, err := c.Search(q)
+		if err != nil {
+			t.Fatalf("single %d: %v", i, err)
+		}
+		if batch.Results[i].Error != "" {
+			t.Fatalf("slot %d errored: %s", i, batch.Results[i].Error)
+		}
+		if got, want := fmt.Sprintf("%+v", batch.Results[i].Hits), fmt.Sprintf("%+v", single.Hits); got != want {
+			t.Fatalf("slot %d diverged:\nbatch:  %s\nsingle: %s", i, got, want)
+		}
+	}
+
+	// Per-slot failures ride alongside good slots without failing the
+	// call: unknown label, label+signature, neither, a distance that
+	// disagrees with the batch's, a malformed signature.
+	mixed := []SearchRequest{
+		{Label: "10.0.0.1", K: 2},
+		{Label: "10.9.9.9"},
+		{Label: "10.0.0.1", Signature: &SignatureJSON{}},
+		{},
+		{Label: "10.0.0.1", Distance: "dice"},
+		{Signature: &SignatureJSON{Nodes: []string{"e1"}, Weights: []float64{1, 2}}},
+	}
+	res, err := c.SearchBatch(BatchSearchRequest{Queries: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].Error != "" || len(res.Results[0].Hits) == 0 {
+		t.Fatalf("good slot = %+v", res.Results[0])
+	}
+	for i := 1; i < len(mixed); i++ {
+		if res.Results[i].Error == "" {
+			t.Fatalf("bad slot %d carried no error: %+v", i, res.Results[i])
+		}
+		if len(res.Results[i].Hits) != 0 {
+			t.Fatalf("bad slot %d carried hits: %+v", i, res.Results[i])
+		}
+	}
+
+	// A batch-level distance applies to every slot; slots naming the
+	// same distance explicitly are fine.
+	dres, err := c.SearchBatch(BatchSearchRequest{Distance: "dice", Queries: []SearchRequest{
+		{Label: "10.0.0.1", K: 2},
+		{Label: "10.0.0.1", K: 2, Distance: "dice"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsingle, err := c.Search(SearchRequest{Label: "10.0.0.1", K: 2, Distance: "dice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Distance != "dice" {
+		t.Fatalf("batch distance = %q", dres.Distance)
+	}
+	for i := range dres.Results {
+		if got, want := fmt.Sprintf("%+v", dres.Results[i].Hits), fmt.Sprintf("%+v", dsingle.Hits); got != want {
+			t.Fatalf("dice slot %d diverged:\nbatch:  %s\nsingle: %s", i, got, want)
+		}
+	}
+
+	// Whole-call errors: an empty batch, an unknown batch distance.
+	if _, err := c.SearchBatch(BatchSearchRequest{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := c.SearchBatch(BatchSearchRequest{Distance: "nope",
+		Queries: []SearchRequest{{Label: "10.0.0.1"}}}); err == nil {
+		t.Fatal("unknown batch distance accepted")
+	}
+
+	// Batch accounting: one batch_searches tick per decoded call (the
+	// unknown-distance refusal counts, the empty batch does not), one
+	// search_queries tick per slot.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["batch_searches"] != 4 {
+		t.Fatalf("batch_searches = %d, want 4", m["batch_searches"])
+	}
+	if m["search_queries"] < int64(len(queries)+len(mixed)+2) {
+		t.Fatalf("search_queries = %d, want at least %d", m["search_queries"], len(queries)+len(mixed)+2)
+	}
+	if m["route_post_v1_search_batch_requests"] == 0 {
+		t.Fatal("batch route not in the per-route histogram family")
 	}
 }
 

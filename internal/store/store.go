@@ -116,6 +116,10 @@ func (o *storeObs) bind(reg *obs.Registry) {
 			"pairwise-engine row computation time (one query vs one window)"),
 		Candidates: reg.HistogramWith("distmat_candidates",
 			"inverted-index candidates per engine row", obs.CountBounds(24)),
+		PrefilterChecked: reg.Counter("distmat_prefilter_checked_total",
+			"candidates tested against the mask-prefilter distance bound"),
+		PrefilterSkipped: reg.Counter("distmat_prefilter_skipped_total",
+			"candidates provably rejected without an exact kernel fold"),
 	}
 }
 
@@ -331,20 +335,76 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 	if sig.IsEmpty() {
 		return nil, fmt.Errorf("store: search with empty signature")
 	}
+	ring := s.snapshotRing()
+	querier, fast := distmat.NewQuerier(d)
+	if fast {
+		querier.SetMetrics(s.obs.engine)
+		defer querier.Release()
+	}
+	return s.searchRing(ring, querier, fast, d, sig, opts)
+}
+
+// BatchQuery is one query of a SearchBatch call: a signature plus its
+// own search options.
+type BatchQuery struct {
+	Sig  core.Signature
+	Opts SearchOptions
+}
+
+// SearchBatch answers many searches under one distance in a single
+// call: the window ring is snapshotted once and every query reuses the
+// same pooled querier scratch (and the windows' shared SoA views), so a
+// batch of n queries costs one snapshot plus n scans — no per-query
+// setup. Each result slot i is exactly what Search(d, queries[i].Sig,
+// queries[i].Opts) would return. Empty signatures are rejected, as in
+// Search.
+func (s *Store) SearchBatch(d core.Distance, queries []BatchQuery) ([][]Hit, error) {
+	if d == nil {
+		return nil, fmt.Errorf("store: search needs a distance")
+	}
+	for i := range queries {
+		if queries[i].Sig.IsEmpty() {
+			return nil, fmt.Errorf("store: batch query %d has an empty signature", i)
+		}
+	}
+	ring := s.snapshotRing()
+	querier, fast := distmat.NewQuerier(d)
+	if fast {
+		querier.SetMetrics(s.obs.engine)
+		defer querier.Release()
+	}
+	out := make([][]Hit, len(queries))
+	for i := range queries {
+		hits, err := s.searchRing(ring, querier, fast, d, queries[i].Sig, queries[i].Opts)
+		if err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, err)
+		}
+		out[i] = hits
+	}
+	return out, nil
+}
+
+// snapshotRing copies the window ring under the read lock. Entries hold
+// pointers to immutable sets/indexes/views, so the copied slice stays
+// valid after release; eviction only drops references.
+func (s *Store) snapshotRing() []entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ring := make([]entry, len(s.ring))
+	copy(ring, s.ring)
+	return ring
+}
+
+// searchRing runs one query over a snapshotted ring: candidate
+// generation per window (LSH buckets, pairwise-engine querier, or the
+// naive scan), exact verification, global ranking, top-k cut.
+func (s *Store) searchRing(ring []entry, querier *distmat.Querier, fast bool, d core.Distance, sig core.Signature, opts SearchOptions) ([]Hit, error) {
 	if opts.TopK <= 0 {
 		opts.TopK = DefaultTopK
 	}
 	if opts.MaxDist <= 0 {
 		opts.MaxDist = 1
 	}
-	// Snapshot the ring under the read lock. Entries hold pointers to
-	// immutable sets/indexes/views, so the copied slice stays valid
-	// after release; eviction only drops references.
-	s.mu.RLock()
-	ring := make([]entry, len(s.ring))
-	copy(ring, s.ring)
-	s.mu.RUnlock()
-
 	if opts.LastWindows > 0 && opts.LastWindows < len(ring) {
 		ring = ring[len(ring)-opts.LastWindows:]
 	}
@@ -354,8 +414,6 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 			exclude = v
 		}
 	}
-	querier, fast := distmat.NewQuerier(d)
-	querier.SetMetrics(s.obs.engine)
 
 	var hits []Hit
 	probes := 0 // exact distance evaluations across all windows

@@ -212,6 +212,57 @@ func TestStoreSearchExact(t *testing.T) {
 	}
 }
 
+// TestStoreSearchBatchMatchesSingles: every slot of a SearchBatch
+// answer must equal the corresponding single Search call — same hits,
+// same order, same distances — across distances and option shapes,
+// since the batch path shares one ring snapshot and one kernel scratch
+// across slots.
+func TestStoreSearchBatchMatchesSingles(t *testing.T) {
+	s, u := searchFixture(t, Config{Capacity: 4})
+	sigOf := func(members map[string]float64) core.Signature {
+		w := map[graph.NodeID]float64{}
+		for m, weight := range members {
+			w[u.MustIntern(m, graph.PartNone)] = weight
+		}
+		return core.FromWeights(w, 10)
+	}
+	queries := []BatchQuery{
+		{Sig: sigOf(map[string]float64{"x": 1, "y": 1}), Opts: SearchOptions{TopK: 3, MaxDist: 0.9}},
+		{Sig: sigOf(map[string]float64{"p": 1, "q": 1}), Opts: SearchOptions{TopK: 2}},
+		{Sig: sigOf(map[string]float64{"x": 1, "z": 1}), Opts: SearchOptions{MaxDist: 0.6, LastWindows: 1}},
+		{Sig: sigOf(map[string]float64{"r": 2, "s": 1}), Opts: SearchOptions{TopK: 1, ExcludeLabel: "far"}},
+	}
+	for _, d := range []core.Distance{core.Jaccard{}, core.Cosine{}, core.WeightedJaccard{}} {
+		got, err := s.SearchBatch(d, queries)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", d.Name(), err)
+		}
+		if len(got) != len(queries) {
+			t.Fatalf("%s: %d results for %d queries", d.Name(), len(got), len(queries))
+		}
+		for i, q := range queries {
+			want, err := s.Search(d, q.Sig, q.Opts)
+			if err != nil {
+				t.Fatalf("%s: single %d: %v", d.Name(), i, err)
+			}
+			if fmt.Sprintf("%v", got[i]) != fmt.Sprintf("%v", want) {
+				t.Fatalf("%s query %d diverged:\nbatch:  %v\nsingle: %v", d.Name(), i, got[i], want)
+			}
+		}
+	}
+	// Guards: no distance, empty signatures.
+	if _, err := s.SearchBatch(nil, queries); err == nil {
+		t.Fatal("nil distance accepted")
+	}
+	if _, err := s.SearchBatch(core.Jaccard{}, []BatchQuery{{Sig: core.Signature{}}}); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+	// An empty batch is a no-op, not an error.
+	if out, err := s.SearchBatch(core.Jaccard{}, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
 func TestStoreSearchLSHPrefilter(t *testing.T) {
 	s, _ := searchFixture(t, Config{Capacity: 4, LSHBands: 8, LSHRows: 2, LSHSeed: 7})
 	hits, err := s.SearchLabel(core.Jaccard{}, "query", SearchOptions{TopK: 2, MaxDist: 0.5})

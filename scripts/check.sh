@@ -21,6 +21,19 @@ go test -race ./...
 # tests; this catches races in the sharded row execution).
 go test -race -run '^$' -benchtime=1x \
 	-bench 'BenchmarkPairwiseUniqueness|BenchmarkMultiusageAllPairs' .
+# Both sigbench engine variants on a scaled dataset: exits non-zero if
+# any engine result diverges from the naive loops (identical: false).
+go run ./cmd/sigbench -experiment pairwise -scale 0.5 >/dev/null
+go run ./cmd/sigbench -experiment pairwise -scale 0.5 -soa=false >/dev/null
+# Throughput regression check, benchstat style: rerun the full-scale
+# pairwise report pinned to one core and diff engine pairs/sec against
+# the committed baseline. Warn-only — shared CI boxes are noisy — but
+# the WARN lines make a >20% regression visible in the log.
+pairwise_out=$(mktemp)
+trap 'rm -f "$pairwise_out"' EXIT
+GOMAXPROCS=1 go run ./cmd/sigbench -experiment pairwise \
+	-baseline BENCH_pairwise.json >"$pairwise_out"
+sed -n '/Baseline delta/,$p' "$pairwise_out"
 # Observability smoke (make obs-smoke): the sigserverd replay e2e boots
 # the daemon, scrapes /metrics?format=prom, validates the exposition
 # with the obs line checker, and fetches a trace from /v1/traces.
