@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke failover-smoke
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke failover-smoke federate-smoke
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -54,6 +54,20 @@ failover-smoke:
 	$(GO) test -race -v -run 'TestClusterFailoverPromotion|TestProber|TestRouterIngestHonorsRetryAfter' \
 		./internal/cluster/
 	$(GO) test -race -run 'TestSimClusterFailover' ./internal/simcheck/
+
+# Federation smoke: the cluster observability e2e tests — a routed
+# batch search across a 2-shard (+1 follower, failover-read) topology
+# must yield ONE trace ID on every participating node, GET
+# /v1/traces/{id} must stitch the segments into a single tree with the
+# critical path marked, and GET /metrics?federate=1 must serve a valid
+# exposition whose cluster counter aggregates equal the per-shard sums
+# — plus the obs-level federation and trace-context unit/property
+# tests. See DESIGN.md §15.
+federate-smoke:
+	$(GO) test -race -v -run 'TestClusterFederateSmoke|TestClusterStitchedFailoverTrace' \
+		./internal/cluster/
+	$(GO) test -race -run 'TestTraceContext|TestStartRemote|TestParseExposition|TestWriteFederated|TestFederatedHistogram' \
+		./internal/obs/
 
 # Bounded runs of the native fuzz targets: the netflow binary codec,
 # WAL frame recovery, and the merge-join distance kernels (bit-identity

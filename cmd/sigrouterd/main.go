@@ -36,6 +36,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,6 +93,10 @@ type options struct {
 	probeCooldown time.Duration
 	probeFails    int
 	autoPromote   time.Duration
+
+	debugAddr string
+	slowOp    time.Duration
+	traceCap  int
 }
 
 func main() {
@@ -107,6 +112,9 @@ func main() {
 	fs.DurationVar(&o.probeCooldown, "probe-cooldown", cluster.DefaultProbeCooldown, "re-probe spacing for nodes marked down")
 	fs.IntVar(&o.probeFails, "probe-fail-threshold", cluster.DefaultFailThreshold, "consecutive probe failures before a node is marked down")
 	fs.DurationVar(&o.autoPromote, "auto-promote", 0, "promote a shard's freshest follower after its primary stays down this long (0 = operator-driven only)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "pprof debug listen address (empty = disabled)")
+	fs.DurationVar(&o.slowOp, "slow-op", 0, "log routed spans at or above this duration (0 = disabled)")
+	fs.IntVar(&o.traceCap, "trace-capacity", 0, "recent traces retained for GET /v1/traces (0 = default)")
 	_ = fs.Parse(os.Args[1:])
 
 	if err := run(o, os.Stdout); err != nil {
@@ -121,12 +129,14 @@ func run(o options, out io.Writer) error {
 	logger := slog.New(slog.NewTextHandler(out, nil))
 
 	cfg := cluster.Config{
-		Shards:     o.shards,
-		Followers:  o.followers,
-		VNodes:     o.vnodes,
-		Timeout:    o.timeout,
-		MaxRetries: o.retries,
-		Logger:     logger,
+		Shards:        o.shards,
+		Followers:     o.followers,
+		VNodes:        o.vnodes,
+		Timeout:       o.timeout,
+		MaxRetries:    o.retries,
+		Logger:        logger,
+		SlowOp:        o.slowOp,
+		TraceCapacity: o.traceCap,
 	}
 	if len(o.followers) > 0 {
 		cfg.Health = &cluster.HealthConfig{
@@ -148,6 +158,21 @@ func run(o options, out io.Writer) error {
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
+	}
+	if o.debugAddr != "" {
+		dln, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(dln, dmux) }()
+		logger.Info("sigrouterd: pprof debug server on http://" + dln.Addr().String() + "/debug/pprof/")
 	}
 	hs := &http.Server{
 		Handler:           rt.Handler(),

@@ -14,6 +14,7 @@
 //	sigtool anomalies  -flows FILE [-scheme S] [-k N] [-t IDX] [-z Z]
 //	sigtool client     -addr URL -op OP [options]
 //	sigtool observe    -addr URL [-interval DUR] [-samples N]
+//	sigtool trace      -addr ROUTER_URL ID
 //
 // -scheme accepts tt, ut, ut-tfidf, rwr@C, rwrH@C (default rwr3@0.1 for
 // masquerade/anomalies, tt otherwise, per the paper's recommendations).
@@ -22,7 +23,9 @@
 // file; -op selects search, history, watch, hits, anomalies, metrics,
 // or health. The observe subcommand polls a running sigserverd's
 // /metrics endpoint and renders ingest/request rates and latency
-// quantiles, one line per sample.
+// quantiles, one line per sample. The trace subcommand fetches one
+// stitched distributed trace from a sigrouterd (GET /v1/traces/{id})
+// and renders it as an indented tree with stragglers highlighted.
 package main
 
 import (
@@ -72,7 +75,7 @@ func main() {
 		k: *k, t: *t, node: *node, top: *top, threshold: *threshold,
 		ell: *ell, c: *c, z: *z, out: *out, sigs: *sigsPath, maxDist: *maxDist,
 		addr: *addr, op: *op, individual: *individual,
-		interval: *interval, samples: *samples,
+		interval: *interval, samples: *samples, args: fs.Args(),
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "sigtool:", err)
 		os.Exit(1)
@@ -100,12 +103,14 @@ type config struct {
 	individual string
 	interval   time.Duration
 	samples    int
+	args       []string // positional arguments after the flags
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sigtool <stats|sig|neighbors|multiusage|masquerade|anomalies|export|compare|screen> -flows FILE [options]
        sigtool client -addr URL -op <search|history|watch|hits|anomalies|metrics|health> [options]
-       sigtool observe -addr URL [-interval DUR] [-samples N]`)
+       sigtool observe -addr URL [-interval DUR] [-samples N]
+       sigtool trace -addr ROUTER_URL ID`)
 }
 
 func run(cmd string, cfg config) error {
@@ -116,6 +121,10 @@ func run(cmd string, cfg config) error {
 	if cmd == "observe" {
 		// Live metrics dashboard over a running sigserverd.
 		return runObserve(cfg, os.Stdout)
+	}
+	if cmd == "trace" {
+		// Render one stitched distributed trace from a router.
+		return runTrace(cfg, os.Stdout)
 	}
 	if cfg.flows == "" {
 		usage()

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"graphsig/internal/cluster"
+)
+
+// runTrace fetches one stitched distributed trace from a router's GET
+// /v1/traces/{id} and renders it as an indented tree: one line per
+// span, showing which node recorded it, when it started relative to
+// the routed call, and how long it took. The slowest child at each
+// fan-out — the straggler that bounded that barrier's wall time — is
+// highlighted.
+func runTrace(cfg config, out io.Writer) error {
+	if len(cfg.args) != 1 || cfg.args[0] == "" {
+		return fmt.Errorf("trace: usage: sigtool trace -addr ROUTER_URL <trace-id>")
+	}
+	id := cfg.args[0]
+	base := strings.TrimRight(strings.TrimSpace(strings.Split(cfg.addr, ",")[0]), "/")
+	resp, err := http.Get(base + "/v1/traces/" + url.PathEscape(id))
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&apiErr)
+		if apiErr.Error != "" {
+			return fmt.Errorf("trace: %s", apiErr.Error)
+		}
+		return fmt.Errorf("trace: %s answered %s", base, resp.Status)
+	}
+	var st cluster.StitchedTraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("trace: decoding response: %w", err)
+	}
+	if st.Root == nil {
+		return fmt.Errorf("trace: %s did not return a stitched trace (is -addr a router?)", base)
+	}
+
+	fmt.Fprintf(out, "trace %s: %d spans across %s (%.3fms)\n",
+		st.ID, st.SpanCount, strings.Join(st.Nodes, ", "), float64(st.DurationMicros)/1000)
+	for _, m := range st.Missing {
+		fmt.Fprintf(out, "  ! unreachable: %s\n", m)
+	}
+	renderStitchedSpan(out, st.Root, 0)
+	return nil
+}
+
+// renderStitchedSpan prints one span line and recurses. Offsets are
+// relative to the trace root, already clock-skew normalized by the
+// router (a remote segment is pinned to the span that spawned it).
+func renderStitchedSpan(out io.Writer, n *cluster.StitchedSpan, depth int) {
+	marker := ""
+	if n.Critical && depth > 0 {
+		marker = "  <-- straggler"
+	}
+	fmt.Fprintf(out, "%s%s [%s] @%dus +%dus%s\n",
+		strings.Repeat("  ", depth), n.Name, n.Node, n.OffsetMicros, n.DurationMicros, marker)
+	for _, c := range n.Children {
+		renderStitchedSpan(out, c, depth+1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"graphsig/internal/core"
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 	"graphsig/internal/stream"
 	"graphsig/internal/wal"
@@ -240,9 +241,22 @@ func (f *Follower) run() {
 func (f *Follower) step() (bool, error) {
 	f.mu.Lock()
 	gen, off := f.gen, f.off
+	srv := f.srv
 	f.mu.Unlock()
 
-	chunk, err := f.client.FetchWAL(gen, off, f.cfg.ChunkBytes)
+	// Each poll that ships bytes records a trace on the replica's own
+	// ring, and its context rides the fetch so the primary's
+	// "replication.wal" segment stitches under it. The trace is finished
+	// only when the cursor advances — idle polls must not flood the
+	// bounded ring. No server yet (pre-origin) means no tracer; the nil
+	// trace below is a no-op.
+	var tr *obs.Trace
+	if srv != nil {
+		tr = srv.Tracer().Start("replication.poll")
+	}
+	endFetch := tr.Span("wal.fetch")
+	chunk, err := f.client.Traced(tr.Context()).FetchWAL(gen, off, f.cfg.ChunkBytes)
+	endFetch()
 	if err != nil {
 		switch server.APIStatus(err) {
 		case http.StatusGone:
@@ -261,6 +275,7 @@ func (f *Follower) step() (bool, error) {
 	defer f.mu.Unlock()
 	progressed := false
 	if len(chunk.Data) > 0 {
+		endApply := tr.Span("wal.apply")
 		f.pending = append(f.pending, chunk.Data...)
 		f.off += int64(len(chunk.Data))
 		frames, consumed, serr := wal.ScanFrames(f.pending)
@@ -273,6 +288,7 @@ func (f *Follower) step() (bool, error) {
 			f.fatal = err
 			return false, err
 		}
+		endApply()
 		progressed = true
 	}
 	f.caught = !chunk.Sealed && f.off >= chunk.Size
@@ -292,6 +308,7 @@ func (f *Follower) step() (bool, error) {
 	}
 	if progressed {
 		f.lastProgress = time.Now()
+		tr.Finish()
 	}
 	return progressed, nil
 }

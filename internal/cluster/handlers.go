@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 )
 
@@ -26,7 +27,19 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
 	rt.mux.HandleFunc("GET /v1/cluster/health", rt.handleClusterHealth)
+	rt.mux.HandleFunc("GET /v1/traces", rt.handleTraces)
+	rt.mux.HandleFunc("GET /v1/traces/{id}", rt.handleTraceByID)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+}
+
+// startTrace begins a router trace for an HTTP request, adopting an
+// inbound X-Sig-Trace context when present, and advertises the minted
+// context back to the caller in the response headers — so any routed
+// call's trace is one response header away from `sigtool trace <id>`.
+func (rt *Router) startTrace(w http.ResponseWriter, r *http.Request, name string) *obs.Trace {
+	tr := rt.tracer.StartRemote(name, obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)))
+	w.Header().Set(obs.TraceHeader, tr.Context().String())
+	return tr
 }
 
 // Handler returns the router's HTTP handler.
@@ -105,7 +118,9 @@ func (rt *Router) handleFlows(w http.ResponseWriter, r *http.Request) {
 		// ID-less batches to a single node.
 		batchID = server.NewBatchID()
 	}
-	resp, err := rt.Ingest(batchID, records)
+	tr := rt.startTrace(w, r, "route.ingest")
+	defer tr.Finish()
+	resp, err := rt.ingest(tr, batchID, records)
 	if err != nil {
 		// Partial ingest: some shards applied their partitions, others
 		// did not. 502 tells the client to retry (with the same batch ID
@@ -117,7 +132,9 @@ func (rt *Router) handleFlows(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleHistory(w http.ResponseWriter, r *http.Request) {
-	resp, err := rt.History(r.PathValue("label"))
+	tr := rt.startTrace(w, r, "route.history")
+	defer tr.Finish()
+	resp, err := rt.history(tr, r.PathValue("label"))
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return
@@ -130,7 +147,12 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := rt.Search(req)
+	if r.URL.Query().Get("debug") == "1" {
+		req.Debug = true
+	}
+	tr := rt.startTrace(w, r, "route.search")
+	defer tr.Finish()
+	resp, err := rt.search(tr, req)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return
@@ -143,7 +165,12 @@ func (rt *Router) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := rt.SearchBatch(req)
+	if r.URL.Query().Get("debug") == "1" {
+		req.Debug = true
+	}
+	tr := rt.startTrace(w, r, "route.search.batch")
+	defer tr.Finish()
+	resp, err := rt.searchBatch(tr, req)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return
@@ -160,7 +187,9 @@ func (rt *Router) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "watchlist add needs individual and label")
 		return
 	}
-	resp, err := rt.WatchlistAdd(req)
+	tr := rt.startTrace(w, r, "route.watchlist.add")
+	defer tr.Finish()
+	resp, err := rt.watchlistAdd(tr, req)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return
@@ -169,7 +198,9 @@ func (rt *Router) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleWatchlistHits(w http.ResponseWriter, r *http.Request) {
-	resp, err := rt.WatchlistHits()
+	tr := rt.startTrace(w, r, "route.watchlist.hits")
+	defer tr.Finish()
+	resp, err := rt.watchlistHits(tr)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -187,7 +218,9 @@ func (rt *Router) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		}
 		zCut = z
 	}
-	resp, err := rt.Anomalies(r.URL.Query().Get("distance"), zCut)
+	tr := rt.startTrace(w, r, "route.anomalies")
+	defer tr.Finish()
+	resp, err := rt.anomalies(tr, r.URL.Query().Get("distance"), zCut)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return
@@ -218,7 +251,9 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 // as ready with a staleness note — failover is the feature working, not
 // an outage.
 func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
-	results := scatter(rt, rt.allShards(), func(s int) (server.ReadyResponse, error) {
+	// Readiness polls are load-balancer traffic; no trace is minted for
+	// them (nil trace → no-op spans).
+	results := scatter(rt, nil, "ready", rt.allShards(), func(s int, _ obs.TraceContext) (server.ReadyResponse, error) {
 		return rt.writeClient(s).Ready()
 	})
 	resp := server.ReadyResponse{Ready: true, Node: rt.Identity()}
@@ -255,10 +290,33 @@ func (rt *Router) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("federate") == "1" {
+		rt.handleFederate(w, r)
+		return
+	}
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = rt.registry.WritePrometheus(w)
 		return
 	}
 	writeJSON(w, http.StatusOK, rt.registry.Snapshot())
+}
+
+// handleTraces serves the router's own recent-trace ring, mirroring the
+// shard endpoint's shape so sigtool observe works against either.
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0 // whole ring
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad n parameter %q", ns)
+			return
+		}
+		n = v
+	}
+	traces := rt.tracer.Recent(n)
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, server.TracesResponse{Total: rt.tracer.Total(), Traces: traces})
 }

@@ -109,11 +109,16 @@ type Prober struct {
 	cfg    HealthConfig
 	httpc  *http.Client
 	logger *slog.Logger
+	tracer *obs.Tracer // the router's; probe rounds that change state record here
 
 	mu        sync.Mutex
 	primaries []*endpoint
 	followers [][]*endpoint
 	jitter    *mrand.Rand
+	// transitioned records whether the current probe round changed any
+	// endpoint's state (or issued a promotion): only those rounds finish
+	// their trace — steady-state probing must not flood the ring.
+	transitioned bool
 
 	transitions *obs.CounterVec // state changes, by endpoint
 	probeFails  *obs.CounterVec // failed probes, by endpoint
@@ -130,7 +135,7 @@ type Prober struct {
 // newProber wires a prober over the router's topology. followers[i] may
 // be empty — a shard without replicas simply has nothing to fail over
 // to.
-func newProber(cfg HealthConfig, primaries []string, followers [][]string, reg *obs.Registry, logger *slog.Logger) *Prober {
+func newProber(cfg HealthConfig, primaries []string, followers [][]string, reg *obs.Registry, tracer *obs.Tracer, logger *slog.Logger) *Prober {
 	if cfg.Interval <= 0 {
 		cfg.Interval = DefaultProbeInterval
 	}
@@ -147,6 +152,7 @@ func newProber(cfg HealthConfig, primaries []string, followers [][]string, reg *
 		cfg:    cfg,
 		httpc:  &http.Client{Timeout: cfg.Timeout},
 		logger: logger,
+		tracer: tracer,
 		jitter: mrand.New(mrand.NewSource(time.Now().UnixNano())),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -216,13 +222,27 @@ func (p *Prober) loop() {
 func (p *Prober) ProbeOnce() { p.round(true) }
 
 func (p *Prober) round(force bool) {
+	tr := p.tracer.Start("health.probe")
+	p.mu.Lock()
+	p.transitioned = false
+	p.mu.Unlock()
 	now := time.Now()
 	for s := range p.primaries {
-		p.probeShard(s, now, force)
+		end := tr.Span(fmt.Sprintf("probe.shard%d", s))
+		p.probeShard(s, now, force, tr)
+		end()
+	}
+	p.mu.Lock()
+	keep := p.transitioned
+	p.mu.Unlock()
+	// Only rounds that changed the membership view (or promoted) are
+	// worth a ring slot; uneventful rounds drop their trace.
+	if keep {
+		tr.Finish()
 	}
 }
 
-func (p *Prober) probeShard(s int, now time.Time, force bool) {
+func (p *Prober) probeShard(s int, now time.Time, force bool, tr *obs.Trace) {
 	pe := p.primaries[s]
 	if force || p.due(pe, now) {
 		var ready server.ReadyResponse
@@ -259,7 +279,7 @@ func (p *Prober) probeShard(s int, now time.Time, force bool) {
 		p.mu.Unlock()
 	}
 	p.updateLag(s)
-	p.maybePromote(s, now)
+	p.maybePromote(s, now, tr)
 }
 
 // due reports whether an endpoint should be probed this round: always,
@@ -290,6 +310,7 @@ func (p *Prober) observeLocked(ep *endpoint, ok bool, now time.Time) {
 			ep.downSince = now
 		}
 		p.transitions.With(ep.name).Add(1)
+		p.transitioned = true
 		p.logf("sigrouter: %s %s -> %s (%d consecutive failures)", ep.name, ep.state, next, ep.fails)
 		ep.state = next
 	}
@@ -353,7 +374,7 @@ func (p *Prober) updateLag(s int) {
 // has been Down past the AutoPromote grace period. The target is the
 // freshest serving follower; a 409 (already promoted, e.g. by an
 // operator or a sibling router) counts as success.
-func (p *Prober) maybePromote(s int, now time.Time) {
+func (p *Prober) maybePromote(s int, now time.Time, tr *obs.Trace) {
 	if p.cfg.AutoPromote <= 0 {
 		return
 	}
@@ -373,7 +394,22 @@ func (p *Prober) maybePromote(s int, now time.Time) {
 		return
 	}
 	p.logf("sigrouter: shard %d primary down %.1fs; promoting %s", s, downFor.Seconds(), name)
-	resp, err := p.httpc.Post(base+"/v1/promote", "application/json", nil)
+	// The promote call rides the probe round's trace: the promoted node
+	// records its side under the same ID, so the failover shows up as
+	// one stitched event.
+	end, tc := tr.SpanWith("promote." + name)
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/promote", nil)
+	if err != nil {
+		end()
+		p.logf("sigrouter: promoting %s: %v", name, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tc.Valid() {
+		req.Header.Set(obs.TraceHeader, tc.String())
+	}
+	resp, err := p.httpc.Do(req)
+	end()
 	if err != nil {
 		p.logf("sigrouter: promoting %s: %v", name, err)
 		return
@@ -387,9 +423,11 @@ func (p *Prober) maybePromote(s int, now time.Time) {
 	p.promotions.Add(1)
 	p.mu.Lock()
 	// Mark eagerly so traffic shifts this round; the next status probe
-	// confirms from the node itself.
+	// confirms from the node itself. A promotion is a membership change
+	// even when no probe transitioned this round — keep the trace.
 	p.followers[s][t.freshest].status.Promoted = true
 	p.followers[s][t.freshest].statusOK = true
+	p.transitioned = true
 	p.mu.Unlock()
 }
 

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"graphsig/internal/obs"
 	"graphsig/internal/server"
 )
 
@@ -82,6 +83,12 @@ func (f *Follower) FollowerHandler() http.Handler {
 			// so the caller can tell "already done" from "cannot".
 			writeError(w, http.StatusConflict, "%v", err)
 			return
+		}
+		// When the prober drove this (X-Sig-Trace present), record the
+		// promotion on the new primary's own ring under the prober's
+		// trace ID, so the failover stitches into one event.
+		if tc := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); tc.Valid() {
+			srv.Tracer().StartRemote("promote", tc).Finish()
 		}
 		writeJSON(w, http.StatusOK, PromoteResponse{
 			Promoted: true,

@@ -57,6 +57,12 @@ type Config struct {
 	// Logger receives operational warnings (shard errors, degraded
 	// fan-outs).
 	Logger *slog.Logger
+	// SlowOp is the span duration at or above which the router's tracer
+	// logs a slow-operation warning (0 disables).
+	SlowOp time.Duration
+	// TraceCapacity bounds the router's recent-trace ring served at GET
+	// /v1/traces (0 = the obs default of 64).
+	TraceCapacity int
 }
 
 // Router scatters ingest across shards by ring placement and gathers
@@ -73,6 +79,7 @@ type Router struct {
 	start     time.Time
 
 	registry      *obs.Registry
+	tracer        *obs.Tracer
 	mux           *http.ServeMux
 	routedFlows   *obs.CounterVec // records routed, by shard
 	shardErrors   *obs.CounterVec // failed shard calls, by shard
@@ -82,6 +89,7 @@ type Router struct {
 	throttleWaits *obs.Counter    // routed ingest retries after shard 429s
 	httpRequests  *obs.Counter
 	httpErrors    *obs.Counter
+	scrapeErrors  *obs.Counter // federation scrapes that failed
 }
 
 // NewRouter builds the router and its ring.
@@ -99,6 +107,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		logger:   cfg.Logger,
 		start:    time.Now(),
 		registry: obs.NewRegistry(),
+		tracer:   obs.NewTracer(cfg.TraceCapacity, cfg.SlowOp, cfg.Logger),
 		mux:      http.NewServeMux(),
 	}
 	if rt.timeout <= 0 {
@@ -137,6 +146,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.throttleWaits = rt.registry.Counter("ingest_throttle_retries", "routed ingest retries after shard 429 responses")
 	rt.httpRequests = rt.registry.Counter("http_requests_total", "HTTP requests routed")
 	rt.httpErrors = rt.registry.Counter("http_errors_total", "HTTP responses with status >= 400")
+	rt.scrapeErrors = rt.registry.Counter("federate_scrape_errors", "node scrapes that failed during metrics federation")
 	rt.registry.GaugeFunc("uptime_seconds", "seconds since router start",
 		func() int64 { return int64(time.Since(rt.start).Seconds()) })
 	if cfg.Health != nil {
@@ -144,7 +154,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		for i, seeds := range cfg.Shards {
 			primaries[i] = seeds[0]
 		}
-		rt.prober = newProber(*cfg.Health, primaries, cfg.Followers, rt.registry, cfg.Logger)
+		rt.prober = newProber(*cfg.Health, primaries, cfg.Followers, rt.registry, rt.tracer, cfg.Logger)
 	}
 	rt.routes()
 	return rt, nil
@@ -229,6 +239,9 @@ func (rt *Router) Ring() *Ring { return rt.ring }
 // Registry exposes the router's metric registry.
 func (rt *Router) Registry() *obs.Registry { return rt.registry }
 
+// Tracer exposes the router's request tracer.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
 // Identity describes the router in /readyz.
 func (rt *Router) Identity() *server.Identity {
 	return &server.Identity{Role: "router", Shards: rt.ring.Shards(), RingEpoch: rt.ring.Epoch()}
@@ -242,9 +255,10 @@ func (rt *Router) logf(format string, args ...any) {
 
 // shardResult carries one shard's answer through a scatter.
 type shardResult[T any] struct {
-	shard int
-	val   T
-	err   error
+	shard  int
+	val    T
+	err    error
+	micros int64 // wall time of this shard's call, for ?debug=1
 }
 
 // errScatterTimeout marks a shard that missed the fan-out deadline.
@@ -255,13 +269,23 @@ var errScatterTimeout = fmt.Errorf("cluster: shard missed the scatter deadline")
 // errScatterTimeout; their goroutines finish in the background (the
 // per-shard HTTP timeout bounds the leak) and their late answers are
 // discarded.
-func scatter[T any](rt *Router, shards []int, fn func(shard int) (T, error)) []shardResult[T] {
+//
+// Each shard call runs under its own span of tr ("<op>.shard<N>") and
+// receives that span's trace context, which the caller forwards via
+// Client.Traced so the shard's local trace records as a child of this
+// fan-out. A shard that answers after the trace finished still closes
+// its span; the append lands on an already-archived trace and is
+// simply dropped with it.
+func scatter[T any](rt *Router, tr *obs.Trace, op string, shards []int, fn func(shard int, tc obs.TraceContext) (T, error)) []shardResult[T] {
 	rt.scatters.Add(1)
 	ch := make(chan shardResult[T], len(shards))
 	for _, s := range shards {
 		go func(s int) {
-			v, err := fn(s)
-			ch <- shardResult[T]{shard: s, val: v, err: err}
+			end, tc := tr.SpanWith(fmt.Sprintf("%s.shard%d", op, s))
+			begin := time.Now()
+			v, err := fn(s, tc)
+			end()
+			ch <- shardResult[T]{shard: s, val: v, err: err, micros: time.Since(begin).Microseconds()}
 		}(s)
 	}
 	out := make([]shardResult[T], 0, len(shards))
@@ -320,6 +344,12 @@ type IngestResponse struct {
 // a partially failed routed ingest with the same parent ID therefore
 // re-applies only the partitions that did not land.
 func (rt *Router) Ingest(batchID string, records []netflow.Record) (IngestResponse, error) {
+	tr := rt.tracer.Start("route.ingest")
+	defer tr.Finish()
+	return rt.ingest(tr, batchID, records)
+}
+
+func (rt *Router) ingest(tr *obs.Trace, batchID string, records []netflow.Record) (IngestResponse, error) {
 	parts := make(map[int][]netflow.Record)
 	for i := range records {
 		s := rt.ring.Shard(records[i].Src)
@@ -333,12 +363,12 @@ func (rt *Router) Ingest(batchID string, records []netflow.Record) (IngestRespon
 
 	resp := IngestResponse{ShardsTotal: len(shards)}
 	resp.Received = len(records)
-	results := scatter(rt, shards, func(s int) (server.IngestResult, error) {
+	results := scatter(rt, tr, "ingest", shards, func(s int, tc obs.TraceContext) (server.IngestResult, error) {
 		id := ""
 		if batchID != "" {
 			id = batchID + "/" + strconv.Itoa(s)
 		}
-		c := rt.writeClient(s)
+		c := rt.writeClient(s).Traced(tc)
 		res, err := c.IngestBatch(id, parts[s])
 		for attempt := 0; attempt < maxThrottleRetries &&
 			server.APIStatus(err) == http.StatusTooManyRequests; attempt++ {
@@ -383,6 +413,38 @@ type SearchResponse struct {
 	ShardsOK    int                    `json:"shards_ok"`
 	ShardsTotal int                    `json:"shards_total"`
 	StaleShards []StaleShard           `json:"stale_shards,omitempty"`
+	TraceID     string                 `json:"trace_id,omitempty"`
+	Debug       []ShardDebugJSON       `json:"debug,omitempty"`
+}
+
+// ShardDebugJSON is one shard's per-query explain block, returned when
+// the request sets debug (or ?debug=1): wall time of the routed call as
+// seen from the router, plus the shard's own probe and prefilter
+// counts.
+type ShardDebugJSON struct {
+	Shard            int    `json:"shard"`
+	Micros           int64  `json:"micros"`
+	Probes           int    `json:"probes"`
+	PrefilterChecked int64  `json:"prefilter_checked"`
+	PrefilterSkipped int64  `json:"prefilter_skipped"`
+	Error            string `json:"error,omitempty"`
+}
+
+// shardDebug assembles the explain blocks for one scatter's results.
+func shardDebug[T any](results []shardResult[T], dbg func(T) *server.SearchDebugJSON) []ShardDebugJSON {
+	out := make([]ShardDebugJSON, 0, len(results))
+	for _, r := range results {
+		d := ShardDebugJSON{Shard: r.shard, Micros: r.micros}
+		if r.err != nil {
+			d.Error = r.err.Error()
+		} else if sd := dbg(r.val); sd != nil {
+			d.Probes = sd.Probes
+			d.PrefilterChecked = sd.PrefilterChecked
+			d.PrefilterSkipped = sd.PrefilterSkipped
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Search fans the query out to every shard and merges the per-shard
@@ -398,6 +460,12 @@ type SearchResponse struct {
 // owner shard first, then scatter it as a signature query with the
 // label excluded — exactly what SearchLabel does on a single node.
 func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
+	tr := rt.tracer.Start("route.search")
+	defer tr.Finish()
+	return rt.search(tr, req)
+}
+
+func (rt *Router) search(tr *obs.Trace, req server.SearchRequest) (SearchResponse, error) {
 	if req.Label != "" && req.Signature != nil {
 		return SearchResponse{}, fmt.Errorf("cluster: set either label or signature, not both")
 	}
@@ -405,7 +473,7 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 		req.K = store.DefaultTopK
 	}
 	if req.Label != "" {
-		resolved, err := rt.resolveLabelQuery(req)
+		resolved, err := rt.resolveLabelQuery(tr, req)
 		if err != nil {
 			return SearchResponse{}, err
 		}
@@ -413,12 +481,16 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 	}
 
 	clients, stale := rt.readClients()
-	results := scatter(rt, rt.allShards(), func(s int) (server.SearchResponse, error) {
-		return clients[s].Search(req)
+	results := scatter(rt, tr, "search", rt.allShards(), func(s int, tc obs.TraceContext) (server.SearchResponse, error) {
+		return clients[s].Traced(tc).Search(req)
 	})
 	// Non-nil even when empty: the routed body must serialize exactly
 	// like a single node's ("hits": [], never null).
 	resp := SearchResponse{ShardsTotal: len(results), Hits: []server.SearchHitJSON{}, StaleShards: stale}
+	if req.Debug {
+		resp.TraceID = tr.ID()
+		resp.Debug = shardDebug(results, func(v server.SearchResponse) *server.SearchDebugJSON { return v.Debug })
+	}
 	for _, r := range results {
 		if r.err != nil {
 			continue
@@ -445,10 +517,12 @@ func (rt *Router) Search(req server.SearchRequest) (SearchResponse, error) {
 // from its owner shard (the one shard that stores it), excluding the
 // label from the results — exactly what SearchLabel does on a single
 // node.
-func (rt *Router) resolveLabelQuery(req server.SearchRequest) (server.SearchRequest, error) {
+func (rt *Router) resolveLabelQuery(tr *obs.Trace, req server.SearchRequest) (server.SearchRequest, error) {
 	owner := rt.ring.Shard(req.Label)
 	oc, _ := rt.readClient(owner)
-	hist, err := oc.History(req.Label)
+	end, tc := tr.SpanWith(fmt.Sprintf("resolve.shard%d", owner))
+	hist, err := oc.Traced(tc).History(req.Label)
+	end()
 	if err != nil {
 		return req, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
 	}
@@ -491,6 +565,8 @@ type BatchSearchResponse struct {
 	ShardsOK    int                        `json:"shards_ok"`
 	ShardsTotal int                        `json:"shards_total"`
 	StaleShards []StaleShard               `json:"stale_shards,omitempty"`
+	TraceID     string                     `json:"trace_id,omitempty"`
+	Debug       []ShardDebugJSON           `json:"debug,omitempty"`
 }
 
 // SearchBatch fans a whole query batch out to every shard in ONE
@@ -501,12 +577,18 @@ type BatchSearchResponse struct {
 // first; slots that fail to resolve carry their error without failing
 // the batch or the fan-out.
 func (rt *Router) SearchBatch(req server.BatchSearchRequest) (BatchSearchResponse, error) {
+	tr := rt.tracer.Start("route.search.batch")
+	defer tr.Finish()
+	return rt.searchBatch(tr, req)
+}
+
+func (rt *Router) searchBatch(tr *obs.Trace, req server.BatchSearchRequest) (BatchSearchResponse, error) {
 	if len(req.Queries) == 0 {
 		return BatchSearchResponse{}, fmt.Errorf("cluster: batch search needs at least one query")
 	}
 	results := make([]server.BatchSearchResult, len(req.Queries))
 	ks := make([]int, len(req.Queries))
-	fan := server.BatchSearchRequest{Distance: req.Distance}
+	fan := server.BatchSearchRequest{Distance: req.Distance, Debug: req.Debug}
 	slots := make([]int, 0, len(req.Queries))
 	for i, q := range req.Queries {
 		if q.Label != "" && q.Signature != nil {
@@ -518,7 +600,7 @@ func (rt *Router) SearchBatch(req server.BatchSearchRequest) (BatchSearchRespons
 		}
 		ks[i] = q.K
 		if q.Label != "" {
-			resolved, err := rt.resolveLabelQuery(q)
+			resolved, err := rt.resolveLabelQuery(tr, q)
 			if err != nil {
 				results[i].Error = err.Error()
 				continue
@@ -537,8 +619,8 @@ func (rt *Router) SearchBatch(req server.BatchSearchRequest) (BatchSearchRespons
 		resp.ShardsOK = resp.ShardsTotal
 		return resp, nil
 	}
-	answers := scatter(rt, rt.allShards(), func(s int) (server.BatchSearchResponse, error) {
-		return clients[s].SearchBatch(fan)
+	answers := scatter(rt, tr, "search.batch", rt.allShards(), func(s int, tc obs.TraceContext) (server.BatchSearchResponse, error) {
+		return clients[s].Traced(tc).SearchBatch(fan)
 	})
 	for _, r := range answers {
 		if r.err != nil {
@@ -546,6 +628,10 @@ func (rt *Router) SearchBatch(req server.BatchSearchRequest) (BatchSearchRespons
 		}
 		resp.ShardsOK++
 		resp.Distance = r.val.Distance
+	}
+	if req.Debug {
+		resp.TraceID = tr.ID()
+		resp.Debug = shardDebug(answers, func(v server.BatchSearchResponse) *server.SearchDebugJSON { return v.Debug })
 	}
 	if resp.ShardsOK == 0 {
 		return resp, fmt.Errorf("cluster: batch search failed on all %d shards", resp.ShardsTotal)
@@ -603,12 +689,18 @@ type AnomaliesResponse struct {
 // newest one seen (a lagging shard mid-window-close) are counted as
 // degraded rather than polluting the population.
 func (rt *Router) Anomalies(distance string, zCut float64) (AnomaliesResponse, error) {
+	tr := rt.tracer.Start("route.anomalies")
+	defer tr.Finish()
+	return rt.anomalies(tr, distance, zCut)
+}
+
+func (rt *Router) anomalies(tr *obs.Trace, distance string, zCut float64) (AnomaliesResponse, error) {
 	if zCut <= 0 {
 		zCut = 2.0
 	}
 	clients, stale := rt.readClients()
-	results := scatter(rt, rt.allShards(), func(s int) (server.PersistenceResponse, error) {
-		return clients[s].Persistence(distance)
+	results := scatter(rt, tr, "persistence", rt.allShards(), func(s int, tc obs.TraceContext) (server.PersistenceResponse, error) {
+		return clients[s].Traced(tc).Persistence(distance)
 	})
 	resp := AnomaliesResponse{ShardsTotal: len(results), StaleShards: stale}
 	// Reference window pair: the newest ToWindow any shard reports.
@@ -665,9 +757,15 @@ type WatchlistHitsResponse struct {
 // WatchlistHits merges every shard's hit log under a deterministic
 // order (window, label, individual, archived window).
 func (rt *Router) WatchlistHits() (WatchlistHitsResponse, error) {
+	tr := rt.tracer.Start("route.watchlist.hits")
+	defer tr.Finish()
+	return rt.watchlistHits(tr)
+}
+
+func (rt *Router) watchlistHits(tr *obs.Trace) (WatchlistHitsResponse, error) {
 	clients, stale := rt.readClients()
-	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistHitsResponse, error) {
-		return clients[s].WatchlistHits()
+	results := scatter(rt, tr, "watchlist.hits", rt.allShards(), func(s int, tc obs.TraceContext) (server.WatchlistHitsResponse, error) {
+		return clients[s].Traced(tc).WatchlistHits()
 	})
 	resp := WatchlistHitsResponse{ShardsTotal: len(results), Hits: []server.WatchHitJSON{}, StaleShards: stale}
 	for _, r := range results {
@@ -706,8 +804,17 @@ func (rt *Router) WatchlistHits() (WatchlistHitsResponse, error) {
 // stores them) and replays them onto every shard as explicit-signature
 // adds; the union of per-shard hit logs then matches a single node's.
 func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.WatchlistAddResponse, error) {
-	oc, _ := rt.readClient(rt.ring.Shard(req.Label))
-	hist, err := oc.History(req.Label)
+	tr := rt.tracer.Start("route.watchlist.add")
+	defer tr.Finish()
+	return rt.watchlistAdd(tr, req)
+}
+
+func (rt *Router) watchlistAdd(tr *obs.Trace, req server.WatchlistAddRequest) (server.WatchlistAddResponse, error) {
+	owner := rt.ring.Shard(req.Label)
+	oc, _ := rt.readClient(owner)
+	end, otc := tr.SpanWith(fmt.Sprintf("resolve.shard%d", owner))
+	hist, err := oc.Traced(otc).History(req.Label)
+	end()
 	if err != nil {
 		return server.WatchlistAddResponse{}, err
 	}
@@ -724,9 +831,9 @@ func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.Watchlist
 	if len(entries) == 0 {
 		return server.WatchlistAddResponse{}, fmt.Errorf("cluster: label %q has no archivable signature", req.Label)
 	}
-	results := scatter(rt, rt.allShards(), func(s int) (server.WatchlistAddResponse, error) {
+	results := scatter(rt, tr, "watchlist.add", rt.allShards(), func(s int, tc obs.TraceContext) (server.WatchlistAddResponse, error) {
 		var last server.WatchlistAddResponse
-		c := rt.writeClient(s)
+		c := rt.writeClient(s).Traced(tc)
 		for _, e := range entries {
 			window := e.Window
 			var err error
@@ -759,6 +866,15 @@ func (rt *Router) WatchlistAdd(req server.WatchlistAddRequest) (server.Watchlist
 // History fetches the label's archived signatures from its owner,
 // failing over to the owner shard's follower when its primary is down.
 func (rt *Router) History(label string) (server.HistoryResponse, error) {
-	c, _ := rt.readClient(rt.ring.Shard(label))
-	return c.History(label)
+	tr := rt.tracer.Start("route.history")
+	defer tr.Finish()
+	return rt.history(tr, label)
+}
+
+func (rt *Router) history(tr *obs.Trace, label string) (server.HistoryResponse, error) {
+	owner := rt.ring.Shard(label)
+	c, _ := rt.readClient(owner)
+	end, tc := tr.SpanWith(fmt.Sprintf("history.shard%d", owner))
+	defer end()
+	return c.Traced(tc).History(label)
 }

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metrics federation: parse each node's Prometheus text exposition,
+// relabel every sample with the node's identity, and render one
+// cluster-level exposition that additionally carries exact aggregates —
+// counters summed, histograms merged bucket-wise (every node uses the
+// same log-bucketed bounds, so cumulative bucket counts sum losslessly).
+//
+// The router serves the result at GET /metrics?federate=1.
+
+// Sample is one parsed sample line. Name is the full sample name — for
+// histograms that is the family name plus _bucket/_sum/_count. Labels
+// is the rendered pair list inside the braces ("" when bare).
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Family is one parsed metric family in input order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary or untyped
+	Samples []Sample
+}
+
+// Label is one label pair, used both when parsing sample label blocks
+// and when naming the identity labels a federated node injects.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// NodeExposition is one node's parsed exposition plus the identity
+// labels (instance, role, shard, …) to stamp onto its samples. A label
+// already present on a sample is never overridden — shard registries
+// stamp their own role/shard const labels and those win.
+type NodeExposition struct {
+	Labels   []Label
+	Families []Family
+}
+
+// ParseExposition parses the Prometheus text format as produced by
+// Registry.WritePrometheus (and by WriteFederated). Histogram sample
+// lines (name_bucket/name_sum/name_count) attach to their declared
+// family; samples with no preceding TYPE declaration become untyped
+// families of their own. Timestamps are dropped.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	var (
+		families []Family
+		index    = make(map[string]int)
+	)
+	family := func(name string) *Family {
+		if i, ok := index[name]; ok {
+			return &families[i]
+		}
+		index[name] = len(families)
+		families = append(families, Family{Name: name, Type: "untyped"})
+		return &families[len(families)-1]
+	}
+	// sampleFamily resolves which family a sample line belongs to:
+	// exact name first, then the histogram/summary base name when the
+	// sample carries one of the synthetic suffixes.
+	sampleFamily := func(name string) *Family {
+		if i, ok := index[name]; ok {
+			return &families[i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suffix)
+			if !ok {
+				continue
+			}
+			if i, ok := index[base]; ok && (families[i].Type == "histogram" || families[i].Type == "summary") {
+				return &families[i]
+			}
+		}
+		return family(name)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("obs: federate: line %d: bad comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				f := family(fields[2])
+				f.Help = strings.TrimSpace(strings.TrimPrefix(line, fields[0]+" HELP "+fields[2]))
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: federate: line %d: bad TYPE line %q", lineNo, line)
+				}
+				family(fields[2]).Type = fields[3]
+			default:
+				return nil, fmt.Errorf("obs: federate: line %d: bad comment %q", lineNo, line)
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: federate: line %d: %v", lineNo, err)
+		}
+		labels := ""
+		if brace := strings.IndexByte(line, '{'); brace != -1 && brace < len(line)-len(rest) {
+			end := strings.LastIndexByte(line[:len(line)-len(rest)], '}')
+			if end > brace {
+				labels = line[brace+1 : end]
+			}
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			return nil, fmt.Errorf("obs: federate: line %d: sample %q has no value", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: federate: line %d: bad sample value %q", lineNo, fields[0])
+		}
+		f := sampleFamily(name)
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: federate: %w", err)
+	}
+	return families, nil
+}
+
+// identityLabel reports whether a label names node identity rather than
+// a metric dimension. Identity labels are stripped when grouping
+// samples for the cluster-level aggregates, so the same logical series
+// on different nodes sums into one.
+func identityLabel(name string) bool {
+	switch name {
+	case "instance", "role", "shard", "ring_epoch":
+		return true
+	}
+	return false
+}
+
+// parseLabelPairs splits a rendered label block (`a="x",b="y"`) into
+// pairs, honoring escapes inside quoted values.
+func parseLabelPairs(s string) []Label {
+	var out []Label
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			break
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			break
+		}
+		i++
+		var val strings.Builder
+		escaped := false
+		for i < len(s) {
+			c := s[i]
+			if escaped {
+				val.WriteByte(c)
+				escaped = false
+				i++
+				continue
+			}
+			if c == '\\' {
+				escaped = true
+				i++
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		i++ // past the closing quote
+		out = append(out, Label{Name: name, Value: val.String()})
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	return out
+}
+
+func renderLabelPairs(pairs []Label) string {
+	parts := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		parts = append(parts, fmt.Sprintf("%s=%q", p.Name, p.Value))
+	}
+	return strings.Join(parts, ",")
+}
+
+// hasLabelName reports whether the parsed pair list contains name.
+func hasLabelName(pairs []Label, name string) bool {
+	for _, p := range pairs {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFederated renders one cluster-level exposition from per-node
+// expositions. Per family (first-seen HELP/TYPE win):
+//
+//   - every node's samples are re-emitted with the node's identity
+//     labels injected (labels already present on the sample, such as a
+//     shard registry's own role/shard const labels, are kept as-is);
+//   - counter and histogram families additionally get aggregate series
+//     labeled instance="cluster": samples are grouped by their
+//     non-identity labels and summed. All nodes share the same
+//     log-bucketed histogram bounds, so per-bucket cumulative counts
+//     sum exactly — the merge is lossless, not an approximation.
+//
+// Gauges are point-in-time per-node facts; they federate with identity
+// labels but are never summed. The output passes ValidateExposition.
+func WriteFederated(w io.Writer, nodes []NodeExposition) error {
+	type nodeFamily struct {
+		node   int
+		family *Family
+	}
+	var (
+		order  []string
+		merged = make(map[string][]nodeFamily)
+	)
+	for n := range nodes {
+		for i := range nodes[n].Families {
+			f := &nodes[n].Families[i]
+			if _, ok := merged[f.Name]; !ok {
+				order = append(order, f.Name)
+			}
+			merged[f.Name] = append(merged[f.Name], nodeFamily{node: n, family: f})
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		parts := merged[name]
+		help, typ := parts[0].family.Help, parts[0].family.Type
+		for _, p := range parts[1:] {
+			if help == "" {
+				help = p.family.Help
+			}
+		}
+		if help == "" {
+			help = name
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+
+		type group struct {
+			name   string
+			labels string // non-identity labels, rendered
+			sum    float64
+		}
+		var (
+			groups   []*group
+			groupIdx = make(map[string]*group)
+		)
+		for _, p := range parts {
+			identity := nodes[p.node].Labels
+			for _, s := range p.family.Samples {
+				pairs := parseLabelPairs(s.Labels)
+				inject := make([]Label, 0, len(identity))
+				for _, l := range identity {
+					if !hasLabelName(pairs, l.Name) {
+						inject = append(inject, l)
+					}
+				}
+				labels := mergeLabels(renderLabelPairs(inject), s.Labels)
+				if labels != "" {
+					fmt.Fprintf(bw, "%s{%s} %s\n", s.Name, labels, formatFloat(s.Value))
+				} else {
+					fmt.Fprintf(bw, "%s %s\n", s.Name, formatFloat(s.Value))
+				}
+				if typ != "counter" && typ != "histogram" {
+					continue
+				}
+				kept := pairs[:0:0]
+				for _, pr := range pairs {
+					if !identityLabel(pr.Name) {
+						kept = append(kept, pr)
+					}
+				}
+				key := s.Name + "\x00" + renderLabelPairs(kept)
+				g, ok := groupIdx[key]
+				if !ok {
+					g = &group{name: s.Name, labels: renderLabelPairs(kept)}
+					groupIdx[key] = g
+					groups = append(groups, g)
+				}
+				g.sum += s.Value
+			}
+		}
+		for _, g := range groups {
+			labels := mergeLabels(`instance="cluster"`, g.labels)
+			fmt.Fprintf(bw, "%s{%s} %s\n", g.name, labels, formatFloat(g.sum))
+		}
+	}
+	return bw.Flush()
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"graphsig/internal/netflow"
+	"graphsig/internal/obs"
 )
 
 // Client is a thin Go client for the sigserverd HTTP API, used by the
@@ -67,6 +68,44 @@ type Client struct {
 	cur       int
 	deadUntil []time.Time
 	now       func() time.Time // test hook; nil means time.Now
+
+	// trace, when valid, is stamped onto every request as the
+	// X-Sig-Trace header. Set via Traced.
+	trace obs.TraceContext
+	// parent is non-nil on Traced views: all mutable failover state —
+	// seed rotation, cooldowns, the jitter RNG — lives on the root
+	// client, so a view's retries share the root's view of which seeds
+	// are dead.
+	parent *Client
+}
+
+// root resolves the client owning the shared failover state.
+func (c *Client) root() *Client {
+	if c.parent != nil {
+		return c.parent
+	}
+	return c
+}
+
+// Traced returns a view of the client that stamps tc onto every
+// request as the X-Sig-Trace header, so the far side's tracer records
+// its work as a child segment of tc's span instead of minting a fresh
+// trace ID. The view shares the root client's failover state and is
+// cheap enough to mint per call. An invalid context returns the
+// receiver unchanged.
+func (c *Client) Traced(tc obs.TraceContext) *Client {
+	if !tc.Valid() {
+		return c
+	}
+	return &Client{
+		Base:         c.Base,
+		HTTP:         c.HTTP,
+		MaxRetries:   c.MaxRetries,
+		RetryBackoff: c.RetryBackoff,
+		SeedCooldown: c.SeedCooldown,
+		trace:        tc,
+		parent:       c.root(),
+	}
 }
 
 // APIError is a server-reported failure (any HTTP status >= 400),
@@ -136,6 +175,7 @@ func NewClient(base string, fallbacks ...string) *Client {
 
 // Seeds reports every configured address, current first.
 func (c *Client) Seeds() []string {
+	c = c.root()
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
 	if len(c.seeds) == 0 {
@@ -150,6 +190,7 @@ func (c *Client) Seeds() []string {
 
 // currentBase returns the seed requests currently target.
 func (c *Client) currentBase() string {
+	c = c.root()
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
 	if len(c.seeds) == 0 {
@@ -161,6 +202,7 @@ func (c *Client) currentBase() string {
 // rotateSeed advances to the next seed after a retryable failure,
 // preferring seeds not in transport-failure cooldown.
 func (c *Client) rotateSeed() {
+	c = c.root()
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
 	c.advanceSeedLocked()
@@ -172,6 +214,7 @@ func (c *Client) rotateSeed() {
 // and re-probing a live node is cheap, whereas re-dialing a dead one
 // burns a connect timeout per request.
 func (c *Client) markSeedDown() {
+	c = c.root()
 	c.seedMu.Lock()
 	defer c.seedMu.Unlock()
 	if len(c.seeds) == 0 || c.seedCooldown() <= 0 {
@@ -286,6 +329,7 @@ func (c *Client) jitterDuration(d time.Duration) time.Duration {
 	if d <= 0 {
 		return 0
 	}
+	c = c.root()
 	c.jitterMu.Lock()
 	defer c.jitterMu.Unlock()
 	if c.jitter == nil {
@@ -343,6 +387,9 @@ func (c *Client) once(method, path string, payload []byte, out any) (string, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.trace.Valid() {
+		req.Header.Set(obs.TraceHeader, c.trace.String())
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -528,7 +575,14 @@ func (c *Client) FetchWAL(gen int, from int64, max int) (WALChunk, error) {
 	if max > 0 {
 		path += fmt.Sprintf("&max=%d", max)
 	}
-	resp, err := c.HTTP.Get(c.currentBase() + path)
+	req, err := http.NewRequest(http.MethodGet, c.currentBase()+path, nil)
+	if err != nil {
+		return WALChunk{}, fmt.Errorf("client: %w", err)
+	}
+	if c.trace.Valid() {
+		req.Header.Set(obs.TraceHeader, c.trace.String())
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		c.markSeedDown()
 		return WALChunk{}, fmt.Errorf("client: %w", err)
@@ -563,19 +617,70 @@ func (c *Client) FetchWAL(gen int, from int64, max int) (WALChunk, error) {
 	return chunk, nil
 }
 
-// MetricsProm fetches the Prometheus text rendering of /metrics.
+// MetricsProm fetches the Prometheus text rendering of /metrics. It
+// runs through the same retry/rotate loop as the JSON calls — metrics
+// federation must survive a dead seed, not stop at the first one.
 func (c *Client) MetricsProm() (string, error) {
-	resp, err := c.HTTP.Get(c.currentBase() + "/metrics?format=prom")
+	return c.doText("/metrics?format=prom")
+}
+
+// TraceByID fetches one retained trace by ID from the node's ring. A
+// node that never finished the trace (or has already evicted it)
+// answers 404, surfaced as an *APIError.
+func (c *Client) TraceByID(id string) (obs.TraceSnapshot, error) {
+	var out obs.TraceSnapshot
+	err := c.do(http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// doText is the retry/rotate loop for endpoints answering plain text
+// rather than JSON, with the same seed-failover policy as do.
+func (c *Client) doText(path string) (string, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, retryAfter, err := c.onceText(path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if retryAfter == noRetry || attempt >= c.MaxRetries {
+			return "", lastErr
+		}
+		if APIStatus(err) == 0 {
+			c.markSeedDown()
+		} else {
+			c.rotateSeed()
+		}
+		time.Sleep(c.backoff(attempt, retryAfter))
+	}
+}
+
+// onceText performs a single text-body GET, mirroring once's
+// retryAfter/noRetry contract.
+func (c *Client) onceText(path string) (body, retryAfter string, err error) {
+	req, err := http.NewRequest(http.MethodGet, c.currentBase()+path, nil)
 	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
+		return "", noRetry, fmt.Errorf("client: %w", err)
+	}
+	if c.trace.Valid() {
+		req.Header.Set(obs.TraceHeader, c.trace.String())
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", "", fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", fmt.Errorf("client: %w", err)
-	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("client: GET /metrics?format=prom: %s", resp.Status)
+		apiErr := &APIError{Status: resp.StatusCode, Method: http.MethodGet, Path: path, Msg: resp.Status}
+		if retryable(resp.StatusCode) {
+			apiErr.RetryAfter = resp.Header.Get("Retry-After")
+			return "", apiErr.RetryAfter, apiErr
+		}
+		return "", noRetry, apiErr
 	}
-	return string(body), nil
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", "", fmt.Errorf("client: GET %s: reading body: %w", path, err)
+	}
+	return string(raw), "", nil
 }

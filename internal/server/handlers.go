@@ -133,6 +133,21 @@ type SearchRequest struct {
 	// signature-query fan-out so non-owner shards apply the same
 	// exclusion the owner does.
 	ExcludeLabel string `json:"exclude_label,omitempty"`
+	// Debug attaches per-query explain counters (timing, probes,
+	// prefilter stats) to the response; ?debug=1 on the URL does the
+	// same.
+	Debug bool `json:"debug,omitempty"`
+}
+
+// SearchDebugJSON is the per-node explain block attached to search
+// responses when debug is requested: wall time, exact distance probes,
+// and the mask-prefilter checked/skipped counts for this query alone.
+type SearchDebugJSON struct {
+	TraceID          string `json:"trace_id,omitempty"`
+	Micros           int64  `json:"micros"`
+	Probes           int    `json:"probes"`
+	PrefilterChecked int64  `json:"prefilter_checked"`
+	PrefilterSkipped int64  `json:"prefilter_skipped"`
 }
 
 // SearchHitJSON is one nearest-signature hit.
@@ -144,8 +159,9 @@ type SearchHitJSON struct {
 
 // SearchResponse is the POST /v1/search body.
 type SearchResponse struct {
-	Distance string          `json:"distance"`
-	Hits     []SearchHitJSON `json:"hits"`
+	Distance string           `json:"distance"`
+	Hits     []SearchHitJSON  `json:"hits"`
+	Debug    *SearchDebugJSON `json:"debug,omitempty"`
 }
 
 // BatchSearchRequest is the POST /v1/search/batch body: many queries
@@ -156,6 +172,9 @@ type SearchResponse struct {
 type BatchSearchRequest struct {
 	Distance string          `json:"distance,omitempty"`
 	Queries  []SearchRequest `json:"queries"`
+	// Debug attaches explain counters aggregated across the batch's
+	// queries; ?debug=1 on the URL does the same.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // BatchSearchResult is one slot of a batch response: hits on success,
@@ -171,6 +190,7 @@ type BatchSearchResult struct {
 type BatchSearchResponse struct {
 	Distance string              `json:"distance"`
 	Results  []BatchSearchResult `json:"results"`
+	Debug    *SearchDebugJSON    `json:"debug,omitempty"`
 }
 
 // WatchlistAddRequest archives a label's stored signatures under an
@@ -244,6 +264,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
 	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplicationWAL)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -331,12 +352,16 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		records = append(records, rec)
 	}
 	_ = fault.Inject("server.ingest.hold") // test hook: park here while holding an in-flight slot
-	writeJSON(w, http.StatusOK, s.IngestBatch(req.BatchID, records))
+	tr := s.startTrace(r, "ingest")
+	defer tr.Finish()
+	writeJSON(w, http.StatusOK, s.ingestBatchTraced(tr, req.BatchID, records))
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("label")
 	s.metrics.HistoryQueries.Add(1)
+	tr := s.traceRemote(r, "history")
+	defer tr.Finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	entries := s.store.History(label)
@@ -361,14 +386,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.SearchQueries.Add(1)
-	tr := s.obs.tracer.Start("search")
+	tr := s.startTrace(r, "search")
 	defer tr.Finish()
 	d, err := s.distanceFor(req.Distance)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	debug := req.Debug || r.URL.Query().Get("debug") == "1"
+	var stats store.SearchStats
+	begin := time.Now()
 	opts := store.SearchOptions{TopK: req.K, MaxDist: req.MaxDist, LastWindows: req.LastWindows, ExcludeLabel: req.ExcludeLabel}
+	if debug {
+		opts.Stats = &stats
+	}
 	var hits []SearchHitJSON
 	switch {
 	case req.Label != "" && req.Signature != nil:
@@ -412,7 +443,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "search needs a label or a signature")
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Distance: d.Name(), Hits: hits})
+	resp := SearchResponse{Distance: d.Name(), Hits: hits}
+	if debug {
+		resp.Debug = &SearchDebugJSON{
+			TraceID:          tr.ID(),
+			Micros:           time.Since(begin).Microseconds(),
+			Probes:           stats.Probes,
+			PrefilterChecked: stats.PrefilterChecked,
+			PrefilterSkipped: stats.PrefilterSkipped,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -426,13 +467,16 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.BatchSearches.Add(1)
 	s.metrics.SearchQueries.Add(int64(len(req.Queries)))
-	tr := s.obs.tracer.Start("search.batch")
+	tr := s.startTrace(r, "search.batch")
 	defer tr.Finish()
 	d, err := s.distanceFor(req.Distance)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	debug := req.Debug || r.URL.Query().Get("debug") == "1"
+	var stats store.SearchStats
+	begin := time.Now()
 
 	// Inline signatures may intern labels the universe has never seen,
 	// so a batch carrying any takes the write lock; an all-label batch
@@ -464,6 +508,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = err.Error()
 			continue
 		}
+		if debug {
+			bq.Opts.Stats = &stats // shared: values aggregate across the batch
+		}
 		queries = append(queries, bq)
 		slots = append(slots, i)
 	}
@@ -478,7 +525,17 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for k := range hits {
 		results[slots[k]].Hits = convertHits(hits[k])
 	}
-	writeJSON(w, http.StatusOK, BatchSearchResponse{Distance: d.Name(), Results: results})
+	resp := BatchSearchResponse{Distance: d.Name(), Results: results}
+	if debug {
+		resp.Debug = &SearchDebugJSON{
+			TraceID:          tr.ID(),
+			Micros:           time.Since(begin).Microseconds(),
+			Probes:           stats.Probes,
+			PrefilterChecked: stats.PrefilterChecked,
+			PrefilterSkipped: stats.PrefilterSkipped,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveSearchQuery turns one batch slot into a store query. Callers
@@ -557,6 +614,8 @@ func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "watchlist add needs individual and label")
 		return
 	}
+	tr := s.traceRemote(r, "watchlist.add")
+	defer tr.Finish()
 	if req.Signature != nil {
 		if req.Window == nil {
 			writeError(w, http.StatusBadRequest, "explicit-signature watchlist add needs window")
@@ -615,6 +674,8 @@ func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWatchlistHits(w http.ResponseWriter, r *http.Request) {
+	tr := s.traceRemote(r, "watchlist.hits")
+	defer tr.Finish()
 	hits := s.Hits()
 	resp := WatchlistHitsResponse{Hits: make([]WatchHitJSON, len(hits))}
 	for i, h := range hits {
@@ -625,6 +686,8 @@ func (s *Server) handleWatchlistHits(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 	s.metrics.AnomalyQueries.Add(1)
+	tr := s.traceRemote(r, "anomalies")
+	defer tr.Finish()
 	zCut := 2.0
 	if zs := r.URL.Query().Get("z"); zs != "" {
 		z, err := strconv.ParseFloat(zs, 64)
@@ -692,6 +755,8 @@ type PersistenceResponse struct {
 
 func (s *Server) handlePersistence(w http.ResponseWriter, r *http.Request) {
 	s.metrics.PersistenceQueries.Add(1)
+	tr := s.traceRemote(r, "persistence")
+	defer tr.Finish()
 	d, err := s.distanceFor(r.URL.Query().Get("distance"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

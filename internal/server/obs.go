@@ -51,15 +51,38 @@ func routeName(r *http.Request) string {
 	if strings.HasPrefix(p, "/v1/signatures/") {
 		p = "/v1/signatures/label"
 	}
+	if strings.HasPrefix(p, "/v1/traces/") {
+		p = "/v1/traces/id"
+	}
 	switch p {
 	case "/v1/flows", "/v1/signatures/label", "/v1/search", "/v1/search/batch", "/v1/watchlist",
 		"/v1/watchlist/hits", "/v1/anomalies", "/v1/persistence",
-		"/v1/replication/status", "/v1/replication/wal", "/v1/traces",
+		"/v1/replication/status", "/v1/replication/wal", "/v1/traces", "/v1/traces/id",
 		"/healthz", "/readyz", "/metrics":
 	default:
 		return "other"
 	}
 	return strings.ToLower(r.Method) + strings.ReplaceAll(p, "/", "_")
+}
+
+// startTrace begins a request trace, adopting the inbound X-Sig-Trace
+// context when the caller (the cluster router) sent one — the local
+// ring then records this work as a child segment of the caller's span
+// under the caller's trace ID — and minting a fresh trace otherwise.
+func (s *Server) startTrace(r *http.Request, name string) *obs.Trace {
+	return s.obs.tracer.StartRemote(name, obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)))
+}
+
+// traceRemote is startTrace for cheap read endpoints: it records a
+// trace only when the request carries an inbound context, so
+// single-node traffic on history/anomaly/watchlist reads cannot flood
+// the bounded trace ring. Returns nil (a no-op trace) otherwise.
+func (s *Server) traceRemote(r *http.Request, name string) *obs.Trace {
+	tc := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	if !tc.Valid() {
+		return nil
+	}
+	return s.obs.tracer.StartRemote(name, tc)
 }
 
 // Registry exposes the server's metric registry so embedders (the
@@ -149,4 +172,17 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		traces = []obs.TraceSnapshot{}
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{Total: s.obs.tracer.Total(), Traces: traces})
+}
+
+// handleTraceByID serves one retained trace from the ring — the
+// cluster router's trace stitching fetches each node's segment of a
+// distributed trace this way.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.obs.tracer.Find(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace %q not retained here (never finished or evicted)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

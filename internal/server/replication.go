@@ -88,6 +88,12 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 		chunk = min(m, MaxReplicationChunk)
 	}
 	s.metrics.ReplicationRequests.Add(1)
+	// Adopt the follower's poll trace only when the poll actually ships
+	// bytes: finishing a trace per idle 5 ms poll would flood the
+	// bounded ring with empty entries. An unfinished trace is simply
+	// dropped.
+	tr := s.traceRemote(r, "replication.wal")
+	endRead := tr.Span("wal.read")
 
 	// The live generation is read under the server lock: walGen and the
 	// WAL's durable bytes must be observed together, or a concurrent
@@ -108,7 +114,11 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		endRead()
 		s.writeWALChunk(w, gen, false, size, data)
+		if len(data) > 0 {
+			tr.Finish()
+		}
 		return
 	}
 	s.mu.RUnlock()
@@ -146,7 +156,11 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	endRead()
 	s.writeWALChunk(w, gen, true, size, data)
+	if len(data) > 0 {
+		tr.Finish()
+	}
 }
 
 func (s *Server) writeWALChunk(w http.ResponseWriter, gen int, sealed bool, size int64, data []byte) {

@@ -567,6 +567,13 @@ func (s *Server) IngestRecords(records []netflow.Record) IngestResult {
 func (s *Server) IngestBatch(batchID string, records []netflow.Record) IngestResult {
 	tr := s.obs.tracer.Start("ingest")
 	defer tr.Finish()
+	return s.ingestBatchTraced(tr, batchID, records)
+}
+
+// ingestBatchTraced is IngestBatch under a caller-owned trace — the
+// HTTP handler adopts an inbound X-Sig-Trace context so a routed
+// ingest's shard-side work records under the router's trace ID.
+func (s *Server) ingestBatchTraced(tr *obs.Trace, batchID string, records []netflow.Record) IngestResult {
 	endWait := tr.Span("lock.wait")
 	s.mu.Lock()
 	endWait()

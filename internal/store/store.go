@@ -313,6 +313,21 @@ type SearchOptions struct {
 	LastWindows int
 	// NoPrefilter forces an exact scan even when an LSH index exists.
 	NoPrefilter bool
+	// Stats, when non-nil, accumulates per-query explain counters for
+	// the ?debug=1 response path. One struct may be shared by several
+	// queries of a batch — values add up.
+	Stats *SearchStats
+}
+
+// SearchStats are the per-query explain counters behind ?debug=1:
+// exact distance evaluations plus the pairwise engine's mask-prefilter
+// checked/skipped counts for this query alone (the registry counters
+// aggregate across all concurrent queries and cannot be read as
+// per-query deltas).
+type SearchStats struct {
+	Probes           int
+	PrefilterChecked int64
+	PrefilterSkipped int64
 }
 
 // Search ranks archived signatures by distance from sig and returns the
@@ -415,6 +430,24 @@ func (s *Store) searchRing(ring []entry, querier *distmat.Querier, fast bool, d 
 		}
 	}
 
+	// Per-query prefilter explain: route the engine's prefilter counters
+	// through locals for the duration of this query, then fold them into
+	// both the stats and the shared registry counters — deltas of the
+	// globals would be polluted by concurrent queries.
+	if opts.Stats != nil && fast {
+		var checked, skipped obs.Counter
+		m := s.obs.engine
+		m.PrefilterChecked, m.PrefilterSkipped = &checked, &skipped
+		querier.SetMetrics(m)
+		defer func() {
+			querier.SetMetrics(s.obs.engine)
+			s.obs.engine.PrefilterChecked.Add(checked.Value())
+			s.obs.engine.PrefilterSkipped.Add(skipped.Value())
+			opts.Stats.PrefilterChecked += checked.Value()
+			opts.Stats.PrefilterSkipped += skipped.Value()
+		}()
+	}
+
 	var hits []Hit
 	probes := 0 // exact distance evaluations across all windows
 	for _, e := range ring {
@@ -459,6 +492,9 @@ func (s *Store) searchRing(ring []entry, querier *distmat.Querier, fast bool, d 
 		}
 	}
 	s.obs.searchProbes.Observe(float64(probes))
+	if opts.Stats != nil {
+		opts.Stats.Probes += probes
+	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Dist != hits[j].Dist {
 			return hits[i].Dist < hits[j].Dist

@@ -49,6 +49,14 @@ go test -race -run 'TestSim' ./internal/simcheck/
 # e2e. (The fault-injecting TestSimClusterFailover already ran in the
 # simcheck line above.)
 go test -race ./internal/cluster/...
+# Federation smoke (make federate-smoke): the cluster observability
+# e2es — a routed batch search must yield one stitched trace spanning
+# router + shards (+ follower under failover) at GET /v1/traces/{id},
+# and GET /metrics?federate=1 must serve a valid exposition whose
+# cluster aggregates equal the per-shard sums. The cluster race line
+# above already ran those tests; this line keeps the obs-level
+# federation/trace-context property tests in the gate explicitly.
+go test -race -run 'TestTraceContext|TestStartRemote|TestParseExposition|TestWriteFederated|TestFederatedHistogram' ./internal/obs/
 # Fuzz smoke (make fuzz-smoke): short exploratory runs of the three
 # native fuzz targets; their committed testdata corpora already replay
 # as regression cases in the race run above.
