@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke failover-smoke federate-smoke
+.PHONY: check build vet test race bench bench-smoke obs-smoke tidy crash-test sim-smoke fuzz-smoke cluster-smoke failover-smoke federate-smoke segment-smoke
 
 # Tier-1 gate: everything a PR must keep green. Examples live under
 # ./... so `go build`/`go vet` compile-check them too.
@@ -68,6 +68,19 @@ federate-smoke:
 		./internal/cluster/
 	$(GO) test -race -run 'TestTraceContext|TestStartRemote|TestParseExposition|TestWriteFederated|TestFederatedHistogram' \
 		./internal/obs/
+
+# Cold-tier smoke: the tiered store's segment suite — compaction
+# equivalence vs an unbounded archive, crash/fault injection at the
+# segment write and commit points, quarantine-at-attach, restart
+# long-horizon history/search e2e (5x capacity, bit-identical to an
+# unbounded run), bitwise follower segments, and the segment-mode
+# simulation seeds with the model holding the unbounded archive.
+segment-smoke:
+	$(GO) test -race -run 'TestSegment|TestStoreTiered|TestStoreLoadOverCapacity|TestHistoryRange' \
+		./internal/segment/ ./internal/store/
+	$(GO) test -race -run 'TestServerSegment|TestHistoryHTTPParams' ./internal/server/
+	$(GO) test -race -run 'TestFollowerSegmentsBitwise' ./internal/cluster/
+	$(GO) test -race -run 'TestSimSegments' ./internal/simcheck/
 
 # Bounded runs of the native fuzz targets: the netflow binary codec,
 # WAL frame recovery, and the merge-join distance kernels (bit-identity

@@ -67,6 +67,8 @@ type options struct {
 	capacity     int
 	watchDist    float64
 	snapshot     string
+	segments     string
+	segRetain    int
 	snapInterval time.Duration
 	noWAL        bool
 	maxInFlight  int
@@ -108,6 +110,8 @@ func main() {
 	fs.IntVar(&o.capacity, "capacity", 16, "windows retained in the store")
 	fs.Float64Var(&o.watchDist, "watch-maxdist", 0.5, "watchlist screening threshold")
 	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot directory (empty = no persistence)")
+	fs.StringVar(&o.segments, "segment-dir", "", "cold-tier segment directory: ring evictions compact into immutable on-disk segments instead of being dropped (empty = bounded in-memory archive only)")
+	fs.IntVar(&o.segRetain, "segment-retain", 0, "segment files kept on disk; oldest pruned beyond this (0 = keep all)")
 	fs.DurationVar(&o.snapInterval, "snapshot-interval", time.Minute, "periodic background snapshot interval (0 = only at window close/shutdown)")
 	fs.BoolVar(&o.noWAL, "no-wal", false, "disable the write-ahead log beside the snapshot directory")
 	fs.IntVar(&o.maxInFlight, "max-inflight", 8, "concurrent ingest batches before shedding with 429 (0 = unlimited)")
@@ -177,6 +181,8 @@ func serverConfig(o options) (server.Config, error) {
 		LSHRows:       o.lshRows,
 		LSHSeed:       o.lshSeed,
 		SnapshotDir:   o.snapshot,
+		SegmentDir:    o.segments,
+		SegmentRetain: o.segRetain,
 		DisableWAL:    o.noWAL,
 		MaxInFlight:   o.maxInFlight,
 		SlowOp:        o.slowOp,
@@ -246,6 +252,11 @@ func run(o options, out io.Writer) error {
 		logger.Info("sigserverd: WAL replayed",
 			"records", rec.WALRecords, "rejected", rec.WALRejected,
 			"torn_bytes", rec.WALTornBytes, "windows_closed", rec.WALWindowsClosed)
+	}
+	if rec := srv.Recovery(); rec.SegmentsAttached > 0 || len(rec.SegmentsQuarantined) > 0 {
+		logger.Info("sigserverd: segment tier attached",
+			"segments", rec.SegmentsAttached, "cold_windows", rec.SegmentWindows,
+			"quarantined", len(rec.SegmentsQuarantined))
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -374,8 +385,12 @@ func runFollower(ctx context.Context, o options, logger *slog.Logger) error {
 		// root: it quarantines any stale WAL there and starts logging a
 		// fresh generation.
 		PromoteDir: o.snapshot,
-		Node:       node,
-		Logger:     logger,
+		// Followers compact evicted windows into their own segment tier;
+		// the deterministic segment bytes match the primary's bit for bit.
+		SegmentDir:    o.segments,
+		SegmentRetain: o.segRetain,
+		Node:          node,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err

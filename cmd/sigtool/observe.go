@@ -54,6 +54,7 @@ func renderObserveLine(m, prev map[string]int64, elapsed time.Duration) string {
 			m["windows_closed"], m["http_errors_total"])
 	}
 	b.WriteString(renderSearchSuffix(m))
+	b.WriteString(renderSegmentSuffix(m))
 	b.WriteString(renderClusterSuffix(m))
 	fmt.Fprintf(&b, " p50=%dus p90=%dus p99=%dus\n",
 		m["http_request_p50_micros"], m["http_request_p90_micros"], m["http_request_p99_micros"])
@@ -83,6 +84,37 @@ func renderSearchSuffix(m map[string]int64) string {
 	}
 	if checked > 0 || skipped > 0 {
 		fmt.Fprintf(&b, " prefilter_skip=%d/%d", skipped, checked)
+	}
+	return b.String()
+}
+
+// renderSegmentSuffix surfaces the cold tier's health on nodes running
+// with a segment directory: segments written and cold windows compacted,
+// reads that fell through to disk, and — loudly, since they indicate
+// either I/O trouble or corrupt files — compaction errors and
+// quarantines. Untiered nodes get an empty suffix.
+func renderSegmentSuffix(m map[string]int64) string {
+	// Files/windows are gauges of the attached tier's current state, so
+	// a freshly restarted node shows its cold horizon immediately; the
+	// save/compaction counters only tick on this boot's own evictions.
+	files := m["store_segment_files"]
+	cold := m["store_segment_windows"]
+	loads := m["store_segment_loads"]
+	errors := m["store_segment_errors"]
+	quarantines := m["store_segment_quarantines"]
+	if files == 0 && cold == 0 && loads == 0 && errors == 0 && quarantines == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " segs=%d cold=%d", files, cold)
+	if loads > 0 {
+		fmt.Fprintf(&b, " seg_reads=%d", loads)
+	}
+	if pruned := m["store_segment_pruned"]; pruned > 0 {
+		fmt.Fprintf(&b, " seg_pruned=%d", pruned)
+	}
+	if errors > 0 || quarantines > 0 {
+		fmt.Fprintf(&b, " seg_errors=%d seg_quarantined=%d", errors, quarantines)
 	}
 	return b.String()
 }

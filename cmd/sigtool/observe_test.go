@@ -73,6 +73,37 @@ func TestRenderObserveLineRates(t *testing.T) {
 	if strings.Contains(line, "searches=") {
 		t.Fatalf("search suffix on an idle line: %q", line)
 	}
+	// An untiered node carries no segment counters: no segment suffix.
+	if strings.Contains(line, "segs=") {
+		t.Fatalf("segment suffix on an untiered line: %q", line)
+	}
+}
+
+// TestRenderObserveLineSegmentSuffix: a tiered node's snapshot grows the
+// cold-tier columns; errors and quarantines only appear when nonzero.
+func TestRenderObserveLineSegmentSuffix(t *testing.T) {
+	cur := map[string]int64{
+		"store_segment_files":   4,
+		"store_segment_windows": 9,
+		"store_segment_loads":   12,
+		"store_segment_pruned":  2,
+	}
+	line := renderObserveLine(cur, nil, 0)
+	for _, want := range []string{"segs=4", "cold=9", "seg_reads=12", "seg_pruned=2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "seg_errors=") {
+		t.Fatalf("error column on a healthy line: %q", line)
+	}
+
+	cur["store_segment_errors"] = 1
+	cur["store_segment_quarantines"] = 1
+	line = renderObserveLine(cur, nil, 0)
+	if !strings.Contains(line, "seg_errors=1 seg_quarantined=1") {
+		t.Fatalf("line %q missing error columns", line)
+	}
 }
 
 // TestRenderObserveLineSearchSuffix: a snapshot with search traffic

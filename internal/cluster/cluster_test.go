@@ -275,7 +275,7 @@ func TestClusterSmokeBitIdentical(t *testing.T) {
 	}
 
 	// History routes to the owner shard and must match the single node.
-	chist, err := rt.History(watched)
+	chist, err := rt.History(watched, server.HistoryQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,13 @@ type FollowerConfig struct {
 	// attaches to the replica (fresh WAL + snapshot). Empty promotes to
 	// a memory-only primary.
 	PromoteDir string
+	// SegmentDir / SegmentRetain mirror server.Config: with a segment
+	// dir the replica compacts ring evictions into cold segment files
+	// built from the shipped WAL. The segment codec is deterministic, so
+	// a follower configured like its primary produces bitwise-identical
+	// segment files — deep history survives promotion.
+	SegmentDir    string
+	SegmentRetain int
 	// Logger receives operational warnings.
 	Logger *slog.Logger
 }
@@ -415,6 +422,8 @@ func (f *Follower) buildServerLocked(origin wal.Frame) error {
 		WatchMaxDist:  f.cfg.WatchMaxDist,
 		DisableWAL:    true,
 		ReadOnly:      true,
+		SegmentDir:    f.cfg.SegmentDir,
+		SegmentRetain: f.cfg.SegmentRetain,
 		Node:          f.cfg.Node,
 		Logger:        f.cfg.Logger,
 	})

@@ -131,10 +131,49 @@ func (rt *Router) handleFlows(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// historyQuery translates a routed history GET's from/to/limit params
+// into the typed client query forwarded to the owner shard, so the
+// bounds are enforced where the archive lives instead of shipping the
+// whole history through the router.
+func historyQuery(r *http.Request) (server.HistoryQuery, error) {
+	var q server.HistoryQuery
+	vals := r.URL.Query()
+	if v := vals.Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("bad from %q: want an integer", v)
+		}
+		q.From, q.HasFrom = n, true
+	}
+	if v := vals.Get("to"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return q, fmt.Errorf("bad to %q: want an integer", v)
+		}
+		q.To, q.HasTo = n, true
+	}
+	if v := vals.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("bad limit %q: want an integer >= 0", v)
+		}
+		if n == 0 {
+			n = -1 // explicit limit=0 means unbounded; see HistoryQuery
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
 func (rt *Router) handleHistory(w http.ResponseWriter, r *http.Request) {
+	q, err := historyQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	tr := rt.startTrace(w, r, "route.history")
 	defer tr.Finish()
-	resp, err := rt.history(tr, r.PathValue("label"))
+	resp, err := rt.history(tr, r.PathValue("label"), q)
 	if err != nil {
 		writeError(w, errStatus(err, http.StatusBadGateway), "%v", err)
 		return

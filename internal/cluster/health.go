@@ -453,8 +453,34 @@ func (p *Prober) target(s int) shardTarget {
 	return p.targetLocked(s)
 }
 
+// hasProgress reports whether a follower's replication cursor has ever
+// actually advanced. The Progressed field is authoritative; the
+// fallbacks recognize progress in status bodies from builds that
+// predate it.
+func hasProgress(st FollowerStatusResponse) bool {
+	return st.Progressed || st.AppliedRecords > 0
+}
+
 func (p *Prober) targetLocked(s int) shardTarget {
 	t := shardTarget{promoted: -1, freshest: -1, primaryDown: p.primaries[s].state == Down}
+	// A follower that has never replicated a byte reports the same
+	// (gen, offset, behind_seconds) shape as one that just advanced —
+	// zeros all round. Electing it as the freshest read (or promotion)
+	// target would silently serve an empty archive, so when any serving
+	// sibling has real cursor progress, never-progressed followers are
+	// skipped outright. With no progressed sibling they remain eligible:
+	// an empty cluster's followers are all equally (vacuously) fresh.
+	candidate := func(fe *endpoint) bool {
+		return fe.statusOK && !fe.status.Promoted &&
+			fe.state != Down && fe.status.Serving && fe.status.Fatal == ""
+	}
+	anyProgress := false
+	for _, fe := range p.followers[s] {
+		if candidate(fe) && hasProgress(fe.status) {
+			anyProgress = true
+			break
+		}
+	}
 	for i, fe := range p.followers[s] {
 		if !fe.statusOK {
 			continue
@@ -463,7 +489,7 @@ func (p *Prober) targetLocked(s int) shardTarget {
 			t.promoted = i
 			continue
 		}
-		if fe.state == Down || !fe.status.Serving || fe.status.Fatal != "" {
+		if !candidate(fe) || (anyProgress && !hasProgress(fe.status)) {
 			continue
 		}
 		if t.freshest < 0 || fe.status.Gen > t.gen ||

@@ -65,10 +65,11 @@ func (fp *fakePrimary) serve(t *testing.T) *httptest.Server {
 
 // fakeFollower is a scriptable /v1/follower/status endpoint.
 type fakeFollower struct {
-	gen      atomic.Int64
-	off      atomic.Int64
-	promoted atomic.Bool
-	promotes atomic.Int64
+	gen        atomic.Int64
+	off        atomic.Int64
+	progressed atomic.Bool
+	promoted   atomic.Bool
+	promotes   atomic.Int64
 }
 
 func (ff *fakeFollower) serve(t *testing.T) *httptest.Server {
@@ -76,10 +77,11 @@ func (ff *fakeFollower) serve(t *testing.T) *httptest.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/follower/status", func(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(FollowerStatusResponse{
-			Gen:      int(ff.gen.Load()),
-			Offset:   ff.off.Load(),
-			Serving:  true,
-			Promoted: ff.promoted.Load(),
+			Gen:        int(ff.gen.Load()),
+			Offset:     ff.off.Load(),
+			Progressed: ff.progressed.Load(),
+			Serving:    true,
+			Promoted:   ff.promoted.Load(),
 		})
 	})
 	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
@@ -238,6 +240,69 @@ func TestProberAutoPromote(t *testing.T) {
 	}
 	if c := rt.writeClient(0); c != rt.followers[0][0] {
 		t.Fatal("writeClient does not prefer the promoted follower")
+	}
+}
+
+// TestProberSkipsNeverProgressedFollower: a follower whose replication
+// cursor has never advanced reports the same zeroed staleness shape as
+// one that just advanced — and an operator start-gen misconfiguration
+// can even make it report the highest generation. It must lose the
+// freshest-target election to any sibling with real progress, and be
+// chosen only when no progressed sibling exists.
+func TestProberSkipsNeverProgressedFollower(t *testing.T) {
+	fp := &fakePrimary{} // never up: reads fail over to followers
+	pts := fp.serve(t)
+	blank, replicated := &fakeFollower{}, &fakeFollower{}
+	// The blank follower has never fetched a byte but was started with a
+	// too-high generation; naive (gen, offset) ordering would elect it.
+	blank.gen.Store(7)
+	replicated.gen.Store(2)
+	replicated.off.Store(4000)
+	replicated.progressed.Store(true)
+	bts, rts := blank.serve(t), replicated.serve(t)
+
+	rt, err := NewRouter(Config{
+		Shards:    [][]string{{pts.URL}},
+		Followers: [][]string{{bts.URL, rts.URL}},
+		Health: &HealthConfig{
+			Interval:      time.Hour,
+			FailThreshold: 1,
+			Cooldown:      time.Millisecond,
+		},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Prober()
+	p.ProbeOnce()
+	tgt := p.target(0)
+	if !tgt.primaryDown {
+		t.Fatalf("primary not down: %+v", tgt)
+	}
+	if tgt.freshest != 1 || tgt.gen != 2 || tgt.off != 4000 {
+		t.Fatalf("freshest = %+v, want the progressed follower 1 at (2,4000)", tgt)
+	}
+
+	// With no progressed sibling the never-progressed follower stays
+	// eligible: an empty cluster's followers are all vacuously fresh.
+	rt2, err := NewRouter(Config{
+		Shards:    [][]string{{pts.URL}},
+		Followers: [][]string{{bts.URL}},
+		Health: &HealthConfig{
+			Interval:      time.Hour,
+			FailThreshold: 1,
+			Cooldown:      time.Millisecond,
+		},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := rt2.Prober()
+	p2.ProbeOnce()
+	if tgt := p2.target(0); tgt.freshest != 0 {
+		t.Fatalf("lone never-progressed follower not eligible: %+v", tgt)
 	}
 }
 

@@ -26,7 +26,7 @@ func signatureQuery(t *testing.T, rt *Router, records []netflow.Record, shard in
 		if rt.Ring().Shard(rec.Src) != shard {
 			continue
 		}
-		hist, err := rt.History(rec.Src)
+		hist, err := rt.History(rec.Src, server.HistoryQuery{})
 		if err != nil {
 			continue
 		}

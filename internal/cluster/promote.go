@@ -27,9 +27,15 @@ type FollowerStatusResponse struct {
 	CaughtUp       bool  `json:"caught_up"`
 	Serving        bool  `json:"serving"`
 	Promoted       bool  `json:"promoted"`
-	// BehindSeconds is how long ago the cursor last advanced (0 before
-	// the first fetch) — a coarse staleness signal that works even when
-	// the primary is down and the byte lag is unknowable.
+	// Progressed is true once the replication cursor has advanced at
+	// least once. It disambiguates BehindSeconds == 0: a follower that
+	// has never fetched a byte reports 0 too, and must not be mistaken
+	// for one that just advanced.
+	Progressed bool `json:"progressed"`
+	// BehindSeconds is how long ago the cursor last advanced — a coarse
+	// staleness signal that works even when the primary is down and the
+	// byte lag is unknowable. It is 0 when the follower has never
+	// progressed; check Progressed before trusting it.
 	BehindSeconds float64          `json:"behind_seconds"`
 	LastErr       string           `json:"last_err,omitempty"`
 	Fatal         string           `json:"fatal,omitempty"`
@@ -57,6 +63,7 @@ func (f *Follower) statusResponse() FollowerStatusResponse {
 		Fatal:          st.Fatal,
 	}
 	if !st.LastProgress.IsZero() {
+		resp.Progressed = true
 		resp.BehindSeconds = time.Since(st.LastProgress).Seconds()
 	}
 	if srv := f.Server(); srv != nil {

@@ -521,7 +521,9 @@ func (rt *Router) resolveLabelQuery(tr *obs.Trace, req server.SearchRequest) (se
 	owner := rt.ring.Shard(req.Label)
 	oc, _ := rt.readClient(owner)
 	end, tc := tr.SpanWith(fmt.Sprintf("resolve.shard%d", owner))
-	hist, err := oc.Traced(tc).History(req.Label)
+	// Unbounded on purpose: the newest archived window can hold an empty
+	// signature, so "latest non-empty" may live past any default limit.
+	hist, err := oc.Traced(tc).HistoryRange(req.Label, server.HistoryQuery{Limit: -1})
 	end()
 	if err != nil {
 		return req, fmt.Errorf("cluster: resolving label %q at shard %d: %w", req.Label, owner, err)
@@ -813,7 +815,9 @@ func (rt *Router) watchlistAdd(tr *obs.Trace, req server.WatchlistAddRequest) (s
 	owner := rt.ring.Shard(req.Label)
 	oc, _ := rt.readClient(owner)
 	end, otc := tr.SpanWith(fmt.Sprintf("resolve.shard%d", owner))
-	hist, err := oc.Traced(otc).History(req.Label)
+	// Screening archives the label's whole history, so this owner read
+	// is explicitly unbounded even when it reaches into cold segments.
+	hist, err := oc.Traced(otc).HistoryRange(req.Label, server.HistoryQuery{Limit: -1})
 	end()
 	if err != nil {
 		return server.WatchlistAddResponse{}, err
@@ -865,16 +869,18 @@ func (rt *Router) watchlistAdd(tr *obs.Trace, req server.WatchlistAddRequest) (s
 
 // History fetches the label's archived signatures from its owner,
 // failing over to the owner shard's follower when its primary is down.
-func (rt *Router) History(label string) (server.HistoryResponse, error) {
+// The zero query applies the owner's default limit; see
+// server.HistoryQuery for bounded or unbounded fetches.
+func (rt *Router) History(label string, q server.HistoryQuery) (server.HistoryResponse, error) {
 	tr := rt.tracer.Start("route.history")
 	defer tr.Finish()
-	return rt.history(tr, label)
+	return rt.history(tr, label, q)
 }
 
-func (rt *Router) history(tr *obs.Trace, label string) (server.HistoryResponse, error) {
+func (rt *Router) history(tr *obs.Trace, label string, q server.HistoryQuery) (server.HistoryResponse, error) {
 	owner := rt.ring.Shard(label)
 	c, _ := rt.readClient(owner)
 	end, tc := tr.SpanWith(fmt.Sprintf("history.shard%d", owner))
 	defer end()
-	return c.Traced(tc).History(label)
+	return c.Traced(tc).HistoryRange(label, q)
 }

@@ -183,6 +183,13 @@ func parsePart(s string) (graph.Part, error) {
 	return 0, fmt.Errorf("unknown part %q", s)
 }
 
+// SplitQuoted tokenizes a line of space-separated fields where fields
+// may be Go-quoted strings — the shared tokenizer for every
+// line-oriented format in this module (signature files, segment TOCs).
+func SplitQuoted(line string) ([]string, error) {
+	return splitQuoted(line)
+}
+
 // splitQuoted tokenizes a line of space-separated fields where fields
 // may be Go-quoted strings.
 func splitQuoted(line string) ([]string, error) {

@@ -1,0 +1,444 @@
+// Package segment implements the cold tier behind the store's hot
+// in-memory window ring: immutable, checksummed, single-file archives
+// of closed signature windows. When the ring evicts a window the store
+// compacts it into a segment file instead of dropping it, so History,
+// windowed Search and persistence queries keep reaching arbitrarily far
+// back while RAM stays bounded by Capacity.
+//
+// A segment file is append-written once and never modified:
+//
+//	graphsig-segment v1
+//	<window block>            (core.WriteSignatureSet text, one per window)
+//	...
+//	toc <n>
+//	window <idx> <scheme> <offset> <size> <crc32>
+//	...
+//	label "10.0.0.1" <idx> ...
+//	...
+//	end <tocOffset> <crc32>
+//
+// Window blocks reuse the established signature text codec, so a block
+// carved out of a segment is directly consumable by sigtool. The
+// trailing TOC records each block's byte offset, size and CRC32, plus a
+// label→windows index so per-label lookups seek straight to the blocks
+// that matter instead of scanning the whole file. The final `end` line
+// carries the TOC's offset and a CRC32 of every preceding byte — the
+// same self-checksum discipline as the snapshot v2 manifest — so a torn
+// tail or a flipped byte anywhere is detected at open time.
+//
+// Durability follows the snapshot/WAL playbook: Write stages the whole
+// file at <name>.tmp, fsyncs it, renames it into place and fsyncs the
+// directory. A crash mid-write leaves only a stale .tmp (cleaned up at
+// the next List); a damaged file fails Open with ErrCorrupt and is
+// quarantined aside like a corrupt WAL, never silently skipped.
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphsig/internal/core"
+	"graphsig/internal/fault"
+	"graphsig/internal/graph"
+)
+
+const (
+	header     = "graphsig-segment v1"
+	fileSuffix = ".seg"
+	tmpSuffix  = ".tmp"
+	// quarantineSuffix matches the store/WAL convention so operators
+	// find all damaged artifacts with one glob.
+	quarantineSuffix = ".corrupt"
+)
+
+// ErrCorrupt marks a segment file that is structurally broken — bad
+// checksum, torn tail, malformed TOC — as opposed to an I/O failure
+// reaching it. Corrupt segments are safe to Quarantine.
+var ErrCorrupt = errors.New("segment: corrupt segment")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// windowInfo is one TOC entry: where a window's block lives in the file.
+type windowInfo struct {
+	window int
+	scheme string
+	off    int64
+	size   int64
+	crc    uint32
+}
+
+// Segment is an opened, verified segment file. The handle caches the
+// TOC and label index in memory; window blocks stay on disk and are
+// re-read (and re-verified) on demand. Segments are immutable, so a
+// handle is safe for concurrent readers.
+type Segment struct {
+	path     string
+	universe *graph.Universe
+	size     int64
+	toc      []windowInfo // ascending by window
+	byWindow map[int]int
+	labels   map[string][]int // source label → window indices, ascending
+}
+
+// Name returns the canonical file name for a segment covering windows
+// [first, last].
+func Name(first, last int) string {
+	return fmt.Sprintf("seg-%09d-%09d%s", first, last, fileSuffix)
+}
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// Size returns the segment file's byte size.
+func (s *Segment) Size() int64 { return s.size }
+
+// First returns the oldest window index in the segment.
+func (s *Segment) First() int { return s.toc[0].window }
+
+// Last returns the newest window index in the segment.
+func (s *Segment) Last() int { return s.toc[len(s.toc)-1].window }
+
+// Len returns the number of windows in the segment.
+func (s *Segment) Len() int { return len(s.toc) }
+
+// Windows returns the window indices in the segment, ascending.
+func (s *Segment) Windows() []int {
+	out := make([]int, len(s.toc))
+	for i, w := range s.toc {
+		out[i] = w.window
+	}
+	return out
+}
+
+// Contains reports whether window w has a block in the segment.
+func (s *Segment) Contains(w int) bool {
+	_, ok := s.byWindow[w]
+	return ok
+}
+
+// LabelWindows returns the windows in which label appears as a source,
+// ascending — the per-segment index that lets History seek straight to
+// the relevant blocks. The slice is shared; callers must not mutate it.
+func (s *Segment) LabelWindows(label string) []int { return s.labels[label] }
+
+// ReadWindow reads, verifies and parses the block of window w. Labels
+// resolve through the universe the segment was opened against; Open
+// interned every label the segment references, so runtime reads never
+// mutate the universe and are safe under the store's read lock.
+func (s *Segment) ReadWindow(w int) (*core.SignatureSet, error) {
+	i, ok := s.byWindow[w]
+	if !ok {
+		return nil, fmt.Errorf("segment: window %d not in %s", w, filepath.Base(s.path))
+	}
+	info := s.toc[i]
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	defer f.Close()
+	raw := make([]byte, info.size)
+	if _, err := f.ReadAt(raw, info.off); err != nil {
+		return nil, fmt.Errorf("segment: %s window %d: %w", filepath.Base(s.path), w, err)
+	}
+	if got := crc32.ChecksumIEEE(raw); got != info.crc {
+		return nil, corruptf("%s window %d checksum mismatch: %08x != %08x",
+			filepath.Base(s.path), w, got, info.crc)
+	}
+	set, err := core.ReadSignatureSet(bytes.NewReader(raw), s.universe)
+	if err != nil {
+		return nil, corruptf("%s window %d: %v", filepath.Base(s.path), w, err)
+	}
+	return set, nil
+}
+
+// Write compacts sets (ascending window order) into a new segment file
+// under dir and returns the opened handle. The file is staged at
+// <name>.tmp, fsynced, renamed into place and the directory fsynced, so
+// a crash at any point leaves either no segment or a complete one —
+// and because the block codec is deterministic, re-compacting the same
+// windows after a crash-replay reproduces the file bit-identically
+// (cluster followers rely on this to agree with their primary).
+func Write(dir string, sets []*core.SignatureSet, u *graph.Universe) (*Segment, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("segment: write with no windows")
+	}
+	for i := 1; i < len(sets); i++ {
+		if sets[i].Window <= sets[i-1].Window {
+			return nil, fmt.Errorf("segment: windows not ascending: %d after %d",
+				sets[i].Window, sets[i-1].Window)
+		}
+	}
+	seg := &Segment{
+		universe: u,
+		byWindow: make(map[int]int, len(sets)),
+		labels:   make(map[string][]int),
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, header)
+	var block bytes.Buffer
+	for i, set := range sets {
+		block.Reset()
+		if err := core.WriteSignatureSet(&block, set, u); err != nil {
+			return nil, fmt.Errorf("segment: window %d: %w", set.Window, err)
+		}
+		seg.toc = append(seg.toc, windowInfo{
+			window: set.Window,
+			scheme: set.Scheme,
+			off:    int64(buf.Len()),
+			size:   int64(block.Len()),
+			crc:    crc32.ChecksumIEEE(block.Bytes()),
+		})
+		seg.byWindow[set.Window] = i
+		for _, v := range set.Sources {
+			label := u.Label(v)
+			seg.labels[label] = append(seg.labels[label], set.Window)
+		}
+		buf.Write(block.Bytes())
+	}
+	tocOff := int64(buf.Len())
+	fmt.Fprintf(&buf, "toc %d\n", len(seg.toc))
+	for _, w := range seg.toc {
+		fmt.Fprintf(&buf, "window %d %q %d %d %08x\n", w.window, w.scheme, w.off, w.size, w.crc)
+	}
+	labels := make([]string, 0, len(seg.labels))
+	for label := range seg.labels {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(&buf, "label %q", label)
+		for _, w := range seg.labels[label] {
+			fmt.Fprintf(&buf, " %d", w)
+		}
+		fmt.Fprintln(&buf)
+	}
+	fmt.Fprintf(&buf, "end %d %08x\n", tocOff, crc32.ChecksumIEEE(buf.Bytes()))
+
+	path := filepath.Join(dir, Name(sets[0].Window, sets[len(sets)-1].Window))
+	if err := writeFileSynced(path+tmpSuffix, buf.Bytes(), "segment.write"); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if err := fault.Inject("segment.commit"); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if err := os.Rename(path+tmpSuffix, path); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	seg.path = path
+	seg.size = int64(buf.Len())
+	return seg, nil
+}
+
+// Open reads and fully verifies a segment file: the trailing
+// self-checksum, the TOC, and every window block (size, CRC, and a
+// complete parse). Parsing at open time doubles as label registration —
+// every label the segment references is interned into u here, once,
+// single-threaded, so later ReadWindow calls resolve labels without
+// ever mutating the universe. Structural damage is reported as
+// ErrCorrupt (quarantine and carry on); plain I/O errors are not.
+func Open(path string, u *graph.Universe) (*Segment, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if !bytes.HasPrefix(raw, []byte(header+"\n")) {
+		return nil, corruptf("%s: bad header", filepath.Base(path))
+	}
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		return nil, corruptf("%s: torn tail", filepath.Base(path))
+	}
+	footStart := bytes.LastIndexByte(raw[:len(raw)-1], '\n') + 1
+	foot := strings.TrimSuffix(string(raw[footStart:]), "\n")
+	var tocOff int64
+	var wantCRC uint32
+	if _, err := fmt.Sscanf(foot, "end %d %x", &tocOff, &wantCRC); err != nil {
+		return nil, corruptf("%s: bad end line %q", filepath.Base(path), foot)
+	}
+	if got := crc32.ChecksumIEEE(raw[:footStart]); got != wantCRC {
+		return nil, corruptf("%s: checksum mismatch: %08x != %08x", filepath.Base(path), got, wantCRC)
+	}
+	if tocOff <= 0 || tocOff >= int64(footStart) {
+		return nil, corruptf("%s: toc offset %d out of range", filepath.Base(path), tocOff)
+	}
+
+	seg := &Segment{
+		path:     path,
+		universe: u,
+		size:     int64(len(raw)),
+		byWindow: make(map[int]int),
+		labels:   make(map[string][]int),
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw[tocOff:int64(footStart)]), "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "toc ") {
+		return nil, corruptf("%s: missing toc line", filepath.Base(path))
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(lines[0], "toc "))
+	if err != nil || n <= 0 {
+		return nil, corruptf("%s: bad toc count %q", filepath.Base(path), lines[0])
+	}
+	for _, line := range lines[1:] {
+		switch {
+		case strings.HasPrefix(line, "window "):
+			fields, err := core.SplitQuoted(line)
+			if err != nil || len(fields) != 6 {
+				return nil, corruptf("%s: bad toc window line %q", filepath.Base(path), line)
+			}
+			var info windowInfo
+			info.scheme = fields[2]
+			if info.window, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, corruptf("%s: bad window index in %q", filepath.Base(path), line)
+			}
+			if info.off, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, corruptf("%s: bad offset in %q", filepath.Base(path), line)
+			}
+			if info.size, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+				return nil, corruptf("%s: bad size in %q", filepath.Base(path), line)
+			}
+			crc, err := strconv.ParseUint(fields[5], 16, 32)
+			if err != nil {
+				return nil, corruptf("%s: bad block checksum in %q", filepath.Base(path), line)
+			}
+			info.crc = uint32(crc)
+			if k := len(seg.toc); k > 0 && info.window <= seg.toc[k-1].window {
+				return nil, corruptf("%s: toc windows not ascending at %d", filepath.Base(path), info.window)
+			}
+			seg.byWindow[info.window] = len(seg.toc)
+			seg.toc = append(seg.toc, info)
+		case strings.HasPrefix(line, "label "):
+			fields, err := core.SplitQuoted(line)
+			if err != nil || len(fields) < 3 {
+				return nil, corruptf("%s: bad toc label line %q", filepath.Base(path), line)
+			}
+			wins := make([]int, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				w, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, corruptf("%s: bad label window in %q", filepath.Base(path), line)
+				}
+				if _, ok := seg.byWindow[w]; !ok {
+					return nil, corruptf("%s: label references unknown window %d", filepath.Base(path), w)
+				}
+				wins = append(wins, w)
+			}
+			seg.labels[fields[1]] = wins
+		default:
+			return nil, corruptf("%s: unknown toc line %q", filepath.Base(path), line)
+		}
+	}
+	if len(seg.toc) != n {
+		return nil, corruptf("%s: toc promises %d windows, found %d", filepath.Base(path), n, len(seg.toc))
+	}
+
+	// Deep verification + label registration: every block must match its
+	// TOC entry and parse cleanly. Interning here (boot, single-threaded)
+	// is what makes later ReadWindow calls mutation-free.
+	for _, info := range seg.toc {
+		if info.off < int64(len(header)+1) || info.off+info.size > tocOff {
+			return nil, corruptf("%s: window %d block out of bounds", filepath.Base(path), info.window)
+		}
+		block := raw[info.off : info.off+info.size]
+		if got := crc32.ChecksumIEEE(block); got != info.crc {
+			return nil, corruptf("%s: window %d checksum mismatch: %08x != %08x",
+				filepath.Base(path), info.window, got, info.crc)
+		}
+		set, err := core.ReadSignatureSet(bytes.NewReader(block), u)
+		if err != nil {
+			return nil, corruptf("%s: window %d: %v", filepath.Base(path), info.window, err)
+		}
+		if set.Window != info.window {
+			return nil, corruptf("%s: block claims window %d, toc says %d",
+				filepath.Base(path), set.Window, info.window)
+		}
+	}
+	return seg, nil
+}
+
+// List returns the segment files under dir, sorted by name (the
+// zero-padded window range makes name order equal window order), and
+// removes stale .tmp leftovers from crashed compactions. A missing dir
+// is an empty listing, not an error.
+func List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, fileSuffix+tmpSuffix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if strings.HasSuffix(name, fileSuffix) {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Quarantine renames a segment file that failed to Open aside
+// (file.corrupt, file.corrupt.1, ...) and returns the new path, so the
+// caller can keep serving while preserving the evidence.
+func Quarantine(path string) (string, error) {
+	dst := path + quarantineSuffix
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s%s.%d", path, quarantineSuffix, i)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("segment: quarantine: %w", err)
+	}
+	return dst, nil
+}
+
+// writeFileSynced writes data to path and fsyncs it; the failpoint
+// fires before the write so tests can inject full-disk failures.
+func writeFileSynced(path string, data []byte, failpoint string) error {
+	if err := fault.Inject(failpoint); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so its entries are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

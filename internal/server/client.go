@@ -452,10 +452,51 @@ func (c *Client) IngestBatch(batchID string, records []netflow.Record) (IngestRe
 	return out, err
 }
 
-// History fetches a label's archived signatures.
+// HistoryQuery bounds a history fetch. Zero-value fields are omitted
+// from the request: the server applies its whole-archive window bounds
+// and DefaultHistoryLimit. Limit -1 explicitly requests the unbounded
+// archive (sent as limit=0).
+type HistoryQuery struct {
+	// From / To are inclusive window bounds, applied only when the
+	// matching Has flag is set (0 is a valid window index).
+	From, To       int
+	HasFrom, HasTo bool
+	// Limit > 0 keeps the newest Limit entries; 0 defers to the server
+	// default; -1 asks for everything.
+	Limit int
+}
+
+func (q HistoryQuery) encode() string {
+	v := url.Values{}
+	if q.HasFrom {
+		v.Set("from", strconv.Itoa(q.From))
+	}
+	if q.HasTo {
+		v.Set("to", strconv.Itoa(q.To))
+	}
+	switch {
+	case q.Limit > 0:
+		v.Set("limit", strconv.Itoa(q.Limit))
+	case q.Limit < 0:
+		v.Set("limit", "0")
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+// History fetches a label's archived signatures under the server's
+// default limit (the newest DefaultHistoryLimit entries).
 func (c *Client) History(label string) (HistoryResponse, error) {
+	return c.HistoryRange(label, HistoryQuery{})
+}
+
+// HistoryRange fetches a label's archived signatures within explicit
+// window bounds and limit; see HistoryQuery.
+func (c *Client) HistoryRange(label string, q HistoryQuery) (HistoryResponse, error) {
 	var out HistoryResponse
-	err := c.do(http.MethodGet, "/v1/signatures/"+url.PathEscape(label), nil, &out)
+	err := c.do(http.MethodGet, "/v1/signatures/"+url.PathEscape(label)+q.encode(), nil, &out)
 	return out, err
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -112,10 +113,16 @@ type HistoryEntryJSON struct {
 	Signature SignatureJSON `json:"signature"`
 }
 
-// HistoryResponse is the GET /v1/signatures/{label} body.
+// HistoryResponse is the GET /v1/signatures/{label} body. The query
+// accepts from/to (inclusive window bounds) and limit: absent, limit
+// defaults to DefaultHistoryLimit; limit=0 asks for the unbounded
+// archive. When older matches were cut by the limit, Truncated is set
+// — with a segment-backed cold tier a label's history can span months,
+// so one GET must not default to shipping all of it.
 type HistoryResponse struct {
-	Label   string             `json:"label"`
-	History []HistoryEntryJSON `json:"history"`
+	Label     string             `json:"label"`
+	History   []HistoryEntryJSON `json:"history"`
+	Truncated bool               `json:"truncated,omitempty"`
 }
 
 // SearchRequest is the POST /v1/search body: query by archived label
@@ -357,19 +364,54 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ingestBatchTraced(tr, req.BatchID, records))
 }
 
+// historyParams parses the from/to/limit query of a history GET.
+// Bounds default to the whole archive; an absent limit defaults to
+// DefaultHistoryLimit and an explicit limit=0 means unbounded.
+func historyParams(r *http.Request) (from, to, limit int, err error) {
+	from, to, limit = math.MinInt, math.MaxInt, DefaultHistoryLimit
+	q := r.URL.Query()
+	for _, p := range []struct {
+		key string
+		dst *int
+	}{{"from", &from}, {"to", &to}, {"limit", &limit}} {
+		v := q.Get(p.key)
+		if v == "" {
+			continue
+		}
+		n, perr := strconv.Atoi(v)
+		if perr != nil {
+			return 0, 0, 0, fmt.Errorf("bad %s %q: want an integer", p.key, v)
+		}
+		*p.dst = n
+	}
+	if limit < 0 {
+		return 0, 0, 0, fmt.Errorf("bad limit %d: want >= 0", limit)
+	}
+	return from, to, limit, nil
+}
+
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	label := r.PathValue("label")
 	s.metrics.HistoryQueries.Add(1)
+	from, to, limit, err := historyParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	tr := s.traceRemote(r, "history")
 	defer tr.Finish()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	entries := s.store.History(label)
+	entries, truncated, err := s.store.HistoryRange(label, from, to, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading archive: %v", err)
+		return
+	}
 	if len(entries) == 0 {
 		writeError(w, http.StatusNotFound, "label %q has no archived signatures", label)
 		return
 	}
-	resp := HistoryResponse{Label: label}
+	resp := HistoryResponse{Label: label, Truncated: truncated}
 	for _, e := range entries {
 		resp.History = append(resp.History, HistoryEntryJSON{
 			Window:    e.Window,
@@ -643,7 +685,14 @@ func (s *Server) handleWatchlistAdd(w http.ResponseWriter, r *http.Request) {
 	// generation's replay) screens the same set. Write lock throughout.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries := s.store.History(req.Label)
+	// The watchlist archives the label's full history — screening wants
+	// every epoch of the individual, so this read is explicitly
+	// unbounded even when the archive reaches into cold segments.
+	entries, _, err := s.store.HistoryRange(req.Label, math.MinInt, math.MaxInt, 0)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading archive: %v", err)
+		return
+	}
 	archived := 0
 	for _, e := range entries {
 		if req.Window != nil && e.Window != *req.Window {

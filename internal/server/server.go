@@ -57,6 +57,10 @@ const (
 	DefaultHitLogSize    = 1024
 	DefaultDedupCap      = 4096
 	DefaultReplicaRetain = 8
+	// DefaultHistoryLimit bounds GET /v1/signatures/{label} when no
+	// explicit limit is given: the newest entries win. With a cold tier
+	// a label's archive can span months; ?limit=0 requests all of it.
+	DefaultHistoryLimit = 1000
 )
 
 // Identity names a process's place in a cluster topology. It is
@@ -149,6 +153,18 @@ type Config struct {
 	// more generations than this finds its cursor pruned (410) and must
 	// re-bootstrap.
 	ReplicaRetain int
+	// SegmentDir, when non-empty, enables tiered window storage: every
+	// window the bounded ring evicts is first compacted into an
+	// immutable, checksummed segment file under this directory, and
+	// History / windowed Search / per-window reads transparently fall
+	// through to it. At startup existing segments are rediscovered and
+	// checksum-verified; corrupt files are quarantined aside like a
+	// corrupt WAL, never fatal.
+	SegmentDir string
+	// SegmentRetain, when positive, bounds the number of segment files
+	// kept on disk — compaction deletes the oldest beyond the bound, an
+	// explicit trade of history depth for disk. 0 keeps everything.
+	SegmentRetain int
 }
 
 // Float64 returns a pointer to v, for literal Config fields such as
@@ -184,6 +200,12 @@ type Recovery struct {
 	// WALWindowsClosed counts windows the replay completed (normally 0:
 	// the log covers only the open window).
 	WALWindowsClosed int
+	// SegmentsAttached / SegmentWindows count the cold-tier segment
+	// files rediscovered at boot and the window blocks they hold.
+	SegmentsAttached int
+	SegmentWindows   int
+	// SegmentsQuarantined lists corrupt segment files renamed aside.
+	SegmentsQuarantined []string
 }
 
 // Server is the online signature service.
@@ -281,11 +303,12 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	scfg := store.Config{
-		Capacity: cfg.StoreCapacity,
-		LSHBands: cfg.LSHBands,
-		LSHRows:  cfg.LSHRows,
-		LSHSeed:  cfg.LSHSeed,
-		Registry: s.obs.registry,
+		Capacity:      cfg.StoreCapacity,
+		LSHBands:      cfg.LSHBands,
+		LSHRows:       cfg.LSHRows,
+		LSHSeed:       cfg.LSHSeed,
+		SegmentRetain: cfg.SegmentRetain,
+		Registry:      s.obs.registry,
 	}
 	if err := s.openStore(scfg); err != nil {
 		return nil, err
@@ -338,6 +361,12 @@ func New(cfg Config) (*Server, error) {
 		func() int64 { return int64(s.store.Len()) })
 	s.obs.registry.GaugeFunc("watchlist_size", "archived watchlist signatures",
 		func() int64 { return int64(s.watch.Len()) })
+	if cfg.SegmentDir != "" {
+		s.obs.registry.GaugeFunc("store_segment_files", "cold-tier segment files attached",
+			func() int64 { return int64(s.store.SegmentCount()) })
+		s.obs.registry.GaugeFunc("store_segment_windows", "windows served from cold-tier segments",
+			func() int64 { return int64(s.store.SegmentWindows()) })
+	}
 	s.replayWAL(replay)
 	s.routes()
 	return s, nil
@@ -371,7 +400,7 @@ func (s *Server) openStore(scfg store.Config) error {
 		if err == nil {
 			s.store = st
 			s.recovery.SnapshotRestored = true
-			return nil
+			return s.attachSegments()
 		}
 		if !errors.Is(err, store.ErrCorrupt) {
 			return err
@@ -389,6 +418,29 @@ func (s *Server) openStore(scfg store.Config) error {
 		return err
 	}
 	s.store = st
+	return s.attachSegments()
+}
+
+// attachSegments enables the store's cold tier when SegmentDir is
+// configured: existing segment files are rediscovered and
+// checksum-verified, and corrupt ones (torn compaction tails, flipped
+// bytes) are quarantined aside — boot continues without them. It runs
+// after any snapshot load so label interning follows the manifest
+// first.
+func (s *Server) attachSegments() error {
+	if s.cfg.SegmentDir == "" {
+		return nil
+	}
+	st, err := s.store.AttachSegments(s.cfg.SegmentDir)
+	if err != nil {
+		return err
+	}
+	s.recovery.SegmentsAttached = st.Segments
+	s.recovery.SegmentWindows = st.Windows
+	s.recovery.SegmentsQuarantined = st.Quarantined
+	for _, q := range st.Quarantined {
+		s.logf("sigserver: corrupt segment quarantined to %s", q)
+	}
 	return nil
 }
 

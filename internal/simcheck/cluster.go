@@ -491,7 +491,7 @@ func (s *csim) compareHistory() error {
 	}
 	label := s.labels[s.rng.Intn(len(s.labels))]
 	s.note("history label=%s", label)
-	routed, rerr := s.router.History(label)
+	routed, rerr := s.router.History(label, server.HistoryQuery{})
 	refRes, ferr := s.ref.History(label)
 	if rerr != nil || ferr != nil {
 		if rs, fs := server.APIStatus(rerr), server.APIStatus(ferr); rs != fs {

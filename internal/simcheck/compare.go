@@ -27,7 +27,13 @@ func (s *sim) opSearch() error {
 		opts.ExcludeLabel = label
 	}
 	if s.rng.Bernoulli(0.3) {
-		opts.LastWindows = 1 + s.rng.Intn(s.cfg.Capacity)
+		span := s.cfg.Capacity
+		if s.cfg.Segments {
+			// Reach well past the hot ring so windowed searches cross the
+			// ring/segment boundary.
+			span = 3 * s.cfg.Capacity
+		}
+		opts.LastWindows = 1 + s.rng.Intn(span)
 	}
 	if s.rng.Bernoulli(0.2) {
 		opts.NoPrefilter = true
@@ -150,10 +156,13 @@ func (s *sim) opHistory() error {
 	return s.cheapCompare()
 }
 
-// cheapCompare runs the O(1) invariants after every op.
+// cheapCompare runs the O(1) invariants after every op. The window
+// count spans both tiers: hot ring plus unshadowed segment windows
+// (SegmentWindows is 0 when no tier is attached).
 func (s *sim) cheapCompare() error {
-	if got, want := s.srv.Store().Len(), len(s.model.archive.windows); got != want {
-		return s.fail("store has %d windows, model %d", got, want)
+	st := s.srv.Store()
+	if got, want := st.Len()+st.SegmentWindows(), len(s.model.archive.windows); got != want {
+		return s.fail("store has %d windows (%d hot + %d cold), model %d", got, st.Len(), st.SegmentWindows(), want)
 	}
 	gl, gh, gok := s.srv.Store().WindowRange()
 	var wl, wh int
@@ -189,9 +198,17 @@ func (s *sim) deepCompare(when string) error {
 				when, i, u.Label(v), u.PartOf(v), lp.Label, lp.Part)
 		}
 	}
-	sets := s.srv.Store().Windows()
-	for i, set := range sets {
-		want := s.model.archive.windows[i]
+	// Fetch windows by index through Store.Window, which falls through
+	// to cold segments — the count equality in cheapCompare plus one
+	// fetch per model window covers both tiers exactly.
+	for i, want := range s.model.archive.windows {
+		set, err := s.srv.Store().Window(want.Window)
+		if err != nil {
+			return s.fail("%s: reading window %d: %v", when, want.Window, err)
+		}
+		if set == nil {
+			return s.fail("%s: window %d missing from store", when, want.Window)
+		}
 		got := toRefWindow(u, set)
 		if got.Window != want.Window || got.Scheme != want.Scheme {
 			return s.fail("%s: window %d: server (w%d, %s), model (w%d, %s)",

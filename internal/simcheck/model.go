@@ -313,6 +313,11 @@ type faultPlan struct {
 	// resetFail makes the post-save WAL truncation fail (wal.reset):
 	// the archive is saved but the log keeps its records.
 	resetFail bool
+	// segFail makes segment compaction fail (segment.write or a torn
+	// segment.commit): the store defers eviction and retains the window
+	// in RAM, so NOTHING observable changes — the model stays untouched,
+	// which is exactly the invariant under test.
+	segFail bool
 }
 
 func (p faultPlan) String() string {
@@ -325,6 +330,8 @@ func (p faultPlan) String() string {
 		return "snap-committed"
 	case p.resetFail:
 		return "reset-fail"
+	case p.segFail:
+		return "seg-fail"
 	}
 	return "none"
 }
@@ -352,7 +359,7 @@ type model struct {
 
 // newModel builds the reference model for a fresh (empty-disk) run.
 func newModel(cfg Config) (*model, error) {
-	m := &model{cfg: cfg, archive: &refArchive{cap: cfg.Capacity}}
+	m := &model{cfg: cfg, archive: &refArchive{cap: cfg.archiveCap()}}
 	if err := m.buildPipeline(nil, cfg.streamConfig().Origin); err != nil {
 		return nil, err
 	}
@@ -537,7 +544,7 @@ func (m *model) reopen(tornBytes int64) (expectedRecovery, error) {
 	}
 
 	var labels []labelPart
-	m.archive = &refArchive{cap: m.cfg.Capacity}
+	m.archive = &refArchive{cap: m.cfg.archiveCap()}
 	if m.disk != nil {
 		labels = m.disk.labels
 		m.archive = m.disk.archive.clone()

@@ -2,6 +2,7 @@ package simcheck
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"time"
@@ -59,6 +60,13 @@ type Config struct {
 	// Restarts interleaves graceful restarts, crashes, and crashes with
 	// torn WAL tails.
 	Restarts bool
+	// Segments attaches a cold segment tier under Dir: the ring stays at
+	// Capacity while compaction moves evictions into immutable segment
+	// files, and the model turns unbounded — every window ever closed
+	// must stay servable through History/Search/Window across crashes.
+	// With Faults on, compaction failures (clean and torn-commit) are
+	// injected too; they must defer eviction, never lose a window.
+	Segments bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +111,19 @@ func (c Config) serverConfig() server.Config {
 	if c.LSH {
 		scfg.LSHBands, scfg.LSHRows, scfg.LSHSeed = 4, 2, 7
 	}
+	if c.Segments {
+		scfg.SegmentDir = filepath.Join(c.Dir, "segments")
+	}
 	return scfg
+}
+
+// archiveCap is the model archive's bound: with a segment tier the
+// real node retains every window, so the reference must too.
+func (c Config) archiveCap() int {
+	if c.Segments {
+		return math.MaxInt / 2
+	}
+	return c.Capacity
 }
 
 // Divergence is a model/server disagreement: the seed and op index
@@ -280,6 +300,8 @@ func (s *sim) pickPlan() faultPlan {
 		return faultPlan{snapFail: true}
 	case f < 0.85:
 		return faultPlan{snapCommitted: true}
+	case f < 0.92 && s.cfg.Segments:
+		return faultPlan{segFail: true}
 	default:
 		return faultPlan{resetFail: true}
 	}
@@ -290,6 +312,7 @@ func (s *sim) pickPlan() faultPlan {
 var faultNames = []string{
 	"wal.sync", "wal.reset",
 	"store.save.set", "store.save.manifest", "store.save.swap", "store.save.swap.mid",
+	"segment.write", "segment.commit",
 }
 
 // installPlan arms the plan's failpoints; the returned func disarms
@@ -306,6 +329,12 @@ func (s *sim) installPlan(plan faultPlan) func() {
 		fault.Set(name, hook)
 	case plan.snapCommitted:
 		fault.Set("store.save.swap.mid", hook)
+	case plan.segFail:
+		// Vary whether the compaction dies cleanly or tears mid-commit
+		// (leaving a stale .tmp for the next boot to sweep); either way
+		// eviction defers and no window may be lost.
+		name := []string{"segment.write", "segment.commit"}[s.rng.Intn(2)]
+		fault.Set(name, hook)
 	case plan.resetFail:
 		fault.Set("wal.reset", hook)
 	default:
@@ -514,7 +543,7 @@ func (s *sim) reopen(tornBytes int64) error {
 		return err
 	}
 	rec := srv.Recovery()
-	if rec.SnapshotQuarantined != "" || rec.WALQuarantined != "" {
+	if rec.SnapshotQuarantined != "" || rec.WALQuarantined != "" || len(rec.SegmentsQuarantined) != 0 {
 		return s.fail("recovery quarantined state: %+v", rec)
 	}
 	if rec.WALRejected != 0 {

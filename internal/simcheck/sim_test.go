@@ -20,6 +20,7 @@ func smokeConfigs(t *testing.T) []Config {
 		{Seed: 4, Ops: 2000, ExplicitOrigin: false, LSH: true, Faults: false, Restarts: true},
 		{Seed: 5, Ops: 2000, ExplicitOrigin: true, Faults: true, Restarts: false},
 		{Seed: 6, Ops: 500, ExplicitOrigin: false, Faults: false, Restarts: false},
+		{Seed: 8, Ops: 2000, ExplicitOrigin: true, Segments: true, Capacity: 3, Faults: true, Restarts: true},
 	}
 }
 
@@ -29,8 +30,8 @@ func smokeConfigs(t *testing.T) []Config {
 func TestSimSmoke(t *testing.T) {
 	for _, cfg := range smokeConfigs(t) {
 		cfg := cfg
-		name := fmt.Sprintf("seed%d_origin%v_lsh%v_faults%v_restarts%v",
-			cfg.Seed, cfg.ExplicitOrigin, cfg.LSH, cfg.Faults, cfg.Restarts)
+		name := fmt.Sprintf("seed%d_origin%v_lsh%v_faults%v_restarts%v_segments%v",
+			cfg.Seed, cfg.ExplicitOrigin, cfg.LSH, cfg.Faults, cfg.Restarts, cfg.Segments)
 		t.Run(name, func(t *testing.T) {
 			cfg.Dir = t.TempDir()
 			if err := Run(cfg); err != nil {
@@ -49,6 +50,28 @@ func TestSimShortDeterministic(t *testing.T) {
 		if err := Run(cfg); err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
+	}
+}
+
+// TestSimSegments drives the tiered store hard: a tiny hot ring with a
+// cold segment tier, crash/restart and fault schedules (including
+// injected compaction failures), with the model holding the UNBOUNDED
+// archive — so every history, search, and per-window read must keep
+// reaching windows that left RAM long ago, across every recovery.
+func TestSimSegments(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 21, Ops: 1200, ExplicitOrigin: true, Segments: true, Capacity: 2, Faults: true, Restarts: true},
+		{Seed: 22, Ops: 1200, ExplicitOrigin: false, Segments: true, Capacity: 3, Faults: false, Restarts: true},
+		{Seed: 23, Ops: 800, ExplicitOrigin: true, Segments: true, Capacity: 3, LSH: true, Faults: true, Restarts: false},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("seed%d_cap%d_lsh%v_faults%v_restarts%v",
+			cfg.Seed, cfg.Capacity, cfg.LSH, cfg.Faults, cfg.Restarts), func(t *testing.T) {
+			cfg.Dir = t.TempDir()
+			if err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

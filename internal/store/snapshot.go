@@ -259,9 +259,12 @@ func corruptf(format string, args ...any) error {
 
 // Load rebuilds a store from a snapshot directory, interning every
 // label into cfg.Universe (a fresh one when nil). Window order and
-// indices are restored from the manifest; capacity applies as usual, so
-// loading a larger snapshot into a smaller store keeps the newest
-// windows. An interrupted Save swap is repaired first; structural
+// indices are restored from the manifest. An over-capacity snapshot —
+// a tiered server checkpoints one after a failed compaction deferred
+// eviction — loads in full: trimming here would drop the only copy of
+// an acked window before AttachSegments can wire the cold tier. The
+// surplus is compacted (or, untiered, evicted) on the next live Add.
+// An interrupted Save swap is repaired first; structural
 // damage — checksum mismatches, truncated or missing files, malformed
 // manifests — is reported as ErrCorrupt (quarantine and boot fresh),
 // while plain I/O errors are not.
@@ -322,7 +325,10 @@ func Load(dir string, cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := s.Add(set); err != nil {
+		s.loading = true
+		err = s.Add(set)
+		s.loading = false
+		if err != nil {
 			// Duplicate or regressing window indices: the manifest
 			// itself is inconsistent.
 			return nil, corruptf("%v", err)

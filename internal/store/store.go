@@ -17,6 +17,7 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -48,6 +49,11 @@ type Config struct {
 	// counts, pairwise-engine row timings). Nil disables
 	// instrumentation at zero cost beyond one branch per event.
 	Registry *obs.Registry
+	// SegmentRetain bounds the number of cold-tier segment files kept
+	// on disk once AttachSegments enabled tiering; the oldest files
+	// beyond the bound are deleted after each compaction. Zero keeps
+	// everything.
+	SegmentRetain int
 }
 
 func (c *Config) validate() error {
@@ -80,6 +86,18 @@ type Store struct {
 	added   int     // windows ever added (monotone, survives eviction)
 	evicted int
 
+	// tier, when non-nil, is the cold tier of immutable segment files
+	// that receives every evicted window (see tier.go). Guarded by mu.
+	tier *segTier
+
+	// loading suspends capacity eviction while Load replays a snapshot
+	// manifest. A pre-crash server may legitimately checkpoint an
+	// over-capacity ring (compaction failed, eviction deferred); evicting
+	// here — before AttachSegments has wired the cold tier — would drop
+	// the only copy of an acked window. The surplus compacts on the next
+	// live Add instead.
+	loading bool
+
 	// saveMu serializes Save calls (periodic snapshot loop vs window
 	// close vs shutdown) so two writers never race on the staging dir.
 	saveMu sync.Mutex
@@ -94,7 +112,18 @@ type storeObs struct {
 	saveBytes    *obs.Counter   // bytes staged by successful Saves
 	lshSeconds   *obs.Histogram // per-window LSH index build time
 	searchProbes *obs.Histogram // exact distance evaluations per Search
-	engine       distmat.Metrics
+
+	// Cold-tier counters (store_segment_*), live once AttachSegments
+	// enabled tiering.
+	segSaves       *obs.Counter // segment files written by compaction
+	segSaveBytes   *obs.Counter // bytes written into segment files
+	segCompacted   *obs.Counter // windows compacted out of the hot ring
+	segLoads       *obs.Counter // window blocks read back from segments
+	segQuarantines *obs.Counter // corrupt segment files renamed aside
+	segPruned      *obs.Counter // segment files deleted by retention
+	segErrors      *obs.Counter // failed compactions/prunes (eviction deferred)
+
+	engine distmat.Metrics
 }
 
 // bind registers the store metric families on reg (idempotent: names
@@ -111,6 +140,20 @@ func (o *storeObs) bind(reg *obs.Registry) {
 		"LSH MinHash index build time per archived window")
 	o.searchProbes = reg.HistogramWith("store_search_probes",
 		"exact distance evaluations per search request", obs.CountBounds(24))
+	o.segSaves = reg.Counter("store_segment_saves",
+		"cold-tier segment files written by compaction")
+	o.segSaveBytes = reg.Counter("store_segment_save_bytes_total",
+		"bytes written into cold-tier segment files")
+	o.segCompacted = reg.Counter("store_segment_compacted_windows",
+		"windows compacted out of the hot ring into segments")
+	o.segLoads = reg.Counter("store_segment_loads",
+		"window blocks read back from cold-tier segments")
+	o.segQuarantines = reg.Counter("store_segment_quarantines",
+		"corrupt segment files renamed aside at attach")
+	o.segPruned = reg.Counter("store_segment_pruned",
+		"segment files deleted by the retention policy")
+	o.segErrors = reg.Counter("store_segment_errors",
+		"failed segment compactions or prunes (eviction deferred)")
 	o.engine = distmat.Metrics{
 		RowSeconds: reg.Histogram("distmat_row_seconds",
 			"pairwise-engine row computation time (one query vs one window)"),
@@ -165,10 +208,19 @@ func (s *Store) Add(set *core.SignatureSet) error {
 	}
 	s.ring = append(s.ring, e)
 	s.added++
-	if len(s.ring) > s.cfg.Capacity {
+	if len(s.ring) > s.cfg.Capacity && !s.loading {
 		over := len(s.ring) - s.cfg.Capacity
-		s.ring = append(s.ring[:0:0], s.ring[over:]...)
-		s.evicted += over
+		if s.tier != nil {
+			// Compaction precedes eviction: only windows with a durable
+			// segment copy may leave RAM. A failed segment write shrinks
+			// `over` and the ring temporarily exceeds Capacity — degraded
+			// memory bounds beat lost history.
+			over = s.compactLocked(over)
+		}
+		if over > 0 {
+			s.ring = append(s.ring[:0:0], s.ring[over:]...)
+			s.evicted += over
+		}
 	}
 	return nil
 }
@@ -210,20 +262,36 @@ func (s *Store) TotalAdded() int {
 	return s.added
 }
 
-// WindowRange reports the oldest and newest retained window indices;
-// ok is false when the store is empty.
+// WindowRange reports the oldest and newest retained window indices
+// across both tiers — cold segments extend the range past the hot
+// ring; ok is false when the archive is empty.
 func (s *Store) WindowRange() (oldest, newest int, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.ring) == 0 {
-		return 0, 0, false
+	segs, bound := s.tierSegsLocked()
+	for _, seg := range segs {
+		if seg.First() < bound {
+			oldest, ok = seg.First(), true
+			break
+		}
 	}
-	return s.ring[0].set.Window, s.ring[len(s.ring)-1].set.Window, true
+	if len(s.ring) > 0 {
+		if !ok {
+			oldest = s.ring[0].set.Window
+		}
+		return oldest, s.ring[len(s.ring)-1].set.Window, true
+	}
+	if ok {
+		newest = segs[len(segs)-1].Last()
+	}
+	return oldest, newest, ok
 }
 
-// Windows returns the retained signature sets, oldest first. The slice
-// is a copy; the sets themselves are shared and must be treated as
-// immutable (every producer in this module already does).
+// Windows returns the hot in-memory signature sets, oldest first (cold
+// segment windows are reached through Window, HistoryRange and
+// Search). The slice is a copy; the sets themselves are shared and
+// must be treated as immutable (every producer in this module already
+// does).
 func (s *Store) Windows() []*core.SignatureSet {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -234,14 +302,27 @@ func (s *Store) Windows() []*core.SignatureSet {
 	return out
 }
 
-// Latest returns the newest retained window, or nil when empty.
+// Latest returns the newest retained window, or nil when empty. With
+// an empty ring but a populated cold tier (a boot whose snapshot was
+// quarantined while segments survived), the newest segment window is
+// served instead.
 func (s *Store) Latest() *core.SignatureSet {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.ring) == 0 {
+	if len(s.ring) > 0 {
+		return s.ring[len(s.ring)-1].set
+	}
+	segs, _ := s.tierSegsLocked()
+	if len(segs) == 0 {
 		return nil
 	}
-	return s.ring[len(s.ring)-1].set
+	seg := segs[len(segs)-1]
+	set, err := seg.ReadWindow(seg.Last())
+	if err != nil {
+		return nil
+	}
+	s.obs.segLoads.Add(1)
+	return set
 }
 
 // HistoryEntry is one archived signature of a label.
@@ -251,26 +332,20 @@ type HistoryEntry struct {
 	Sig    core.Signature
 }
 
-// History returns every retained signature of label, oldest window
-// first. A label absent from the universe — or present but never a
-// source — yields an empty history.
+// History returns every retained signature of label across both tiers,
+// oldest window first. A label absent from the universe — or present
+// but never a source — yields an empty history, as does a cold-tier
+// I/O failure (callers needing to distinguish use HistoryRange).
 func (s *Store) History(label string) []HistoryEntry {
-	v, ok := s.universe.Lookup(label)
-	if !ok {
+	out, _, err := s.HistoryRange(label, math.MinInt, math.MaxInt, 0)
+	if err != nil {
 		return nil
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []HistoryEntry
-	for _, e := range s.ring {
-		if sig, ok := e.set.Get(v); ok {
-			out = append(out, HistoryEntry{Window: e.set.Window, Scheme: e.set.Scheme, Sig: sig})
-		}
 	}
 	return out
 }
 
-// LatestSignature returns the most recent non-empty signature of label.
+// LatestSignature returns the most recent non-empty signature of
+// label, falling through to the cold tier when the hot ring has none.
 func (s *Store) LatestSignature(label string) (core.Signature, int, bool) {
 	v, ok := s.universe.Lookup(label)
 	if !ok {
@@ -281,6 +356,23 @@ func (s *Store) LatestSignature(label string) (core.Signature, int, bool) {
 	for i := len(s.ring) - 1; i >= 0; i-- {
 		if sig, ok := s.ring[i].set.Get(v); ok && !sig.IsEmpty() {
 			return sig, s.ring[i].set.Window, true
+		}
+	}
+	segs, bound := s.tierSegsLocked()
+	for i := len(segs) - 1; i >= 0; i-- {
+		wins := segs[i].LabelWindows(label)
+		for j := len(wins) - 1; j >= 0; j-- {
+			if wins[j] >= bound {
+				continue
+			}
+			set, err := segs[i].ReadWindow(wins[j])
+			if err != nil {
+				return core.Signature{}, 0, false
+			}
+			s.obs.segLoads.Add(1)
+			if sig, ok := set.Get(v); ok && !sig.IsEmpty() {
+				return sig, set.Window, true
+			}
 		}
 	}
 	return core.Signature{}, 0, false
@@ -308,8 +400,9 @@ type SearchOptions struct {
 	// ExcludeLabel omits matches of this label (typically the query's
 	// own, when asking "who else looks like v?").
 	ExcludeLabel string
-	// LastWindows restricts the scan to the most recent n retained
-	// windows (0 = all).
+	// LastWindows restricts the scan to the most recent n archived
+	// windows (0 = all). Depths past the hot ring fall through to the
+	// cold segment tier.
 	LastWindows int
 	// NoPrefilter forces an exact scan even when an LSH index exists.
 	NoPrefilter bool
@@ -350,7 +443,10 @@ func (s *Store) Search(d core.Distance, sig core.Signature, opts SearchOptions) 
 	if sig.IsEmpty() {
 		return nil, fmt.Errorf("store: search with empty signature")
 	}
-	ring := s.snapshotRing()
+	ring, err := s.snapshotTier(opts.LastWindows)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	querier, fast := distmat.NewQuerier(d)
 	if fast {
 		querier.SetMetrics(s.obs.engine)
@@ -382,7 +478,23 @@ func (s *Store) SearchBatch(d core.Distance, queries []BatchQuery) ([][]Hit, err
 			return nil, fmt.Errorf("store: batch query %d has an empty signature", i)
 		}
 	}
-	ring := s.snapshotRing()
+	// One tier snapshot deep enough for every query: any unbounded
+	// query pulls the whole archive, else the deepest bound wins.
+	depth := 0
+	for i := range queries {
+		lw := queries[i].Opts.LastWindows
+		if lw <= 0 {
+			depth = 0
+			break
+		}
+		if lw > depth {
+			depth = lw
+		}
+	}
+	ring, err := s.snapshotTier(depth)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	querier, fast := distmat.NewQuerier(d)
 	if fast {
 		querier.SetMetrics(s.obs.engine)
@@ -397,17 +509,6 @@ func (s *Store) SearchBatch(d core.Distance, queries []BatchQuery) ([][]Hit, err
 		out[i] = hits
 	}
 	return out, nil
-}
-
-// snapshotRing copies the window ring under the read lock. Entries hold
-// pointers to immutable sets/indexes/views, so the copied slice stays
-// valid after release; eviction only drops references.
-func (s *Store) snapshotRing() []entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ring := make([]entry, len(s.ring))
-	copy(ring, s.ring)
-	return ring
 }
 
 // searchRing runs one query over a snapshotted ring: candidate

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -16,23 +17,27 @@ func buildSet(t *testing.T, u *graph.Universe, window int, sigs map[string]map[s
 	t.Helper()
 	var sources []graph.NodeID
 	var out []core.Signature
-	// Deterministic order: intern sources sorted by label.
+	// Deterministic order: intern sources AND their members sorted by
+	// label, so two universes fed the same stream assign identical
+	// NodeIDs (cross-universe Sig.Equal comparisons depend on it).
+	sortKeys := func(m map[string]float64) []string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
 	labels := make([]string, 0, len(sigs))
 	for l := range sigs {
 		labels = append(labels, l)
 	}
-	for i := range labels {
-		for j := i + 1; j < len(labels); j++ {
-			if labels[j] < labels[i] {
-				labels[i], labels[j] = labels[j], labels[i]
-			}
-		}
-	}
+	sort.Strings(labels)
 	for _, l := range labels {
 		v := u.MustIntern(l, graph.PartNone)
 		w := map[graph.NodeID]float64{}
-		for m, weight := range sigs[l] {
-			w[u.MustIntern(m, graph.PartNone)] = weight
+		for _, m := range sortKeys(sigs[l]) {
+			w[u.MustIntern(m, graph.PartNone)] = sigs[l][m]
 		}
 		sources = append(sources, v)
 		out = append(out, core.FromWeights(w, 10))
@@ -318,13 +323,24 @@ func TestStoreSnapshotRoundTrip(t *testing.T) {
 	}
 	assertStoresEqual(t, s, loaded)
 
-	// Loading into a smaller store keeps the newest windows.
+	// Loading into a smaller store keeps EVERY window — the snapshot may
+	// be the only durable copy (a tiered server checkpoints an oversized
+	// ring after a failed compaction), so trimming waits for the first
+	// live Add, when any attached cold tier can take the surplus.
 	small, err := Load(dir, Config{Capacity: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lo, hi, _ := small.WindowRange(); lo != 5 || hi != 5 {
-		t.Fatalf("small load range = [%d,%d]", lo, hi)
+	if lo, hi, _ := small.WindowRange(); lo != 2 || hi != 5 {
+		t.Fatalf("small load range = [%d,%d], want [2,5]", lo, hi)
+	}
+	if err := small.Add(buildSet(t, u, 6, map[string]map[string]float64{
+		"plain-src": {"plain": 1},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi, _ := small.WindowRange(); lo != 6 || hi != 6 || small.Len() != 1 {
+		t.Fatalf("post-Add range = [%d,%d] len %d, want [6,6] len 1", lo, hi, small.Len())
 	}
 	if _, err := Load(filepath.Join(dir, "missing"), Config{Capacity: 1}); err == nil {
 		t.Fatal("loading a missing snapshot succeeded")

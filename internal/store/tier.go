@@ -1,0 +1,352 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"graphsig/internal/core"
+	"graphsig/internal/segment"
+)
+
+// Tiered storage: the ring holds the hot, most recent Capacity windows
+// in RAM exactly as before; behind it, an optional cold tier of
+// immutable segment files (internal/segment) receives every window the
+// ring evicts. History, windowed Search and the per-window accessor
+// transparently fall through to the segments, so a node with a small
+// Capacity still serves months of archive — the unlock for the paper's
+// §V long-horizon persistence and multi-week uniqueness analyses.
+//
+// Invariants:
+//   - Compaction precedes eviction: a window leaves RAM only after its
+//     segment file is durable (staged, fsynced, renamed). If the write
+//     fails the ring temporarily exceeds Capacity and the compaction is
+//     retried at the next eviction — degraded RAM bounds, never lost
+//     acked data (the same posture as "keep the WAL when a snapshot
+//     save fails").
+//   - Segments and the ring may overlap after a crash: a window can be
+//     both in a segment and in the last pre-crash snapshot's ring.
+//     Readers resolve the overlap by serving windows >= the ring's
+//     oldest from the ring; segment content is bit-identical anyway
+//     (the block codec is deterministic), so either copy is correct.
+//   - The cold tier's window set only grows (modulo explicit retention
+//     pruning); tier.last marks the newest compacted window so a
+//     crash-replay re-eviction of an already-compacted window drops it
+//     without rewriting the file.
+
+// segTier is the store's cold-tier state, guarded by Store.mu.
+type segTier struct {
+	dir  string
+	segs []*segment.Segment // ascending, non-overlapping window ranges
+	last int                // newest window covered by any segment
+}
+
+// SegmentStats reports what AttachSegments found on disk.
+type SegmentStats struct {
+	Segments    int      // segment files attached
+	Windows     int      // window blocks across them
+	Quarantined []string // corrupt files renamed aside
+}
+
+// AttachSegments enables the cold tier: dir is created if needed, stale
+// .tmp leftovers from crashed compactions are removed, and every
+// segment file is opened and checksum-verified. Corrupt files (torn
+// tails, flipped bytes, overlapping ranges) are quarantined aside like
+// a corrupt WAL and reported in the stats — boot continues without
+// them. Call once at construction time, after any snapshot Load (label
+// interning order must follow the snapshot manifest first); segment
+// labels missing from the universe are interned here, single-threaded.
+func (s *Store) AttachSegments(dir string) (SegmentStats, error) {
+	var st SegmentStats
+	if dir == "" {
+		return st, fmt.Errorf("store: segments need a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return st, fmt.Errorf("store: segments: %w", err)
+	}
+	paths, err := segment.List(dir)
+	if err != nil {
+		return st, fmt.Errorf("store: segments: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &segTier{dir: dir, last: math.MinInt}
+	quarantine := func(p string) error {
+		q, qerr := segment.Quarantine(p)
+		if qerr != nil {
+			return fmt.Errorf("store: segments: %w", qerr)
+		}
+		st.Quarantined = append(st.Quarantined, q)
+		s.obs.segQuarantines.Add(1)
+		return nil
+	}
+	for _, p := range paths {
+		seg, err := segment.Open(p, s.universe)
+		if errors.Is(err, segment.ErrCorrupt) {
+			if qerr := quarantine(p); qerr != nil {
+				return st, qerr
+			}
+			continue
+		}
+		if err != nil {
+			return st, fmt.Errorf("store: segments: %w", err)
+		}
+		if len(t.segs) > 0 && seg.First() <= t.last {
+			// Overlapping ranges mean two files disagree about the same
+			// history; keep the established earlier file, set the
+			// newcomer aside as evidence.
+			if qerr := quarantine(p); qerr != nil {
+				return st, qerr
+			}
+			continue
+		}
+		t.segs = append(t.segs, seg)
+		t.last = seg.Last()
+		st.Segments++
+		st.Windows += seg.Len()
+	}
+	s.tier = t
+	return st, nil
+}
+
+// SegmentDir returns the cold tier's directory ("" when disabled).
+func (s *Store) SegmentDir() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tier == nil {
+		return ""
+	}
+	return s.tier.dir
+}
+
+// SegmentCount reports the number of attached segment files.
+func (s *Store) SegmentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.tier == nil {
+		return 0
+	}
+	return len(s.tier.segs)
+}
+
+// SegmentWindows reports how many windows the cold tier serves — i.e.
+// segment windows not shadowed by the hot ring.
+func (s *Store) SegmentWindows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	segs, bound := s.tierSegsLocked()
+	n := 0
+	for _, seg := range segs {
+		for _, w := range seg.Windows() {
+			if w < bound {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// tierSegsLocked returns the segment handles (ascending) and the hot
+// ring's oldest window. Segment windows >= that bound are shadowed by
+// the ring (crash-replay overlap) and must be skipped by merging
+// readers. Callers hold s.mu.
+func (s *Store) tierSegsLocked() ([]*segment.Segment, int) {
+	bound := math.MaxInt
+	if len(s.ring) > 0 {
+		bound = s.ring[0].set.Window
+	}
+	if s.tier == nil {
+		return nil, bound
+	}
+	return s.tier.segs, bound
+}
+
+// compactLocked compacts the first `over` ring entries into a new
+// segment file and reports how many of them may now be evicted (a
+// prefix of the ring). Windows already covered by a segment — a
+// crash-replay re-adding evicted history — are droppable without a
+// write. On a write failure every uncompacted window stays in RAM and
+// the attempt is retried at the next eviction: no acked window is ever
+// dropped without a durable copy. Caller holds s.mu.
+func (s *Store) compactLocked(over int) int {
+	t := s.tier
+	covered := 0
+	for covered < over && s.ring[covered].set.Window <= t.last {
+		covered++
+	}
+	if covered == over {
+		return over
+	}
+	sets := make([]*core.SignatureSet, 0, over-covered)
+	for _, e := range s.ring[covered:over] {
+		sets = append(sets, e.set)
+	}
+	seg, err := segment.Write(t.dir, sets, s.universe)
+	if err != nil {
+		s.obs.segErrors.Add(1)
+		return covered
+	}
+	t.segs = append(t.segs, seg)
+	t.last = seg.Last()
+	s.obs.segSaves.Add(1)
+	s.obs.segSaveBytes.Add(seg.Size())
+	s.obs.segCompacted.Add(int64(len(sets)))
+	s.pruneSegmentsLocked()
+	return over
+}
+
+// pruneSegmentsLocked applies the retention policy: with SegmentRetain
+// set, the oldest segment files beyond the bound are deleted — an
+// explicit operator trade of history depth for disk. Caller holds s.mu.
+func (s *Store) pruneSegmentsLocked() {
+	t := s.tier
+	if s.cfg.SegmentRetain <= 0 {
+		return
+	}
+	for len(t.segs) > s.cfg.SegmentRetain {
+		if err := os.Remove(t.segs[0].Path()); err != nil && !os.IsNotExist(err) {
+			s.obs.segErrors.Add(1)
+			return
+		}
+		t.segs = t.segs[1:]
+		s.obs.segPruned.Add(1)
+	}
+}
+
+// snapshotTier snapshots the windows a search must scan: the hot ring,
+// preceded by cold-tier windows when the requested depth reaches past
+// RAM (lastWindows == 0 means the full archive). Cold blocks are read
+// and verified under the read lock — segment files are immutable and
+// pruning runs under the write lock, so the handles stay valid.
+func (s *Store) snapshotTier(lastWindows int) ([]entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ring := make([]entry, len(s.ring))
+	copy(ring, s.ring)
+	segs, bound := s.tierSegsLocked()
+	if len(segs) == 0 || (lastWindows > 0 && lastWindows <= len(ring)) {
+		return ring, nil
+	}
+	need := -1 // unbounded
+	if lastWindows > 0 {
+		need = lastWindows - len(ring)
+	}
+	var cold []entry // newest first while collecting
+	for i := len(segs) - 1; i >= 0 && need != 0; i-- {
+		wins := segs[i].Windows()
+		for j := len(wins) - 1; j >= 0 && need != 0; j-- {
+			if wins[j] >= bound {
+				continue
+			}
+			set, err := segs[i].ReadWindow(wins[j])
+			if err != nil {
+				return nil, err
+			}
+			s.obs.segLoads.Add(1)
+			cold = append(cold, entry{set: set})
+			if need > 0 {
+				need--
+			}
+		}
+	}
+	out := make([]entry, 0, len(cold)+len(ring))
+	for i := len(cold) - 1; i >= 0; i-- {
+		out = append(out, cold[i])
+	}
+	return append(out, ring...), nil
+}
+
+// Window returns the signature set of window w from the hot ring or,
+// falling through, the cold tier. A window the archive does not hold
+// yields (nil, nil).
+func (s *Store) Window(w int) (*core.SignatureSet, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if s.ring[i].set.Window == w {
+			return s.ring[i].set, nil
+		}
+		if s.ring[i].set.Window < w {
+			return nil, nil
+		}
+	}
+	segs, bound := s.tierSegsLocked()
+	if w >= bound {
+		return nil, nil
+	}
+	for _, seg := range segs {
+		if seg.Contains(w) {
+			set, err := seg.ReadWindow(w)
+			if err == nil {
+				s.obs.segLoads.Add(1)
+			}
+			return set, err
+		}
+	}
+	return nil, nil
+}
+
+// HistoryRange returns the archived signatures of label within the
+// inclusive window bounds [from, to], oldest first, from both tiers.
+// With limit > 0 only the newest limit matches are returned (still in
+// ascending order) and truncated reports whether older matches were cut
+// — the bound that keeps one HTTP response from carrying months of
+// archive. Pass math.MinInt/math.MaxInt/0 for the unbounded form.
+func (s *Store) HistoryRange(label string, from, to, limit int) (entries []HistoryEntry, truncated bool, err error) {
+	v, ok := s.universe.Lookup(label)
+	if !ok || to < from {
+		return nil, false, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var rev []HistoryEntry // newest first while collecting
+	full := limit <= 0
+	done := false
+	for i := len(s.ring) - 1; i >= 0 && !done; i-- {
+		set := s.ring[i].set
+		if set.Window < from || set.Window > to {
+			continue
+		}
+		if sig, ok := set.Get(v); ok {
+			if !full && len(rev) >= limit {
+				truncated, done = true, true
+				break
+			}
+			rev = append(rev, HistoryEntry{Window: set.Window, Scheme: set.Scheme, Sig: sig})
+		}
+	}
+	segs, bound := s.tierSegsLocked()
+	for i := len(segs) - 1; i >= 0 && !done; i-- {
+		wins := segs[i].LabelWindows(label)
+		for j := len(wins) - 1; j >= 0 && !done; j-- {
+			w := wins[j]
+			if w >= bound || w > to {
+				continue
+			}
+			if w < from {
+				break
+			}
+			// The index lists only windows where label is a source, so
+			// this window is a match; past the limit its existence alone
+			// proves truncation.
+			if !full && len(rev) >= limit {
+				truncated, done = true, true
+				break
+			}
+			set, rerr := segs[i].ReadWindow(w)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			s.obs.segLoads.Add(1)
+			if sig, ok := set.Get(v); ok {
+				rev = append(rev, HistoryEntry{Window: set.Window, Scheme: set.Scheme, Sig: sig})
+			}
+		}
+	}
+	entries = make([]HistoryEntry, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		entries = append(entries, rev[i])
+	}
+	return entries, truncated, nil
+}

@@ -57,6 +57,12 @@ go test -race ./internal/cluster/...
 # above already ran those tests; this line keeps the obs-level
 # federation/trace-context property tests in the gate explicitly.
 go test -race -run 'TestTraceContext|TestStartRemote|TestParseExposition|TestWriteFederated|TestFederatedHistogram' ./internal/obs/
+# Segment smoke (make segment-smoke): the cold-tier e2es the race run
+# above may have sampled — long-horizon restart (5x capacity served
+# bit-identical to an unbounded run), crash mid-compaction, and the
+# segment-mode simulation seeds — pinned explicitly in the gate.
+go test -race -run 'TestServerSegment|TestHistoryHTTPParams' ./internal/server/
+go test -race -run 'TestSimSegments' ./internal/simcheck/
 # Fuzz smoke (make fuzz-smoke): short exploratory runs of the three
 # native fuzz targets; their committed testdata corpora already replay
 # as regression cases in the race run above.
